@@ -1,0 +1,79 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Extension bench: multi-node training (Section 5.4). "NCCL is currently
+// not fully supported for large GPU deployments, such as multi-node or
+// supercomputer setups. In these cases, an MPI-based implementation is
+// necessary." This bench projects the study onto two p2.8xlarge nodes
+// joined by 10 GbE: NCCL is unavailable, the inter-node link is slower
+// than intra-node PCIe, and quantization becomes decisive rather than
+// optional.
+#include <iostream>
+
+#include "base/strings.h"
+#include "base/table_printer.h"
+#include "bench/bench_util.h"
+#include "sim/perf_model.h"
+
+namespace lpsgd {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Extension: multi-node MPI projection (2x p2.8xlarge over 10GbE)",
+      "Samples/sec at 16 GPUs across two nodes; NCCL cannot span nodes, "
+      "so MPI carries everything.");
+
+  const MachineSpec cluster = Ec2Cluster2x8();
+  const MachineSpec single = Ec2P2_16xlarge();
+
+  TablePrinter table({"Network", "Precision", "1 node x16 (MPI)",
+                      "2 nodes x16 (MPI)", "Quantization speedup 2-node"});
+  for (const std::string& name : PerformanceFigureNetworks()) {
+    auto stats = FindNetworkStats(name);
+    CHECK_OK(stats.status());
+    PerfModel on_single(*stats, single);
+    PerfModel on_cluster(*stats, cluster);
+
+    double cluster_fp = 0.0;
+    for (const CodecSpec& codec : {FullPrecisionSpec(), QsgdSpec(4)}) {
+      auto single_est = on_single.Estimate(codec, CommPrimitive::kMpi, 16);
+      auto cluster_est = on_cluster.Estimate(codec, CommPrimitive::kMpi, 16);
+      CHECK_OK(single_est.status());
+      CHECK_OK(cluster_est.status());
+      if (codec.kind == CodecKind::kFullPrecision) {
+        cluster_fp = cluster_est->SamplesPerSecond();
+      }
+      table.AddRow(
+          {name, codec.ShortLabel(),
+           FormatDouble(single_est->SamplesPerSecond(), 1),
+           FormatDouble(cluster_est->SamplesPerSecond(), 1),
+           codec.kind == CodecKind::kFullPrecision
+               ? "-"
+               : StrCat(FormatDouble(
+                            cluster_est->SamplesPerSecond() / cluster_fp, 2),
+                        "x")});
+    }
+  }
+  table.Print(std::cout);
+
+  // NCCL is rejected outright on the cluster.
+  auto stats = FindNetworkStats("AlexNet");
+  CHECK_OK(stats.status());
+  PerfModel model(*stats, cluster);
+  auto nccl = model.Estimate(FullPrecisionSpec(), CommPrimitive::kNccl, 16);
+  std::cout << "NCCL on the 2-node cluster: "
+            << (nccl.ok() ? "unexpectedly available!"
+                          : nccl.status().ToString())
+            << "\n";
+  std::cout << "Reading: on the slower inter-node fabric the quantization "
+               "speedups exceed the single-node\nfigures -- the regime the "
+               "paper extrapolates toward in Section 6.\n";
+}
+
+}  // namespace
+}  // namespace lpsgd
+
+int main() {
+  lpsgd::Run();
+  return 0;
+}

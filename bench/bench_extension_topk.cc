@@ -1,0 +1,116 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Extension bench: Top-K sparse communication (Aji & Heafield), which the
+// paper evaluates qualitatively in Section 7: extremely small densities
+// (<0.5%) suffice for some tasks, but on Inception-class image nets the
+// paper observed >10% density was needed — and at that density the
+// 8-bytes-per-component index overhead erodes the traffic reduction below
+// what QSGD achieves. This bench reproduces both halves: accuracy vs
+// density on the synthetic task, and wire bytes vs QSGD.
+#include <iostream>
+
+#include "base/strings.h"
+#include "base/table_printer.h"
+#include "bench/bench_util.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+
+namespace lpsgd {
+namespace {
+
+double TrainWith(CodecSpec codec) {
+  SyntheticImageOptions train_options;
+  train_options.num_classes = 10;
+  train_options.channels = 1;
+  train_options.height = 8;
+  train_options.width = 8;
+  train_options.num_samples = 512;
+  train_options.signal = 1.2f;
+  train_options.noise = 0.8f;
+  SyntheticImageOptions test_options = train_options;
+  test_options.num_samples = 256;
+  test_options.sample_offset = 1 << 20;
+  const SyntheticImageDataset train(train_options);
+  const SyntheticImageDataset test(test_options);
+
+  TrainerOptions options;
+  options.num_gpus = 4;
+  options.global_batch_size = 32;
+  options.learning_rate = 0.05f;
+  options.lr_schedule = {{14, 0.01f}};
+  options.codec = codec;
+  options.seed = 23;
+  auto trainer = SyncTrainer::Create(
+      [](uint64_t seed) { return BuildMiniAlexNet(1, 8, 10, seed); },
+      options);
+  CHECK_OK(trainer.status());
+  auto metrics = (*trainer)->Train(train, test, 20);
+  CHECK_OK(metrics.status());
+  return metrics->back().test_accuracy;
+}
+
+void AccuracyVsDensity() {
+  bench::PrintHeader(
+      "Extension: Top-K sparsification - accuracy vs density",
+      "Conv net trained with sparse gradient exchange at varying "
+      "densities (32bit and QSGD 4bit for reference).");
+  TablePrinter table({"Codec", "Test accuracy (%)"});
+  table.AddRow({"32bit", FormatDouble(TrainWith(FullPrecisionSpec()) * 100.0,
+                                      1)});
+  table.AddRow(
+      {"QSGD 4bit", FormatDouble(TrainWith(QsgdSpec(4)) * 100.0, 1)});
+  for (double density : {0.25, 0.10, 0.02, 0.005}) {
+    table.AddRow({TopKSpec(density).Label(),
+                  FormatDouble(TrainWith(TopKSpec(density)) * 100.0, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "Paper shape (Section 7): convolutional image nets need "
+               "fairly high densities to match full precision;\nvery "
+               "aggressive sparsity degrades accuracy.\n";
+}
+
+void WireBytesVsQsgd() {
+  bench::PrintHeader(
+      "Extension: Top-K sparsification - wire bytes on the paper's nets",
+      "Index+value pairs cost 8 bytes per kept component; at 10%+ density "
+      "the reduction stalls near 1.25-2.5x while QSGD 4bit holds ~7.9x.");
+  TablePrinter table({"Network", "fp32", "TopK 1%", "TopK 10%", "TopK 25%",
+                      "QSGD 4bit"});
+  for (const std::string& name : PerformanceFigureNetworks()) {
+    auto stats = FindNetworkStats(name);
+    CHECK_OK(stats.status());
+    auto bytes_for = [&](const CodecSpec& spec) {
+      auto codec = CreateCodec(spec);
+      CHECK_OK(codec.status());
+      int64_t total = 0;
+      for (const MatrixStat& m : stats->matrices) {
+        total += (*codec)->EncodedSizeBytes(Shape({m.rows, m.cols})) *
+                 m.count;
+      }
+      return total;
+    };
+    const double fp = static_cast<double>(bytes_for(FullPrecisionSpec()));
+    auto cell = [&](const CodecSpec& spec) {
+      const double bytes = static_cast<double>(bytes_for(spec));
+      return StrCat(HumanBytes(bytes), " (", FormatDouble(fp / bytes, 1),
+                    "x)");
+    };
+    table.AddRow({name, HumanBytes(fp), cell(TopKSpec(0.01)),
+                  cell(TopKSpec(0.10)), cell(TopKSpec(0.25)),
+                  cell(QsgdSpec(4))});
+  }
+  table.Print(std::cout);
+  std::cout << "Also note: sparse exchange is not efficiently supported by "
+               "MPI/NCCL collectives (Section 7),\nso these byte counts "
+               "are optimistic for Top-K.\n";
+}
+
+}  // namespace
+}  // namespace lpsgd
+
+int main() {
+  lpsgd::AccuracyVsDensity();
+  lpsgd::WireBytesVsQsgd();
+  return 0;
+}

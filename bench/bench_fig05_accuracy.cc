@@ -1,0 +1,220 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Regenerates Figure 5: accuracy per epoch for various networks and
+// precision settings. These are REAL training runs of the scaled-down
+// architecture family on the synthetic datasets (see DESIGN.md for the
+// substitution); the orderings — which precision settings track the
+// full-precision curve and which fall away — are the reproduced result.
+//
+// (a) AlexNet-class conv net: 1bitSGD, 1bitSGD* (d=512), 1bitSGD* (d=64),
+//     QSGD 2/4/8bit (+ 32bit reference)
+// (b,c) ResNet-class nets: 32bit, 1bitSGD*, QSGD 4/8bit
+// (d) CIFAR-class residual net: 32bit, 1bitSGD, QSGD 2/4/8bit
+// (e) LSTM on AN4-class data: training loss vs (virtual) time
+#include <iostream>
+
+#include "base/strings.h"
+#include "base/table_printer.h"
+#include "bench/bench_util.h"
+#include "core/experiment.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+#include "sim/perf_model.h"
+
+namespace lpsgd {
+namespace {
+
+constexpr int kEpochs = 20;
+
+SyntheticImageDataset ImageTrainSet(uint64_t seed, float noise) {
+  SyntheticImageOptions options;
+  options.num_classes = 10;
+  options.channels = 1;
+  options.height = 8;
+  options.width = 8;
+  options.num_samples = 512;
+  options.signal = 1.2f;
+  options.noise = noise;
+  options.seed = seed;
+  return SyntheticImageDataset(options);
+}
+
+SyntheticImageDataset ImageTestSet(uint64_t seed, float noise) {
+  SyntheticImageOptions options;
+  options.num_classes = 10;
+  options.channels = 1;
+  options.height = 8;
+  options.width = 8;
+  options.num_samples = 256;
+  options.signal = 1.2f;
+  options.noise = noise;
+  options.seed = seed;
+  options.sample_offset = 1 << 20;
+  return SyntheticImageDataset(options);
+}
+
+TrainerOptions BaseOptions() {
+  TrainerOptions options;
+  options.num_gpus = 4;
+  options.global_batch_size = 32;
+  options.learning_rate = 0.05f;
+  // Standard step decay, matching the networks' published recipes in
+  // miniature.
+  options.lr_schedule = {{14, 0.01f}};
+  options.seed = 2026;
+  return options;
+}
+
+void RunAndPrint(const std::string& title,
+                 const SyncTrainer::NetworkFactory& factory,
+                 const Dataset& train, const Dataset& test,
+                 const std::vector<AccuracyRunConfig>& configs) {
+  bench::PrintHeader(title, "Test accuracy (%) per epoch.");
+  auto series = RunAccuracyComparison(factory, BaseOptions(), train, test,
+                                      configs, kEpochs);
+  CHECK_OK(series.status());
+  std::cout << FormatAccuracyTable(*series, /*print_every=*/3);
+
+  std::cout << "Final accuracies: ";
+  for (const AccuracySeries& s : *series) {
+    std::cout << s.label << "="
+              << FormatDouble(s.FinalTestAccuracy() * 100.0, 1) << "%  ";
+  }
+  std::cout << "\n";
+}
+
+void Figure5a() {
+  const auto train = ImageTrainSet(51, 0.8f);
+  const auto test = ImageTestSet(51, 0.8f);
+  auto factory = [](uint64_t seed) {
+    return BuildMiniAlexNet(1, 8, 10, seed);
+  };
+  // Bucket sizes scale with the miniature model (the paper's d=64/d=512
+  // on 62M-parameter AlexNet correspond to d=8/d=64 here: same ratio of
+  // bucket size to smallest conv kernel).
+  std::vector<AccuracyRunConfig> configs = {
+      {"32bit", FullPrecisionSpec(), {}},
+      {"1bitSGD", OneBitSgdSpec(), {}},
+      {"1b* coarse", OneBitSgdReshapedSpec(64), {}},
+      {"1b* tuned", OneBitSgdReshapedSpec(8), {}},
+      {"QSGD 2bit", QsgdSpec(2), {}},
+      {"QSGD 4bit", QsgdSpec(4), {}},
+      {"QSGD 8bit", QsgdSpec(8), {}},
+  };
+  RunAndPrint("Figure 5(a) - AlexNet-class conv net on ImageNet-class data",
+              factory, train, test, configs);
+  std::cout
+      << "Paper shape: 4/8-bit QSGD and tuned-bucket 1bitSGD* track 32bit "
+         "(paper d=64); 2-bit QSGD\nand oversized buckets (paper d=512) "
+         "trail -- Section 5.1's negative results.\n";
+}
+
+void Figure5bc() {
+  const auto train = ImageTrainSet(52, 0.8f);
+  const auto test = ImageTestSet(52, 0.8f);
+  auto factory = [](uint64_t seed) {
+    return BuildMiniResNet(1, 8, /*num_blocks=*/2, /*width=*/8, 10, seed);
+  };
+  std::vector<AccuracyRunConfig> configs = {
+      {"32bit", FullPrecisionSpec(), {}},
+      {"1bitSGD*", OneBitSgdReshapedSpec(64), {}},
+      {"QSGD 4bit", QsgdSpec(4), {}},
+      {"QSGD 8bit", QsgdSpec(8), {}},
+  };
+  RunAndPrint(
+      "Figure 5(b,c) - ResNet-class (all-convolutional residual) net",
+      factory, train, test, configs);
+  std::cout << "Paper shape: all four curves overlap within noise "
+               "(ResNet50: 59.90% vs 60.31/60.37/60.05% top-5).\n";
+}
+
+void Figure5d() {
+  const auto train = ImageTrainSet(53, 0.9f);
+  const auto test = ImageTestSet(53, 0.9f);
+  auto factory = [](uint64_t seed) {
+    return BuildMiniResNet(1, 8, /*num_blocks=*/3, /*width=*/8, 10, seed);
+  };
+  std::vector<AccuracyRunConfig> configs = {
+      {"32bit", FullPrecisionSpec(), {}},
+      {"1bitSGD", OneBitSgdSpec(), {}},
+      {"QSGD 2bit", QsgdSpec(2), {}},
+      {"QSGD 4bit", QsgdSpec(4), {}},
+      {"QSGD 8bit", QsgdSpec(8), {}},
+  };
+  RunAndPrint("Figure 5(d) - ResNet110-class net on CIFAR-class data",
+              factory, train, test, configs);
+}
+
+void Figure5e() {
+  SyntheticSequenceOptions train_options;
+  train_options.num_classes = 8;
+  train_options.time_steps = 10;
+  train_options.frame_dim = 12;
+  train_options.num_samples = 256;
+  train_options.noise = 1.2f;
+  SyntheticSequenceOptions test_options = train_options;
+  test_options.num_samples = 128;
+  test_options.sample_offset = 1 << 20;
+  const SyntheticSequenceDataset train(train_options);
+  const SyntheticSequenceDataset test(test_options);
+
+  auto factory = [](uint64_t seed) {
+    return BuildLstmClassifier(12, 20, 8, seed);
+  };
+
+  // Virtual time axis: per-iteration time of the paper's AN4 LSTM (2 GPUs,
+  // MPI on EC2) at each precision.
+  auto lstm_stats = FindNetworkStats("LSTM");
+  CHECK_OK(lstm_stats.status());
+  PerfModel lstm_model(*lstm_stats, Ec2P2_8xlarge());
+
+  bench::PrintHeader(
+      "Figure 5(e) - LSTM on AN4-class data",
+      "Training loss vs virtual time (paper LSTM timing, MPI, 2 GPUs).");
+
+  TablePrinter table({"Precision", "Virtual time/epoch", "Loss@3",
+                      "Loss@10", "Loss@20", "Final test acc (%)"});
+  std::vector<AccuracyRunConfig> configs = {
+      {"32bit", FullPrecisionSpec(), {}},
+      {"1bitSGD", OneBitSgdSpec(), {}},
+      {"QSGD 2bit", QsgdSpec(2), {}},
+      {"QSGD 4bit", QsgdSpec(4), {}},
+      {"QSGD 8bit", QsgdSpec(8), {}},
+  };
+  for (const AccuracyRunConfig& config : configs) {
+    TrainerOptions options = BaseOptions();
+    options.num_gpus = 2;
+    options.global_batch_size = 16;
+    options.learning_rate = 0.15f;
+    options.codec = config.codec;
+    auto est = lstm_model.Estimate(config.codec, CommPrimitive::kMpi, 2);
+    CHECK_OK(est.status());
+    options.virtual_compute_seconds_per_iter = est->compute_seconds;
+
+    auto trainer = SyncTrainer::Create(factory, options);
+    CHECK_OK(trainer.status());
+    auto metrics = (*trainer)->Train(train, test, kEpochs);
+    CHECK_OK(metrics.status());
+    const auto& m = *metrics;
+    table.AddRow({config.label,
+                  HumanSeconds(m[0].virtual_seconds),
+                  FormatDouble(m[2].train_loss, 3),
+                  FormatDouble(m[9].train_loss, 3),
+                  FormatDouble(m[kEpochs - 1].train_loss, 3),
+                  FormatDouble(m[kEpochs - 1].test_accuracy * 100.0, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "Paper shape: the LSTM tolerates even very low precision "
+               "(non-convolutional nets are robust, Section 5.1).\n";
+}
+
+}  // namespace
+}  // namespace lpsgd
+
+int main() {
+  lpsgd::Figure5a();
+  lpsgd::Figure5bc();
+  lpsgd::Figure5d();
+  lpsgd::Figure5e();
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Regenerates Figure 6: time per epoch on the Amazon EC2 instance with
+// MPI, 8 GPUs, for five ImageNet networks across all seven precision
+// settings, with the communication/computation split of the paper's
+// stacked bars.
+#include "bench/bench_util.h"
+#include "machine/specs.h"
+
+int main() {
+  lpsgd::bench::PrintEpochTimeBars(
+      "Figure 6", "Performance: Amazon EC2 instance with MPI, 8 GPUs.",
+      lpsgd::Ec2P2_8xlarge(), lpsgd::CommPrimitive::kMpi,
+      lpsgd::bench::MpiFigureCodecs(), {8});
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Regenerates Figure 7: time per epoch on the Amazon EC2 instance with
+// NCCL, 8 GPUs (low precision simulated per Section 4.4).
+#include "bench/bench_util.h"
+#include "machine/specs.h"
+
+int main() {
+  lpsgd::bench::PrintEpochTimeBars(
+      "Figure 7", "Performance: Amazon EC2 instance with NCCL, 8 GPUs.",
+      lpsgd::Ec2P2_8xlarge(), lpsgd::CommPrimitive::kNccl,
+      lpsgd::bench::NcclFigureCodecs(), {8});
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Regenerates Figure 8: time per epoch on the NVIDIA DGX-1 with MPI,
+// {2, 4, 8} GPUs, for {32bit, QSGD 4bit, 1bitSGD*, 1bitSGD}.
+#include "bench/bench_util.h"
+#include "machine/specs.h"
+
+int main() {
+  lpsgd::bench::PrintEpochTimeBars(
+      "Figure 8", "Performance: NVIDIA DGX-1 with MPI, {2,4,8} GPUs.",
+      lpsgd::Dgx1(), lpsgd::CommPrimitive::kMpi,
+      lpsgd::bench::DgxMpiFigureCodecs(), {2, 4, 8});
+  return 0;
+}

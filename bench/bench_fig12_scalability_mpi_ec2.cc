@@ -1,0 +1,15 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Regenerates Figure 12: scalability on the Amazon EC2 instance with MPI.
+#include "bench/bench_util.h"
+#include "machine/specs.h"
+
+int main() {
+  lpsgd::bench::PrintScalabilityFigure(
+      "Figure 12",
+      "Scalability: Amazon EC2 instance with MPI "
+      "(samples/sec over 1-GPU 32bit).",
+      lpsgd::Ec2P2_16xlarge(), lpsgd::CommPrimitive::kMpi,
+      lpsgd::bench::MpiFigureCodecs(), {1, 2, 4, 8, 16});
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Regenerates Figure 13: scalability on the Amazon EC2 instance with NCCL
+// (NCCL supports at most 8 GPUs, Section 5.2).
+#include "bench/bench_util.h"
+#include "machine/specs.h"
+
+int main() {
+  lpsgd::bench::PrintScalabilityFigure(
+      "Figure 13",
+      "Scalability: Amazon EC2 instance with NCCL "
+      "(samples/sec over 1-GPU 32bit).",
+      lpsgd::Ec2P2_8xlarge(), lpsgd::CommPrimitive::kNccl,
+      lpsgd::bench::NcclFigureCodecs(), {1, 2, 4, 8});
+  return 0;
+}

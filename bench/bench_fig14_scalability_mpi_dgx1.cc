@@ -1,0 +1,14 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Regenerates Figure 14: scalability on the NVIDIA DGX-1 with MPI.
+#include "bench/bench_util.h"
+#include "machine/specs.h"
+
+int main() {
+  lpsgd::bench::PrintScalabilityFigure(
+      "Figure 14",
+      "Scalability: NVIDIA DGX-1 with MPI (samples/sec over 1-GPU 32bit).",
+      lpsgd::Dgx1(), lpsgd::CommPrimitive::kMpi,
+      lpsgd::bench::DgxMpiFigureCodecs(), {1, 2, 4, 8});
+  return 0;
+}

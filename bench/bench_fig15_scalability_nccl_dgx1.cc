@@ -1,0 +1,14 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Regenerates Figure 15: scalability on the NVIDIA DGX-1 with NCCL.
+#include "bench/bench_util.h"
+#include "machine/specs.h"
+
+int main() {
+  lpsgd::bench::PrintScalabilityFigure(
+      "Figure 15",
+      "Scalability: NVIDIA DGX-1 with NCCL (samples/sec over 1-GPU 32bit).",
+      lpsgd::Dgx1(), lpsgd::CommPrimitive::kNccl,
+      {lpsgd::FullPrecisionSpec(), lpsgd::QsgdSpec(4)}, {1, 2, 4, 8});
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Micro-benchmarks (google-benchmark) for the gradient codecs: host-side
+// encode and decode throughput per codec and gradient size. These measure
+// the actual C++ implementation (the simulator charges GPU-kernel virtual
+// time separately through the cost model).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "base/logging.h"
+#include "base/rng.h"
+#include "quant/codec.h"
+#include "tensor/tensor.h"
+
+namespace lpsgd {
+namespace {
+
+Tensor MakeGradient(int64_t n) {
+  Tensor grad(Shape({n}));
+  Rng rng(42);
+  grad.FillGaussian(&rng, 1.0f);
+  return grad;
+}
+
+void RunEncode(benchmark::State& state, const CodecSpec& spec,
+               bool column_matrix = false) {
+  const int64_t n = state.range(0);
+  auto codec = CreateCodec(spec);
+  CHECK_OK(codec.status());
+  // Column-matrix mode mimics a conv tensor: 3 rows, n/3 columns.
+  Tensor grad = MakeGradient(n);
+  const Shape shape = column_matrix ? Shape({3, n / 3}) : Shape({n});
+  std::vector<float> error(
+      (*codec)->UsesErrorFeedback() ? static_cast<size_t>(n) : 0, 0.0f);
+  std::vector<float>* error_ptr =
+      (*codec)->UsesErrorFeedback() ? &error : nullptr;
+
+  std::vector<uint8_t> blob;
+  uint64_t tag = 0;
+  for (auto _ : state) {
+    (*codec)->Encode(grad.data(), shape, tag++, error_ptr, &blob);
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["bytes_per_elem"] =
+      static_cast<double>((*codec)->EncodedSizeBytes(shape)) /
+      static_cast<double>(n);
+}
+
+void RunDecode(benchmark::State& state, const CodecSpec& spec) {
+  const int64_t n = state.range(0);
+  auto codec = CreateCodec(spec);
+  CHECK_OK(codec.status());
+  Tensor grad = MakeGradient(n);
+  const Shape shape({n});
+  std::vector<float> error(
+      (*codec)->UsesErrorFeedback() ? static_cast<size_t>(n) : 0, 0.0f);
+  std::vector<uint8_t> blob;
+  (*codec)->Encode(grad.data(), shape, 0,
+                   (*codec)->UsesErrorFeedback() ? &error : nullptr, &blob);
+  std::vector<float> decoded(static_cast<size_t>(n));
+  for (auto _ : state) {
+    (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
+                     decoded.data());
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_EncodeFullPrecision(benchmark::State& state) {
+  RunEncode(state, FullPrecisionSpec());
+}
+void BM_EncodeQsgd2(benchmark::State& state) {
+  RunEncode(state, QsgdSpec(2));
+}
+void BM_EncodeQsgd4(benchmark::State& state) {
+  RunEncode(state, QsgdSpec(4));
+}
+void BM_EncodeQsgd8(benchmark::State& state) {
+  RunEncode(state, QsgdSpec(8));
+}
+void BM_EncodeQsgd16(benchmark::State& state) {
+  RunEncode(state, QsgdSpec(16));
+}
+void BM_EncodeOneBitReshaped(benchmark::State& state) {
+  RunEncode(state, OneBitSgdReshapedSpec(64));
+}
+// Stock CNTK 1bitSGD on a conv-shaped tensor (3-row columns): the
+// pathological per-column case of Section 3.2.
+void BM_EncodeOneBitColumnConvShape(benchmark::State& state) {
+  RunEncode(state, OneBitSgdSpec(), /*column_matrix=*/true);
+}
+
+void BM_DecodeQsgd4(benchmark::State& state) {
+  RunDecode(state, QsgdSpec(4));
+}
+void BM_DecodeQsgd8(benchmark::State& state) {
+  RunDecode(state, QsgdSpec(8));
+}
+void BM_DecodeOneBitReshaped(benchmark::State& state) {
+  RunDecode(state, OneBitSgdReshapedSpec(64));
+}
+
+constexpr int64_t kSmall = 3 << 10;
+constexpr int64_t kLarge = 3 << 18;  // ~786k elements
+
+BENCHMARK(BM_EncodeFullPrecision)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeQsgd2)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeQsgd4)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeQsgd8)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeQsgd16)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeOneBitReshaped)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeOneBitColumnConvShape)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeQsgd4)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeQsgd8)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeOneBitReshaped)->Arg(kSmall)->Arg(kLarge);
+
+}  // namespace
+}  // namespace lpsgd
+
+BENCHMARK_MAIN();

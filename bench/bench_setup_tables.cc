@@ -1,0 +1,82 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Regenerates the experimental-setup tables of the paper: Figure 1
+// (datasets), Figure 2 (machines), Figure 3 (networks), and Figure 4
+// (batch sizes). Everything is printed from the library's registries, so
+// this binary doubles as a consistency check of the encoded setup.
+#include <iostream>
+
+#include "base/strings.h"
+#include "base/table_printer.h"
+#include "bench/bench_util.h"
+#include "machine/specs.h"
+#include "nn/model_zoo.h"
+
+namespace lpsgd {
+namespace {
+
+void PrintFigure1() {
+  bench::PrintHeader("Figure 1", "Statistics of datasets.");
+  TablePrinter table({"Dataset", "# Training", "# Validation", "# classes",
+                      "Task"});
+  table.AddRow({"ImageNet", "1.3M", "50k", "1000", "Image"});
+  table.AddRow({"CIFAR-10", "50k", "10k", "10", "Image"});
+  table.AddRow({"AN4", "948", "130", "NA", "Speech"});
+  table.Print(std::cout);
+  std::cout << "(Repro note: experiments run on synthetic stand-ins with "
+               "the same generative roles; see DESIGN.md.)\n";
+}
+
+void PrintFigure2() {
+  bench::PrintHeader("Figure 2", "Statistics of machines.");
+  TablePrinter table({"Instance", "# CPU cores", "GPUs", "TFLOPS (single)",
+                      "$/hour"});
+  for (const MachineSpec& m : PaperMachines()) {
+    table.AddRow({m.name, StrCat(m.cpu_cores),
+                  StrCat(m.num_gpus, " x ", m.gpu.name),
+                  StrCat(m.num_gpus, " x ", FormatDouble(m.gpu.fp32_tflops, 2)),
+                  StrCat("$", FormatDouble(m.price_per_hour_usd, 1))});
+  }
+  table.Print(std::cout);
+}
+
+void PrintFigure3() {
+  bench::PrintHeader("Figure 3", "Statistics of networks.");
+  TablePrinter table({"Task", "Network", "Dataset", "Params", "# epochs",
+                      "Initial LR", "GFLOPs/sample"});
+  for (const NetworkStats& n : PaperNetworks()) {
+    table.AddRow({n.dataset == "AN4" ? "Speech" : "Image", n.name, n.dataset,
+                  StrCat(FormatDouble(n.TotalParams() / 1e6, 1), "M"),
+                  StrCat(n.recipe_epochs),
+                  FormatDouble(n.initial_learning_rate, 2),
+                  FormatDouble(n.gflops_per_sample, 2)});
+  }
+  table.Print(std::cout);
+}
+
+void PrintFigure4() {
+  bench::PrintHeader("Figure 4", "Batch sizes used per network and # GPUs.");
+  TablePrinter table(
+      {"Network", "1 GPU", "2 GPUs", "4 GPUs", "8 GPUs", "16 GPUs"});
+  for (const NetworkStats& n : PaperNetworks()) {
+    std::vector<std::string> row = {n.name};
+    for (int gpus : {1, 2, 4, 8, 16}) {
+      auto it = n.batch_for_gpus.find(gpus);
+      row.push_back(it == n.batch_for_gpus.end() ? "NA"
+                                                 : StrCat(it->second));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace lpsgd
+
+int main() {
+  lpsgd::PrintFigure1();
+  lpsgd::PrintFigure2();
+  lpsgd::PrintFigure3();
+  lpsgd::PrintFigure4();
+  return 0;
+}

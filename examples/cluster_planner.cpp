@@ -1,0 +1,101 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Domain example: the "automatic optimizer for deep learning tasks" the
+// paper's introduction motivates from the data-management angle. Given a
+// network and a deadline, the planner searches (machine x #GPUs x
+// precision x primitive) with the calibrated performance model and
+// reports the cheapest EC2 configuration that trains the published recipe
+// within the deadline.
+//
+//   ./cluster_planner [network] [deadline_hours]
+//   ./cluster_planner ResNet50 48
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "base/strings.h"
+#include "base/table_printer.h"
+#include "bench/bench_util.h"
+#include "sim/perf_model.h"
+
+namespace lpsgd {
+namespace {
+
+struct Plan {
+  std::string machine;
+  int gpus = 0;
+  std::string codec;
+  std::string primitive;
+  double hours = 0.0;
+  double cost_usd = 0.0;
+};
+
+int Run(const std::string& network, double deadline_hours) {
+  auto stats = FindNetworkStats(network);
+  if (!stats.ok()) {
+    std::cerr << stats.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "Planning: train " << network << " for "
+            << stats->recipe_epochs << " epochs (published recipe, "
+            << FormatDouble(stats->recipe_accuracy_percent, 1)
+            << "% accuracy) within " << deadline_hours << " h on EC2.\n\n";
+
+  std::optional<Plan> best;
+  TablePrinter table({"Machine", "GPUs", "Precision", "Primitive",
+                      "Train time", "Cost ($)", "Meets deadline"});
+  for (int gpus : {1, 2, 4, 8, 16}) {
+    if (stats->batch_for_gpus.find(gpus) == stats->batch_for_gpus.end()) {
+      continue;
+    }
+    auto machine = Ec2MachineForGpus(gpus);
+    if (!machine.ok()) continue;
+    PerfModel model(*stats, *machine);
+    for (CommPrimitive primitive :
+         {CommPrimitive::kMpi, CommPrimitive::kNccl}) {
+      for (const CodecSpec& codec :
+           {FullPrecisionSpec(), QsgdSpec(8), QsgdSpec(4),
+            OneBitSgdReshapedSpec(64)}) {
+        if (gpus == 1 && codec.kind != CodecKind::kFullPrecision) continue;
+        auto est = model.Estimate(codec, primitive, gpus);
+        if (!est.ok()) continue;
+        const double hours = est->EpochSeconds(stats->dataset_samples) *
+                             stats->recipe_epochs / 3600.0;
+        const double cost = hours * machine->price_per_hour_usd;
+        const bool feasible = hours <= deadline_hours;
+        table.AddRow({machine->name, StrCat(gpus), codec.ShortLabel(),
+                      CommPrimitiveName(primitive),
+                      FormatDouble(hours, 1) + " h", FormatDouble(cost, 0),
+                      feasible ? "yes" : "no"});
+        if (feasible && (!best || cost < best->cost_usd)) {
+          best = Plan{machine->name,          gpus,
+                      codec.Label(),          CommPrimitiveName(primitive),
+                      hours,                  cost};
+        }
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  if (best) {
+    std::cout << "\nCheapest feasible plan: " << best->machine << " with "
+              << best->gpus << " GPU(s), " << best->codec << " over "
+              << best->primitive << " -- "
+              << FormatDouble(best->hours, 1) << " h, $"
+              << FormatDouble(best->cost_usd, 0) << ".\n";
+  } else {
+    std::cout << "\nNo EC2 P2 configuration meets the deadline; relax it "
+                 "or accept a partially trained model.\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace lpsgd
+
+int main(int argc, char** argv) {
+  const std::string network = argc > 1 ? argv[1] : "ResNet50";
+  const double deadline_hours = argc > 2 ? std::atof(argv[2]) : 200.0;
+  return lpsgd::Run(network, deadline_hours);
+}

@@ -1,0 +1,87 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// CLI around the calibrated performance model: estimate any single
+// configuration of the paper's trade-off space.
+//
+//   ./perf_explorer <network> <machine> <mpi|nccl> <codec> <gpus>
+//   ./perf_explorer AlexNet p2.8xlarge mpi q4 8
+//   ./perf_explorer VGG19 DGX-1 nccl 32bit 8
+//   ./perf_explorer ResNet50 p2.16xlarge mpi 1bit*:64 16
+//
+// Codec grammar: 32bit | 1bit | 1bit* | 1bit*:<bucket> | q<bits>[:<bucket>]
+//                | topk:<density>
+#include <iostream>
+#include <string>
+
+#include "base/strings.h"
+#include "machine/specs.h"
+#include "quant/codec.h"
+#include "sim/perf_model.h"
+
+int main(int argc, char** argv) {
+  using namespace lpsgd;  // NOLINT(build/namespaces)
+  const std::string network = argc > 1 ? argv[1] : "AlexNet";
+  const std::string machine_name = argc > 2 ? argv[2] : "p2.8xlarge";
+  const std::string primitive_name = argc > 3 ? argv[3] : "mpi";
+  const std::string codec_text = argc > 4 ? argv[4] : "q4";
+  const int gpus = argc > 5 ? std::atoi(argv[5]) : 8;
+
+  auto stats = FindNetworkStats(network);
+  if (!stats.ok()) {
+    std::cerr << stats.status() << "\n";
+    return 1;
+  }
+  auto machine = FindMachine(machine_name);
+  if (!machine.ok()) {
+    std::cerr << machine.status() << "\n";
+    return 1;
+  }
+  auto spec = ParseCodecSpec(codec_text);
+  if (!spec.ok()) {
+    std::cerr << spec.status() << "\n";
+    return 1;
+  }
+  const CommPrimitive primitive = primitive_name == "nccl"
+                                      ? CommPrimitive::kNccl
+                                      : CommPrimitive::kMpi;
+
+  PerfModel model(*stats, *machine);
+  auto est = model.Estimate(*spec, primitive, gpus);
+  if (!est.ok()) {
+    std::cerr << est.status() << "\n";
+    return 1;
+  }
+
+  std::cout << network << " on " << machine->name << " x" << gpus
+            << " GPUs, " << spec->Label() << " over "
+            << CommPrimitiveName(primitive) << "\n\n";
+  std::cout << "  global batch:        " << est->global_batch << " ("
+            << est->per_gpu_batch << " per GPU)\n";
+  std::cout << "  computation:         "
+            << HumanSeconds(est->compute_seconds) << " per iteration\n";
+  std::cout << "  quantize/unquantize: "
+            << HumanSeconds(est->encode_seconds) << "\n";
+  std::cout << "  communication:       " << HumanSeconds(est->comm_seconds)
+            << " (" << HumanBytes(static_cast<double>(est->wire_bytes))
+            << " on the wire, vs "
+            << HumanBytes(static_cast<double>(est->raw_bytes))
+            << " fp32)\n";
+  std::cout << "  iteration:           "
+            << HumanSeconds(est->IterationSeconds()) << " ("
+            << FormatDouble(est->SamplesPerSecond(), 1) << " samples/s)\n";
+  std::cout << "  with ideal overlap:  "
+            << HumanSeconds(est->OverlappedIterationSeconds()) << " ("
+            << FormatDouble(est->OverlappedSamplesPerSecond(), 1)
+            << " samples/s)\n";
+  std::cout << "  epoch:               "
+            << HumanSeconds(est->EpochSeconds(stats->dataset_samples))
+            << "\n";
+  const double recipe_hours = est->EpochSeconds(stats->dataset_samples) *
+                              stats->recipe_epochs / 3600.0;
+  std::cout << "  published recipe:    " << stats->recipe_epochs
+            << " epochs = " << FormatDouble(recipe_hours, 1) << " h, $"
+            << FormatDouble(recipe_hours * machine->price_per_hour_usd, 0)
+            << " at $" << FormatDouble(machine->price_per_hour_usd, 1)
+            << "/h\n";
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Configurable training driver: pick the task, model, GPU count,
+// precision, and primitive from the command line and watch synchronous
+// data-parallel training run with full communication accounting.
+//
+//   ./train_cli [--task image|sequence] [--model mlp|alexnet|resnet|lstm]
+//               [--codec <spec>] [--gpus N] [--batch N] [--epochs N]
+//               [--lr F] [--primitive mpi|nccl] [--seed N]
+//
+//   ./train_cli --model resnet --codec 1bit*:16 --gpus 8 --epochs 15
+//   ./train_cli --task sequence --model lstm --codec q2
+//
+// Codec grammar: 32bit | 1bit | 1bit* | 1bit*:<bucket> | q<bits>[:<bucket>]
+//                | aq<bits>[:<bucket>] | topk:<density>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/strings.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+
+namespace lpsgd {
+namespace {
+
+struct Args {
+  std::string task = "image";
+  std::string model = "alexnet";
+  std::string codec = "q4";
+  std::string primitive = "mpi";
+  int gpus = 4;
+  int batch = 32;
+  int epochs = 15;
+  float lr = 0.05f;
+  uint64_t seed = 42;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << flag << "\n";
+      return false;
+    }
+    const std::string value = argv[i + 1];
+    if (flag == "--task") {
+      args->task = value;
+    } else if (flag == "--model") {
+      args->model = value;
+    } else if (flag == "--codec") {
+      args->codec = value;
+    } else if (flag == "--primitive") {
+      args->primitive = value;
+    } else if (flag == "--gpus") {
+      args->gpus = std::atoi(value.c_str());
+    } else if (flag == "--batch") {
+      args->batch = std::atoi(value.c_str());
+    } else if (flag == "--epochs") {
+      args->epochs = std::atoi(value.c_str());
+    } else if (flag == "--lr") {
+      args->lr = static_cast<float>(std::atof(value.c_str()));
+    } else if (flag == "--seed") {
+      args->seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else {
+      std::cerr << "unknown flag: " << flag << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(const Args& args) {
+  auto spec = ParseCodecSpec(args.codec);
+  if (!spec.ok()) {
+    std::cerr << spec.status() << "\n";
+    return 1;
+  }
+
+  // Datasets.
+  std::unique_ptr<Dataset> train, test;
+  SyncTrainer::NetworkFactory factory;
+  if (args.task == "image") {
+    SyntheticImageOptions options;
+    options.num_classes = 10;
+    options.channels = 1;
+    options.height = 8;
+    options.width = 8;
+    options.num_samples = 512;
+    options.signal = 1.2f;
+    options.noise = 0.8f;
+    options.seed = args.seed;
+    train = std::make_unique<SyntheticImageDataset>(options);
+    options.num_samples = 256;
+    options.sample_offset = 1 << 20;
+    test = std::make_unique<SyntheticImageDataset>(options);
+
+    if (args.model == "mlp") {
+      factory = [](uint64_t seed) { return BuildMlp({64, 48, 10}, seed); };
+    } else if (args.model == "alexnet") {
+      factory = [](uint64_t seed) {
+        return BuildMiniAlexNet(1, 8, 10, seed);
+      };
+    } else if (args.model == "resnet") {
+      factory = [](uint64_t seed) {
+        return BuildMiniResNetTwoStage(1, 8, 8, 10, seed);
+      };
+    } else {
+      std::cerr << "image task supports --model mlp|alexnet|resnet\n";
+      return 1;
+    }
+  } else if (args.task == "sequence") {
+    SyntheticSequenceOptions options;
+    options.num_classes = 8;
+    options.time_steps = 10;
+    options.frame_dim = 12;
+    options.num_samples = 256;
+    options.noise = 1.0f;
+    options.seed = args.seed;
+    train = std::make_unique<SyntheticSequenceDataset>(options);
+    options.num_samples = 128;
+    options.sample_offset = 1 << 20;
+    test = std::make_unique<SyntheticSequenceDataset>(options);
+    factory = [](uint64_t seed) {
+      return BuildDeepLstmClassifier(12, 16, 2, 8, seed);
+    };
+    if (args.model != "lstm") {
+      std::cerr << "(sequence task always uses --model lstm)\n";
+    }
+  } else {
+    std::cerr << "unknown task: " << args.task << "\n";
+    return 1;
+  }
+
+  TrainerOptions options;
+  options.num_gpus = args.gpus;
+  options.global_batch_size = args.batch;
+  options.learning_rate = args.lr;
+  options.codec = *spec;
+  options.primitive =
+      args.primitive == "nccl" ? CommPrimitive::kNccl : CommPrimitive::kMpi;
+  options.seed = args.seed;
+
+  auto trainer = SyncTrainer::Create(factory, options);
+  if (!trainer.ok()) {
+    std::cerr << trainer.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "Training " << args.model << " on " << args.task
+            << " task: " << args.gpus << " simulated GPUs, "
+            << spec->Label() << " over " << args.primitive << ", batch "
+            << args.batch << ", lr " << args.lr << "\n\n";
+  std::cout << "epoch  train_loss  train_acc  test_acc  test_top5\n";
+  auto metrics = (*trainer)->Train(*train, *test, args.epochs);
+  if (!metrics.ok()) {
+    std::cerr << metrics.status() << "\n";
+    return 1;
+  }
+  for (const EpochMetrics& m : *metrics) {
+    std::cout << "  " << m.epoch << "\t" << FormatDouble(m.train_loss, 4)
+              << "\t" << FormatDouble(m.train_accuracy * 100.0, 1) << "%\t"
+              << FormatDouble(m.test_accuracy * 100.0, 1) << "%\t"
+              << FormatDouble(m.test_top5_accuracy * 100.0, 1) << "%\n";
+  }
+
+  const CommStats& comm = (*trainer)->total_comm();
+  std::cout << "\ncommunication: "
+            << HumanBytes(static_cast<double>(comm.wire_bytes))
+            << " on the wire (fp32 would be "
+            << HumanBytes(static_cast<double>(comm.raw_bytes)) << ", "
+            << FormatDouble(comm.CompressionRatio(), 1)
+            << "x compression), " << comm.messages << " messages, "
+            << HumanSeconds(comm.TotalSeconds()) << " simulated\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace lpsgd
+
+int main(int argc, char** argv) {
+  lpsgd::Args args;
+  if (!lpsgd::ParseArgs(argc, argv, &args)) return 1;
+  return lpsgd::Run(args);
+}

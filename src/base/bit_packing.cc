@@ -1,0 +1,57 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "base/bit_packing.h"
+
+#include "base/logging.h"
+
+namespace lpsgd {
+
+BitPacker::BitPacker(int bits_per_value)
+    : bits_per_value_(bits_per_value),
+      values_per_word_(32 / bits_per_value),
+      mask_(bits_per_value == 32 ? 0xffffffffu
+                                 : ((1u << bits_per_value) - 1u)) {
+  CHECK_GE(bits_per_value, 1);
+  CHECK_LE(bits_per_value, 32);
+}
+
+int64_t BitPacker::WordCount(int64_t count) const {
+  return (count + values_per_word_ - 1) / values_per_word_;
+}
+
+void BitPacker::Pack(const uint32_t* values, int64_t count,
+                     uint32_t* words) const {
+  const int64_t num_words = WordCount(count);
+  for (int64_t w = 0; w < num_words; ++w) words[w] = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    DCHECK_EQ(values[i] & ~mask_, 0u);
+    const int64_t word = i / values_per_word_;
+    const int shift = static_cast<int>(i % values_per_word_) * bits_per_value_;
+    words[word] |= (values[i] & mask_) << shift;
+  }
+}
+
+void BitPacker::Unpack(const uint32_t* words, int64_t count,
+                       uint32_t* values) const {
+  for (int64_t i = 0; i < count; ++i) {
+    values[i] = Get(words, i);
+  }
+}
+
+uint32_t BitPacker::Get(const uint32_t* words, int64_t index) const {
+  const int64_t word = index / values_per_word_;
+  const int shift =
+      static_cast<int>(index % values_per_word_) * bits_per_value_;
+  return (words[word] >> shift) & mask_;
+}
+
+void PackSignBits(const float* values, int64_t count,
+                  std::vector<uint32_t>* words) {
+  words->assign((count + 31) / 32, 0u);
+  for (int64_t i = 0; i < count; ++i) {
+    if (values[i] >= 0.0f) {
+      (*words)[i >> 5] |= 1u << (i & 31);
+    }
+  }
+}
+
+}  // namespace lpsgd

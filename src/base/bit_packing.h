@@ -1,0 +1,58 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_BASE_BIT_PACKING_H_
+#define LPSGD_BASE_BIT_PACKING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace lpsgd {
+
+// Fixed-width bit packing used by the gradient codecs: packs n values of
+// `bits_per_value` bits each (1..32) into 32-bit words, mirroring the
+// CNTK/QSGD layout where 32/bits quantized values share one C++ unsigned
+// integer.
+//
+// Values are stored little-endian within a word: value i occupies bits
+// [(i % per_word) * bits, ...) of word i / per_word.
+class BitPacker {
+ public:
+  // `bits_per_value` must be in [1, 32].
+  explicit BitPacker(int bits_per_value);
+
+  int bits_per_value() const { return bits_per_value_; }
+  int values_per_word() const { return values_per_word_; }
+
+  // Number of 32-bit words needed to store `count` values.
+  int64_t WordCount(int64_t count) const;
+
+  // Packs `count` values from `values` into `words`. Each value must fit in
+  // `bits_per_value` bits; higher bits must be zero. `words` must hold
+  // WordCount(count) words and is fully overwritten.
+  void Pack(const uint32_t* values, int64_t count, uint32_t* words) const;
+
+  // Unpacks `count` values from `words` into `values`.
+  void Unpack(const uint32_t* words, int64_t count, uint32_t* values) const;
+
+  // Random access read of value `index` from a packed buffer.
+  uint32_t Get(const uint32_t* words, int64_t index) const;
+
+ private:
+  int bits_per_value_;
+  int values_per_word_;
+  uint32_t mask_;
+};
+
+// Packs a sign bitmap (1 bit per element, bit set when `values[i] >= 0`)
+// into 32-bit words; the layout used by the 1bitSGD codec.
+void PackSignBits(const float* values, int64_t count,
+                  std::vector<uint32_t>* words);
+
+// Reads sign bit `index` from a packed bitmap: true when the original value
+// was >= 0.
+inline bool SignBitAt(const uint32_t* words, int64_t index) {
+  return (words[index >> 5] >> (index & 31)) & 1u;
+}
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_BASE_BIT_PACKING_H_

@@ -1,0 +1,59 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "base/logging.h"
+
+#include <cstring>
+
+namespace lpsgd {
+namespace internal_logging {
+namespace {
+
+const char* SeverityLabel(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogSeverity MinLogLevel() {
+  static const LogSeverity kLevel = [] {
+    const char* env = std::getenv("LPSGD_MIN_LOG_LEVEL");
+    if (env == nullptr) return LogSeverity::kInfo;
+    int value = std::atoi(env);
+    if (value < 0) value = 0;
+    if (value > 3) value = 3;
+    return static_cast<LogSeverity>(value);
+  }();
+  return kLevel;
+}
+
+LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
+    : severity_(severity) {
+  stream_ << SeverityLabel(severity) << " " << Basename(file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogLevel() || severity_ == LogSeverity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace lpsgd

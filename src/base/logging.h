@@ -1,0 +1,92 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_BASE_LOGGING_H_
+#define LPSGD_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lpsgd {
+namespace internal_logging {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Accumulates one log line and emits it (to stderr) on destruction.
+// A kFatal message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows a LogMessage stream; used to give CHECK a void context.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+// Returns the minimum severity that will actually be emitted. Controlled by
+// the LPSGD_MIN_LOG_LEVEL environment variable (0..3, default 0).
+LogSeverity MinLogLevel();
+
+}  // namespace internal_logging
+}  // namespace lpsgd
+
+#define LPSGD_LOG_INTERNAL_(severity)                     \
+  ::lpsgd::internal_logging::LogMessage(                  \
+      __FILE__, __LINE__,                                 \
+      ::lpsgd::internal_logging::LogSeverity::k##severity)
+
+#define LOG(severity) LPSGD_LOG_INTERNAL_(severity)
+
+// Fatal-on-failure invariant check, active in all build modes.
+#define CHECK(condition)                                      \
+  (condition) ? (void)0                                       \
+              : ::lpsgd::internal_logging::LogMessageVoidify() & \
+                    LPSGD_LOG_INTERNAL_(Fatal)                \
+                        << "Check failed: " #condition " "
+
+#define CHECK_OP_(name, op, a, b)                                        \
+  CHECK((a)op(b)) << "(" << #a << " " << #op << " " << #b << ", with lhs=" \
+                  << (a) << " rhs=" << (b) << ") "
+
+#define CHECK_EQ(a, b) CHECK_OP_(EQ, ==, a, b)
+#define CHECK_NE(a, b) CHECK_OP_(NE, !=, a, b)
+#define CHECK_LE(a, b) CHECK_OP_(LE, <=, a, b)
+#define CHECK_LT(a, b) CHECK_OP_(LT, <, a, b)
+#define CHECK_GE(a, b) CHECK_OP_(GE, >=, a, b)
+#define CHECK_GT(a, b) CHECK_OP_(GT, >, a, b)
+
+// Checks that a Status expression is OK.
+#define CHECK_OK(expr) \
+  CHECK((expr).ok()) << "Status not OK: " << (expr).ToString() << " "
+
+#ifdef NDEBUG
+#define DCHECK(condition) \
+  while (false) CHECK(condition)
+#define DCHECK_EQ(a, b) \
+  while (false) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) \
+  while (false) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) \
+  while (false) CHECK_LE(a, b)
+#else
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#endif
+
+#endif  // LPSGD_BASE_LOGGING_H_

@@ -1,0 +1,85 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "base/rng.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace lpsgd {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t HashCounter(uint64_t seed, uint64_t counter) {
+  // One SplitMix64 round over a combined word; passes practical
+  // independence needs for stochastic rounding.
+  uint64_t state = seed ^ (counter * 0x9e3779b97f4a7c15ULL) ^
+                   Rotl(counter, 23) ^ 0x2545f4914f6cdd1dULL;
+  return SplitMix64(&state);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::NextFloat() {
+  return static_cast<float>(NextUint64() >> 40) * 0x1.0p-24f;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+int Rng::NextInt(int lo, int hi) {
+  CHECK_LE(lo, hi);
+  return lo + static_cast<int>(
+                  NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+double CounterRng::UniformAt(uint64_t index) const {
+  return static_cast<double>(HashCounter(seed_, index) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace lpsgd

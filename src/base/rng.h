@@ -1,0 +1,74 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_BASE_RNG_H_
+#define LPSGD_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace lpsgd {
+
+// SplitMix64: fast, high-quality 64-bit mixing step. Used both as a
+// standalone generator and to seed/derive other streams.
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless counter-based mixing: hashes (seed, counter) to a uniform
+// 64-bit value. This is the Philox-style contract the paper gets from
+// cuRAND's independent per-thread streams: any (stream id, index) pair can
+// be evaluated independently and deterministically.
+uint64_t HashCounter(uint64_t seed, uint64_t counter);
+
+// Small, fast deterministic PRNG (xoshiro256**). Seeded via SplitMix64 so
+// any 64-bit seed produces a well-mixed initial state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). `bound` must be positive.
+  uint64_t NextUint64(uint64_t bound);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform float in [0, 1).
+  float NextFloat();
+
+  // Standard normal via Box-Muller (one value per call; caches the pair).
+  double NextGaussian();
+
+  // Uniform int in [lo, hi], inclusive. Requires lo <= hi.
+  int NextInt(int lo, int hi);
+
+  // Creates an independent child stream. Deterministic in (parent seed,
+  // call order).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// A per-element stochastic-rounding stream: independent uniform numbers
+// addressable by (stream, index), mirroring cuRAND per-thread seeding.
+class CounterRng {
+ public:
+  CounterRng(uint64_t seed, uint64_t stream)
+      : seed_(HashCounter(seed, stream ^ 0xd1b54a32d192ed03ULL)) {}
+
+  // Uniform double in [0, 1) for position `index`.
+  double UniformAt(uint64_t index) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_BASE_RNG_H_

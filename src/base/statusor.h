@@ -1,0 +1,72 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_BASE_STATUSOR_H_
+#define LPSGD_BASE_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "base/logging.h"
+#include "base/status.h"
+
+namespace lpsgd {
+
+// Holds either a value of type T or a non-OK Status explaining why the value
+// is absent. Accessing the value of a non-OK StatusOr is a fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: allows
+  // `return value;` and `return SomeError(...);` from the same function.
+  StatusOr(const T& value) : value_(value) {}  // NOLINT(runtime/explicit)
+  StatusOr(T&& value)                          // NOLINT(runtime/explicit)
+      : value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lpsgd
+
+// Assigns the value of `rexpr` (a StatusOr expression) to `lhs`, or returns
+// its non-OK status from the enclosing function.
+#define LPSGD_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  LPSGD_ASSIGN_OR_RETURN_IMPL_(                       \
+      LPSGD_MACRO_CONCAT_(statusor_, __LINE__), lhs, rexpr)
+
+#define LPSGD_MACRO_CONCAT_INNER_(x, y) x##y
+#define LPSGD_MACRO_CONCAT_(x, y) LPSGD_MACRO_CONCAT_INNER_(x, y)
+
+#define LPSGD_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                 \
+  if (!statusor.ok()) {                                    \
+    return statusor.status();                              \
+  }                                                        \
+  lhs = std::move(statusor).value()
+
+#endif  // LPSGD_BASE_STATUSOR_H_

@@ -1,0 +1,55 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "base/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lpsgd {
+
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += separator;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> StrSplit(std::string_view text, char delimiter) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delimiter) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+std::string HumanBytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return StrCat(FormatDouble(bytes, bytes < 10 ? 2 : 1), " ", kUnits[unit]);
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds < 1e-3) return StrCat(FormatDouble(seconds * 1e6, 1), " us");
+  if (seconds < 1.0) return StrCat(FormatDouble(seconds * 1e3, 1), " ms");
+  if (seconds < 120.0) return StrCat(FormatDouble(seconds, 2), " s");
+  if (seconds < 7200.0) return StrCat(FormatDouble(seconds / 60.0, 1), " min");
+  return StrCat(FormatDouble(seconds / 3600.0, 2), " h");
+}
+
+}  // namespace lpsgd

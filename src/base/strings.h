@@ -1,0 +1,42 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_BASE_STRINGS_H_
+#define LPSGD_BASE_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lpsgd {
+
+// Concatenates the streamable arguments into a std::string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+  }
+}
+
+// Joins `parts` with `separator`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits);
+
+// Human-readable byte count, e.g. "1.5 MB".
+std::string HumanBytes(double bytes);
+
+// Human-readable duration from seconds, e.g. "2.5 h", "310 ms".
+std::string HumanSeconds(double seconds);
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_BASE_STRINGS_H_

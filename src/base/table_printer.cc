@@ -1,0 +1,63 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "base/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.h"
+
+namespace lpsgd {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    oss << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      oss << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << " |";
+    }
+    oss << "\n";
+  };
+  auto emit_rule = [&] {
+    oss << "+";
+    for (size_t width : widths) oss << std::string(width + 2, '-') << "+";
+    oss << "\n";
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  emit_rule();
+  return oss.str();
+}
+
+}  // namespace lpsgd

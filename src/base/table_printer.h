@@ -1,0 +1,38 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_BASE_TABLE_PRINTER_H_
+#define LPSGD_BASE_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lpsgd {
+
+// Renders aligned text tables for the benchmark harness output. Usage:
+//
+//   TablePrinter table({"Precision", "8 GPUs", "16 GPUs"});
+//   table.AddRow({"32bit", "272.90", "192.10"});
+//   table.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  void Print(std::ostream& os) const;
+
+  // Renders to a string (used in tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Separator rows are represented by an empty vector.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_BASE_TABLE_PRINTER_H_

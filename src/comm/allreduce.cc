@@ -1,0 +1,19 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "comm/allreduce.h"
+
+namespace lpsgd {
+
+void CommStats::Add(const CommStats& other) {
+  comm_seconds += other.comm_seconds;
+  encode_seconds += other.encode_seconds;
+  wire_bytes += other.wire_bytes;
+  raw_bytes += other.raw_bytes;
+  messages += other.messages;
+}
+
+double CommStats::CompressionRatio() const {
+  if (wire_bytes == 0) return 1.0;
+  return static_cast<double>(raw_bytes) / static_cast<double>(wire_bytes);
+}
+
+}  // namespace lpsgd

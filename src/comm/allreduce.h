@@ -1,0 +1,59 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_COMM_ALLREDUCE_H_
+#define LPSGD_COMM_ALLREDUCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "tensor/shape.h"
+
+namespace lpsgd {
+
+// Accounting for one (or many accumulated) gradient exchanges.
+struct CommStats {
+  double comm_seconds = 0.0;    // virtual wire + staging + latency time
+  double encode_seconds = 0.0;  // virtual quantize/unquantize kernel time
+  int64_t wire_bytes = 0;       // encoded bytes of one rank's full gradient
+  int64_t raw_bytes = 0;        // fp32 bytes of one rank's full gradient
+  int64_t messages = 0;
+
+  void Add(const CommStats& other);
+  double TotalSeconds() const { return comm_seconds + encode_seconds; }
+  // Compression ratio achieved on the wire (raw / encoded).
+  double CompressionRatio() const;
+};
+
+// One gradient matrix as seen by the aggregation engine: every rank's
+// local gradient buffer (all the same shape) plus, for error-feedback
+// codecs, every rank's persistent residual buffer.
+struct MatrixSlot {
+  Shape quant_shape;                        // CNTK quantization view
+  std::vector<float*> rank_grads;           // K buffers, element_count each
+  std::vector<std::vector<float>*> rank_errors;  // K residuals (may be empty)
+  // Policy decision: false sends this matrix through the full-precision
+  // pipeline regardless of the configured codec (small-matrix bypass).
+  bool quantized = true;
+};
+
+// Synchronous gradient aggregation: after AllReduce, every rank's buffer
+// holds the SUM over ranks of the (possibly quantization-approximated)
+// gradients. Implementations move real bytes between rank buffers and
+// charge virtual time through a CommCostModel.
+class GradientAggregator {
+ public:
+  virtual ~GradientAggregator() = default;
+
+  virtual std::string Name() const = 0;
+
+  // `iteration` seeds the stochastic codecs so runs are reproducible.
+  virtual StatusOr<CommStats> AllReduce(std::vector<MatrixSlot>* slots,
+                                        int64_t iteration) = 0;
+
+  virtual int num_ranks() const = 0;
+};
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_COMM_ALLREDUCE_H_

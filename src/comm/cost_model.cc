@@ -1,0 +1,71 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "comm/cost_model.h"
+
+#include "base/logging.h"
+
+namespace lpsgd {
+namespace {
+
+constexpr double kGb = 1e9;
+constexpr double kUs = 1e-6;
+
+}  // namespace
+
+CommCostModel::CommCostModel(MachineSpec machine)
+    : machine_(std::move(machine)) {}
+
+double CommCostModel::MpiBandwidthBytesPerSec(int k) const {
+  CHECK_GE(k, 1);
+  const InterconnectSpec& ic = machine_.interconnect;
+  return ic.mpi_base_bandwidth_gbps * kGb /
+         (1.0 + ic.mpi_contention * (k - 1));
+}
+
+double CommCostModel::NcclBandwidthBytesPerSec(int k) const {
+  CHECK_GE(k, 1);
+  const InterconnectSpec& ic = machine_.interconnect;
+  return ic.nccl_base_bandwidth_gbps * kGb /
+         (1.0 + ic.nccl_contention * (k - 1));
+}
+
+double CommCostModel::MpiExchangeSeconds(int64_t encoded_bytes,
+                                         int64_t messages, int k) const {
+  CHECK_GE(k, 1);
+  if (k == 1) return 0.0;
+  const InterconnectSpec& ic = machine_.interconnect;
+  // Reduce + broadcast moves 2 (K-1)/K of the payload through each rank's
+  // link (Section 2.4.1).
+  const double volume =
+      2.0 * static_cast<double>(k - 1) / k * static_cast<double>(encoded_bytes);
+  const double transfer = volume / MpiBandwidthBytesPerSec(k);
+  // CNTK's MPI transport copies each payload device->host before sending
+  // and host->device after receiving (Section 3.2.1).
+  const double staging =
+      2.0 * static_cast<double>(encoded_bytes) /
+      (ic.host_staging_bandwidth_gbps * kGb);
+  const double latency = ic.mpi_latency_us * kUs * static_cast<double>(messages);
+  return transfer + staging + latency;
+}
+
+double CommCostModel::NcclAllReduceSeconds(int64_t payload_bytes,
+                                           int64_t collectives, int k) const {
+  CHECK_GE(k, 1);
+  if (k == 1) return 0.0;
+  const InterconnectSpec& ic = machine_.interconnect;
+  const double volume = 2.0 * static_cast<double>(k - 1) / k *
+                        static_cast<double>(payload_bytes);
+  const double transfer = volume / NcclBandwidthBytesPerSec(k);
+  const double latency =
+      ic.nccl_latency_us * kUs * static_cast<double>(collectives);
+  return transfer + latency;
+}
+
+double CommCostModel::QuantKernelSeconds(int64_t elements,
+                                         int64_t chunks) const {
+  const GpuSpec& gpu = machine_.gpu;
+  return (gpu.quant_chunk_ns * static_cast<double>(chunks) +
+          gpu.quant_element_ns * static_cast<double>(elements)) *
+         1e-9;
+}
+
+}  // namespace lpsgd

@@ -1,0 +1,46 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_COMM_COST_MODEL_H_
+#define LPSGD_COMM_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "machine/specs.h"
+
+namespace lpsgd {
+
+// Analytic timing of gradient exchanges on a simulated machine. All
+// returned values are virtual seconds; byte counts are what a rank's full
+// (encoded) gradient occupies on the wire. See DESIGN.md ("Substitutions")
+// for the calibration methodology.
+class CommCostModel {
+ public:
+  explicit CommCostModel(MachineSpec machine);
+
+  const MachineSpec& machine() const { return machine_; }
+
+  // Effective bandwidths (bytes/second) with `k` GPUs sharing the fabric.
+  double MpiBandwidthBytesPerSec(int k) const;
+  double NcclBandwidthBytesPerSec(int k) const;
+
+  // MPI reduce-and-broadcast (Section 2.4.1) of a gradient whose encoded
+  // form occupies `encoded_bytes` per rank, sent as `messages`
+  // point-to-point messages. Includes the CNTK host-staging copies.
+  double MpiExchangeSeconds(int64_t encoded_bytes, int64_t messages,
+                            int k) const;
+
+  // NCCL ring allreduce (Section 2.4.2) of `payload_bytes` per rank across
+  // `collectives` collective calls.
+  double NcclAllReduceSeconds(int64_t payload_bytes, int64_t collectives,
+                              int k) const;
+
+  // GPU-side quantize (or unquantize) kernel time for one pass over
+  // `elements` values grouped into `chunks` independently-scaled chunks.
+  double QuantKernelSeconds(int64_t elements, int64_t chunks) const;
+
+ private:
+  MachineSpec machine_;
+};
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_COMM_COST_MODEL_H_

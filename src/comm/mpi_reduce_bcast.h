@@ -1,0 +1,59 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_COMM_MPI_REDUCE_BCAST_H_
+#define LPSGD_COMM_MPI_REDUCE_BCAST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/allreduce.h"
+#include "comm/cost_model.h"
+#include "quant/codec.h"
+
+namespace lpsgd {
+
+// The CNTK MPI reduce-and-broadcast exchange (Section 2.4.1), with the
+// quantize/unquantize steps of Section 3.2.1:
+//
+//   1. Every rank encodes each gradient matrix with the configured codec,
+//      folding in its local error-feedback residual.
+//   2. The matrix's owner rank (round-robin by matrix index, standing in
+//      for CNTK's contiguous-range ownership) decodes all K blobs and sums
+//      them.
+//   3. The owner re-encodes the aggregate — carrying a persistent
+//      aggregation residual of its own, exactly like CNTK's 1bitSGD — and
+//      broadcasts it; every rank decodes it into its gradient buffer.
+//
+// Matrices bypassed by the quantization policy (slot.quantized == false)
+// travel the full-precision pipeline.
+class MpiReduceBcastAggregator : public GradientAggregator {
+ public:
+  // Creates an aggregator for `num_ranks` simulated GPUs exchanging
+  // gradients encoded per `spec`, timed on `machine`.
+  static StatusOr<std::unique_ptr<MpiReduceBcastAggregator>> Create(
+      int num_ranks, const CodecSpec& spec, const MachineSpec& machine);
+
+  std::string Name() const override { return "MPI reduce-and-broadcast"; }
+  StatusOr<CommStats> AllReduce(std::vector<MatrixSlot>* slots,
+                                int64_t iteration) override;
+  int num_ranks() const override { return num_ranks_; }
+
+  const GradientCodec& codec() const { return *codec_; }
+
+ private:
+  MpiReduceBcastAggregator(int num_ranks, CodecSpec spec,
+                           std::unique_ptr<GradientCodec> codec,
+                           const MachineSpec& machine);
+
+  int num_ranks_;
+  CodecSpec spec_;
+  std::unique_ptr<GradientCodec> codec_;
+  CommCostModel cost_model_;
+  // Aggregation residual per matrix index (owner-side requantization
+  // error). Lazily sized on first use.
+  std::vector<std::vector<float>> aggregate_errors_;
+};
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_COMM_MPI_REDUCE_BCAST_H_

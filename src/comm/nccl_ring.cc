@@ -1,0 +1,89 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "comm/nccl_ring.h"
+
+#include "base/logging.h"
+
+namespace lpsgd {
+
+StatusOr<std::unique_ptr<NcclRingAggregator>> NcclRingAggregator::Create(
+    int num_ranks, const CodecSpec& spec, const MachineSpec& machine) {
+  if (num_ranks < 1) {
+    return InvalidArgumentError("num_ranks must be >= 1");
+  }
+  if (num_ranks > machine.nccl_max_gpus) {
+    return FailedPreconditionError(
+        "NCCL does not support more than 8 GPUs (Section 5.2)");
+  }
+  LPSGD_ASSIGN_OR_RETURN(std::unique_ptr<GradientCodec> codec,
+                         CreateCodec(spec));
+  return std::unique_ptr<NcclRingAggregator>(
+      new NcclRingAggregator(num_ranks, spec, std::move(codec), machine));
+}
+
+NcclRingAggregator::NcclRingAggregator(int num_ranks, CodecSpec spec,
+                                       std::unique_ptr<GradientCodec> codec,
+                                       const MachineSpec& machine)
+    : num_ranks_(num_ranks),
+      spec_(std::move(spec)),
+      codec_(std::move(codec)),
+      cost_model_(machine) {}
+
+StatusOr<CommStats> NcclRingAggregator::AllReduce(
+    std::vector<MatrixSlot>* slots, int64_t /*iteration*/) {
+  CHECK(slots != nullptr);
+  const int k = num_ranks_;
+  CommStats stats;
+  const bool identity_codec = spec_.kind == CodecKind::kFullPrecision;
+
+  for (MatrixSlot& slot : *slots) {
+    CHECK_EQ(static_cast<int>(slot.rank_grads.size()), k);
+    const int64_t n = slot.quant_shape.element_count();
+    const int64_t raw_bytes = n * static_cast<int64_t>(sizeof(float));
+    stats.raw_bytes += raw_bytes;
+
+    // Ring reduce-scatter: each rank owns a contiguous segment; the
+    // segment travels the ring accumulating each rank's contribution in
+    // rank order, which fixes the floating-point summation order (exactly
+    // like NCCL's ring).
+    const int64_t segment = (n + k - 1) / k;
+    for (int seg = 0; seg < k; ++seg) {
+      const int64_t begin = seg * segment;
+      const int64_t end = std::min(begin + segment, n);
+      if (begin >= end) continue;
+      // Accumulate contributions in ring order starting from the segment
+      // owner's successor.
+      const int owner = seg;
+      float* acc = slot.rank_grads[static_cast<size_t>(owner)];
+      for (int hop = 1; hop < k; ++hop) {
+        const int src = (owner + hop) % k;
+        const float* other = slot.rank_grads[static_cast<size_t>(src)];
+        for (int64_t i = begin; i < end; ++i) acc[i] += other[i];
+      }
+      // Allgather: the reduced segment is copied to every rank.
+      for (int r = 0; r < k; ++r) {
+        if (r == owner) continue;
+        float* dst = slot.rank_grads[static_cast<size_t>(r)];
+        for (int64_t i = begin; i < end; ++i) dst[i] = acc[i];
+      }
+    }
+
+    const bool simulate_low_precision = slot.quantized && !identity_codec;
+    const int64_t payload = simulate_low_precision
+                                ? codec_->EncodedSizeBytes(slot.quant_shape)
+                                : raw_bytes;
+    stats.wire_bytes += payload;
+    stats.messages += 1;
+    if (simulate_low_precision) {
+      const int64_t chunks = codec_->NumChunks(slot.quant_shape);
+      // Encode before and decode after the collective, at each rank.
+      stats.encode_seconds +=
+          2.0 * cost_model_.QuantKernelSeconds(n, chunks);
+    }
+  }
+
+  stats.comm_seconds +=
+      cost_model_.NcclAllReduceSeconds(stats.wire_bytes, stats.messages, k);
+  return stats;
+}
+
+}  // namespace lpsgd

@@ -1,0 +1,47 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_COMM_NCCL_RING_H_
+#define LPSGD_COMM_NCCL_RING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/allreduce.h"
+#include "comm/cost_model.h"
+#include "quant/codec.h"
+
+namespace lpsgd {
+
+// NCCL-style ring allreduce (Section 2.4.2): reduce-scatter followed by
+// allgather around a ring, with payloads split into slices.
+//
+// NCCL's sum collective only supports full precision, so the arithmetic
+// here is always an exact fp32 ring sum. When a low-precision codec spec
+// is supplied, this aggregator reproduces the paper's "NCCL simulation"
+// (Section 4.4): the number of bytes charged to the wire — and the
+// quantize/unquantize kernel time — correspond to the codec, while values
+// remain exact. This is precisely how Figures 7/9/11 were produced.
+class NcclRingAggregator : public GradientAggregator {
+ public:
+  static StatusOr<std::unique_ptr<NcclRingAggregator>> Create(
+      int num_ranks, const CodecSpec& spec, const MachineSpec& machine);
+
+  std::string Name() const override { return "NCCL ring allreduce"; }
+  StatusOr<CommStats> AllReduce(std::vector<MatrixSlot>* slots,
+                                int64_t iteration) override;
+  int num_ranks() const override { return num_ranks_; }
+
+ private:
+  NcclRingAggregator(int num_ranks, CodecSpec spec,
+                     std::unique_ptr<GradientCodec> codec,
+                     const MachineSpec& machine);
+
+  int num_ranks_;
+  CodecSpec spec_;
+  std::unique_ptr<GradientCodec> codec_;  // payload sizing only
+  CommCostModel cost_model_;
+};
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_COMM_NCCL_RING_H_

@@ -1,0 +1,92 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "core/experiment.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "base/table_printer.h"
+
+namespace lpsgd {
+
+double AccuracySeries::FinalTestAccuracy() const {
+  return epochs.empty() ? 0.0 : epochs.back().test_accuracy;
+}
+
+double AccuracySeries::BestTestAccuracy() const {
+  double best = 0.0;
+  for (const EpochMetrics& m : epochs) {
+    best = std::max(best, m.test_accuracy);
+  }
+  return best;
+}
+
+StatusOr<std::vector<AccuracySeries>> RunAccuracyComparison(
+    const SyncTrainer::NetworkFactory& factory,
+    const TrainerOptions& base_options, const Dataset& train,
+    const Dataset& test, const std::vector<AccuracyRunConfig>& configs,
+    int epochs) {
+  std::vector<AccuracySeries> all_series;
+  all_series.reserve(configs.size());
+  for (const AccuracyRunConfig& config : configs) {
+    TrainerOptions options = base_options;
+    options.codec = config.codec;
+    options.policy = config.policy;
+    LPSGD_ASSIGN_OR_RETURN(std::unique_ptr<SyncTrainer> trainer,
+                           SyncTrainer::Create(factory, options));
+    LPSGD_ASSIGN_OR_RETURN(std::vector<EpochMetrics> metrics,
+                           trainer->Train(train, test, epochs));
+    AccuracySeries series;
+    series.label = config.label;
+    series.epochs = std::move(metrics);
+    all_series.push_back(std::move(series));
+  }
+  return all_series;
+}
+
+std::string MetricsToCsv(const std::vector<AccuracySeries>& series) {
+  std::string out =
+      "config,epoch,train_loss,train_accuracy,test_loss,test_accuracy,"
+      "test_top5_accuracy,virtual_seconds,wire_bytes\n";
+  for (const AccuracySeries& s : series) {
+    for (const EpochMetrics& m : s.epochs) {
+      // Quote the config label; labels may contain commas in principle.
+      out += StrCat("\"", s.label, "\",", m.epoch, ",",
+                    FormatDouble(m.train_loss, 6), ",",
+                    FormatDouble(m.train_accuracy, 6), ",",
+                    FormatDouble(m.test_loss, 6), ",",
+                    FormatDouble(m.test_accuracy, 6), ",",
+                    FormatDouble(m.test_top5_accuracy, 6), ",",
+                    FormatDouble(m.virtual_seconds, 6), ",",
+                    m.comm.wire_bytes, "\n");
+    }
+  }
+  return out;
+}
+
+std::string FormatAccuracyTable(const std::vector<AccuracySeries>& series,
+                                int print_every) {
+  CHECK(!series.empty());
+  CHECK_GE(print_every, 1);
+  std::vector<std::string> header = {"Epoch"};
+  for (const AccuracySeries& s : series) header.push_back(s.label);
+  TablePrinter table(std::move(header));
+
+  const size_t num_epochs = series[0].epochs.size();
+  for (size_t e = 0; e < num_epochs; ++e) {
+    if (e % static_cast<size_t>(print_every) != 0 && e + 1 != num_epochs) {
+      continue;
+    }
+    std::vector<std::string> row = {StrCat(series[0].epochs[e].epoch)};
+    for (const AccuracySeries& s : series) {
+      row.push_back(
+          e < s.epochs.size()
+              ? FormatDouble(s.epochs[e].test_accuracy * 100.0, 2)
+              : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+}  // namespace lpsgd

@@ -1,0 +1,55 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_CORE_EXPERIMENT_H_
+#define LPSGD_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "core/trainer.h"
+#include "data/dataset.h"
+
+namespace lpsgd {
+
+// One precision configuration within an accuracy comparison (a single line
+// of a Figure 5 plot).
+struct AccuracyRunConfig {
+  std::string label;
+  CodecSpec codec;
+  // Overrides applied on top of the comparison's base options; negative /
+  // empty values inherit the base.
+  QuantizationPolicyOptions policy;
+};
+
+// The epoch series produced for one configuration.
+struct AccuracySeries {
+  std::string label;
+  std::vector<EpochMetrics> epochs;
+
+  double FinalTestAccuracy() const;
+  double BestTestAccuracy() const;
+};
+
+// Trains one run per configuration with otherwise identical settings
+// (same factory seed, same data order) and returns the per-epoch series —
+// the experiment design behind Figure 5.
+StatusOr<std::vector<AccuracySeries>> RunAccuracyComparison(
+    const SyncTrainer::NetworkFactory& factory,
+    const TrainerOptions& base_options, const Dataset& train,
+    const Dataset& test, const std::vector<AccuracyRunConfig>& configs,
+    int epochs);
+
+// Renders the comparison as an aligned table (rows = epochs, columns =
+// configurations, cells = test accuracy %).
+std::string FormatAccuracyTable(const std::vector<AccuracySeries>& series,
+                                int print_every = 1);
+
+// Exports the comparison as CSV for external plotting: one row per
+// (configuration, epoch) with the full metric set.
+// Columns: config,epoch,train_loss,train_accuracy,test_loss,
+//          test_accuracy,test_top5_accuracy,virtual_seconds,wire_bytes.
+std::string MetricsToCsv(const std::vector<AccuracySeries>& series);
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_CORE_EXPERIMENT_H_

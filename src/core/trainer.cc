@@ -1,0 +1,303 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "core/trainer.h"
+
+#include <chrono>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "comm/mpi_reduce_bcast.h"
+#include "comm/nccl_ring.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace lpsgd {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SyncTrainer>> SyncTrainer::Create(
+    const NetworkFactory& factory, const TrainerOptions& options) {
+  if (options.num_gpus < 1) {
+    return InvalidArgumentError("num_gpus must be >= 1");
+  }
+  if (options.global_batch_size % options.num_gpus != 0) {
+    return InvalidArgumentError(
+        StrCat("global batch ", options.global_batch_size,
+               " not divisible by ", options.num_gpus, " GPUs"));
+  }
+
+  std::vector<Network> replicas;
+  replicas.reserve(static_cast<size_t>(options.num_gpus));
+  for (int r = 0; r < options.num_gpus; ++r) {
+    replicas.push_back(factory(options.seed));
+  }
+  // Defend against non-deterministic factories: force identical weights.
+  for (int r = 1; r < options.num_gpus; ++r) {
+    replicas[static_cast<size_t>(r)].CopyParamsFrom(replicas[0]);
+  }
+
+  std::unique_ptr<GradientAggregator> aggregator;
+  if (options.primitive == CommPrimitive::kMpi) {
+    LPSGD_ASSIGN_OR_RETURN(
+        auto mpi, MpiReduceBcastAggregator::Create(
+                      options.num_gpus, options.codec, options.machine));
+    aggregator = std::move(mpi);
+  } else {
+    LPSGD_ASSIGN_OR_RETURN(
+        auto nccl, NcclRingAggregator::Create(options.num_gpus,
+                                              options.codec, options.machine));
+    aggregator = std::move(nccl);
+  }
+
+  return std::unique_ptr<SyncTrainer>(new SyncTrainer(
+      options, std::move(replicas), std::move(aggregator)));
+}
+
+SyncTrainer::SyncTrainer(TrainerOptions options,
+                         std::vector<Network> replicas,
+                         std::unique_ptr<GradientAggregator> aggregator)
+    : options_(std::move(options)),
+      replicas_(std::move(replicas)),
+      aggregator_(std::move(aggregator)) {
+  replica_params_.reserve(replicas_.size());
+  for (Network& replica : replicas_) {
+    replica_params_.push_back(replica.Params());
+  }
+  const size_t num_matrices = replica_params_[0].size();
+  for (const auto& params : replica_params_) {
+    CHECK_EQ(params.size(), num_matrices);
+  }
+
+  quantize_matrix_ =
+      ChooseQuantizedMatrices(replica_params_[0], options_.policy);
+
+  // Error-feedback residuals, one per (rank, matrix), zero-initialized.
+  auto codec_or = CreateCodec(options_.codec);
+  CHECK_OK(codec_or.status());
+  const bool needs_errors = codec_or.value()->UsesErrorFeedback() &&
+                            options_.primitive == CommPrimitive::kMpi;
+  errors_.resize(replicas_.size());
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    errors_[r].resize(num_matrices);
+    if (needs_errors) {
+      for (size_t m = 0; m < num_matrices; ++m) {
+        if (quantize_matrix_[m]) {
+          errors_[r][m].assign(
+              static_cast<size_t>(
+                  replica_params_[0][m].quant_shape.element_count()),
+              0.0f);
+        }
+      }
+    }
+  }
+
+  optimizers_.reserve(replicas_.size());
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    optimizers_.emplace_back(options_.learning_rate, options_.momentum);
+  }
+}
+
+Status SyncTrainer::SaveCheckpoint(std::ostream& os) {
+  return replicas_[0].SaveParams(os);
+}
+
+Status SyncTrainer::LoadCheckpoint(std::istream& is) {
+  LPSGD_RETURN_IF_ERROR(replicas_[0].LoadParams(is));
+  for (size_t r = 1; r < replicas_.size(); ++r) {
+    replicas_[r].CopyParamsFrom(replicas_[0]);
+  }
+  // Restart the stateful parts: fresh momentum and residuals.
+  optimizers_.clear();
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    optimizers_.emplace_back(options_.learning_rate, options_.momentum);
+  }
+  for (auto& rank_errors : errors_) {
+    for (auto& residual : rank_errors) {
+      std::fill(residual.begin(), residual.end(), 0.0f);
+    }
+  }
+  return OkStatus();
+}
+
+Network& SyncTrainer::replica(int rank) {
+  CHECK_GE(rank, 0);
+  CHECK_LT(rank, static_cast<int>(replicas_.size()));
+  return replicas_[static_cast<size_t>(rank)];
+}
+
+Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
+                                   int64_t* correct) {
+  const int k = options_.num_gpus;
+  const int64_t shard = batch.size() / k;
+  if (shard == 0) {
+    return InvalidArgumentError("batch smaller than GPU count");
+  }
+
+  const Shape sample_shape = [&] {
+    std::vector<int64_t> dims(batch.inputs.shape().dims().begin() + 1,
+                              batch.inputs.shape().dims().end());
+    return Shape(dims);
+  }();
+  const int64_t sample_elems = sample_shape.element_count();
+
+  // Phase 1 (parallel across ranks): local forward/backward on the shard.
+  for (int r = 0; r < k; ++r) {
+    Network& replica = replicas_[static_cast<size_t>(r)];
+    replica.ZeroGrads();
+
+    std::vector<int64_t> dims;
+    dims.push_back(shard);
+    for (int64_t d : sample_shape.dims()) dims.push_back(d);
+    Tensor inputs{Shape(dims)};
+    std::vector<int> labels(static_cast<size_t>(shard));
+    const int64_t begin = r * shard;
+    std::copy(batch.inputs.data() + begin * sample_elems,
+              batch.inputs.data() + (begin + shard) * sample_elems,
+              inputs.data());
+    for (int64_t i = 0; i < shard; ++i) {
+      labels[static_cast<size_t>(i)] =
+          batch.labels[static_cast<size_t>(begin + i)];
+    }
+
+    Tensor logits = replica.Forward(inputs, /*training=*/true);
+    LossResult loss = SoftmaxCrossEntropy(logits, labels);
+    *loss_sum += loss.loss_sum;
+    *correct += loss.correct;
+    replica.Backward(loss.logits_grad);
+  }
+
+  // Phase 2: synchronous gradient exchange (Algorithm 1, lines 3-8).
+  const size_t num_matrices = replica_params_[0].size();
+  std::vector<MatrixSlot> slots(num_matrices);
+  for (size_t m = 0; m < num_matrices; ++m) {
+    MatrixSlot& slot = slots[m];
+    slot.quant_shape = replica_params_[0][m].quant_shape;
+    slot.quantized = quantize_matrix_[m];
+    for (int r = 0; r < k; ++r) {
+      slot.rank_grads.push_back(
+          replica_params_[static_cast<size_t>(r)][m].grad->data());
+      slot.rank_errors.push_back(&errors_[static_cast<size_t>(r)][m]);
+    }
+  }
+  LPSGD_ASSIGN_OR_RETURN(CommStats stats,
+                         aggregator_->AllReduce(&slots, iteration_));
+  total_comm_.Add(stats);
+  virtual_seconds_ += stats.TotalSeconds() +
+                      options_.virtual_compute_seconds_per_iter;
+
+  // Phase 3 (parallel across ranks): identical averaged update.
+  const float inv_k = 1.0f / static_cast<float>(k);
+  for (int r = 0; r < k; ++r) {
+    for (ParamRef& param : replica_params_[static_cast<size_t>(r)]) {
+      Scale(inv_k, param.grad);
+    }
+    optimizers_[static_cast<size_t>(r)].Step(
+        replica_params_[static_cast<size_t>(r)]);
+  }
+
+  ++iteration_;
+  return OkStatus();
+}
+
+StatusOr<std::vector<EpochMetrics>> SyncTrainer::Train(const Dataset& train,
+                                                       const Dataset& test,
+                                                       int epochs) {
+  std::vector<EpochMetrics> metrics;
+  BatchIterator iterator(&train, options_.global_batch_size,
+                         options_.seed ^ 0xdadaULL);
+
+  for (int e = 0; e < epochs; ++e) {
+    const int epoch = epochs_completed_;
+    for (const auto& [at_epoch, lr] : options_.lr_schedule) {
+      if (at_epoch == epoch) {
+        for (auto& optimizer : optimizers_) optimizer.set_learning_rate(lr);
+      }
+    }
+
+    const double wall_start = NowSeconds();
+    const CommStats comm_start = total_comm_;
+    iterator.StartEpoch(epoch);
+
+    double loss_sum = 0.0;
+    int64_t correct = 0;
+    int64_t samples = 0;
+    Batch batch;
+    while (iterator.NextBatch(&batch)) {
+      if (batch.size() < options_.num_gpus) continue;  // skip tiny remainder
+      // Trim to a multiple of the GPU count so shards stay equal.
+      const int64_t usable =
+          batch.size() / options_.num_gpus * options_.num_gpus;
+      if (usable < batch.size()) {
+        batch.labels.resize(static_cast<size_t>(usable));
+        Tensor trimmed(Shape([&] {
+          std::vector<int64_t> dims = batch.inputs.shape().dims();
+          dims[0] = usable;
+          return dims;
+        }()));
+        std::copy(batch.inputs.data(), batch.inputs.data() + trimmed.size(),
+                  trimmed.data());
+        batch.inputs = std::move(trimmed);
+      }
+      LPSGD_RETURN_IF_ERROR(TrainIteration(batch, &loss_sum, &correct));
+      samples += batch.size();
+    }
+
+    EpochMetrics m;
+    m.epoch = epoch;
+    if (samples > 0) {
+      m.train_loss = loss_sum / static_cast<double>(samples);
+      m.train_accuracy =
+          static_cast<double>(correct) / static_cast<double>(samples);
+    }
+    const EvalResult eval = Evaluate(test);
+    m.test_loss = eval.loss_sum / static_cast<double>(test.NumSamples());
+    m.test_accuracy = static_cast<double>(eval.correct) /
+                      static_cast<double>(test.NumSamples());
+    m.test_top5_accuracy = static_cast<double>(eval.correct_top5) /
+                           static_cast<double>(test.NumSamples());
+    wall_seconds_ += NowSeconds() - wall_start;
+    m.wall_seconds = wall_seconds_;
+    m.virtual_seconds = virtual_seconds_;
+    m.comm = total_comm_;
+    // Report only this epoch's communication delta.
+    m.comm.comm_seconds -= comm_start.comm_seconds;
+    m.comm.encode_seconds -= comm_start.encode_seconds;
+    m.comm.wire_bytes -= comm_start.wire_bytes;
+    m.comm.raw_bytes -= comm_start.raw_bytes;
+    m.comm.messages -= comm_start.messages;
+
+    metrics.push_back(m);
+    ++epochs_completed_;
+  }
+  return metrics;
+}
+
+EvalResult SyncTrainer::Evaluate(const Dataset& dataset) {
+  EvalResult total;
+  Network& net = replicas_[0];
+  const int64_t batch_size = options_.eval_batch_size;
+  std::vector<int64_t> indices;
+  for (int64_t begin = 0; begin < dataset.NumSamples();
+       begin += batch_size) {
+    const int64_t end = std::min(begin + batch_size, dataset.NumSamples());
+    indices.resize(static_cast<size_t>(end - begin));
+    for (int64_t i = begin; i < end; ++i) {
+      indices[static_cast<size_t>(i - begin)] = i;
+    }
+    const Batch batch = MakeBatch(dataset, indices);
+    Tensor logits = net.Forward(batch.inputs, /*training=*/false);
+    const EvalResult r = EvaluateSoftmaxCrossEntropy(logits, batch.labels);
+    total.loss_sum += r.loss_sum;
+    total.correct += r.correct;
+    total.correct_top5 += r.correct_top5;
+  }
+  return total;
+}
+
+}  // namespace lpsgd

@@ -1,0 +1,128 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_CORE_TRAINER_H_
+#define LPSGD_CORE_TRAINER_H_
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "comm/allreduce.h"
+#include "data/dataset.h"
+#include "machine/specs.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+#include "quant/codec.h"
+#include "quant/policy.h"
+#include "sim/perf_model.h"
+
+namespace lpsgd {
+
+// Configuration of one synchronous data-parallel training run
+// (Algorithm 1 with pluggable Encode/Decode).
+struct TrainerOptions {
+  int num_gpus = 4;
+  int64_t global_batch_size = 64;  // split evenly across GPUs
+  float learning_rate = 0.05f;
+  float momentum = 0.9f;
+  // Epoch -> new learning rate (applied at the start of that epoch).
+  std::vector<std::pair<int, float>> lr_schedule;
+
+  CodecSpec codec;  // gradient communication precision
+  CommPrimitive primitive = CommPrimitive::kMpi;
+  MachineSpec machine = Ec2P2_8xlarge();  // timing model for virtual clocks
+  QuantizationPolicyOptions policy;
+
+  // Virtual compute seconds charged per iteration (e.g. from a PerfModel
+  // of the corresponding full-scale network); 0 to track only
+  // communication time.
+  double virtual_compute_seconds_per_iter = 0.0;
+
+  uint64_t seed = 42;
+  int eval_batch_size = 256;
+};
+
+// Per-epoch training metrics.
+struct EpochMetrics {
+  int epoch = 0;
+  double train_loss = 0.0;       // mean over training samples seen
+  double train_accuracy = 0.0;   // fraction correct on training batches
+  double test_loss = 0.0;          // mean over the test set
+  double test_accuracy = 0.0;      // top-1 fraction correct on the test set
+  double test_top5_accuracy = 0.0; // top-5 fraction correct on the test set
+  double virtual_seconds = 0.0;  // cumulative simulated time since start
+  double wall_seconds = 0.0;     // cumulative host wall time
+  CommStats comm;                // this epoch's communication accounting
+};
+
+// Synchronous data-parallel SGD over K simulated GPU ranks (Section 2.1).
+// Ranks execute sequentially in program order but semantically in
+// parallel: every rank computes gradients on its shard of the global
+// batch, gradients are exchanged through a GradientAggregator (MPI
+// reduce-and-broadcast or NCCL ring), and each rank applies the identical
+// averaged update — so replicas stay bit-identical, which is also a tested
+// invariant.
+class SyncTrainer {
+ public:
+  // Builds one model replica; must be deterministic in `seed` (every rank
+  // starts from identical weights, enforced by copying rank 0's).
+  using NetworkFactory = std::function<Network(uint64_t seed)>;
+
+  static StatusOr<std::unique_ptr<SyncTrainer>> Create(
+      const NetworkFactory& factory, const TrainerOptions& options);
+
+  // Runs `epochs` epochs over `train`, evaluating on `test` after each.
+  // Appends to any previous training (the trainer is resumable).
+  StatusOr<std::vector<EpochMetrics>> Train(const Dataset& train,
+                                            const Dataset& test, int epochs);
+
+  // Evaluates replica 0 on `dataset` (eval mode).
+  EvalResult Evaluate(const Dataset& dataset);
+
+  // Replica `rank`'s network (e.g. for invariant checks).
+  Network& replica(int rank);
+
+  // Checkpointing: saves replica 0's parameters (all replicas are
+  // identical) / restores them into every replica. Optimizer momentum and
+  // error-feedback residuals restart from zero, like CNTK's 1-bit
+  // checkpoint-restart.
+  Status SaveCheckpoint(std::ostream& os);
+  Status LoadCheckpoint(std::istream& is);
+
+  int num_gpus() const { return options_.num_gpus; }
+  const TrainerOptions& options() const { return options_; }
+  // Cumulative communication accounting since construction.
+  const CommStats& total_comm() const { return total_comm_; }
+  double virtual_seconds() const { return virtual_seconds_; }
+
+ private:
+  SyncTrainer(TrainerOptions options, std::vector<Network> replicas,
+              std::unique_ptr<GradientAggregator> aggregator);
+
+  // Runs one synchronous iteration on `batch`; returns the summed loss and
+  // correct count over the batch.
+  Status TrainIteration(const Batch& batch, double* loss_sum,
+                        int64_t* correct);
+
+  TrainerOptions options_;
+  std::vector<Network> replicas_;
+  std::vector<std::vector<ParamRef>> replica_params_;  // [rank][matrix]
+  std::vector<SgdMomentumOptimizer> optimizers_;       // one per rank
+  std::unique_ptr<GradientAggregator> aggregator_;
+  // Error-feedback residuals: [rank][matrix] (empty when codec has none).
+  std::vector<std::vector<std::vector<float>>> errors_;
+  std::vector<bool> quantize_matrix_;  // policy decision per matrix
+
+  int64_t iteration_ = 0;
+  int epochs_completed_ = 0;
+  double virtual_seconds_ = 0.0;
+  double wall_seconds_ = 0.0;
+  CommStats total_comm_;
+};
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_CORE_TRAINER_H_

@@ -1,0 +1,148 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "machine/specs.h"
+
+#include "base/strings.h"
+
+namespace lpsgd {
+namespace {
+
+InterconnectSpec Ec2PciInterconnect() {
+  InterconnectSpec ic;
+  ic.name = "PCIe gen3 (EC2 p2)";
+  // Calibrated against Figure 10/11 (see tests/sim/perf_model_claims_test).
+  ic.mpi_base_bandwidth_gbps = 0.90;
+  ic.mpi_contention = 0.11;
+  ic.mpi_latency_us = 60.0;
+  ic.nccl_base_bandwidth_gbps = 9.0;
+  ic.nccl_contention = 0.05;
+  ic.nccl_latency_us = 25.0;
+  ic.host_staging_bandwidth_gbps = 6.0;
+  return ic;
+}
+
+InterconnectSpec Dgx1NvlinkInterconnect() {
+  InterconnectSpec ic;
+  ic.name = "NVLink (DGX-1)";
+  // MPI on DGX-1 still stages through the host and uses the same
+  // reduce-and-broadcast software path; NVLink mainly accelerates NCCL.
+  ic.mpi_base_bandwidth_gbps = 1.2;
+  ic.mpi_contention = 0.10;
+  ic.mpi_latency_us = 40.0;
+  ic.nccl_base_bandwidth_gbps = 20.0;
+  ic.nccl_contention = 0.03;
+  ic.nccl_latency_us = 15.0;
+  ic.host_staging_bandwidth_gbps = 10.0;
+  return ic;
+}
+
+}  // namespace
+
+GpuSpec TeslaK80() {
+  GpuSpec gpu;
+  gpu.name = "Tesla K80";
+  gpu.architecture = "Kepler";
+  gpu.fp32_tflops = 8.73;
+  gpu.relative_speed = 1.0;
+  gpu.quant_chunk_ns = 17.0;
+  gpu.quant_element_ns = 0.03;
+  return gpu;
+}
+
+GpuSpec TeslaP100() {
+  GpuSpec gpu;
+  gpu.name = "Tesla P100";
+  gpu.architecture = "Pascal";
+  gpu.fp32_tflops = 10.6;
+  // "the GPU is about 40% faster than in the Amazon instances" (Sec 5.2).
+  gpu.relative_speed = 1.4;
+  gpu.quant_chunk_ns = 12.0;
+  gpu.quant_element_ns = 0.021;
+  return gpu;
+}
+
+MachineSpec Ec2P2Xlarge() {
+  MachineSpec m;
+  m.name = "p2.xlarge";
+  m.num_gpus = 1;
+  m.cpu_cores = 4;
+  m.gpu = TeslaK80();
+  m.interconnect = Ec2PciInterconnect();
+  m.price_per_hour_usd = 0.9;
+  return m;
+}
+
+MachineSpec Ec2P2_8xlarge() {
+  MachineSpec m;
+  m.name = "p2.8xlarge";
+  m.num_gpus = 8;
+  m.cpu_cores = 32;
+  m.gpu = TeslaK80();
+  m.interconnect = Ec2PciInterconnect();
+  m.price_per_hour_usd = 7.2;
+  return m;
+}
+
+MachineSpec Ec2P2_16xlarge() {
+  MachineSpec m;
+  m.name = "p2.16xlarge";
+  m.num_gpus = 16;
+  m.cpu_cores = 64;
+  m.gpu = TeslaK80();
+  m.interconnect = Ec2PciInterconnect();
+  m.price_per_hour_usd = 14.4;
+  return m;
+}
+
+MachineSpec Dgx1() {
+  MachineSpec m;
+  m.name = "DGX-1";
+  m.num_gpus = 8;
+  m.cpu_cores = 32;
+  m.gpu = TeslaP100();
+  m.interconnect = Dgx1NvlinkInterconnect();
+  m.price_per_hour_usd = 50.0;  // Nimbix hourly price from Figure 2
+  return m;
+}
+
+MachineSpec Ec2Cluster2x8() {
+  MachineSpec m;
+  m.name = "2x p2.8xlarge (10GbE)";
+  m.num_gpus = 16;
+  m.cpu_cores = 64;
+  m.gpu = TeslaK80();
+  // The inter-node 10 GbE link (~1.25 GB/s raw, less in practice) caps the
+  // reduce-and-broadcast exchange; contention grows with ranks sharing it.
+  m.interconnect = Ec2PciInterconnect();
+  m.interconnect.name = "PCIe + 10GbE inter-node";
+  m.interconnect.mpi_base_bandwidth_gbps = 0.55;
+  m.interconnect.mpi_contention = 0.13;
+  m.interconnect.mpi_latency_us = 120.0;  // network hops
+  m.price_per_hour_usd = 14.4;            // 2 x $7.2
+  m.nccl_max_gpus = 0;  // NCCL does not span nodes (Section 5.4)
+  return m;
+}
+
+const std::vector<MachineSpec>& PaperMachines() {
+  static const std::vector<MachineSpec>& kMachines =
+      *new std::vector<MachineSpec>{Ec2P2Xlarge(), Ec2P2_8xlarge(),
+                                    Ec2P2_16xlarge(), Dgx1()};
+  return kMachines;
+}
+
+StatusOr<MachineSpec> Ec2MachineForGpus(int gpus) {
+  if (gpus <= 0) return InvalidArgumentError("gpus must be positive");
+  if (gpus <= 1) return Ec2P2Xlarge();
+  if (gpus <= 8) return Ec2P2_8xlarge();
+  if (gpus <= 16) return Ec2P2_16xlarge();
+  return NotFoundError(
+      StrCat("no EC2 P2 instance with ", gpus, " GPUs"));
+}
+
+StatusOr<MachineSpec> FindMachine(const std::string& name) {
+  for (const MachineSpec& m : PaperMachines()) {
+    if (m.name == name) return m;
+  }
+  return NotFoundError(StrCat("unknown machine: ", name));
+}
+
+}  // namespace lpsgd

@@ -1,0 +1,83 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_MACHINE_SPECS_H_
+#define LPSGD_MACHINE_SPECS_H_
+
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+
+namespace lpsgd {
+
+// GPU compute model. `relative_speed` scales the paper's measured K80
+// single-GPU throughputs (the calibration points in nn/model_zoo); the
+// quantization-kernel coefficients model the two-phase CNTK encode kernels
+// (Section 3.2.1: phase 1 computes per-chunk statistics, phase 2 packs
+// bits), whose cost grows with the number of independently-scaled chunks —
+// the reason tiny buckets/columns are expensive.
+struct GpuSpec {
+  std::string name;          // e.g. "Tesla K80"
+  std::string architecture;  // "Kepler" | "Pascal"
+  double fp32_tflops = 0.0;  // Figure 2 (single precision)
+  double relative_speed = 1.0;  // throughput multiplier vs K80
+  double quant_chunk_ns = 0.0;    // per-chunk (column/bucket) overhead
+  double quant_element_ns = 0.0;  // per-element quantize/pack cost
+};
+
+// Interconnect + communication-stack model. Effective bandwidths shrink
+// with GPU count (PCIe root-complex / ring contention):
+//   bw(K) = base_bandwidth / (1 + contention * (K - 1)).
+// The MPI path additionally stages every message through host memory
+// (Section 3.2.1: CNTK's MPI transport copies device->host->device).
+struct InterconnectSpec {
+  std::string name;  // "PCIe gen3 (EC2 p2)" | "NVLink (DGX-1)"
+  double mpi_base_bandwidth_gbps = 0.0;
+  double mpi_contention = 0.0;
+  double mpi_latency_us = 0.0;  // per point-to-point message
+  double nccl_base_bandwidth_gbps = 0.0;
+  double nccl_contention = 0.0;
+  double nccl_latency_us = 0.0;  // per collective call per matrix
+  double host_staging_bandwidth_gbps = 0.0;  // device<->host copies (MPI)
+};
+
+// A machine configuration from Figure 2.
+struct MachineSpec {
+  std::string name;  // "p2.xlarge", "p2.8xlarge", "p2.16xlarge", "DGX-1"
+  int num_gpus = 0;
+  int cpu_cores = 0;
+  GpuSpec gpu;
+  InterconnectSpec interconnect;
+  double price_per_hour_usd = 0.0;
+  // NCCL supported up to this many GPUs (the paper could not run NCCL
+  // beyond 8 GPUs; Section 5.2 "Implementation Notes").
+  int nccl_max_gpus = 8;
+
+  bool NcclAvailableFor(int gpus) const { return gpus <= nccl_max_gpus; }
+};
+
+GpuSpec TeslaK80();
+GpuSpec TeslaP100();
+
+// Figure 2 machines.
+MachineSpec Ec2P2Xlarge();    // 1 x K80
+MachineSpec Ec2P2_8xlarge();  // 8 x K80
+MachineSpec Ec2P2_16xlarge(); // 16 x K80
+MachineSpec Dgx1();           // 8 x P100, NVLink
+
+// Beyond the paper's single-machine scope (Section 5.4 discusses it as
+// future work): two p2.8xlarge nodes joined by 10 GbE. NCCL does not span
+// nodes, so only the MPI path is available, and the inter-node link is
+// the bottleneck — the regime where low-precision communication matters
+// most.
+MachineSpec Ec2Cluster2x8();  // 16 x K80 across two nodes
+
+const std::vector<MachineSpec>& PaperMachines();
+
+// Cheapest EC2 P2 machine that offers at least `gpus` GPUs.
+StatusOr<MachineSpec> Ec2MachineForGpus(int gpus);
+
+StatusOr<MachineSpec> FindMachine(const std::string& name);
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_MACHINE_SPECS_H_

@@ -1,0 +1,60 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "nn/activation.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace lpsgd {
+
+ActivationLayer::ActivationLayer(std::string name, ActivationKind kind)
+    : name_(std::move(name)), kind_(kind) {}
+
+Tensor ActivationLayer::Forward(const Tensor& input, bool /*training*/) {
+  Tensor output = input;
+  float* data = output.data();
+  switch (kind_) {
+    case ActivationKind::kRelu:
+      for (int64_t i = 0; i < output.size(); ++i) {
+        if (data[i] < 0.0f) data[i] = 0.0f;
+      }
+      break;
+    case ActivationKind::kTanh:
+      for (int64_t i = 0; i < output.size(); ++i) data[i] = std::tanh(data[i]);
+      break;
+    case ActivationKind::kSigmoid:
+      for (int64_t i = 0; i < output.size(); ++i) {
+        data[i] = 1.0f / (1.0f + std::exp(-data[i]));
+      }
+      break;
+  }
+  cached_output_ = output;
+  return output;
+}
+
+Tensor ActivationLayer::Backward(const Tensor& output_grad) {
+  CHECK_EQ(output_grad.size(), cached_output_.size());
+  Tensor input_grad = output_grad;
+  float* grad = input_grad.data();
+  const float* out = cached_output_.data();
+  switch (kind_) {
+    case ActivationKind::kRelu:
+      for (int64_t i = 0; i < input_grad.size(); ++i) {
+        if (out[i] <= 0.0f) grad[i] = 0.0f;
+      }
+      break;
+    case ActivationKind::kTanh:
+      for (int64_t i = 0; i < input_grad.size(); ++i) {
+        grad[i] *= 1.0f - out[i] * out[i];
+      }
+      break;
+    case ActivationKind::kSigmoid:
+      for (int64_t i = 0; i < input_grad.size(); ++i) {
+        grad[i] *= out[i] * (1.0f - out[i]);
+      }
+      break;
+  }
+  return input_grad;
+}
+
+}  // namespace lpsgd

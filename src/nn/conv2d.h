@@ -1,0 +1,44 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_NN_CONV2D_H_
+#define LPSGD_NN_CONV2D_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "nn/layer.h"
+
+namespace lpsgd {
+
+// 2-D convolution over {batch, channels, height, width} inputs, implemented
+// as im2col + GEMM per sample. Square kernels, uniform stride/padding.
+class Conv2dLayer : public Layer {
+ public:
+  Conv2dLayer(std::string name, int in_channels, int out_channels,
+              int kernel_size, int stride, int padding, Rng* rng);
+
+  std::string name() const override { return name_; }
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& output_grad) override;
+  void CollectParams(std::vector<ParamRef>* params) override;
+  Shape OutputShape(const Shape& input_shape) const override;
+
+ private:
+  std::string name_;
+  int in_channels_;
+  int out_channels_;
+  int kernel_size_;
+  int stride_;
+  int padding_;
+  Tensor weight_;       // {out_c, in_c * k * k}
+  Tensor weight_grad_;  // same shape
+  Tensor bias_;         // {out_c}
+  Tensor bias_grad_;    // {out_c}
+  Tensor cached_input_;
+  // im2col patches per sample from the last Forward, reused in Backward.
+  std::vector<Tensor> cached_patches_;
+};
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_NN_CONV2D_H_

@@ -1,0 +1,402 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "nn/model_zoo.h"
+
+#include <memory>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/lstm.h"
+#include "nn/pool.h"
+
+namespace lpsgd {
+
+int64_t NetworkStats::TotalParams() const {
+  int64_t total = 0;
+  for (const MatrixStat& m : matrices) total += m.elements_total();
+  return total;
+}
+
+int NetworkStats::NumMatrices() const {
+  int total = 0;
+  for (const MatrixStat& m : matrices) total += m.count;
+  return total;
+}
+
+int NetworkStats::BatchForGpus(int gpus) const {
+  auto it = batch_for_gpus.find(gpus);
+  CHECK(it != batch_for_gpus.end())
+      << name << " has no batch size for " << gpus << " GPUs";
+  return it->second;
+}
+
+double NetworkStats::EfficiencyAt(int per_gpu_batch) const {
+  auto it = batch_efficiency.find(per_gpu_batch);
+  return it == batch_efficiency.end() ? 1.0 : it->second;
+}
+
+namespace {
+
+// Matrix inventories are aggregated per layer family; row counts follow
+// CNTK's tensor layout (kernel width first for convolutions, output
+// features first for dense layers). Parameter totals land within a few
+// percent of Figure 3; see DESIGN.md for the approximation note.
+std::vector<NetworkStats> MakePaperNetworks() {
+  std::vector<NetworkStats> nets;
+
+  {
+    NetworkStats n;
+    n.name = "AlexNet";
+    n.dataset = "ImageNet";
+    n.dataset_samples = 1281167;
+    n.gflops_per_sample = 1.4;
+    n.recipe_epochs = 112;
+    n.initial_learning_rate = 0.07;
+    n.recipe_accuracy_percent = 58.0;
+    n.k80_samples_per_sec = 240.80;
+    n.batch_for_gpus = {{1, 256}, {2, 256}, {4, 256}, {8, 256}, {16, 256}};
+    // K80 throughput degrades at small per-GPU batches (implied by the
+    // NCCL columns of Figure 11, where communication is cheap).
+    n.batch_efficiency = {{128, 0.95}, {64, 0.85}, {32, 0.75}, {16, 0.65}};
+    n.matrices = {
+        {11, 3168, ParamKind::kConvolutional, 1},     // conv1 11x11x3x96
+        {5, 122880, ParamKind::kConvolutional, 1},    // conv2 5x5x96x256
+        {3, 294912, ParamKind::kConvolutional, 1},    // conv3 3x3x256x384
+        {3, 442368, ParamKind::kConvolutional, 1},    // conv4 3x3x384x384
+        {3, 294912, ParamKind::kConvolutional, 1},    // conv5 3x3x384x256
+        {4096, 9216, ParamKind::kFullyConnected, 1},  // fc6
+        {4096, 4096, ParamKind::kFullyConnected, 1},  // fc7
+        {1000, 4096, ParamKind::kFullyConnected, 1},  // fc8
+    };
+    nets.push_back(std::move(n));
+  }
+
+  {
+    NetworkStats n;
+    n.name = "VGG19";
+    n.dataset = "ImageNet";
+    n.dataset_samples = 1281167;
+    n.gflops_per_sample = 39.0;
+    n.recipe_epochs = 80;
+    n.initial_learning_rate = 0.1;
+    n.recipe_accuracy_percent = 71.0;
+    n.k80_samples_per_sec = 12.40;
+    n.batch_for_gpus = {{1, 32}, {2, 64}, {4, 128}, {8, 128}, {16, 128}};
+    // Small per-GPU batches run disproportionately fast on VGG19
+    // (Section 5.2, "Super-Linear Scaling"; reproduced by the authors on a
+    // single GPU at batch 16).
+    n.batch_efficiency = {{16, 1.95}, {8, 1.6}};
+    n.matrices = {
+        {3, 576, ParamKind::kConvolutional, 1},
+        {3, 12288, ParamKind::kConvolutional, 1},
+        {3, 24576, ParamKind::kConvolutional, 1},
+        {3, 49152, ParamKind::kConvolutional, 1},
+        {3, 98304, ParamKind::kConvolutional, 1},
+        {3, 196608, ParamKind::kConvolutional, 3},
+        {3, 393216, ParamKind::kConvolutional, 1},
+        {3, 786432, ParamKind::kConvolutional, 7},
+        {4096, 25088, ParamKind::kFullyConnected, 1},
+        {4096, 4096, ParamKind::kFullyConnected, 1},
+        {1000, 4096, ParamKind::kFullyConnected, 1},
+    };
+    nets.push_back(std::move(n));
+  }
+
+  {
+    NetworkStats n;
+    n.name = "BN-Inception";
+    n.dataset = "ImageNet";
+    n.dataset_samples = 1281167;
+    n.gflops_per_sample = 4.1;
+    n.recipe_epochs = 300;
+    n.initial_learning_rate = 3.6;
+    n.recipe_accuracy_percent = 72.0;
+    n.k80_samples_per_sec = 88.30;
+    n.batch_for_gpus = {{1, 64}, {2, 128}, {4, 256}, {8, 256}, {16, 256}};
+    n.batch_efficiency = {{32, 0.72}, {16, 0.60}};
+    n.matrices = {
+        {7, 1344, ParamKind::kConvolutional, 1},       // stem 7x7
+        {3, 110592, ParamKind::kConvolutional, 1},     // stem 3x3
+        {1, 112500, ParamKind::kConvolutional, 40},    // 1x1 reductions
+        {3, 83333, ParamKind::kConvolutional, 20},     // 3x3 towers
+        {5, 6667, ParamKind::kConvolutional, 6},       // 5x5 towers
+        {1000, 1024, ParamKind::kFullyConnected, 1},   // classifier
+    };
+    nets.push_back(std::move(n));
+  }
+
+  {
+    NetworkStats n;
+    n.name = "ResNet50";
+    n.dataset = "ImageNet";
+    n.dataset_samples = 1281167;
+    n.gflops_per_sample = 7.7;
+    n.recipe_epochs = 120;
+    n.initial_learning_rate = 1.0;
+    n.recipe_accuracy_percent = 73.0;
+    n.k80_samples_per_sec = 47.20;
+    n.batch_for_gpus = {{1, 32}, {2, 64}, {4, 128}, {8, 256}, {16, 256}};
+    n.batch_efficiency = {{16, 0.90}};
+    n.matrices = {
+        {7, 1344, ParamKind::kConvolutional, 1},      // conv1 7x7x3x64
+        {3, 12288, ParamKind::kConvolutional, 3},     // stage2 3x3
+        {3, 49152, ParamKind::kConvolutional, 4},     // stage3 3x3
+        {3, 196608, ParamKind::kConvolutional, 6},    // stage4 3x3
+        {3, 786432, ParamKind::kConvolutional, 3},    // stage5 3x3
+        {1, 370000, ParamKind::kConvolutional, 33},   // 1x1 bottlenecks
+        {1000, 2048, ParamKind::kFullyConnected, 1},  // fc
+    };
+    nets.push_back(std::move(n));
+  }
+
+  {
+    NetworkStats n;
+    n.name = "ResNet152";
+    n.dataset = "ImageNet";
+    n.dataset_samples = 1281167;
+    n.gflops_per_sample = 22.6;
+    n.recipe_epochs = 120;
+    n.initial_learning_rate = 1.0;
+    n.recipe_accuracy_percent = 75.0;
+    n.k80_samples_per_sec = 16.90;
+    n.batch_for_gpus = {{1, 16}, {2, 32}, {4, 64}, {8, 128}, {16, 256}};
+    n.matrices = {
+        {7, 1344, ParamKind::kConvolutional, 1},
+        {3, 12288, ParamKind::kConvolutional, 3},
+        {3, 49152, ParamKind::kConvolutional, 8},
+        {3, 196608, ParamKind::kConvolutional, 36},
+        {3, 786432, ParamKind::kConvolutional, 3},
+        {1, 280000, ParamKind::kConvolutional, 101},
+        {1000, 2048, ParamKind::kFullyConnected, 1},
+    };
+    nets.push_back(std::move(n));
+  }
+
+  {
+    NetworkStats n;
+    n.name = "ResNet110";
+    n.dataset = "CIFAR-10";
+    n.dataset_samples = 50000;
+    n.gflops_per_sample = 0.51;
+    n.recipe_epochs = 160;
+    n.initial_learning_rate = 0.1;
+    n.recipe_accuracy_percent = 93.5;
+    n.k80_samples_per_sec = 343.70;
+    n.batch_for_gpus = {{1, 128}, {2, 128}, {4, 128}, {8, 128}, {16, 128}};
+    // Tiny CIFAR batches leave the K80 heavily underutilized.
+    n.batch_efficiency = {{64, 0.95}, {32, 0.89}, {16, 0.70}, {8, 0.30}};
+    n.matrices = {
+        {3, 48, ParamKind::kConvolutional, 1},       // stem 3x3x3x16
+        {3, 768, ParamKind::kConvolutional, 36},     // stage1 16ch
+        {3, 3072, ParamKind::kConvolutional, 36},    // stage2 32ch
+        {3, 12288, ParamKind::kConvolutional, 36},   // stage3 64ch
+        {10, 64, ParamKind::kFullyConnected, 1},     // fc
+    };
+    nets.push_back(std::move(n));
+  }
+
+  {
+    NetworkStats n;
+    n.name = "LSTM";
+    n.dataset = "AN4";
+    n.dataset_samples = 948;
+    n.gflops_per_sample = 0.08;
+    n.recipe_epochs = 20;
+    n.initial_learning_rate = 0.5;
+    n.recipe_accuracy_percent = 92.0;
+    n.k80_samples_per_sec = 610.0;
+    n.batch_for_gpus = {{1, 16}, {2, 16}};
+    n.matrices = {
+        {3000, 363, ParamKind::kFullyConnected, 1},  // layer-1 Wx
+        {3000, 750, ParamKind::kFullyConnected, 5},  // Wh + upper layers
+        {133, 750, ParamKind::kFullyConnected, 1},   // output projection
+    };
+    nets.push_back(std::move(n));
+  }
+
+  return nets;
+}
+
+}  // namespace
+
+const std::vector<NetworkStats>& PaperNetworks() {
+  static const std::vector<NetworkStats>& kNetworks =
+      *new std::vector<NetworkStats>(MakePaperNetworks());
+  return kNetworks;
+}
+
+std::vector<std::string> PerformanceFigureNetworks() {
+  return {"AlexNet", "VGG19", "ResNet152", "ResNet50", "BN-Inception"};
+}
+
+StatusOr<NetworkStats> FindNetworkStats(const std::string& name) {
+  for (const NetworkStats& n : PaperNetworks()) {
+    if (n.name == name) return n;
+  }
+  return NotFoundError(StrCat("unknown network: ", name));
+}
+
+Network BuildMlp(const std::vector<int64_t>& dims, uint64_t seed) {
+  CHECK_GE(dims.size(), 2u);
+  Rng rng(seed);
+  Network net;
+  net.Add(std::make_unique<FlattenLayer>("flatten"));
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    net.Add(std::make_unique<DenseLayer>(StrCat("fc", i), dims[i],
+                                         dims[i + 1], &rng));
+    if (i + 2 < dims.size()) {
+      net.Add(std::make_unique<ActivationLayer>(StrCat("relu", i),
+                                                ActivationKind::kRelu));
+    }
+  }
+  return net;
+}
+
+Network BuildMiniAlexNet(int in_channels, int image_size, int num_classes,
+                         uint64_t seed) {
+  CHECK_GE(image_size, 8);
+  Rng rng(seed);
+  Network net;
+  net.Add(std::make_unique<Conv2dLayer>("conv1", in_channels, 8,
+                                        /*kernel_size=*/3, /*stride=*/1,
+                                        /*padding=*/1, &rng));
+  net.Add(std::make_unique<ActivationLayer>("relu1", ActivationKind::kRelu));
+  net.Add(std::make_unique<MaxPool2dLayer>("pool1", 2, 2));
+  net.Add(std::make_unique<Conv2dLayer>("conv2", 8, 16, 3, 1, 1, &rng));
+  net.Add(std::make_unique<ActivationLayer>("relu2", ActivationKind::kRelu));
+  net.Add(std::make_unique<MaxPool2dLayer>("pool2", 2, 2));
+  net.Add(std::make_unique<FlattenLayer>("flatten"));
+  const int64_t spatial = image_size / 4;
+  const int64_t flat = 16 * spatial * spatial;
+  net.Add(std::make_unique<DenseLayer>("fc1", flat, 64, &rng));
+  net.Add(std::make_unique<ActivationLayer>("relu3", ActivationKind::kRelu));
+  net.Add(std::make_unique<DenseLayer>("fc2", 64, num_classes, &rng));
+  return net;
+}
+
+Network BuildMiniResNet(int in_channels, int image_size, int num_blocks,
+                        int width, int num_classes, uint64_t seed) {
+  CHECK_GE(image_size, 4);
+  CHECK_GE(num_blocks, 1);
+  Rng rng(seed);
+  Network net;
+  net.Add(std::make_unique<Conv2dLayer>("stem", in_channels, width, 3, 1, 1,
+                                        &rng));
+  net.Add(std::make_unique<BatchNormLayer>("stem_bn", width));
+  net.Add(
+      std::make_unique<ActivationLayer>("stem_relu", ActivationKind::kRelu));
+  for (int b = 0; b < num_blocks; ++b) {
+    std::vector<std::unique_ptr<Layer>> inner;
+    inner.push_back(std::make_unique<Conv2dLayer>(StrCat("b", b, "_conv1"),
+                                                  width, width, 3, 1, 1,
+                                                  &rng));
+    inner.push_back(
+        std::make_unique<BatchNormLayer>(StrCat("b", b, "_bn1"), width));
+    inner.push_back(std::make_unique<ActivationLayer>(
+        StrCat("b", b, "_relu"), ActivationKind::kRelu));
+    inner.push_back(std::make_unique<Conv2dLayer>(StrCat("b", b, "_conv2"),
+                                                  width, width, 3, 1, 1,
+                                                  &rng));
+    inner.push_back(
+        std::make_unique<BatchNormLayer>(StrCat("b", b, "_bn2"), width));
+    net.Add(std::make_unique<ResidualBlock>(StrCat("block", b),
+                                            std::move(inner)));
+    net.Add(std::make_unique<ActivationLayer>(StrCat("b", b, "_out_relu"),
+                                              ActivationKind::kRelu));
+  }
+  net.Add(std::make_unique<GlobalAvgPoolLayer>("gap"));
+  net.Add(std::make_unique<DenseLayer>("fc", width, num_classes, &rng));
+  return net;
+}
+
+Network BuildMiniResNetTwoStage(int in_channels, int image_size, int width,
+                                int num_classes, uint64_t seed) {
+  CHECK_GE(image_size, 8);
+  Rng rng(seed);
+  Network net;
+  net.Add(std::make_unique<Conv2dLayer>("stem", in_channels, width, 3, 1, 1,
+                                        &rng));
+  net.Add(std::make_unique<BatchNormLayer>("stem_bn", width));
+  net.Add(
+      std::make_unique<ActivationLayer>("stem_relu", ActivationKind::kRelu));
+
+  // Stage 1: identity-shortcut block at `width`.
+  {
+    std::vector<std::unique_ptr<Layer>> inner;
+    inner.push_back(
+        std::make_unique<Conv2dLayer>("s1_conv1", width, width, 3, 1, 1,
+                                      &rng));
+    inner.push_back(std::make_unique<BatchNormLayer>("s1_bn1", width));
+    inner.push_back(std::make_unique<ActivationLayer>(
+        "s1_relu", ActivationKind::kRelu));
+    inner.push_back(
+        std::make_unique<Conv2dLayer>("s1_conv2", width, width, 3, 1, 1,
+                                      &rng));
+    inner.push_back(std::make_unique<BatchNormLayer>("s1_bn2", width));
+    net.Add(std::make_unique<ResidualBlock>("stage1", std::move(inner)));
+    net.Add(std::make_unique<ActivationLayer>("s1_out_relu",
+                                              ActivationKind::kRelu));
+  }
+
+  // Stage 2: stride-2 downsampling block, channels double, with a 1x1
+  // projection shortcut (rows = 1 in the CNTK quantization view).
+  {
+    std::vector<std::unique_ptr<Layer>> inner;
+    inner.push_back(std::make_unique<Conv2dLayer>(
+        "s2_conv1", width, 2 * width, 3, /*stride=*/2, /*padding=*/1, &rng));
+    inner.push_back(std::make_unique<BatchNormLayer>("s2_bn1", 2 * width));
+    inner.push_back(std::make_unique<ActivationLayer>(
+        "s2_relu", ActivationKind::kRelu));
+    inner.push_back(std::make_unique<Conv2dLayer>(
+        "s2_conv2", 2 * width, 2 * width, 3, 1, 1, &rng));
+    inner.push_back(std::make_unique<BatchNormLayer>("s2_bn2", 2 * width));
+
+    std::vector<std::unique_ptr<Layer>> projection;
+    projection.push_back(std::make_unique<Conv2dLayer>(
+        "s2_proj", width, 2 * width, /*kernel_size=*/1, /*stride=*/2,
+        /*padding=*/0, &rng));
+    projection.push_back(
+        std::make_unique<BatchNormLayer>("s2_proj_bn", 2 * width));
+    net.Add(std::make_unique<ResidualBlock>("stage2", std::move(inner),
+                                            std::move(projection)));
+    net.Add(std::make_unique<ActivationLayer>("s2_out_relu",
+                                              ActivationKind::kRelu));
+  }
+
+  net.Add(std::make_unique<GlobalAvgPoolLayer>("gap"));
+  net.Add(
+      std::make_unique<DenseLayer>("fc", 2 * width, num_classes, &rng));
+  return net;
+}
+
+Network BuildLstmClassifier(int frame_dim, int hidden_dim, int num_classes,
+                            uint64_t seed) {
+  Rng rng(seed);
+  Network net;
+  net.Add(std::make_unique<LstmLayer>("lstm", frame_dim, hidden_dim, &rng));
+  net.Add(std::make_unique<DenseLayer>("fc", hidden_dim, num_classes, &rng));
+  return net;
+}
+
+Network BuildDeepLstmClassifier(int frame_dim, int hidden_dim,
+                                int num_lstm_layers, int num_classes,
+                                uint64_t seed) {
+  CHECK_GE(num_lstm_layers, 1);
+  Rng rng(seed);
+  Network net;
+  int input_dim = frame_dim;
+  for (int layer = 0; layer < num_lstm_layers; ++layer) {
+    const bool last = layer + 1 == num_lstm_layers;
+    net.Add(std::make_unique<LstmLayer>(StrCat("lstm", layer), input_dim,
+                                        hidden_dim, &rng,
+                                        /*return_sequences=*/!last));
+    input_dim = hidden_dim;
+  }
+  net.Add(std::make_unique<DenseLayer>("fc", hidden_dim, num_classes, &rng));
+  return net;
+}
+
+}  // namespace lpsgd

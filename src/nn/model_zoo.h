@@ -1,0 +1,122 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_NN_MODEL_ZOO_H_
+#define LPSGD_NN_MODEL_ZOO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "nn/layer.h"
+#include "nn/network.h"
+
+namespace lpsgd {
+
+// ---------------------------------------------------------------------------
+// Part A: stat models of the paper's networks (Figures 3 and 4).
+//
+// Performance experiments never execute these networks; they only consume
+// the parameter-matrix inventory (for codec sizing/cost and per-matrix MPI
+// messages), FLOP counts, and the paper's measured single-GPU throughput
+// (the calibration point documented in DESIGN.md).
+// ---------------------------------------------------------------------------
+
+// Aggregate descriptor for `count` identically-shaped gradient matrices.
+// `rows` is the CNTK first-dimension (the per-column length seen by stock
+// 1bitSGD); convolution kernels have tiny rows (1-7), dense layers have
+// large rows.
+struct MatrixStat {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  ParamKind kind = ParamKind::kOther;
+  int count = 1;
+
+  int64_t elements_each() const { return rows * cols; }
+  int64_t elements_total() const { return elements_each() * count; }
+};
+
+struct NetworkStats {
+  std::string name;
+  std::string dataset;
+  int64_t dataset_samples = 0;  // training samples per epoch
+  double gflops_per_sample = 0.0;  // forward-pass GFLOPs
+  int recipe_epochs = 0;           // published #epochs to convergence
+  double initial_learning_rate = 0.0;
+  double momentum = 0.9;
+  // Published top-1 accuracy reached by the recipe (used by the Figure 16
+  // cost/accuracy frontier).
+  double recipe_accuracy_percent = 0.0;
+  // Measured single-K80 throughput at the 1-GPU batch size (Figure 10,
+  // 1-GPU column) — the compute-side calibration point.
+  double k80_samples_per_sec = 0.0;
+  // Figure 4: global batch size per GPU count (key: #GPUs).
+  std::map<int, int> batch_for_gpus;
+  // Per-GPU-batch compute-efficiency multipliers relative to the 1-GPU
+  // batch (Section 5.2 "Super-Linear Scaling" artefact); defaults to 1.
+  std::map<int, double> batch_efficiency;
+  std::vector<MatrixStat> matrices;
+
+  int64_t TotalParams() const;
+  double ModelBytes() const { return static_cast<double>(TotalParams()) * 4; }
+  int NumMatrices() const;
+
+  // Global batch size for `gpus` (must be present in `batch_for_gpus`).
+  int BatchForGpus(int gpus) const;
+  // Relative compute efficiency at a given per-GPU batch.
+  double EfficiencyAt(int per_gpu_batch) const;
+};
+
+// All seven networks from Figure 3, in the paper's order.
+const std::vector<NetworkStats>& PaperNetworks();
+
+// The five ImageNet networks used in the performance figures (6-15):
+// AlexNet, VGG19, ResNet152, ResNet50, BN-Inception.
+std::vector<std::string> PerformanceFigureNetworks();
+
+// Looks up a network by name ("AlexNet", "VGG19", "ResNet50", "ResNet110",
+// "ResNet152", "BN-Inception", "LSTM").
+StatusOr<NetworkStats> FindNetworkStats(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Part B: scaled-down trainable networks for the accuracy experiments
+// (Figure 5). Architecture families mirror the paper's: a conv net with
+// large dense layers (AlexNet-like), plain deep residual nets
+// (ResNet-like), and an LSTM classifier (AN4-like). See DESIGN.md.
+// ---------------------------------------------------------------------------
+
+// Multi-layer perceptron over flattened inputs; `dims` lists layer widths
+// including input and output, e.g. {64, 128, 10}.
+Network BuildMlp(const std::vector<int64_t>& dims, uint64_t seed);
+
+// Conv(3x3) x2 + max-pool pyramid + two dense layers: the AlexNet-style
+// mix of convolutional and large fully-connected parameters.
+Network BuildMiniAlexNet(int in_channels, int image_size, int num_classes,
+                         uint64_t seed);
+
+// Residual network: stem conv + `num_blocks` residual blocks (conv-BN-ReLU
+// -conv-BN) + global average pooling + dense classifier. All-convolutional
+// like the paper's ResNets.
+Network BuildMiniResNet(int in_channels, int image_size, int num_blocks,
+                        int width, int num_classes, uint64_t seed);
+
+// Two-stage residual network with a stride-2 downsampling transition and
+// a 1x1-convolution projection shortcut at the stage boundary — the
+// structural element (tiny 1x1 kernels) behind stock 1bitSGD's
+// pathological behaviour on real ResNets.
+Network BuildMiniResNetTwoStage(int in_channels, int image_size, int width,
+                                int num_classes, uint64_t seed);
+
+// LSTM over {time, frame_dim} sequences + dense classifier.
+Network BuildLstmClassifier(int frame_dim, int hidden_dim, int num_classes,
+                            uint64_t seed);
+
+// Stacked LSTM classifier with `num_lstm_layers` recurrent layers (the
+// paper's AN4 network stacks three LSTM components) + dense classifier.
+Network BuildDeepLstmClassifier(int frame_dim, int hidden_dim,
+                                int num_lstm_layers, int num_classes,
+                                uint64_t seed);
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_NN_MODEL_ZOO_H_

@@ -1,0 +1,216 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "nn/network.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace lpsgd {
+
+Network& Network::Add(std::unique_ptr<Layer> layer) {
+  CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Network::Forward(const Tensor& input, bool training) {
+  Tensor activation = input;
+  for (auto& layer : layers_) {
+    activation = layer->Forward(activation, training);
+  }
+  return activation;
+}
+
+void Network::Backward(const Tensor& logits_grad) {
+  Tensor grad = logits_grad;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->Backward(grad);
+  }
+}
+
+std::vector<ParamRef> Network::Params() {
+  std::vector<ParamRef> params;
+  for (auto& layer : layers_) {
+    layer->CollectParams(&params);
+  }
+  return params;
+}
+
+void Network::ZeroGrads() {
+  for (ParamRef& param : Params()) {
+    param.grad->SetZero();
+  }
+}
+
+int64_t Network::ParameterCount() {
+  int64_t count = 0;
+  for (const ParamRef& param : Params()) {
+    count += param.value->size();
+  }
+  return count;
+}
+
+void Network::CopyParamsFrom(Network& other) {
+  std::vector<ParamRef> mine = Params();
+  std::vector<ParamRef> theirs = other.Params();
+  CHECK_EQ(mine.size(), theirs.size());
+  for (size_t i = 0; i < mine.size(); ++i) {
+    CHECK(mine[i].value->shape() == theirs[i].value->shape())
+        << mine[i].name;
+    *mine[i].value = *theirs[i].value;
+  }
+}
+
+namespace {
+
+// Checkpoint format: magic, version, parameter count, then per parameter:
+// name (u32 length + bytes), rank (u32) + dims (i64 each), fp32 data.
+constexpr uint32_t kCheckpointMagic = 0x4c505347;  // "LPSG"
+constexpr uint32_t kCheckpointVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* value) {
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+Status Network::SaveParams(std::ostream& os) {
+  const std::vector<ParamRef> params = Params();
+  WritePod(os, kCheckpointMagic);
+  WritePod(os, kCheckpointVersion);
+  WritePod(os, static_cast<uint32_t>(params.size()));
+  for (const ParamRef& param : params) {
+    WritePod(os, static_cast<uint32_t>(param.name.size()));
+    os.write(param.name.data(),
+             static_cast<std::streamsize>(param.name.size()));
+    const Shape& shape = param.value->shape();
+    WritePod(os, static_cast<uint32_t>(shape.ndim()));
+    for (int64_t d : shape.dims()) WritePod(os, d);
+    os.write(reinterpret_cast<const char*>(param.value->data()),
+             static_cast<std::streamsize>(param.value->size() *
+                                          sizeof(float)));
+  }
+  if (!os) return InternalError("checkpoint write failed");
+  return OkStatus();
+}
+
+Status Network::LoadParams(std::istream& is) {
+  uint32_t magic = 0, version = 0, count = 0;
+  if (!ReadPod(is, &magic) || magic != kCheckpointMagic) {
+    return InvalidArgumentError("not an LPSGD checkpoint");
+  }
+  if (!ReadPod(is, &version) || version != kCheckpointVersion) {
+    return InvalidArgumentError(StrCat("unsupported checkpoint version"));
+  }
+  const std::vector<ParamRef> params = Params();
+  if (!ReadPod(is, &count) || count != params.size()) {
+    return InvalidArgumentError(
+        StrCat("checkpoint has ", count, " parameters, network has ",
+               params.size()));
+  }
+
+  // Parse everything into staging buffers first so a mismatch midway
+  // leaves the network untouched.
+  std::vector<std::vector<float>> staged(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(is, &name_len) || name_len > 4096) {
+      return InvalidArgumentError("corrupt checkpoint (name length)");
+    }
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    if (!is || name != params[i].name) {
+      return InvalidArgumentError(
+          StrCat("checkpoint parameter '", name, "' does not match '",
+                 params[i].name, "'"));
+    }
+    uint32_t rank = 0;
+    if (!ReadPod(is, &rank) || rank > 16) {
+      return InvalidArgumentError("corrupt checkpoint (rank)");
+    }
+    std::vector<int64_t> dims(rank);
+    for (auto& d : dims) {
+      if (!ReadPod(is, &d)) {
+        return InvalidArgumentError("corrupt checkpoint (dims)");
+      }
+    }
+    if (Shape(dims) != params[i].value->shape()) {
+      return InvalidArgumentError(
+          StrCat("shape mismatch for '", name, "'"));
+    }
+    staged[i].resize(static_cast<size_t>(params[i].value->size()));
+    is.read(reinterpret_cast<char*>(staged[i].data()),
+            static_cast<std::streamsize>(staged[i].size() * sizeof(float)));
+    if (!is) return InvalidArgumentError("corrupt checkpoint (data)");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    std::copy(staged[i].begin(), staged[i].end(), params[i].value->data());
+  }
+  return OkStatus();
+}
+
+ResidualBlock::ResidualBlock(std::string name,
+                             std::vector<std::unique_ptr<Layer>> inner,
+                             std::vector<std::unique_ptr<Layer>> projection)
+    : name_(std::move(name)),
+      inner_(std::move(inner)),
+      projection_(std::move(projection)) {
+  CHECK(!inner_.empty()) << name_;
+}
+
+Tensor ResidualBlock::Forward(const Tensor& input, bool training) {
+  Tensor main_path = input;
+  for (auto& layer : inner_) {
+    main_path = layer->Forward(main_path, training);
+  }
+  Tensor shortcut = input;
+  for (auto& layer : projection_) {
+    shortcut = layer->Forward(shortcut, training);
+  }
+  CHECK(main_path.shape() == shortcut.shape())
+      << name_ << ": inner " << main_path.shape().ToString()
+      << " vs shortcut " << shortcut.shape().ToString();
+  float* out = main_path.data();
+  const float* sc = shortcut.data();
+  for (int64_t i = 0; i < main_path.size(); ++i) out[i] += sc[i];
+  return main_path;
+}
+
+Tensor ResidualBlock::Backward(const Tensor& output_grad) {
+  Tensor main_grad = output_grad;
+  for (auto it = inner_.rbegin(); it != inner_.rend(); ++it) {
+    main_grad = (*it)->Backward(main_grad);
+  }
+  Tensor shortcut_grad = output_grad;
+  for (auto it = projection_.rbegin(); it != projection_.rend(); ++it) {
+    shortcut_grad = (*it)->Backward(shortcut_grad);
+  }
+  CHECK(main_grad.shape() == shortcut_grad.shape()) << name_;
+  float* out = main_grad.data();
+  const float* sc = shortcut_grad.data();
+  for (int64_t i = 0; i < main_grad.size(); ++i) out[i] += sc[i];
+  return main_grad;
+}
+
+void ResidualBlock::CollectParams(std::vector<ParamRef>* params) {
+  for (auto& layer : inner_) layer->CollectParams(params);
+  for (auto& layer : projection_) layer->CollectParams(params);
+}
+
+Shape ResidualBlock::OutputShape(const Shape& input_shape) const {
+  Shape shape = input_shape;
+  for (const auto& layer : inner_) shape = layer->OutputShape(shape);
+  return shape;
+}
+
+}  // namespace lpsgd

@@ -1,0 +1,38 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "nn/optimizer.h"
+
+#include "base/logging.h"
+
+namespace lpsgd {
+
+SgdMomentumOptimizer::SgdMomentumOptimizer(float learning_rate,
+                                           float momentum)
+    : learning_rate_(learning_rate), momentum_(momentum) {
+  CHECK_GT(learning_rate, 0.0f);
+  CHECK_GE(momentum, 0.0f);
+  CHECK_LT(momentum, 1.0f);
+}
+
+void SgdMomentumOptimizer::Step(const std::vector<ParamRef>& params) {
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (const ParamRef& param : params) {
+      velocity_.emplace_back(param.value->shape());
+    }
+  }
+  CHECK_EQ(velocity_.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const ParamRef& param = params[i];
+    Tensor& velocity = velocity_[i];
+    CHECK_EQ(velocity.size(), param.value->size()) << param.name;
+    float* v = velocity.data();
+    float* x = param.value->data();
+    const float* g = param.grad->data();
+    for (int64_t j = 0; j < velocity.size(); ++j) {
+      v[j] = momentum_ * v[j] + g[j];
+      x[j] -= learning_rate_ * v[j];
+    }
+  }
+}
+
+}  // namespace lpsgd

@@ -1,0 +1,131 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_QUANT_CODEC_H_
+#define LPSGD_QUANT_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+#include "tensor/shape.h"
+
+namespace lpsgd {
+
+// A gradient compression codec: the Encode/Decode pair of Algorithm 1.
+//
+// Encode consumes one gradient matrix (flat fp32 buffer interpreted through
+// its CNTK quantization shape, Section 3.2.1) and produces a wire blob;
+// Decode reconstructs an approximate gradient. Codecs are stateless —
+// error-feedback residuals (1bitSGD) are owned by the caller, one per
+// (rank, matrix), and passed in; stochastic codecs (QSGD) derive their
+// randomness from the caller-provided `stochastic_tag` so runs are exactly
+// reproducible.
+class GradientCodec {
+ public:
+  virtual ~GradientCodec() = default;
+
+  // Short display label, e.g. "QSGD 4bit" or "1bitSGD*".
+  virtual std::string Name() const = 0;
+
+  // Exact wire size in bytes of an encoded gradient with shape `shape`.
+  virtual int64_t EncodedSizeBytes(const Shape& shape) const = 0;
+
+  // Number of independently-scaled chunks (columns or buckets) the codec
+  // produces for `shape`; drives the GPU kernel-launch cost model. Zero for
+  // the identity codec.
+  virtual int64_t NumChunks(const Shape& shape) const = 0;
+
+  // True when the codec maintains an error-feedback residual; the caller
+  // must then pass a persistent, zero-initialized `error` buffer of
+  // shape.element_count() floats to every Encode call.
+  virtual bool UsesErrorFeedback() const { return false; }
+
+  // Encodes `grad` (shape.element_count() floats). `error` may be null for
+  // codecs without error feedback. `out` is overwritten.
+  virtual void Encode(const float* grad, const Shape& shape,
+                      uint64_t stochastic_tag, std::vector<float>* error,
+                      std::vector<uint8_t>* out) const = 0;
+
+  // Decodes `bytes` into `out` (shape.element_count() floats, overwritten).
+  virtual void Decode(const uint8_t* bytes, int64_t num_bytes,
+                      const Shape& shape, float* out) const = 0;
+};
+
+enum class CodecKind {
+  kFullPrecision,
+  kOneBitSgd,          // CNTK stock per-column variant
+  kOneBitSgdReshaped,  // 1bitSGD* (bucketed)
+  kQsgd,
+  kQsgdAdaptive,       // ZipML-style data-adaptive levels (Section 2.3)
+  kTopK,               // sparsification (Aji & Heafield; Section 7)
+};
+
+// QSGD scaling-factor choice (Section 3.2.2): 2-norm yields sparser
+// quantized vectors; the max (infinity) norm introduces less variance and
+// gave the paper better accuracy.
+enum class QsgdNorm { kL2, kMax };
+
+// QSGD level placement (Section 3.2.2): sign-magnitude keeps one sign bit
+// plus magnitude levels in [0, 1]; symmetric spreads 2^bits - 1 levels over
+// [-scale, +scale].
+enum class QsgdLevelScheme { kSignMagnitude, kSymmetric };
+
+// Full description of a communication precision configuration.
+struct CodecSpec {
+  CodecKind kind = CodecKind::kFullPrecision;
+  int bits = 32;                // QSGD only (2, 4, 8, 16)
+  int64_t bucket_size = 512;    // QSGD and 1bitSGD*
+  QsgdNorm norm = QsgdNorm::kMax;
+  QsgdLevelScheme levels = QsgdLevelScheme::kSignMagnitude;
+  double density = 0.01;        // TopK only: fraction of components sent
+  // Ablation switch: disable 1bitSGD's error-feedback accumulator.
+  bool error_feedback = true;
+  uint64_t seed = 0x95bd0b1f2c3d4e5fULL;
+
+  // "32bit", "QSGD 4bit (b=512)", "1bitSGD", "1bitSGD* (b=64)", ...
+  std::string Label() const;
+  // Compact label used in the paper's tables: "32bit", "Q4", "1b", "1b*".
+  std::string ShortLabel() const;
+};
+
+// The precision configurations of the paper's performance figures, with
+// the accuracy-preserving bucket sizes from Section 4.4: QSGD 2bit/128,
+// 4bit/512, 8bit/512, 16bit/8192, 1bitSGD* /64.
+CodecSpec FullPrecisionSpec();
+CodecSpec QsgdSpec(int bits);             // paper bucket size for `bits`
+CodecSpec OneBitSgdSpec();                // stock CNTK variant
+CodecSpec OneBitSgdReshapedSpec(int64_t bucket_size = 64);
+CodecSpec TopKSpec(double density);       // sparse communication
+CodecSpec AdaptiveQsgdSpec(int bits);     // quantile-placed levels
+
+// Instantiates the codec for `spec`.
+StatusOr<std::unique_ptr<GradientCodec>> CreateCodec(const CodecSpec& spec);
+
+// Parses a human-friendly codec description, as accepted by the CLI
+// tools. Grammar (case-insensitive):
+//   "32bit" | "fp32"                      full precision
+//   "1bit"  | "1bitsgd"                   stock per-column 1bitSGD
+//   "1bit*" | "1bitsgd*"                  reshaped, default bucket 64
+//   "1bit*:<bucket>"                      reshaped with explicit bucket
+//   "q<bits>"                             QSGD with the paper bucket size
+//   "q<bits>:<bucket>"                    QSGD with explicit bucket
+//   "topk:<density>"                      TopK, density in (0, 1]
+//   "aq<bits>[:<bucket>]"                 adaptive-levels QSGD
+StatusOr<CodecSpec> ParseCodecSpec(const std::string& text);
+
+namespace codec_internal {
+
+// Wire-format helpers shared by codec implementations.
+void AppendFloats(const float* values, int64_t count,
+                  std::vector<uint8_t>* out);
+void AppendWords(const uint32_t* words, int64_t count,
+                 std::vector<uint8_t>* out);
+const float* FloatsAt(const uint8_t* bytes, int64_t offset_bytes);
+const uint32_t* WordsAt(const uint8_t* bytes, int64_t offset_bytes);
+
+}  // namespace codec_internal
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_QUANT_CODEC_H_

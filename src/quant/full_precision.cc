@@ -1,0 +1,33 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "quant/full_precision.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace lpsgd {
+
+int64_t FullPrecisionCodec::EncodedSizeBytes(const Shape& shape) const {
+  return shape.element_count() * static_cast<int64_t>(sizeof(float));
+}
+
+int64_t FullPrecisionCodec::NumChunks(const Shape& /*shape*/) const {
+  return 0;
+}
+
+void FullPrecisionCodec::Encode(const float* grad, const Shape& shape,
+                                uint64_t /*stochastic_tag*/,
+                                std::vector<float>* /*error*/,
+                                std::vector<uint8_t>* out) const {
+  out->clear();
+  codec_internal::AppendFloats(grad, shape.element_count(), out);
+}
+
+void FullPrecisionCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                                const Shape& shape, float* out) const {
+  const int64_t n = shape.element_count();
+  CHECK_EQ(num_bytes, n * static_cast<int64_t>(sizeof(float)));
+  std::memcpy(out, bytes, static_cast<size_t>(num_bytes));
+}
+
+}  // namespace lpsgd

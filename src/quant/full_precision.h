@@ -1,0 +1,28 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_QUANT_FULL_PRECISION_H_
+#define LPSGD_QUANT_FULL_PRECISION_H_
+
+#include <string>
+#include <vector>
+
+#include "quant/codec.h"
+
+namespace lpsgd {
+
+// Identity codec: 32-bit floats on the wire. The full-precision baseline
+// of every experiment.
+class FullPrecisionCodec : public GradientCodec {
+ public:
+  std::string Name() const override { return "32bit"; }
+  int64_t EncodedSizeBytes(const Shape& shape) const override;
+  int64_t NumChunks(const Shape& shape) const override;
+  void Encode(const float* grad, const Shape& shape, uint64_t stochastic_tag,
+              std::vector<float>* error,
+              std::vector<uint8_t>* out) const override;
+  void Decode(const uint8_t* bytes, int64_t num_bytes, const Shape& shape,
+              float* out) const override;
+};
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_QUANT_FULL_PRECISION_H_

@@ -1,0 +1,215 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "quant/one_bit_sgd.h"
+
+#include <cstring>
+
+#include "base/bit_packing.h"
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace lpsgd {
+namespace {
+
+using codec_internal::AppendFloats;
+using codec_internal::AppendWords;
+using codec_internal::FloatsAt;
+using codec_internal::WordsAt;
+
+// Computes avg+ / avg- over `count` values read through `get(i)`, then
+// writes the quantized value and error through `set_q(i, q)`.
+//
+// Shared by both 1bitSGD variants; only the chunking (columns vs buckets)
+// differs.
+template <typename GetFn>
+void ChunkAverages(int64_t count, const GetFn& get, float* avg_pos,
+                   float* avg_neg) {
+  double sum_pos = 0.0, sum_neg = 0.0;
+  int64_t n_pos = 0, n_neg = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    const float v = get(i);
+    if (v >= 0.0f) {
+      sum_pos += v;
+      ++n_pos;
+    } else {
+      sum_neg += v;
+      ++n_neg;
+    }
+  }
+  *avg_pos = n_pos > 0 ? static_cast<float>(sum_pos / n_pos) : 0.0f;
+  *avg_neg = n_neg > 0 ? static_cast<float>(sum_neg / n_neg) : 0.0f;
+}
+
+}  // namespace
+
+int64_t OneBitSgdCodec::EncodedSizeBytes(const Shape& shape) const {
+  const int64_t rows = shape.rows();
+  const int64_t cols = shape.cols();
+  const int64_t words_per_col = (rows + 31) / 32;
+  return cols * (2 * static_cast<int64_t>(sizeof(float)) +
+                 words_per_col * static_cast<int64_t>(sizeof(uint32_t)));
+}
+
+int64_t OneBitSgdCodec::NumChunks(const Shape& shape) const {
+  return shape.cols();
+}
+
+void OneBitSgdCodec::Encode(const float* grad, const Shape& shape,
+                            uint64_t /*stochastic_tag*/,
+                            std::vector<float>* error,
+                            std::vector<uint8_t>* out) const {
+  const int64_t rows = shape.rows();
+  const int64_t cols = shape.cols();
+  const int64_t n = rows * cols;
+  CHECK(!error_feedback_ || error != nullptr);
+  if (error_feedback_) {
+    CHECK_EQ(static_cast<int64_t>(error->size()), n);
+  }
+
+  // v = grad + carried error (Algorithm 2, line 1).
+  std::vector<float> corrected(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    corrected[static_cast<size_t>(i)] =
+        grad[i] + (error_feedback_ ? (*error)[static_cast<size_t>(i)] : 0.0f);
+  }
+
+  std::vector<float> scales(static_cast<size_t>(2 * cols));
+  const int64_t words_per_col = (rows + 31) / 32;
+  std::vector<uint32_t> bits(static_cast<size_t>(cols * words_per_col), 0u);
+
+  for (int64_t c = 0; c < cols; ++c) {
+    // Column c: elements at flat index r * cols + c.
+    float avg_pos = 0.0f, avg_neg = 0.0f;
+    ChunkAverages(
+        rows,
+        [&](int64_t r) { return corrected[static_cast<size_t>(r * cols + c)]; },
+        &avg_pos, &avg_neg);
+    scales[static_cast<size_t>(2 * c)] = avg_pos;
+    scales[static_cast<size_t>(2 * c + 1)] = avg_neg;
+    for (int64_t r = 0; r < rows; ++r) {
+      const int64_t flat = r * cols + c;
+      const float v = corrected[static_cast<size_t>(flat)];
+      const bool positive = v >= 0.0f;
+      const float q = positive ? avg_pos : avg_neg;
+      if (positive) {
+        bits[static_cast<size_t>(c * words_per_col + r / 32)] |=
+            1u << (r & 31);
+      }
+      if (error_feedback_) {
+        (*error)[static_cast<size_t>(flat)] = v - q;  // Algorithm 2, line 4
+      }
+    }
+  }
+
+  out->clear();
+  out->reserve(static_cast<size_t>(EncodedSizeBytes(shape)));
+  AppendFloats(scales.data(), static_cast<int64_t>(scales.size()), out);
+  AppendWords(bits.data(), static_cast<int64_t>(bits.size()), out);
+  CHECK_EQ(static_cast<int64_t>(out->size()), EncodedSizeBytes(shape));
+}
+
+void OneBitSgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                            const Shape& shape, float* out) const {
+  const int64_t rows = shape.rows();
+  const int64_t cols = shape.cols();
+  CHECK_EQ(num_bytes, EncodedSizeBytes(shape));
+  const float* scales = FloatsAt(bytes, 0);
+  const int64_t words_per_col = (rows + 31) / 32;
+  const uint32_t* bits =
+      WordsAt(bytes, 2 * cols * static_cast<int64_t>(sizeof(float)));
+
+  for (int64_t c = 0; c < cols; ++c) {
+    const float avg_pos = scales[2 * c];
+    const float avg_neg = scales[2 * c + 1];
+    const uint32_t* col_bits = bits + c * words_per_col;
+    for (int64_t r = 0; r < rows; ++r) {
+      const bool positive = (col_bits[r / 32] >> (r & 31)) & 1u;
+      out[r * cols + c] = positive ? avg_pos : avg_neg;
+    }
+  }
+}
+
+OneBitSgdReshapedCodec::OneBitSgdReshapedCodec(int64_t bucket_size,
+                                               bool error_feedback)
+    : bucket_size_(bucket_size), error_feedback_(error_feedback) {
+  CHECK_GT(bucket_size, 0);
+}
+
+std::string OneBitSgdReshapedCodec::Name() const {
+  return StrCat("1bitSGD* (b=", bucket_size_, ")");
+}
+
+int64_t OneBitSgdReshapedCodec::EncodedSizeBytes(const Shape& shape) const {
+  const int64_t n = shape.element_count();
+  const int64_t buckets = (n + bucket_size_ - 1) / bucket_size_;
+  return buckets * 2 * static_cast<int64_t>(sizeof(float)) +
+         ((n + 31) / 32) * static_cast<int64_t>(sizeof(uint32_t));
+}
+
+int64_t OneBitSgdReshapedCodec::NumChunks(const Shape& shape) const {
+  const int64_t n = shape.element_count();
+  return (n + bucket_size_ - 1) / bucket_size_;
+}
+
+void OneBitSgdReshapedCodec::Encode(const float* grad, const Shape& shape,
+                                    uint64_t /*stochastic_tag*/,
+                                    std::vector<float>* error,
+                                    std::vector<uint8_t>* out) const {
+  const int64_t n = shape.element_count();
+  CHECK(!error_feedback_ || error != nullptr);
+  if (error_feedback_) {
+    CHECK_EQ(static_cast<int64_t>(error->size()), n);
+  }
+
+  std::vector<float> corrected(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    corrected[static_cast<size_t>(i)] =
+        grad[i] + (error_feedback_ ? (*error)[static_cast<size_t>(i)] : 0.0f);
+  }
+
+  const int64_t buckets = NumChunks(shape);
+  std::vector<float> scales(static_cast<size_t>(2 * buckets));
+  std::vector<uint32_t> bits;
+  PackSignBits(corrected.data(), n, &bits);
+
+  for (int64_t b = 0; b < buckets; ++b) {
+    const int64_t begin = b * bucket_size_;
+    const int64_t end = std::min(begin + bucket_size_, n);
+    float avg_pos = 0.0f, avg_neg = 0.0f;
+    ChunkAverages(
+        end - begin,
+        [&](int64_t i) { return corrected[static_cast<size_t>(begin + i)]; },
+        &avg_pos, &avg_neg);
+    scales[static_cast<size_t>(2 * b)] = avg_pos;
+    scales[static_cast<size_t>(2 * b + 1)] = avg_neg;
+    if (error_feedback_) {
+      for (int64_t i = begin; i < end; ++i) {
+        const float v = corrected[static_cast<size_t>(i)];
+        (*error)[static_cast<size_t>(i)] =
+            v - (v >= 0.0f ? avg_pos : avg_neg);
+      }
+    }
+  }
+
+  out->clear();
+  out->reserve(static_cast<size_t>(EncodedSizeBytes(shape)));
+  AppendFloats(scales.data(), static_cast<int64_t>(scales.size()), out);
+  AppendWords(bits.data(), static_cast<int64_t>(bits.size()), out);
+  CHECK_EQ(static_cast<int64_t>(out->size()), EncodedSizeBytes(shape));
+}
+
+void OneBitSgdReshapedCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                                    const Shape& shape, float* out) const {
+  const int64_t n = shape.element_count();
+  CHECK_EQ(num_bytes, EncodedSizeBytes(shape));
+  const int64_t buckets = NumChunks(shape);
+  const float* scales = FloatsAt(bytes, 0);
+  const uint32_t* bits =
+      WordsAt(bytes, 2 * buckets * static_cast<int64_t>(sizeof(float)));
+
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t b = i / bucket_size_;
+    out[i] = SignBitAt(bits, i) ? scales[2 * b] : scales[2 * b + 1];
+  }
+}
+
+}  // namespace lpsgd

@@ -1,0 +1,79 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "quant/policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/logging.h"
+
+namespace lpsgd {
+
+std::vector<bool> ChooseQuantizedMatrices(
+    const std::vector<Shape>& shapes, const std::vector<ParamKind>& kinds,
+    const QuantizationPolicyOptions& options) {
+  CHECK_EQ(shapes.size(), kinds.size());
+  const size_t count = shapes.size();
+  std::vector<bool> quantize(count, false);
+
+  // Eligibility by kind first.
+  std::vector<bool> eligible(count, true);
+  int64_t total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    total += shapes[i].element_count();
+    if (options.always_bypass_biases && kinds[i] == ParamKind::kBias) {
+      eligible[i] = false;
+    }
+    if (!options.quantize_convolutional &&
+        kinds[i] == ParamKind::kConvolutional) {
+      eligible[i] = false;
+    }
+    if (!options.quantize_fully_connected &&
+        kinds[i] == ParamKind::kFullyConnected) {
+      eligible[i] = false;
+    }
+  }
+  if (total == 0) return quantize;
+
+  // Among eligible matrices, quantize the largest first until the covered
+  // fraction reaches the target; every matrix at least as large as the last
+  // one admitted is also quantized (a pure size threshold).
+  std::vector<size_t> order;
+  for (size_t i = 0; i < count; ++i) {
+    if (eligible[i]) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return shapes[a].element_count() > shapes[b].element_count();
+  });
+
+  int64_t covered = 0;
+  int64_t threshold = -1;
+  for (size_t idx : order) {
+    if (threshold >= 0 && shapes[idx].element_count() < threshold) break;
+    quantize[idx] = true;
+    covered += shapes[idx].element_count();
+    if (threshold < 0 &&
+        static_cast<double>(covered) >=
+            options.min_quantized_fraction * static_cast<double>(total)) {
+      // Size of the last matrix needed to hit the target becomes the
+      // threshold; equal-sized matrices still quantize.
+      threshold = shapes[idx].element_count();
+    }
+  }
+  return quantize;
+}
+
+std::vector<bool> ChooseQuantizedMatrices(
+    const std::vector<ParamRef>& params,
+    const QuantizationPolicyOptions& options) {
+  std::vector<Shape> shapes;
+  std::vector<ParamKind> kinds;
+  shapes.reserve(params.size());
+  kinds.reserve(params.size());
+  for (const ParamRef& param : params) {
+    shapes.push_back(param.quant_shape);
+    kinds.push_back(param.kind);
+  }
+  return ChooseQuantizedMatrices(shapes, kinds, options);
+}
+
+}  // namespace lpsgd

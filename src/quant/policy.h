@@ -1,0 +1,43 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_QUANT_POLICY_H_
+#define LPSGD_QUANT_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/shape.h"
+
+namespace lpsgd {
+
+// Per-matrix quantization decisions (Section 3.2.2): matrices holding a
+// tiny share of the model's parameters are sent at full precision, because
+// quantizing them costs kernel-launch time while saving almost no
+// communication. The threshold is chosen so that at least
+// `min_quantized_fraction` of all parameters remain quantized.
+struct QuantizationPolicyOptions {
+  double min_quantized_fraction = 0.99;
+  // When true, parameters flagged ParamKind::kBias are always bypassed
+  // (they are vectors, negligible traffic).
+  bool always_bypass_biases = true;
+  // Ablation switches (Section 5.1, "Impact of Layer Types"): restrict
+  // quantization to one layer family, sending the other at full precision.
+  bool quantize_convolutional = true;
+  bool quantize_fully_connected = true;
+};
+
+// Returns, for each matrix i described by (shapes[i], kinds[i]), whether it
+// should be quantized (true) or bypassed to the full-precision pipeline
+// (false).
+std::vector<bool> ChooseQuantizedMatrices(
+    const std::vector<Shape>& shapes, const std::vector<ParamKind>& kinds,
+    const QuantizationPolicyOptions& options);
+
+// Convenience overload for a network's parameter list.
+std::vector<bool> ChooseQuantizedMatrices(
+    const std::vector<ParamRef>& params,
+    const QuantizationPolicyOptions& options);
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_QUANT_POLICY_H_

@@ -1,0 +1,147 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "quant/qsgd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/bit_packing.h"
+#include "base/logging.h"
+#include "base/rng.h"
+#include "base/strings.h"
+
+namespace lpsgd {
+namespace {
+
+using codec_internal::AppendFloats;
+using codec_internal::AppendWords;
+using codec_internal::FloatsAt;
+using codec_internal::WordsAt;
+
+}  // namespace
+
+QsgdCodec::QsgdCodec(int bits, int64_t bucket_size, QsgdNorm norm,
+                     QsgdLevelScheme levels, uint64_t seed)
+    : bits_(bits),
+      bucket_size_(bucket_size),
+      norm_(norm),
+      levels_(levels),
+      seed_(seed) {
+  CHECK_GE(bits, 2);
+  CHECK_LE(bits, 16);
+  CHECK_GT(bucket_size, 0);
+  level_count_ = levels_ == QsgdLevelScheme::kSignMagnitude
+                     ? (1u << (bits_ - 1)) - 1u  // s magnitude levels
+                     : (1u << bits_) - 2u;       // 2^bits - 1 endpoints
+  CHECK_GE(level_count_, 1u);
+}
+
+std::string QsgdCodec::Name() const {
+  return StrCat("QSGD ", bits_, "bit (b=", bucket_size_, ")");
+}
+
+int64_t QsgdCodec::EncodedSizeBytes(const Shape& shape) const {
+  const int64_t n = shape.element_count();
+  const int64_t buckets = NumChunks(shape);
+  const BitPacker packer(bits_);
+  return buckets * static_cast<int64_t>(sizeof(float)) +
+         packer.WordCount(n) * static_cast<int64_t>(sizeof(uint32_t));
+}
+
+int64_t QsgdCodec::NumChunks(const Shape& shape) const {
+  const int64_t n = shape.element_count();
+  return (n + bucket_size_ - 1) / bucket_size_;
+}
+
+void QsgdCodec::Encode(const float* grad, const Shape& shape,
+                       uint64_t stochastic_tag, std::vector<float>* /*error*/,
+                       std::vector<uint8_t>* out) const {
+  const int64_t n = shape.element_count();
+  const int64_t buckets = NumChunks(shape);
+  const CounterRng stream(seed_, stochastic_tag);
+
+  std::vector<float> scales(static_cast<size_t>(buckets));
+  std::vector<uint32_t> fields(static_cast<size_t>(n), 0u);
+
+  const double s = static_cast<double>(level_count_);
+  for (int64_t b = 0; b < buckets; ++b) {
+    const int64_t begin = b * bucket_size_;
+    const int64_t end = std::min(begin + bucket_size_, n);
+
+    double scale = 0.0;
+    if (norm_ == QsgdNorm::kL2) {
+      for (int64_t i = begin; i < end; ++i) {
+        scale += static_cast<double>(grad[i]) * grad[i];
+      }
+      scale = std::sqrt(scale);
+    } else {
+      for (int64_t i = begin; i < end; ++i) {
+        scale = std::max(scale, std::abs(static_cast<double>(grad[i])));
+      }
+    }
+    scales[static_cast<size_t>(b)] = static_cast<float>(scale);
+    if (scale == 0.0) continue;  // fields stay 0, decode to exact zeros
+
+    for (int64_t i = begin; i < end; ++i) {
+      const double u = stream.UniformAt(static_cast<uint64_t>(i));
+      if (levels_ == QsgdLevelScheme::kSignMagnitude) {
+        const double a =
+            std::min(1.0, std::abs(static_cast<double>(grad[i])) / scale);
+        // Stochastic rounding of a*s between floor and ceil keeps the
+        // estimator unbiased (Equation 1).
+        uint32_t level = static_cast<uint32_t>(a * s);
+        const double frac = a * s - level;
+        if (u < frac && level < level_count_) ++level;
+        if (level > level_count_) level = level_count_;
+        const uint32_t sign = grad[i] < 0.0f ? 1u : 0u;
+        fields[static_cast<size_t>(i)] =
+            (sign << (bits_ - 1)) | level;
+      } else {
+        // Symmetric endpoints over [-scale, +scale].
+        const double a = std::clamp(
+            (static_cast<double>(grad[i]) + scale) / (2.0 * scale), 0.0, 1.0);
+        uint32_t level = static_cast<uint32_t>(a * s);
+        const double frac = a * s - level;
+        if (u < frac && level < level_count_) ++level;
+        if (level > level_count_) level = level_count_;
+        fields[static_cast<size_t>(i)] = level;
+      }
+    }
+  }
+
+  const BitPacker packer(bits_);
+  std::vector<uint32_t> words(static_cast<size_t>(packer.WordCount(n)));
+  packer.Pack(fields.data(), n, words.data());
+
+  out->clear();
+  out->reserve(static_cast<size_t>(EncodedSizeBytes(shape)));
+  AppendFloats(scales.data(), buckets, out);
+  AppendWords(words.data(), static_cast<int64_t>(words.size()), out);
+  CHECK_EQ(static_cast<int64_t>(out->size()), EncodedSizeBytes(shape));
+}
+
+void QsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                       const Shape& shape, float* out) const {
+  const int64_t n = shape.element_count();
+  CHECK_EQ(num_bytes, EncodedSizeBytes(shape));
+  const int64_t buckets = NumChunks(shape);
+  const float* scales = FloatsAt(bytes, 0);
+  const uint32_t* words =
+      WordsAt(bytes, buckets * static_cast<int64_t>(sizeof(float)));
+
+  const BitPacker packer(bits_);
+  const double s = static_cast<double>(level_count_);
+  const uint32_t magnitude_mask = (1u << (bits_ - 1)) - 1u;
+  for (int64_t i = 0; i < n; ++i) {
+    const double scale = scales[i / bucket_size_];
+    const uint32_t field = packer.Get(words, i);
+    if (levels_ == QsgdLevelScheme::kSignMagnitude) {
+      const bool negative = (field >> (bits_ - 1)) & 1u;
+      const double magnitude = (field & magnitude_mask) / s * scale;
+      out[i] = static_cast<float>(negative ? -magnitude : magnitude);
+    } else {
+      out[i] = static_cast<float>(-scale + 2.0 * scale * field / s);
+    }
+  }
+}
+
+}  // namespace lpsgd

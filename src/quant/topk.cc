@@ -1,0 +1,117 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "quant/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "base/logging.h"
+#include "base/strings.h"
+
+namespace lpsgd {
+
+using codec_internal::FloatsAt;
+using codec_internal::WordsAt;
+
+TopKCodec::TopKCodec(double density, bool error_feedback)
+    : density_(density), error_feedback_(error_feedback) {
+  CHECK_GT(density, 0.0);
+  CHECK_LE(density, 1.0);
+}
+
+std::string TopKCodec::Name() const {
+  return StrCat("TopK (", FormatDouble(density_ * 100.0, 1), "%)");
+}
+
+int64_t TopKCodec::KeptCount(int64_t n) const {
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(density_ * static_cast<double>(n))));
+}
+
+int64_t TopKCodec::EncodedSizeBytes(const Shape& shape) const {
+  const int64_t k = KeptCount(shape.element_count());
+  return static_cast<int64_t>(sizeof(uint32_t)) +
+         k * static_cast<int64_t>(sizeof(uint32_t) + sizeof(float));
+}
+
+int64_t TopKCodec::NumChunks(const Shape& /*shape*/) const {
+  // One selection pass per matrix; the per-element cost dominates.
+  return 1;
+}
+
+void TopKCodec::Encode(const float* grad, const Shape& shape,
+                       uint64_t /*stochastic_tag*/,
+                       std::vector<float>* error,
+                       std::vector<uint8_t>* out) const {
+  const int64_t n = shape.element_count();
+  CHECK(!error_feedback_ || error != nullptr);
+  if (error_feedback_) {
+    CHECK_EQ(static_cast<int64_t>(error->size()), n);
+  }
+
+  std::vector<float> corrected(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    corrected[static_cast<size_t>(i)] =
+        grad[i] + (error_feedback_ ? (*error)[static_cast<size_t>(i)] : 0.0f);
+  }
+
+  const int64_t k = KeptCount(n);
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                   [&](int64_t a, int64_t b) {
+                     return std::abs(corrected[static_cast<size_t>(a)]) >
+                            std::abs(corrected[static_cast<size_t>(b)]);
+                   });
+  // Sort the kept indices so the wire format is deterministic.
+  std::sort(order.begin(), order.begin() + k);
+
+  out->clear();
+  out->reserve(static_cast<size_t>(EncodedSizeBytes(shape)));
+  const uint32_t count = static_cast<uint32_t>(k);
+  codec_internal::AppendWords(&count, 1, out);
+  std::vector<uint32_t> indices(static_cast<size_t>(k));
+  std::vector<float> values(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t idx = order[static_cast<size_t>(i)];
+    indices[static_cast<size_t>(i)] = static_cast<uint32_t>(idx);
+    values[static_cast<size_t>(i)] = corrected[static_cast<size_t>(idx)];
+  }
+  codec_internal::AppendWords(indices.data(), k, out);
+  codec_internal::AppendFloats(values.data(), k, out);
+  CHECK_EQ(static_cast<int64_t>(out->size()), EncodedSizeBytes(shape));
+
+  if (error_feedback_) {
+    // Unsent components accumulate; sent components reset.
+    for (int64_t i = 0; i < n; ++i) {
+      (*error)[static_cast<size_t>(i)] = corrected[static_cast<size_t>(i)];
+    }
+    for (int64_t i = 0; i < k; ++i) {
+      (*error)[order[static_cast<size_t>(i)]] = 0.0f;
+    }
+  }
+}
+
+void TopKCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                       const Shape& shape, float* out) const {
+  const int64_t n = shape.element_count();
+  CHECK_GE(num_bytes, static_cast<int64_t>(sizeof(uint32_t)));
+  const uint32_t count = *WordsAt(bytes, 0);
+  CHECK_EQ(num_bytes,
+           static_cast<int64_t>(sizeof(uint32_t)) +
+               static_cast<int64_t>(count) *
+                   static_cast<int64_t>(sizeof(uint32_t) + sizeof(float)));
+  const uint32_t* indices = WordsAt(bytes, sizeof(uint32_t));
+  const float* values =
+      FloatsAt(bytes, static_cast<int64_t>(sizeof(uint32_t)) +
+                          static_cast<int64_t>(count) * sizeof(uint32_t));
+
+  std::fill(out, out + n, 0.0f);
+  for (uint32_t i = 0; i < count; ++i) {
+    CHECK_LT(static_cast<int64_t>(indices[i]), n);
+    out[indices[i]] = values[i];
+  }
+}
+
+}  // namespace lpsgd

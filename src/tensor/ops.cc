@@ -1,0 +1,184 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace lpsgd {
+
+void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor* c) {
+  const int64_t m = transpose_a ? a.cols() : a.rows();
+  const int64_t k = transpose_a ? a.rows() : a.cols();
+  const int64_t k2 = transpose_b ? b.cols() : b.rows();
+  const int64_t n = transpose_b ? b.rows() : b.cols();
+  CHECK_EQ(k, k2) << "Gemm inner dimensions";
+  CHECK_EQ(c->rows(), m);
+  CHECK_EQ(c->cols(), n);
+
+  float* cd = c->data();
+  if (beta == 0.0f) {
+    std::fill(cd, cd + m * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < m * n; ++i) cd[i] *= beta;
+  }
+
+  const float* ad = a.data();
+  const float* bd = b.data();
+  const int64_t lda = a.cols();
+  const int64_t ldb = b.cols();
+
+  // i-k-j ordering keeps the inner loop streaming over contiguous rows of B
+  // (or C), the cache-friendly pattern for row-major storage.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik =
+          alpha * (transpose_a ? ad[kk * lda + i] : ad[i * lda + kk]);
+      if (aik == 0.0f) continue;
+      float* crow = cd + i * n;
+      if (!transpose_b) {
+        const float* brow = bd + kk * ldb;
+        for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      } else {
+        const float* bcol = bd + kk;  // stride ldb
+        for (int64_t j = 0; j < n; ++j) crow[j] += aik * bcol[j * ldb];
+      }
+    }
+  }
+}
+
+void Axpy(float alpha, const Tensor& x, Tensor* y) {
+  CHECK_EQ(x.size(), y->size());
+  const float* xd = x.data();
+  float* yd = y->data();
+  for (int64_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+}
+
+void Scale(float alpha, Tensor* x) {
+  float* xd = x->data();
+  for (int64_t i = 0; i < x->size(); ++i) xd[i] *= alpha;
+}
+
+void AddRowBroadcast(const Tensor& bias, Tensor* x) {
+  CHECK_EQ(bias.size(), x->cols());
+  const float* bd = bias.data();
+  float* xd = x->data();
+  const int64_t cols = x->cols();
+  for (int64_t r = 0; r < x->rows(); ++r) {
+    float* row = xd + r * cols;
+    for (int64_t c = 0; c < cols; ++c) row[c] += bd[c];
+  }
+}
+
+void SumRowsTo(const Tensor& grad, Tensor* bias_grad) {
+  CHECK_EQ(bias_grad->size(), grad.cols());
+  bias_grad->SetZero();
+  const float* gd = grad.data();
+  float* bd = bias_grad->data();
+  const int64_t cols = grad.cols();
+  for (int64_t r = 0; r < grad.rows(); ++r) {
+    const float* row = gd + r * cols;
+    for (int64_t c = 0; c < cols; ++c) bd[c] += row[c];
+  }
+}
+
+void SoftmaxRows(const Tensor& logits, Tensor* probs) {
+  CHECK_EQ(logits.rows(), probs->rows());
+  CHECK_EQ(logits.cols(), probs->cols());
+  const int64_t cols = logits.cols();
+  for (int64_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.data() + r * cols;
+    float* out = probs->data() + r * cols;
+    float max_logit = in[0];
+    for (int64_t c = 1; c < cols; ++c) max_logit = std::max(max_logit, in[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      out[c] = std::exp(in[c] - max_logit);
+      sum += out[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < cols; ++c) out[c] *= inv;
+  }
+}
+
+void Im2Col(const Tensor& image, int kernel_h, int kernel_w, int stride,
+            int padding, Tensor* patches) {
+  CHECK_EQ(image.shape().ndim(), 3);
+  const int channels = static_cast<int>(image.shape().dim(0));
+  const int height = static_cast<int>(image.shape().dim(1));
+  const int width = static_cast<int>(image.shape().dim(2));
+  const int out_h = ConvOutputSize(height, kernel_h, stride, padding);
+  const int out_w = ConvOutputSize(width, kernel_w, stride, padding);
+  CHECK_EQ(patches->rows(), int64_t{out_h} * out_w);
+  CHECK_EQ(patches->cols(), int64_t{channels} * kernel_h * kernel_w);
+
+  const float* img = image.data();
+  float* out = patches->data();
+  const int64_t patch_width = patches->cols();
+  for (int oy = 0; oy < out_h; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      float* row = out + (int64_t{oy} * out_w + ox) * patch_width;
+      int64_t idx = 0;
+      for (int ch = 0; ch < channels; ++ch) {
+        const float* plane = img + int64_t{ch} * height * width;
+        for (int ky = 0; ky < kernel_h; ++ky) {
+          const int iy = oy * stride + ky - padding;
+          for (int kx = 0; kx < kernel_w; ++kx, ++idx) {
+            const int ix = ox * stride + kx - padding;
+            row[idx] = (iy >= 0 && iy < height && ix >= 0 && ix < width)
+                           ? plane[int64_t{iy} * width + ix]
+                           : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const Tensor& patches, int kernel_h, int kernel_w, int stride,
+            int padding, Tensor* image_grad) {
+  CHECK_EQ(image_grad->shape().ndim(), 3);
+  const int channels = static_cast<int>(image_grad->shape().dim(0));
+  const int height = static_cast<int>(image_grad->shape().dim(1));
+  const int width = static_cast<int>(image_grad->shape().dim(2));
+  const int out_h = ConvOutputSize(height, kernel_h, stride, padding);
+  const int out_w = ConvOutputSize(width, kernel_w, stride, padding);
+  CHECK_EQ(patches.rows(), int64_t{out_h} * out_w);
+  CHECK_EQ(patches.cols(), int64_t{channels} * kernel_h * kernel_w);
+
+  const float* in = patches.data();
+  float* img = image_grad->data();
+  const int64_t patch_width = patches.cols();
+  for (int oy = 0; oy < out_h; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      const float* row = in + (int64_t{oy} * out_w + ox) * patch_width;
+      int64_t idx = 0;
+      for (int ch = 0; ch < channels; ++ch) {
+        float* plane = img + int64_t{ch} * height * width;
+        for (int ky = 0; ky < kernel_h; ++ky) {
+          const int iy = oy * stride + ky - padding;
+          for (int kx = 0; kx < kernel_w; ++kx, ++idx) {
+            const int ix = ox * stride + kx - padding;
+            if (iy >= 0 && iy < height && ix >= 0 && ix < width) {
+              plane[int64_t{iy} * width + ix] += row[idx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+int64_t ArgMaxRow(const Tensor& x, int64_t r) {
+  const int64_t cols = x.cols();
+  const float* row = x.data() + r * cols;
+  int64_t best = 0;
+  for (int64_t c = 1; c < cols; ++c) {
+    if (row[c] > row[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace lpsgd

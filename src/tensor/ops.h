@@ -1,0 +1,59 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_TENSOR_OPS_H_
+#define LPSGD_TENSOR_OPS_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace lpsgd {
+
+// Dense linear algebra over the 2-D (rows x cols) view of tensors. All
+// routines are single-threaded; a simulated GPU rank executes them
+// sequentially and virtual time is charged separately by the cost model.
+
+// C = alpha * op(A) * op(B) + beta * C, where op(X) = X or X^T.
+// Shapes (after op): A is m x k, B is k x n, C must be m x n.
+void Gemm(bool transpose_a, bool transpose_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor* c);
+
+// y += alpha * x (element count must match).
+void Axpy(float alpha, const Tensor& x, Tensor* y);
+
+// x *= alpha.
+void Scale(float alpha, Tensor* x);
+
+// Adds `bias` (length = cols of `x`) to every row of `x`.
+void AddRowBroadcast(const Tensor& bias, Tensor* x);
+
+// bias_grad[c] = sum over rows of grad(r, c). Overwrites `bias_grad`.
+void SumRowsTo(const Tensor& grad, Tensor* bias_grad);
+
+// Row-wise softmax: probs(r, :) = softmax(logits(r, :)). In-place allowed.
+void SoftmaxRows(const Tensor& logits, Tensor* probs);
+
+// im2col for 2-D convolution with square stride/padding semantics.
+// Input `image` has shape {channels, height, width} (single sample).
+// Output `patches` must have shape
+//   {out_h * out_w, channels * kernel_h * kernel_w}.
+// Padding uses zeros.
+void Im2Col(const Tensor& image, int kernel_h, int kernel_w, int stride,
+            int padding, Tensor* patches);
+
+// Transpose of Im2Col: scatters patch gradients back onto the image
+// gradient (accumulating). `image_grad` must be pre-shaped {C, H, W};
+// contents are accumulated into, not overwritten.
+void Col2Im(const Tensor& patches, int kernel_h, int kernel_w, int stride,
+            int padding, Tensor* image_grad);
+
+// Output spatial size for a convolution/pooling dimension.
+inline int ConvOutputSize(int input, int kernel, int stride, int padding) {
+  return (input + 2 * padding - kernel) / stride + 1;
+}
+
+// Returns the index of the maximum element of row `r` of `x`.
+int64_t ArgMaxRow(const Tensor& x, int64_t r);
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_TENSOR_OPS_H_

@@ -1,0 +1,91 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "base/bit_packing.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace lpsgd {
+namespace {
+
+class BitPackerRoundtripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitPackerRoundtripTest, RoundtripsRandomValues) {
+  const int bits = GetParam();
+  BitPacker packer(bits);
+  Rng rng(1000 + bits);
+  const uint32_t mask =
+      bits == 32 ? 0xffffffffu : ((1u << bits) - 1u);
+
+  for (int64_t count : {1, 2, 31, 32, 33, 100, 1000}) {
+    std::vector<uint32_t> values(static_cast<size_t>(count));
+    for (auto& v : values) {
+      v = static_cast<uint32_t>(rng.NextUint64()) & mask;
+    }
+    std::vector<uint32_t> words(
+        static_cast<size_t>(packer.WordCount(count)));
+    packer.Pack(values.data(), count, words.data());
+
+    std::vector<uint32_t> unpacked(static_cast<size_t>(count));
+    packer.Unpack(words.data(), count, unpacked.data());
+    EXPECT_EQ(values, unpacked) << "bits=" << bits << " count=" << count;
+
+    for (int64_t i = 0; i < count; ++i) {
+      EXPECT_EQ(packer.Get(words.data(), i), values[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackerRoundtripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 15, 16, 32));
+
+TEST(BitPackerTest, WordCountMatchesCntkLayout) {
+  // 32 one-bit values per unsigned int (Section 3.2.1).
+  BitPacker one_bit(1);
+  EXPECT_EQ(one_bit.WordCount(32), 1);
+  EXPECT_EQ(one_bit.WordCount(33), 2);
+  EXPECT_EQ(one_bit.WordCount(0), 0);
+
+  BitPacker four_bits(4);
+  EXPECT_EQ(four_bits.values_per_word(), 8);
+  EXPECT_EQ(four_bits.WordCount(8), 1);
+  EXPECT_EQ(four_bits.WordCount(9), 2);
+}
+
+TEST(BitPackerTest, PackClearsStaleWordContent) {
+  BitPacker packer(8);
+  std::vector<uint32_t> words(1, 0xffffffffu);
+  const uint32_t values[] = {1, 2};
+  packer.Pack(values, 2, words.data());
+  EXPECT_EQ(packer.Get(words.data(), 0), 1u);
+  EXPECT_EQ(packer.Get(words.data(), 1), 2u);
+  // Unused high fields were zeroed, not left stale.
+  EXPECT_EQ(words[0] >> 16, 0u);
+}
+
+TEST(PackSignBitsTest, EncodesSignsIncludingZeroAsPositive) {
+  const float values[] = {1.5f, -0.25f, 0.0f, -0.0f, 3.0f};
+  std::vector<uint32_t> words;
+  PackSignBits(values, 5, &words);
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_TRUE(SignBitAt(words.data(), 0));
+  EXPECT_FALSE(SignBitAt(words.data(), 1));
+  EXPECT_TRUE(SignBitAt(words.data(), 2));  // +0 is non-negative
+  EXPECT_TRUE(SignBitAt(words.data(), 3));  // IEEE: -0.0f >= 0.0f
+  EXPECT_TRUE(SignBitAt(words.data(), 4));
+}
+
+TEST(PackSignBitsTest, CrossesWordBoundary) {
+  std::vector<float> values(70, 1.0f);
+  values[40] = -1.0f;
+  values[69] = -1.0f;
+  std::vector<uint32_t> words;
+  PackSignBits(values.data(), 70, &words);
+  ASSERT_EQ(words.size(), 3u);
+  for (int i = 0; i < 70; ++i) {
+    EXPECT_EQ(SignBitAt(words.data(), i), i != 40 && i != 69) << i;
+  }
+}
+
+}  // namespace
+}  // namespace lpsgd

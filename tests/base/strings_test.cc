@@ -1,0 +1,50 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "base/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace lpsgd {
+namespace {
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("a", 1, "-", 2.5), "a1-2.5");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat(42), "42");
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({"one"}, ", "), "one");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+}
+
+TEST(StrSplitTest, SplitsKeepingEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(FormatDoubleTest, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.005, 1), "-1.0");
+}
+
+TEST(HumanBytesTest, PicksUnits) {
+  EXPECT_EQ(HumanBytes(512), "512.0 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(248.0 * 1024 * 1024), "248.0 MB");
+}
+
+TEST(HumanSecondsTest, PicksUnits) {
+  EXPECT_EQ(HumanSeconds(0.0000005), "0.5 us");
+  EXPECT_EQ(HumanSeconds(0.25), "250.0 ms");
+  EXPECT_EQ(HumanSeconds(2.0), "2.00 s");
+  EXPECT_EQ(HumanSeconds(600.0), "10.0 min");
+  EXPECT_EQ(HumanSeconds(7200.0), "2.00 h");
+}
+
+}  // namespace
+}  // namespace lpsgd

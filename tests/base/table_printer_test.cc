@@ -1,0 +1,41 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "base/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace lpsgd {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Name", "Value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "12345"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| Name  | Value |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, SeparatorProducesRule) {
+  TablePrinter table({"A"});
+  table.AddRow({"x"});
+  table.AddSeparator();
+  table.AddRow({"y"});
+  const std::string out = table.ToString();
+  // Header rule + separator + closing rule = at least 4 horizontal rules.
+  int rules = 0;
+  for (size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4);
+}
+
+TEST(TablePrinterTest, EmptyTableStillPrintsHeader) {
+  TablePrinter table({"OnlyHeader"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("OnlyHeader"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lpsgd

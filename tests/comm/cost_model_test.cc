@@ -1,0 +1,117 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "comm/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "machine/specs.h"
+
+namespace lpsgd {
+namespace {
+
+TEST(MachineSpecsTest, Figure2Registry) {
+  const auto& machines = PaperMachines();
+  ASSERT_EQ(machines.size(), 4u);
+  auto p2x = FindMachine("p2.xlarge");
+  ASSERT_TRUE(p2x.ok());
+  EXPECT_EQ(p2x->num_gpus, 1);
+  EXPECT_DOUBLE_EQ(p2x->price_per_hour_usd, 0.9);
+  EXPECT_EQ(p2x->gpu.architecture, "Kepler");
+
+  auto p216 = FindMachine("p2.16xlarge");
+  ASSERT_TRUE(p216.ok());
+  EXPECT_EQ(p216->num_gpus, 16);
+  EXPECT_DOUBLE_EQ(p216->price_per_hour_usd, 14.4);
+
+  auto dgx = FindMachine("DGX-1");
+  ASSERT_TRUE(dgx.ok());
+  EXPECT_EQ(dgx->num_gpus, 8);
+  EXPECT_EQ(dgx->gpu.architecture, "Pascal");
+  EXPECT_GT(dgx->gpu.relative_speed, 1.3);
+
+  EXPECT_FALSE(FindMachine("p3.2xlarge").ok());
+}
+
+TEST(MachineSpecsTest, Ec2MachineForGpus) {
+  EXPECT_EQ(Ec2MachineForGpus(1)->name, "p2.xlarge");
+  EXPECT_EQ(Ec2MachineForGpus(2)->name, "p2.8xlarge");
+  EXPECT_EQ(Ec2MachineForGpus(8)->name, "p2.8xlarge");
+  EXPECT_EQ(Ec2MachineForGpus(16)->name, "p2.16xlarge");
+  EXPECT_FALSE(Ec2MachineForGpus(32).ok());
+  EXPECT_FALSE(Ec2MachineForGpus(0).ok());
+}
+
+TEST(CostModelTest, BandwidthDegradesWithGpuCount) {
+  CommCostModel model(Ec2P2_16xlarge());
+  EXPECT_GT(model.MpiBandwidthBytesPerSec(2),
+            model.MpiBandwidthBytesPerSec(8));
+  EXPECT_GT(model.MpiBandwidthBytesPerSec(8),
+            model.MpiBandwidthBytesPerSec(16));
+  EXPECT_GT(model.NcclBandwidthBytesPerSec(2),
+            model.NcclBandwidthBytesPerSec(8));
+}
+
+TEST(CostModelTest, NcclFasterThanMpiForSamePayload) {
+  CommCostModel model(Ec2P2_8xlarge());
+  const int64_t bytes = 100 * 1000 * 1000;
+  EXPECT_LT(model.NcclAllReduceSeconds(bytes, 8, 8),
+            model.MpiExchangeSeconds(bytes, 16, 8));
+}
+
+TEST(CostModelTest, SingleGpuIsFree) {
+  CommCostModel model(Ec2P2_8xlarge());
+  EXPECT_EQ(model.MpiExchangeSeconds(1000000, 2, 1), 0.0);
+  EXPECT_EQ(model.NcclAllReduceSeconds(1000000, 1, 1), 0.0);
+}
+
+TEST(CostModelTest, TimeMonotonicInBytes) {
+  CommCostModel model(Ec2P2_8xlarge());
+  double previous = 0.0;
+  for (int64_t bytes : {1000, 100000, 10000000, 1000000000}) {
+    const double t = model.MpiExchangeSeconds(bytes, 2, 8);
+    EXPECT_GT(t, previous);
+    previous = t;
+  }
+}
+
+TEST(CostModelTest, LatencyChargedPerMessage) {
+  CommCostModel model(Ec2P2_8xlarge());
+  const double few = model.MpiExchangeSeconds(1000, 2, 8);
+  const double many = model.MpiExchangeSeconds(1000, 2000, 8);
+  EXPECT_GT(many, few + 0.05);  // 1998 extra messages at 60us
+}
+
+TEST(CostModelTest, QuantKernelScalesWithChunksAndElements) {
+  CommCostModel model(Ec2P2_8xlarge());
+  const double few_chunks = model.QuantKernelSeconds(1000000, 100);
+  const double many_chunks = model.QuantKernelSeconds(1000000, 1000000);
+  EXPECT_GT(many_chunks, few_chunks);
+  EXPECT_GT(model.QuantKernelSeconds(10000000, 100), few_chunks);
+}
+
+TEST(CostModelTest, PascalQuantKernelsFasterThanKepler) {
+  CommCostModel kepler(Ec2P2_8xlarge());
+  CommCostModel pascal(Dgx1());
+  EXPECT_LT(pascal.QuantKernelSeconds(1000000, 1000),
+            kepler.QuantKernelSeconds(1000000, 1000));
+}
+
+TEST(MachineSpecsTest, TwoNodeClusterHasNoNcclAndSlowerMpi) {
+  const MachineSpec cluster = Ec2Cluster2x8();
+  EXPECT_EQ(cluster.num_gpus, 16);
+  EXPECT_FALSE(cluster.NcclAvailableFor(2));
+  CommCostModel cluster_model(cluster);
+  CommCostModel single_model(Ec2P2_16xlarge());
+  EXPECT_LT(cluster_model.MpiBandwidthBytesPerSec(16),
+            single_model.MpiBandwidthBytesPerSec(16));
+}
+
+TEST(CostModelTest, Dgx1NcclMuchFasterThanEc2) {
+  CommCostModel ec2(Ec2P2_8xlarge());
+  CommCostModel dgx(Dgx1());
+  const int64_t bytes = 250 * 1000 * 1000;
+  EXPECT_LT(dgx.NcclAllReduceSeconds(bytes, 8, 8) * 2.0,
+            ec2.NcclAllReduceSeconds(bytes, 8, 8));
+}
+
+}  // namespace
+}  // namespace lpsgd

@@ -1,0 +1,233 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// End-to-end convergence properties: the accuracy findings of Section 5.1
+// at miniature scale. These use a small MLP on the synthetic image task so
+// each run takes well under a second.
+#include <gtest/gtest.h>
+
+#include "base/strings.h"
+#include "core/experiment.h"
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+
+namespace lpsgd {
+namespace {
+
+SyntheticImageDataset MakeTrain() {
+  SyntheticImageOptions options;
+  options.num_classes = 4;
+  options.channels = 1;
+  options.height = 6;
+  options.width = 6;
+  options.num_samples = 512;
+  options.signal = 1.5f;
+  options.noise = 0.8f;
+  return SyntheticImageDataset(options);
+}
+
+SyntheticImageDataset MakeTest() {
+  SyntheticImageOptions options;
+  options.num_classes = 4;
+  options.channels = 1;
+  options.height = 6;
+  options.width = 6;
+  options.num_samples = 256;
+  options.signal = 1.5f;
+  options.noise = 0.8f;
+  options.sample_offset = 1 << 20;
+  return SyntheticImageDataset(options);
+}
+
+SyncTrainer::NetworkFactory Factory() {
+  return [](uint64_t seed) { return BuildMlp({36, 24, 4}, seed); };
+}
+
+TrainerOptions Options(CodecSpec codec) {
+  TrainerOptions options;
+  options.num_gpus = 4;
+  options.global_batch_size = 32;
+  options.learning_rate = 0.08f;
+  options.codec = codec;
+  options.seed = 11;
+  return options;
+}
+
+double FinalAccuracy(CodecSpec codec, int epochs = 12) {
+  const auto train = MakeTrain();
+  const auto test = MakeTest();
+  auto trainer = SyncTrainer::Create(Factory(), Options(codec));
+  CHECK_OK(trainer.status());
+  auto metrics = (*trainer)->Train(train, test, epochs);
+  CHECK_OK(metrics.status());
+  return metrics->back().test_accuracy;
+}
+
+// A deliberately hard variant (more classes, more noise, fewer epochs) on
+// which quantization damage is visible before accuracy saturates.
+SyntheticImageOptions HardOptions() {
+  SyntheticImageOptions options;
+  options.num_classes = 8;
+  options.channels = 1;
+  options.height = 6;
+  options.width = 6;
+  options.signal = 1.0f;
+  options.noise = 1.6f;
+  return options;
+}
+
+EpochMetrics HardTaskMetrics(CodecSpec codec, int epochs = 8) {
+  SyntheticImageOptions train_options = HardOptions();
+  train_options.num_samples = 512;
+  SyntheticImageOptions test_options = HardOptions();
+  test_options.num_samples = 256;
+  test_options.sample_offset = 1 << 20;
+  const SyntheticImageDataset train(train_options);
+  const SyntheticImageDataset test(test_options);
+
+  TrainerOptions options;
+  options.num_gpus = 4;
+  options.global_batch_size = 32;
+  options.learning_rate = 0.06f;
+  options.codec = codec;
+  options.seed = 13;
+  auto trainer = SyncTrainer::Create(
+      [](uint64_t seed) { return BuildMlp({36, 24, 8}, seed); }, options);
+  CHECK_OK(trainer.status());
+  auto metrics = (*trainer)->Train(train, test, epochs);
+  CHECK_OK(metrics.status());
+  return metrics->back();
+}
+
+double HardTaskAccuracy(CodecSpec codec, int epochs = 8) {
+  return HardTaskMetrics(codec, epochs).test_accuracy;
+}
+
+// Full-batch training loss: with the whole dataset in one batch the
+// gradients are deterministic, which isolates the quantizer's own noise —
+// the setting where error feedback's effect is provable (the residual
+// cancels the quantization error over time; without it, sign-style
+// updates random-walk around the optimum at a loss floor).
+double FullBatchFinalLoss(CodecSpec codec, int epochs) {
+  SyntheticImageOptions train_options = HardOptions();
+  train_options.num_samples = 32;
+  train_options.noise = 0.5f;
+  SyntheticImageOptions test_options = HardOptions();
+  test_options.num_samples = 32;
+  test_options.sample_offset = 1 << 20;
+  const SyntheticImageDataset train(train_options);
+  const SyntheticImageDataset test(test_options);
+
+  TrainerOptions options;
+  options.num_gpus = 4;
+  options.global_batch_size = 32;  // full batch
+  options.learning_rate = 0.05f;
+  options.codec = codec;
+  options.seed = 13;
+  auto trainer = SyncTrainer::Create(
+      [](uint64_t s) { return BuildMlp({36, 24, 8}, s); }, options);
+  CHECK_OK(trainer.status());
+  auto metrics = (*trainer)->Train(train, test, epochs);
+  CHECK_OK(metrics.status());
+  return metrics->back().train_loss;
+}
+
+TEST(ConvergenceTest, FullPrecisionLearnsTheTask) {
+  EXPECT_GT(FinalAccuracy(FullPrecisionSpec()), 0.85);
+}
+
+TEST(ConvergenceTest, Qsgd4BitMatchesFullPrecision) {
+  // Section 5.1: "using 4-bit gradients always preserves the same
+  // accuracy".
+  const double fp = FinalAccuracy(FullPrecisionSpec());
+  const double q4 = FinalAccuracy(QsgdSpec(4));
+  EXPECT_GT(q4, fp - 0.05);
+}
+
+TEST(ConvergenceTest, Qsgd8BitMatchesFullPrecision) {
+  const double fp = FinalAccuracy(FullPrecisionSpec());
+  const double q8 = FinalAccuracy(QsgdSpec(8));
+  EXPECT_GT(q8, fp - 0.05);
+}
+
+TEST(ConvergenceTest, OneBitWithErrorFeedbackMatchesFullPrecision) {
+  // Section 5.1: 1bitSGD reaches the same accuracy as full precision —
+  // the "impressive accuracy of the 1bitSGD error-correction techniques".
+  const double fp = FinalAccuracy(FullPrecisionSpec());
+  const double one_bit = FinalAccuracy(OneBitSgdReshapedSpec(16));
+  EXPECT_GT(one_bit, fp - 0.06);
+}
+
+TEST(ConvergenceTest, ErrorFeedbackIsWhatRescuesOneBit) {
+  // Ablation (DESIGN.md): removing the error accumulator from 1bitSGD
+  // must hurt convergence measurably.
+  // Coarse buckets make the uncompensated quantization error large. The
+  // damage shows up in the optimization trajectory (training loss floor),
+  // which is the quantity error feedback provably repairs.
+  CodecSpec with_ef = OneBitSgdReshapedSpec(512);
+  CodecSpec without_ef = with_ef;
+  without_ef.error_feedback = false;
+  const double with_loss = FullBatchFinalLoss(with_ef, /*epochs=*/60);
+  const double without_loss = FullBatchFinalLoss(without_ef, /*epochs=*/60);
+  EXPECT_LT(with_loss, 0.5 * without_loss);
+}
+
+TEST(ConvergenceTest, HugeBucketsHurtLowBitAccuracy) {
+  // Section 5.1 "Impact of Bucket Size": 4bit with an oversized bucket is
+  // measurably worse than with the tuned bucket.
+  CodecSpec tuned = QsgdSpec(2);     // bucket 128
+  CodecSpec oversized = QsgdSpec(2);
+  oversized.bucket_size = 1 << 20;   // one bucket for everything
+  oversized.norm = QsgdNorm::kL2;    // variance scales with dimension
+  CodecSpec tuned_l2 = tuned;
+  tuned_l2.norm = QsgdNorm::kL2;
+  const double tuned_accuracy = HardTaskAccuracy(tuned_l2);
+  const double oversized_accuracy = HardTaskAccuracy(oversized);
+  EXPECT_GT(tuned_accuracy, oversized_accuracy + 0.03);
+}
+
+TEST(ConvergenceTest, RunAccuracyComparisonProducesAlignedSeries) {
+  const auto train = MakeTrain();
+  const auto test = MakeTest();
+  std::vector<AccuracyRunConfig> configs;
+  configs.push_back({"32bit", FullPrecisionSpec(), {}});
+  configs.push_back({"QSGD 4bit", QsgdSpec(4), {}});
+  auto series = RunAccuracyComparison(Factory(), Options(FullPrecisionSpec()),
+                                      train, test, configs, 3);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_EQ((*series)[0].label, "32bit");
+  EXPECT_EQ((*series)[0].epochs.size(), 3u);
+  EXPECT_EQ((*series)[1].epochs.size(), 3u);
+  EXPECT_GT((*series)[0].FinalTestAccuracy(), 0.3);
+  EXPECT_GE((*series)[0].BestTestAccuracy(),
+            (*series)[0].FinalTestAccuracy());
+
+  const std::string table = FormatAccuracyTable(*series);
+  EXPECT_NE(table.find("32bit"), std::string::npos);
+  EXPECT_NE(table.find("QSGD 4bit"), std::string::npos);
+}
+
+TEST(ConvergenceTest, MetricsToCsvIsWellFormed) {
+  const auto train = MakeTrain();
+  const auto test = MakeTest();
+  std::vector<AccuracyRunConfig> configs;
+  configs.push_back({"32bit", FullPrecisionSpec(), {}});
+  configs.push_back({"QSGD 4bit", QsgdSpec(4), {}});
+  auto series = RunAccuracyComparison(Factory(), Options(FullPrecisionSpec()),
+                                      train, test, configs, 2);
+  ASSERT_TRUE(series.ok());
+  const std::string csv = MetricsToCsv(*series);
+
+  // Header + 2 configs x 2 epochs = 5 lines; every line has 9 fields.
+  const std::vector<std::string> lines = StrSplit(csv, '\n');
+  ASSERT_EQ(lines.size(), 6u);  // trailing newline -> empty last element
+  EXPECT_TRUE(lines.back().empty());
+  for (size_t i = 0; i + 1 < lines.size(); ++i) {
+    EXPECT_EQ(StrSplit(lines[i], ',').size(), 9u) << lines[i];
+  }
+  EXPECT_NE(csv.find("\"QSGD 4bit\",1,"), std::string::npos) << csv;
+}
+
+}  // namespace
+}  // namespace lpsgd

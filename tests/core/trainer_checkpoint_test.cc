@@ -1,0 +1,138 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+
+namespace lpsgd {
+namespace {
+
+SyncTrainer::NetworkFactory Factory() {
+  return [](uint64_t seed) { return BuildMlp({16, 12, 4}, seed); };
+}
+
+SyntheticImageDataset Data(int64_t n, uint64_t offset = 0) {
+  SyntheticImageOptions options;
+  options.num_classes = 4;
+  options.channels = 1;
+  options.height = 4;
+  options.width = 4;
+  options.num_samples = n;
+  options.signal = 2.0f;
+  options.noise = 0.5f;
+  options.sample_offset = offset;
+  return SyntheticImageDataset(options);
+}
+
+TrainerOptions Options(CodecSpec codec) {
+  TrainerOptions options;
+  options.num_gpus = 4;
+  options.global_batch_size = 32;
+  options.learning_rate = 0.05f;
+  options.codec = codec;
+  options.seed = 3;
+  return options;
+}
+
+TEST(TrainerCheckpointTest, RestoreReproducesEvaluation) {
+  const auto train = Data(128);
+  const auto test = Data(64, 1 << 20);
+
+  auto source = SyncTrainer::Create(Factory(), Options(QsgdSpec(4)));
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE((*source)->Train(train, test, 3).ok());
+  const EvalResult source_eval = (*source)->Evaluate(test);
+
+  std::stringstream checkpoint;
+  ASSERT_TRUE((*source)->SaveCheckpoint(checkpoint).ok());
+
+  auto restored = SyncTrainer::Create(Factory(), Options(QsgdSpec(4)));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->LoadCheckpoint(checkpoint).ok());
+  const EvalResult restored_eval = (*restored)->Evaluate(test);
+  EXPECT_EQ(restored_eval.correct, source_eval.correct);
+  EXPECT_DOUBLE_EQ(restored_eval.loss_sum, source_eval.loss_sum);
+}
+
+TEST(TrainerCheckpointTest, AllReplicasRestored) {
+  const auto train = Data(128);
+  const auto test = Data(64, 1 << 20);
+  auto source = SyncTrainer::Create(Factory(), Options(FullPrecisionSpec()));
+  ASSERT_TRUE(source.ok());
+  ASSERT_TRUE((*source)->Train(train, test, 2).ok());
+  std::stringstream checkpoint;
+  ASSERT_TRUE((*source)->SaveCheckpoint(checkpoint).ok());
+
+  auto restored =
+      SyncTrainer::Create(Factory(), Options(OneBitSgdReshapedSpec(16)));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE((*restored)->LoadCheckpoint(checkpoint).ok());
+  auto params0 = (*restored)->replica(0).Params();
+  for (int r = 1; r < 4; ++r) {
+    auto params = (*restored)->replica(r).Params();
+    for (size_t m = 0; m < params.size(); ++m) {
+      for (int64_t i = 0; i < params[m].value->size(); ++i) {
+        ASSERT_EQ(params[m].value->at(i), params0[m].value->at(i));
+      }
+    }
+  }
+}
+
+TEST(TrainerCheckpointTest, TrainingContinuesAfterRestore) {
+  const auto train = Data(256);
+  const auto test = Data(128, 1 << 20);
+  auto trainer = SyncTrainer::Create(Factory(), Options(QsgdSpec(8)));
+  ASSERT_TRUE(trainer.ok());
+  auto first = (*trainer)->Train(train, test, 4);
+  ASSERT_TRUE(first.ok());
+  std::stringstream checkpoint;
+  ASSERT_TRUE((*trainer)->SaveCheckpoint(checkpoint).ok());
+
+  auto resumed = SyncTrainer::Create(Factory(), Options(QsgdSpec(8)));
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_TRUE((*resumed)->LoadCheckpoint(checkpoint).ok());
+  auto more = (*resumed)->Train(train, test, 3);
+  ASSERT_TRUE(more.ok());
+  // Restored training should keep (or improve on) the checkpointed loss,
+  // not restart from scratch.
+  EXPECT_LT(more->back().train_loss, first->front().train_loss);
+}
+
+TEST(TrainerCheckpointTest, RejectsMismatchedArchitecture) {
+  auto source = SyncTrainer::Create(Factory(), Options(FullPrecisionSpec()));
+  ASSERT_TRUE(source.ok());
+  std::stringstream checkpoint;
+  ASSERT_TRUE((*source)->SaveCheckpoint(checkpoint).ok());
+
+  auto other = SyncTrainer::Create(
+      [](uint64_t seed) { return BuildMlp({16, 8, 4}, seed); },
+      Options(FullPrecisionSpec()));
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE((*other)->LoadCheckpoint(checkpoint).ok());
+}
+
+// Trainer epochs are resumable even without checkpoints: Train() twice is
+// equivalent to one longer Train() (epoch counters and shuffles line up).
+TEST(TrainerResumabilityTest, SplitTrainingMatchesContinuous) {
+  const auto train = Data(128);
+  const auto test = Data(64, 1 << 20);
+  auto split = SyncTrainer::Create(Factory(), Options(QsgdSpec(4)));
+  auto continuous = SyncTrainer::Create(Factory(), Options(QsgdSpec(4)));
+  ASSERT_TRUE(split.ok());
+  ASSERT_TRUE(continuous.ok());
+
+  auto part1 = (*split)->Train(train, test, 2);
+  auto part2 = (*split)->Train(train, test, 2);
+  auto full = (*continuous)->Train(train, test, 4);
+  ASSERT_TRUE(part1.ok());
+  ASSERT_TRUE(part2.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ((*part2)[1].train_loss, (*full)[3].train_loss);
+  EXPECT_DOUBLE_EQ((*part2)[1].test_accuracy, (*full)[3].test_accuracy);
+}
+
+}  // namespace
+}  // namespace lpsgd

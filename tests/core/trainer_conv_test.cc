@@ -1,0 +1,157 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Trainer integration with the richer layer types: batch-norm statistics,
+// dropout masks, residual projections, and the TopK codec — everything
+// must preserve the bit-identical-replicas invariant and train.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/activation.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/model_zoo.h"
+#include "nn/pool.h"
+
+namespace lpsgd {
+namespace {
+
+SyntheticImageDataset ImageData(int64_t n, uint64_t offset = 0) {
+  SyntheticImageOptions options;
+  options.num_classes = 4;
+  options.channels = 1;
+  options.height = 8;
+  options.width = 8;
+  options.num_samples = n;
+  options.signal = 1.5f;
+  options.noise = 0.6f;
+  options.sample_offset = offset;
+  return SyntheticImageDataset(options);
+}
+
+void ExpectReplicasIdentical(SyncTrainer& trainer, int gpus) {
+  auto params0 = trainer.replica(0).Params();
+  for (int r = 1; r < gpus; ++r) {
+    auto params = trainer.replica(r).Params();
+    for (size_t m = 0; m < params.size(); ++m) {
+      for (int64_t i = 0; i < params[m].value->size(); ++i) {
+        ASSERT_EQ(params[m].value->at(i), params0[m].value->at(i))
+            << "rank " << r << " matrix " << m;
+      }
+    }
+  }
+}
+
+TEST(TrainerConvTest, ResidualProjectionNetTrainsAndStaysConsistent) {
+  const auto train = ImageData(128);
+  const auto test = ImageData(64, 1 << 20);
+  TrainerOptions options;
+  options.num_gpus = 4;
+  options.global_batch_size = 32;
+  options.learning_rate = 0.05f;
+  options.codec = QsgdSpec(4);
+  options.seed = 5;
+  auto trainer = SyncTrainer::Create(
+      [](uint64_t seed) {
+        return BuildMiniResNetTwoStage(1, 8, 4, 4, seed);
+      },
+      options);
+  ASSERT_TRUE(trainer.ok());
+  auto metrics = (*trainer)->Train(train, test, 4);
+  ASSERT_TRUE(metrics.ok());
+  ExpectReplicasIdentical(**trainer, 4);
+  EXPECT_LT(metrics->back().train_loss, metrics->front().train_loss);
+}
+
+TEST(TrainerConvTest, DropoutNetworkKeepsReplicasIdentical) {
+  // Each replica owns its own DropoutLayer, but identical seeds + lockstep
+  // forward counts mean identical masks — without that, replicas would
+  // diverge immediately.
+  const auto train = ImageData(128);
+  const auto test = ImageData(64, 1 << 20);
+  auto factory = [](uint64_t seed) {
+    Rng rng(seed);
+    Network net;
+    net.Add(std::make_unique<FlattenLayer>("flat"));
+    net.Add(std::make_unique<DenseLayer>("fc1", 64, 32, &rng));
+    net.Add(
+        std::make_unique<ActivationLayer>("relu", ActivationKind::kRelu));
+    net.Add(std::make_unique<DropoutLayer>("drop", 0.3f, seed ^ 0xd0d0));
+    net.Add(std::make_unique<DenseLayer>("fc2", 32, 4, &rng));
+    return net;
+  };
+  TrainerOptions options;
+  options.num_gpus = 4;
+  options.global_batch_size = 32;
+  options.learning_rate = 0.05f;
+  options.codec = OneBitSgdReshapedSpec(16);
+  options.seed = 6;
+  auto trainer = SyncTrainer::Create(factory, options);
+  ASSERT_TRUE(trainer.ok());
+  ASSERT_TRUE((*trainer)->Train(train, test, 3).ok());
+  ExpectReplicasIdentical(**trainer, 4);
+}
+
+TEST(TrainerConvTest, TopKCodecTrainsWithErrorAccumulation) {
+  const auto train = ImageData(128);
+  const auto test = ImageData(64, 1 << 20);
+  TrainerOptions options;
+  options.num_gpus = 4;
+  options.global_batch_size = 32;
+  options.learning_rate = 0.05f;
+  options.codec = TopKSpec(0.2);
+  options.seed = 7;
+  auto trainer = SyncTrainer::Create(
+      [](uint64_t seed) { return BuildMlp({64, 32, 4}, seed); }, options);
+  ASSERT_TRUE(trainer.ok());
+  auto metrics = (*trainer)->Train(train, test, 6);
+  ASSERT_TRUE(metrics.ok());
+  ExpectReplicasIdentical(**trainer, 4);
+  EXPECT_GT(metrics->back().test_accuracy, 0.5);
+  // Sparse exchange really reduced the traffic.
+  EXPECT_LT((*trainer)->total_comm().wire_bytes,
+            (*trainer)->total_comm().raw_bytes);
+}
+
+TEST(TrainerConvTest, AdaptiveQsgdTrains) {
+  const auto train = ImageData(128);
+  const auto test = ImageData(64, 1 << 20);
+  TrainerOptions options;
+  options.num_gpus = 2;
+  options.global_batch_size = 32;
+  options.learning_rate = 0.05f;
+  options.codec = AdaptiveQsgdSpec(4);
+  options.seed = 8;
+  auto trainer = SyncTrainer::Create(
+      [](uint64_t seed) { return BuildMlp({64, 32, 4}, seed); }, options);
+  ASSERT_TRUE(trainer.ok());
+  auto metrics = (*trainer)->Train(train, test, 6);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->back().test_accuracy, 0.5);
+}
+
+TEST(TrainerConvTest, Top5AtLeastTop1InMetrics) {
+  const auto train = ImageData(96);
+  const auto test = ImageData(64, 1 << 20);
+  TrainerOptions options;
+  options.num_gpus = 2;
+  options.global_batch_size = 32;
+  options.learning_rate = 0.05f;
+  options.codec = FullPrecisionSpec();
+  options.seed = 9;
+  auto trainer = SyncTrainer::Create(
+      [](uint64_t seed) { return BuildMlp({64, 16, 4}, seed); }, options);
+  ASSERT_TRUE(trainer.ok());
+  auto metrics = (*trainer)->Train(train, test, 2);
+  ASSERT_TRUE(metrics.ok());
+  for (const EpochMetrics& m : *metrics) {
+    EXPECT_GE(m.test_top5_accuracy, m.test_accuracy);
+    // 4-class task: top-5 is trivially 1.
+    EXPECT_DOUBLE_EQ(m.test_top5_accuracy, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace lpsgd

@@ -1,0 +1,127 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace lpsgd {
+namespace {
+
+TEST(SyntheticImageTest, LabelsRoughlyBalanced) {
+  SyntheticImageOptions options;
+  options.num_classes = 5;
+  options.num_samples = 5000;
+  SyntheticImageDataset dataset(options);
+  std::map<int, int> counts;
+  for (int64_t i = 0; i < dataset.NumSamples(); ++i) {
+    ++counts[dataset.LabelOf(i)];
+  }
+  EXPECT_EQ(counts.size(), 5u);
+  for (const auto& [label, count] : counts) {
+    EXPECT_GT(count, 800) << "label " << label;
+    EXPECT_LT(count, 1200) << "label " << label;
+  }
+}
+
+TEST(SyntheticImageTest, DisjointOffsetsGiveDifferentSamples) {
+  SyntheticImageOptions train_options;
+  train_options.height = 4;
+  train_options.width = 4;
+  train_options.num_samples = 100;
+  SyntheticImageOptions test_options = train_options;
+  test_options.sample_offset = 100;
+  SyntheticImageDataset train(train_options);
+  SyntheticImageDataset test(test_options);
+
+  std::vector<float> a(16), b(16);
+  train.FillSample(0, a.data());
+  test.FillSample(0, b.data());
+  EXPECT_NE(a, b);
+}
+
+TEST(SyntheticImageTest, SameSeedSameData) {
+  SyntheticImageOptions options;
+  options.height = 4;
+  options.width = 4;
+  options.num_samples = 10;
+  SyntheticImageDataset d1(options);
+  SyntheticImageDataset d2(options);
+  std::vector<float> a(16), b(16);
+  d1.FillSample(7, a.data());
+  d2.FillSample(7, b.data());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(d1.LabelOf(7), d2.LabelOf(7));
+}
+
+TEST(SyntheticImageTest, SignalToNoiseControlsSeparation) {
+  // With zero noise, samples of the same class are identical (pure
+  // prototype); with noise they differ.
+  SyntheticImageOptions clean;
+  clean.height = 4;
+  clean.width = 4;
+  clean.noise = 0.0f;
+  clean.num_samples = 50;
+  SyntheticImageDataset dataset(clean);
+  int64_t i = 0, j = 1;
+  while (dataset.LabelOf(j) != dataset.LabelOf(i)) ++j;
+  std::vector<float> a(16), b(16);
+  dataset.FillSample(i, a.data());
+  dataset.FillSample(j, b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(SyntheticImageTest, SampleShapeMatchesOptions) {
+  SyntheticImageOptions options;
+  options.channels = 3;
+  options.height = 6;
+  options.width = 5;
+  SyntheticImageDataset dataset(options);
+  EXPECT_EQ(dataset.SampleShape(), Shape({3, 6, 5}));
+}
+
+TEST(SyntheticSequenceTest, ShapeAndDeterminism) {
+  SyntheticSequenceOptions options;
+  options.time_steps = 7;
+  options.frame_dim = 5;
+  options.num_samples = 20;
+  SyntheticSequenceDataset d1(options);
+  SyntheticSequenceDataset d2(options);
+  EXPECT_EQ(d1.SampleShape(), Shape({7, 5}));
+  std::vector<float> a(35), b(35);
+  d1.FillSample(3, a.data());
+  d2.FillSample(3, b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(SyntheticSequenceTest, LabelsInRange) {
+  SyntheticSequenceOptions options;
+  options.num_classes = 6;
+  options.num_samples = 500;
+  SyntheticSequenceDataset dataset(options);
+  std::map<int, int> counts;
+  for (int64_t i = 0; i < dataset.NumSamples(); ++i) {
+    const int label = dataset.LabelOf(i);
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 6);
+    ++counts[label];
+  }
+  EXPECT_EQ(counts.size(), 6u);
+}
+
+TEST(SyntheticSequenceTest, NoiseZeroYieldsAnchorLikeSequences) {
+  SyntheticSequenceOptions options;
+  options.noise = 0.0f;
+  options.num_samples = 100;
+  SyntheticSequenceDataset dataset(options);
+  // Two same-class samples with the same temporal shift are identical;
+  // at minimum, same-class samples must be far closer than cross-class.
+  std::vector<float> a(static_cast<size_t>(options.time_steps) *
+                       options.frame_dim);
+  dataset.FillSample(0, a.data());
+  for (float v : a) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace lpsgd

@@ -1,0 +1,107 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "nn/loss.h"
+#include "nn/model_zoo.h"
+#include "nn/network.h"
+
+namespace lpsgd {
+namespace {
+
+TEST(CheckpointTest, RoundTripRestoresExactWeights) {
+  Network original = BuildMiniAlexNet(1, 8, 10, 42);
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveParams(buffer).ok());
+
+  Network restored = BuildMiniAlexNet(1, 8, 10, 99);  // different init
+  ASSERT_TRUE(restored.LoadParams(buffer).ok());
+
+  auto a = original.Params();
+  auto b = restored.Params();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (int64_t j = 0; j < a[i].value->size(); ++j) {
+      ASSERT_EQ(a[i].value->at(j), b[i].value->at(j))
+          << a[i].name << "[" << j << "]";
+    }
+  }
+}
+
+TEST(CheckpointTest, RestoredNetworkProducesIdenticalOutputs) {
+  Network original = BuildMiniResNet(1, 8, 2, 8, 10, 7);
+  // Run a forward in training mode so batch-norm running stats change;
+  // note the checkpoint covers trainable parameters (running stats are
+  // re-estimated, as in CNTK's 1-bit checkpointing).
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveParams(buffer).ok());
+  Network restored = BuildMiniResNet(1, 8, 2, 8, 10, 1234);
+  ASSERT_TRUE(restored.LoadParams(buffer).ok());
+
+  Rng rng(5);
+  Tensor input(Shape({3, 1, 8, 8}));
+  input.FillGaussian(&rng, 1.0f);
+  Tensor out_a = original.Forward(input, /*training=*/true);
+  Tensor out_b = restored.Forward(input, /*training=*/true);
+  for (int64_t i = 0; i < out_a.size(); ++i) {
+    ASSERT_EQ(out_a.at(i), out_b.at(i));
+  }
+}
+
+TEST(CheckpointTest, RejectsWrongArchitecture) {
+  Network original = BuildMlp({16, 8, 4}, 1);
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveParams(buffer).ok());
+
+  Network different = BuildMlp({16, 12, 4}, 1);  // different hidden size
+  auto status = different.LoadParams(buffer);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, RejectsWrongParameterCount) {
+  Network original = BuildMlp({16, 8, 4}, 1);
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveParams(buffer).ok());
+
+  Network deeper = BuildMlp({16, 8, 8, 4}, 1);
+  EXPECT_FALSE(deeper.LoadParams(buffer).ok());
+}
+
+TEST(CheckpointTest, RejectsGarbageStream) {
+  std::stringstream buffer("this is not a checkpoint at all");
+  Network net = BuildMlp({4, 2}, 1);
+  auto status = net.LoadParams(buffer);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not an LPSGD checkpoint"),
+            std::string::npos);
+}
+
+TEST(CheckpointTest, TruncatedStreamLeavesNetworkUntouched) {
+  Network original = BuildMlp({16, 8, 4}, 1);
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveParams(buffer).ok());
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+
+  Network victim = BuildMlp({16, 8, 4}, 77);
+  // Snapshot current weights.
+  std::vector<float> before;
+  for (const ParamRef& p : victim.Params()) {
+    before.insert(before.end(), p.value->data(),
+                  p.value->data() + p.value->size());
+  }
+  EXPECT_FALSE(victim.LoadParams(truncated).ok());
+  size_t k = 0;
+  for (const ParamRef& p : victim.Params()) {
+    for (int64_t j = 0; j < p.value->size(); ++j, ++k) {
+      ASSERT_EQ(p.value->at(j), before[k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpsgd

@@ -1,0 +1,146 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "nn/dropout.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "nn/loss.h"
+#include "nn/model_zoo.h"
+#include "nn/optimizer.h"
+
+namespace lpsgd {
+namespace {
+
+TEST(DropoutTest, EvaluationIsIdentity) {
+  DropoutLayer dropout("drop", 0.5f, 1);
+  Tensor input(Shape({4, 8}), 3.0f);
+  Tensor out = dropout.Forward(input, /*training=*/false);
+  for (int64_t i = 0; i < out.size(); ++i) EXPECT_EQ(out.at(i), 3.0f);
+  Tensor grad(out.shape(), 1.0f);
+  Tensor in_grad = dropout.Backward(grad);
+  for (int64_t i = 0; i < in_grad.size(); ++i) EXPECT_EQ(in_grad.at(i), 1.0f);
+}
+
+TEST(DropoutTest, ZeroRateIsIdentityEvenInTraining) {
+  DropoutLayer dropout("drop", 0.0f, 1);
+  Tensor input(Shape({16}), 2.0f);
+  Tensor out = dropout.Forward(input, true);
+  for (int64_t i = 0; i < out.size(); ++i) EXPECT_EQ(out.at(i), 2.0f);
+}
+
+TEST(DropoutTest, DropsApproximatelyRateFraction) {
+  DropoutLayer dropout("drop", 0.3f, 2);
+  Tensor input(Shape({20000}), 1.0f);
+  Tensor out = dropout.Forward(input, true);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (out.at(i) == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(out.at(i), 1.0f / 0.7f, 1e-5);  // inverted scaling
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / out.size(), 0.3, 0.02);
+}
+
+TEST(DropoutTest, ExpectationPreserved) {
+  DropoutLayer dropout("drop", 0.4f, 3);
+  Tensor input(Shape({50000}), 1.0f);
+  Tensor out = dropout.Forward(input, true);
+  double sum = 0.0;
+  for (int64_t i = 0; i < out.size(); ++i) sum += out.at(i);
+  EXPECT_NEAR(sum / out.size(), 1.0, 0.02);
+}
+
+TEST(DropoutTest, BackwardRoutesOnlyThroughKeptUnits) {
+  DropoutLayer dropout("drop", 0.5f, 4);
+  Tensor input(Shape({256}), 1.0f);
+  Tensor out = dropout.Forward(input, true);
+  Tensor grad(out.shape(), 1.0f);
+  Tensor in_grad = dropout.Backward(grad);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (out.at(i) == 0.0f) {
+      EXPECT_EQ(in_grad.at(i), 0.0f) << i;
+    } else {
+      EXPECT_NEAR(in_grad.at(i), 2.0f, 1e-5) << i;  // 1/(1-0.5)
+    }
+  }
+}
+
+TEST(DropoutTest, ReplicasWithSameSeedDrawSameMasks) {
+  DropoutLayer a("drop", 0.5f, 7);
+  DropoutLayer b("drop", 0.5f, 7);
+  Tensor input(Shape({128}), 1.0f);
+  // Advance both through the same number of forward calls.
+  for (int step = 0; step < 3; ++step) {
+    Tensor out_a = a.Forward(input, true);
+    Tensor out_b = b.Forward(input, true);
+    for (int64_t i = 0; i < out_a.size(); ++i) {
+      ASSERT_EQ(out_a.at(i), out_b.at(i)) << "step " << step << " i " << i;
+    }
+  }
+}
+
+TEST(DropoutTest, MasksChangeBetweenForwardCalls) {
+  DropoutLayer dropout("drop", 0.5f, 8);
+  Tensor input(Shape({256}), 1.0f);
+  Tensor first = dropout.Forward(input, true);
+  Tensor second = dropout.Forward(input, true);
+  int differences = 0;
+  for (int64_t i = 0; i < first.size(); ++i) {
+    if (first.at(i) != second.at(i)) ++differences;
+  }
+  EXPECT_GT(differences, 50);
+}
+
+TEST(MiniResNetTwoStageTest, ForwardBackwardAndProjectionShapes) {
+  Network net = BuildMiniResNetTwoStage(1, 8, /*width=*/4, 10, 11);
+  Tensor input(Shape({2, 1, 8, 8}));
+  Rng rng(12);
+  input.FillGaussian(&rng, 1.0f);
+  Tensor logits = net.Forward(input, /*training=*/true);
+  EXPECT_EQ(logits.shape(), Shape({2, 10}));
+  LossResult loss = SoftmaxCrossEntropy(logits, {1, 2});
+  net.Backward(loss.logits_grad);
+
+  // The projection shortcut contributes a 1x1 convolution: quantization
+  // rows of 1 — the stock-1bitSGD worst case — must be present.
+  bool has_rows_one_conv = false;
+  double grad_norm = 0.0;
+  for (const ParamRef& p : net.Params()) {
+    grad_norm += p.grad->SumSquares();
+    if (p.kind == ParamKind::kConvolutional && p.quant_shape.rows() == 1) {
+      has_rows_one_conv = true;
+    }
+  }
+  EXPECT_TRUE(has_rows_one_conv);
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+TEST(MiniResNetTwoStageTest, TrainsOnEasyTask) {
+  // Smoke convergence: a couple of epochs must move the loss down.
+  Network net = BuildMiniResNetTwoStage(1, 8, 4, 4, 13);
+  // (Training through SyncTrainer is covered elsewhere; this just checks
+  // the network is optimizable standalone.)
+  Rng rng(14);
+  Tensor input(Shape({8, 1, 8, 8}));
+  input.FillGaussian(&rng, 1.0f);
+  const std::vector<int> labels = {0, 1, 2, 3, 0, 1, 2, 3};
+  SgdMomentumOptimizer optimizer(0.05f, 0.9f);
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int step = 0; step < 30; ++step) {
+    net.ZeroGrads();
+    Tensor logits = net.Forward(input, true);
+    LossResult loss = SoftmaxCrossEntropy(logits, labels);
+    if (step == 0) first_loss = loss.loss_sum;
+    last_loss = loss.loss_sum;
+    net.Backward(loss.logits_grad);
+    optimizer.Step(net.Params());
+  }
+  EXPECT_LT(last_loss, 0.5 * first_loss);
+}
+
+}  // namespace
+}  // namespace lpsgd

@@ -1,0 +1,209 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Numerical gradient checks: every layer's Backward must match central
+// finite differences of its Forward, for both input gradients and
+// parameter gradients. This is the strongest correctness property the NN
+// substrate has, so it runs for every layer type including composites.
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "nn/activation.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/lstm.h"
+#include "nn/network.h"
+#include "nn/pool.h"
+
+namespace lpsgd {
+namespace {
+
+// Scalar probe loss: L = sum_i c_i * out_i with fixed random c.
+double ProbeLoss(const Tensor& out, const Tensor& probe) {
+  double loss = 0.0;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    loss += static_cast<double>(out.at(i)) * probe.at(i);
+  }
+  return loss;
+}
+
+struct GradCheckCase {
+  std::string name;
+  std::function<std::unique_ptr<Layer>(Rng*)> make_layer;
+  Shape input_shape;  // including batch dimension
+  double tolerance = 2e-2;
+};
+
+class LayerGradientCheck : public ::testing::TestWithParam<GradCheckCase> {};
+
+TEST_P(LayerGradientCheck, BackwardMatchesFiniteDifferences) {
+  const GradCheckCase& test_case = GetParam();
+  Rng rng(123);
+  std::unique_ptr<Layer> layer = test_case.make_layer(&rng);
+
+  Tensor input(test_case.input_shape);
+  Rng data_rng(321);
+  input.FillGaussian(&data_rng, 1.0f);
+
+  Tensor first_out = layer->Forward(input, /*training=*/true);
+  Tensor probe(first_out.shape());
+  probe.FillGaussian(&data_rng, 1.0f);
+
+  // Analytic gradients.
+  std::vector<ParamRef> params;
+  layer->CollectParams(&params);
+  for (ParamRef& p : params) p.grad->SetZero();
+  Tensor input_grad = layer->Backward(probe);
+
+  const float eps = 1e-2f;
+
+  // Input gradient check on a sample of coordinates.
+  const int64_t input_stride = std::max<int64_t>(1, input.size() / 24);
+  for (int64_t i = 0; i < input.size(); i += input_stride) {
+    const float saved = input.at(i);
+    input.at(i) = saved + eps;
+    const double plus = ProbeLoss(layer->Forward(input, true), probe);
+    input.at(i) = saved - eps;
+    const double minus = ProbeLoss(layer->Forward(input, true), probe);
+    input.at(i) = saved;
+    const double numeric = (plus - minus) / (2.0 * eps);
+    EXPECT_NEAR(input_grad.at(i), numeric,
+                test_case.tolerance * (1.0 + std::abs(numeric)))
+        << test_case.name << " input coordinate " << i;
+  }
+  // Restore caches for parameter checks.
+  layer->Forward(input, true);
+
+  // Parameter gradient check on a sample of coordinates per parameter.
+  for (ParamRef& p : params) {
+    Tensor& value = *p.value;
+    const int64_t stride = std::max<int64_t>(1, value.size() / 16);
+    for (int64_t i = 0; i < value.size(); i += stride) {
+      const float saved = value.at(i);
+      value.at(i) = saved + eps;
+      const double plus = ProbeLoss(layer->Forward(input, true), probe);
+      value.at(i) = saved - eps;
+      const double minus = ProbeLoss(layer->Forward(input, true), probe);
+      value.at(i) = saved;
+      const double numeric = (plus - minus) / (2.0 * eps);
+      EXPECT_NEAR(p.grad->at(i), numeric,
+                  test_case.tolerance * (1.0 + std::abs(numeric)))
+          << test_case.name << " param " << p.name << " coordinate " << i;
+    }
+  }
+}
+
+std::unique_ptr<Layer> MakeResidual(Rng* rng) {
+  std::vector<std::unique_ptr<Layer>> inner;
+  inner.push_back(std::make_unique<Conv2dLayer>("c1", 2, 2, 3, 1, 1, rng));
+  // Tanh rather than ReLU: finite differences need a smooth activation
+  // (ReLU kinks near zero would dominate the error budget).
+  inner.push_back(
+      std::make_unique<ActivationLayer>("t", ActivationKind::kTanh));
+  inner.push_back(std::make_unique<Conv2dLayer>("c2", 2, 2, 3, 1, 1, rng));
+  return std::make_unique<ResidualBlock>("res", std::move(inner));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayers, LayerGradientCheck,
+    ::testing::Values(
+        GradCheckCase{"dense",
+                      [](Rng* rng) {
+                        return std::make_unique<DenseLayer>("fc", 5, 4, rng);
+                      },
+                      Shape({3, 5})},
+        GradCheckCase{"tanh",
+                      [](Rng*) {
+                        return std::make_unique<ActivationLayer>(
+                            "t", ActivationKind::kTanh);
+                      },
+                      Shape({4, 6})},
+        GradCheckCase{"sigmoid",
+                      [](Rng*) {
+                        return std::make_unique<ActivationLayer>(
+                            "s", ActivationKind::kSigmoid);
+                      },
+                      Shape({4, 6})},
+        GradCheckCase{"conv_3x3_pad",
+                      [](Rng* rng) {
+                        return std::make_unique<Conv2dLayer>("c", 2, 3, 3, 1,
+                                                             1, rng);
+                      },
+                      Shape({2, 2, 5, 5})},
+        GradCheckCase{"conv_stride2_nopad",
+                      [](Rng* rng) {
+                        return std::make_unique<Conv2dLayer>("c", 1, 2, 2, 2,
+                                                             0, rng);
+                      },
+                      Shape({2, 1, 6, 6})},
+        GradCheckCase{"global_avg_pool",
+                      [](Rng*) {
+                        return std::make_unique<GlobalAvgPoolLayer>("gap");
+                      },
+                      Shape({2, 3, 4, 4})},
+        GradCheckCase{"flatten",
+                      [](Rng*) {
+                        return std::make_unique<FlattenLayer>("f");
+                      },
+                      Shape({2, 3, 2, 2})},
+        GradCheckCase{"batchnorm_2d",
+                      [](Rng*) {
+                        return std::make_unique<BatchNormLayer>("bn", 4);
+                      },
+                      Shape({6, 4}), /*tolerance=*/4e-2},
+        GradCheckCase{"batchnorm_4d",
+                      [](Rng*) {
+                        return std::make_unique<BatchNormLayer>("bn", 2);
+                      },
+                      Shape({3, 2, 3, 3}), /*tolerance=*/4e-2},
+        GradCheckCase{"lstm",
+                      [](Rng* rng) {
+                        return std::make_unique<LstmLayer>("l", 3, 4, rng);
+                      },
+                      Shape({2, 4, 3}), /*tolerance=*/3e-2},
+        GradCheckCase{"lstm_sequences",
+                      [](Rng* rng) {
+                        return std::make_unique<LstmLayer>(
+                            "l", 3, 4, rng, /*return_sequences=*/true);
+                      },
+                      Shape({2, 4, 3}), /*tolerance=*/3e-2},
+        GradCheckCase{"residual_conv", MakeResidual, Shape({2, 2, 4, 4})}),
+    [](const ::testing::TestParamInfo<GradCheckCase>& info) {
+      return info.param.name;
+    });
+
+// Max pooling is piecewise-linear; finite differences are only valid when
+// the perturbation does not flip the argmax, so it is checked separately
+// with well-separated inputs.
+TEST(MaxPoolGradientCheck, BackwardMatchesFiniteDifferences) {
+  MaxPool2dLayer pool("pool", 2, 2);
+  Tensor input(Shape({1, 1, 4, 4}));
+  // Strictly increasing values: argmax positions are stable under +-eps.
+  for (int64_t i = 0; i < input.size(); ++i) {
+    input.at(i) = static_cast<float>(i);
+  }
+  Tensor out = pool.Forward(input, true);
+  Rng rng(5);
+  Tensor probe(out.shape());
+  probe.FillGaussian(&rng, 1.0f);
+  Tensor input_grad = pool.Backward(probe);
+
+  const float eps = 0.01f;
+  for (int64_t i = 0; i < input.size(); ++i) {
+    const float saved = input.at(i);
+    input.at(i) = saved + eps;
+    const double plus = ProbeLoss(pool.Forward(input, true), probe);
+    input.at(i) = saved - eps;
+    const double minus = ProbeLoss(pool.Forward(input, true), probe);
+    input.at(i) = saved;
+    EXPECT_NEAR(input_grad.at(i), (plus - minus) / (2.0 * eps), 1e-3)
+        << "coordinate " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lpsgd

@@ -1,0 +1,202 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "nn/model_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "nn/loss.h"
+
+namespace lpsgd {
+namespace {
+
+TEST(PaperNetworksTest, ContainsAllSevenNetworks) {
+  const auto& nets = PaperNetworks();
+  ASSERT_EQ(nets.size(), 7u);
+  for (const char* name : {"AlexNet", "VGG19", "BN-Inception", "ResNet50",
+                           "ResNet152", "ResNet110", "LSTM"}) {
+    EXPECT_TRUE(FindNetworkStats(name).ok()) << name;
+  }
+  EXPECT_FALSE(FindNetworkStats("GPT-4").ok());
+}
+
+// Parameter counts should land near Figure 3's reported sizes.
+struct ParamCountCase {
+  const char* name;
+  int64_t figure3_params;
+  double tolerance;  // relative
+};
+
+class ParamCountTest : public ::testing::TestWithParam<ParamCountCase> {};
+
+TEST_P(ParamCountTest, MatchesFigure3) {
+  const ParamCountCase& c = GetParam();
+  auto stats = FindNetworkStats(c.name);
+  ASSERT_TRUE(stats.ok());
+  const double actual = static_cast<double>(stats->TotalParams());
+  const double expected = static_cast<double>(c.figure3_params);
+  EXPECT_NEAR(actual / expected, 1.0, c.tolerance)
+      << c.name << " has " << stats->TotalParams() << " params";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Figure3, ParamCountTest,
+    ::testing::Values(ParamCountCase{"AlexNet", 62000000, 0.05},
+                      ParamCountCase{"VGG19", 143000000, 0.05},
+                      ParamCountCase{"BN-Inception", 11000000, 0.10},
+                      ParamCountCase{"ResNet50", 25000000, 0.10},
+                      ParamCountCase{"ResNet152", 60000000, 0.10},
+                      // Figure 3 rounds ResNet110 down to 1M; the real
+                      // architecture has ~1.7M.
+                      ParamCountCase{"ResNet110", 1700000, 0.10},
+                      ParamCountCase{"LSTM", 13000000, 0.10}));
+
+TEST(PaperNetworksTest, BatchSizesMatchFigure4) {
+  auto alexnet = FindNetworkStats("AlexNet");
+  ASSERT_TRUE(alexnet.ok());
+  for (int gpus : {1, 2, 4, 8, 16}) {
+    EXPECT_EQ(alexnet->BatchForGpus(gpus), 256);
+  }
+  auto vgg = FindNetworkStats("VGG19");
+  ASSERT_TRUE(vgg.ok());
+  EXPECT_EQ(vgg->BatchForGpus(1), 32);
+  EXPECT_EQ(vgg->BatchForGpus(8), 128);
+  auto resnet152 = FindNetworkStats("ResNet152");
+  ASSERT_TRUE(resnet152.ok());
+  EXPECT_EQ(resnet152->BatchForGpus(16), 256);
+  auto lstm = FindNetworkStats("LSTM");
+  ASSERT_TRUE(lstm.ok());
+  EXPECT_EQ(lstm->BatchForGpus(2), 16);
+  EXPECT_EQ(lstm->batch_for_gpus.count(8), 0u);  // "NA" in Figure 4
+}
+
+TEST(PaperNetworksTest, RecipesMatchFigure3) {
+  auto inception = FindNetworkStats("BN-Inception");
+  ASSERT_TRUE(inception.ok());
+  EXPECT_EQ(inception->recipe_epochs, 300);
+  EXPECT_DOUBLE_EQ(inception->initial_learning_rate, 3.6);
+  auto alexnet = FindNetworkStats("AlexNet");
+  ASSERT_TRUE(alexnet.ok());
+  EXPECT_EQ(alexnet->recipe_epochs, 112);
+  EXPECT_DOUBLE_EQ(alexnet->initial_learning_rate, 0.07);
+}
+
+TEST(PaperNetworksTest, ConvNetworksHaveSmallRowConvMatrices) {
+  // The CNTK column artefact requires convolution rows of 1-7.
+  for (const char* name : {"ResNet50", "ResNet152", "BN-Inception"}) {
+    auto stats = FindNetworkStats(name);
+    ASSERT_TRUE(stats.ok());
+    bool has_rows_le_3 = false;
+    for (const MatrixStat& m : stats->matrices) {
+      if (m.kind == ParamKind::kConvolutional) {
+        EXPECT_LE(m.rows, 11) << name;
+        if (m.rows <= 3) has_rows_le_3 = true;
+      }
+    }
+    EXPECT_TRUE(has_rows_le_3) << name;
+  }
+}
+
+TEST(PaperNetworksTest, VggHasSuperlinearBatchEfficiency) {
+  auto vgg = FindNetworkStats("VGG19");
+  ASSERT_TRUE(vgg.ok());
+  EXPECT_GT(vgg->EfficiencyAt(16), 1.3);
+  EXPECT_DOUBLE_EQ(vgg->EfficiencyAt(32), 1.0);
+}
+
+TEST(PaperNetworksTest, PerformanceFigureNetworksAreImageNetNets) {
+  const auto names = PerformanceFigureNetworks();
+  EXPECT_EQ(names.size(), 5u);
+  for (const std::string& name : names) {
+    auto stats = FindNetworkStats(name);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->dataset, "ImageNet") << name;
+  }
+}
+
+// --- Trainable builders -------------------------------------------------
+
+TEST(BuildersTest, MlpForwardBackwardShapes) {
+  Network net = BuildMlp({16, 32, 5}, 1);
+  Tensor input(Shape({4, 16}));
+  Rng rng(2);
+  input.FillGaussian(&rng, 1.0f);
+  Tensor logits = net.Forward(input, true);
+  EXPECT_EQ(logits.shape(), Shape({4, 5}));
+  LossResult loss = SoftmaxCrossEntropy(logits, {0, 1, 2, 3});
+  net.Backward(loss.logits_grad);
+}
+
+TEST(BuildersTest, MiniAlexNetHasConvAndDenseParams) {
+  Network net = BuildMiniAlexNet(1, 8, 10, 7);
+  Tensor input(Shape({2, 1, 8, 8}));
+  Rng rng(3);
+  input.FillGaussian(&rng, 1.0f);
+  Tensor logits = net.Forward(input, true);
+  EXPECT_EQ(logits.shape(), Shape({2, 10}));
+
+  bool has_conv = false, has_dense = false;
+  for (const ParamRef& p : net.Params()) {
+    has_conv |= p.kind == ParamKind::kConvolutional;
+    has_dense |= p.kind == ParamKind::kFullyConnected;
+  }
+  EXPECT_TRUE(has_conv);
+  EXPECT_TRUE(has_dense);
+}
+
+TEST(BuildersTest, MiniResNetRunsForwardBackward) {
+  Network net = BuildMiniResNet(1, 8, /*num_blocks=*/2, /*width=*/8, 10, 5);
+  Tensor input(Shape({2, 1, 8, 8}));
+  Rng rng(4);
+  input.FillGaussian(&rng, 1.0f);
+  Tensor logits = net.Forward(input, true);
+  EXPECT_EQ(logits.shape(), Shape({2, 10}));
+  LossResult loss = SoftmaxCrossEntropy(logits, {3, 7});
+  net.Backward(loss.logits_grad);
+  double grad_norm = 0.0;
+  for (const ParamRef& p : net.Params()) grad_norm += p.grad->SumSquares();
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+TEST(BuildersTest, LstmClassifierRunsForwardBackward) {
+  Network net = BuildLstmClassifier(6, 12, 4, 9);
+  Tensor input(Shape({3, 5, 6}));
+  Rng rng(5);
+  input.FillGaussian(&rng, 1.0f);
+  Tensor logits = net.Forward(input, true);
+  EXPECT_EQ(logits.shape(), Shape({3, 4}));
+  LossResult loss = SoftmaxCrossEntropy(logits, {0, 1, 2});
+  net.Backward(loss.logits_grad);
+}
+
+TEST(BuildersTest, DeepLstmClassifierStacksRecurrentLayers) {
+  Network net = BuildDeepLstmClassifier(6, 10, /*num_lstm_layers=*/3, 4, 9);
+  Tensor input(Shape({2, 5, 6}));
+  Rng rng(6);
+  input.FillGaussian(&rng, 1.0f);
+  Tensor logits = net.Forward(input, true);
+  EXPECT_EQ(logits.shape(), Shape({2, 4}));
+  LossResult loss = SoftmaxCrossEntropy(logits, {0, 3});
+  net.Backward(loss.logits_grad);
+
+  // Three LSTM layers x 3 params + dense x 2.
+  EXPECT_EQ(net.Params().size(), 3u * 3u + 2u);
+  double grad_norm = 0.0;
+  for (const ParamRef& p : net.Params()) grad_norm += p.grad->SumSquares();
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+TEST(BuildersTest, SameSeedSameInitialization) {
+  Network a = BuildMiniAlexNet(1, 8, 10, 42);
+  Network b = BuildMiniAlexNet(1, 8, 10, 42);
+  auto pa = a.Params();
+  auto pb = b.Params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i].value->size(); ++j) {
+      ASSERT_EQ(pa[i].value->at(j), pb[i].value->at(j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpsgd

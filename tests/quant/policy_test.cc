@@ -1,0 +1,120 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "quant/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.h"
+
+namespace lpsgd {
+namespace {
+
+TEST(PolicyTest, QuantizesEverythingWhenAllLarge) {
+  std::vector<Shape> shapes = {Shape({1000, 1000}), Shape({2000, 500})};
+  std::vector<ParamKind> kinds(2, ParamKind::kFullyConnected);
+  QuantizationPolicyOptions options;
+  const auto decision = ChooseQuantizedMatrices(shapes, kinds, options);
+  EXPECT_TRUE(decision[0]);
+  EXPECT_TRUE(decision[1]);
+}
+
+TEST(PolicyTest, BypassesTinyMatrices) {
+  // One 1M matrix and one 10-element matrix: the tiny one is bypassed
+  // because 99% coverage is reached without it.
+  std::vector<Shape> shapes = {Shape({1000, 1000}), Shape({10})};
+  std::vector<ParamKind> kinds = {ParamKind::kFullyConnected,
+                                  ParamKind::kOther};
+  QuantizationPolicyOptions options;
+  const auto decision = ChooseQuantizedMatrices(shapes, kinds, options);
+  EXPECT_TRUE(decision[0]);
+  EXPECT_FALSE(decision[1]);
+}
+
+TEST(PolicyTest, CoversAtLeastTargetFraction) {
+  // Many equal matrices: all must be quantized to reach 99%.
+  std::vector<Shape> shapes(100, Shape({100}));
+  std::vector<ParamKind> kinds(100, ParamKind::kFullyConnected);
+  QuantizationPolicyOptions options;
+  const auto decision = ChooseQuantizedMatrices(shapes, kinds, options);
+  int64_t covered = 0;
+  for (size_t i = 0; i < shapes.size(); ++i) {
+    if (decision[i]) covered += shapes[i].element_count();
+  }
+  EXPECT_GE(covered, 99 * 100);
+}
+
+TEST(PolicyTest, EqualSizedMatricesAtThresholdAllQuantize) {
+  // 99% reached inside a run of equal sizes: the whole run quantizes.
+  std::vector<Shape> shapes(200, Shape({50}));
+  std::vector<ParamKind> kinds(200, ParamKind::kConvolutional);
+  QuantizationPolicyOptions options;
+  const auto decision = ChooseQuantizedMatrices(shapes, kinds, options);
+  for (size_t i = 0; i < decision.size(); ++i) {
+    EXPECT_TRUE(decision[i]) << i;
+  }
+}
+
+TEST(PolicyTest, BiasesAlwaysBypassedByDefault) {
+  std::vector<Shape> shapes = {Shape({10, 10}), Shape({1000000})};
+  std::vector<ParamKind> kinds = {ParamKind::kFullyConnected,
+                                  ParamKind::kBias};
+  QuantizationPolicyOptions options;
+  const auto decision = ChooseQuantizedMatrices(shapes, kinds, options);
+  EXPECT_FALSE(decision[1]);  // bias bypassed even though huge
+
+  options.always_bypass_biases = false;
+  const auto relaxed = ChooseQuantizedMatrices(shapes, kinds, options);
+  EXPECT_TRUE(relaxed[1]);
+}
+
+TEST(PolicyTest, LayerFamilyAblationSwitches) {
+  std::vector<Shape> shapes = {Shape({3, 100000}), Shape({4096, 4096})};
+  std::vector<ParamKind> kinds = {ParamKind::kConvolutional,
+                                  ParamKind::kFullyConnected};
+
+  QuantizationPolicyOptions conv_only;
+  conv_only.quantize_fully_connected = false;
+  auto decision = ChooseQuantizedMatrices(shapes, kinds, conv_only);
+  EXPECT_TRUE(decision[0]);
+  EXPECT_FALSE(decision[1]);
+
+  QuantizationPolicyOptions fc_only;
+  fc_only.quantize_convolutional = false;
+  decision = ChooseQuantizedMatrices(shapes, kinds, fc_only);
+  EXPECT_FALSE(decision[0]);
+  EXPECT_TRUE(decision[1]);
+}
+
+TEST(PolicyTest, PaperNetworksQuantizeOver99Percent) {
+  // Section 3.2.2: "we choose a threshold for small matrices in such a way
+  // so we always quantize more than 99% of all parameters."
+  for (const NetworkStats& net : PaperNetworks()) {
+    std::vector<Shape> shapes;
+    std::vector<ParamKind> kinds;
+    for (const MatrixStat& m : net.matrices) {
+      for (int c = 0; c < m.count; ++c) {
+        shapes.push_back(Shape({m.rows, m.cols}));
+        kinds.push_back(m.kind);
+      }
+    }
+    QuantizationPolicyOptions options;
+    const auto decision = ChooseQuantizedMatrices(shapes, kinds, options);
+    int64_t total = 0, covered = 0;
+    for (size_t i = 0; i < shapes.size(); ++i) {
+      total += shapes[i].element_count();
+      if (decision[i]) covered += shapes[i].element_count();
+    }
+    EXPECT_GE(static_cast<double>(covered) / static_cast<double>(total),
+              0.99)
+        << net.name;
+  }
+}
+
+TEST(PolicyTest, EmptyInput) {
+  QuantizationPolicyOptions options;
+  EXPECT_TRUE(ChooseQuantizedMatrices(std::vector<Shape>{},
+                                      std::vector<ParamKind>{}, options)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace lpsgd

@@ -1,0 +1,89 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include <gtest/gtest.h>
+
+#include "quant/codec.h"
+
+namespace lpsgd {
+namespace {
+
+TEST(ParseCodecSpecTest, FullPrecision) {
+  for (const char* text : {"32bit", "fp32", "FP32", "32BIT"}) {
+    auto spec = ParseCodecSpec(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    EXPECT_EQ(spec->kind, CodecKind::kFullPrecision);
+  }
+}
+
+TEST(ParseCodecSpecTest, OneBitVariants) {
+  auto stock = ParseCodecSpec("1bit");
+  ASSERT_TRUE(stock.ok());
+  EXPECT_EQ(stock->kind, CodecKind::kOneBitSgd);
+
+  auto stock_long = ParseCodecSpec("1bitsgd");
+  ASSERT_TRUE(stock_long.ok());
+  EXPECT_EQ(stock_long->kind, CodecKind::kOneBitSgd);
+
+  auto reshaped = ParseCodecSpec("1bit*");
+  ASSERT_TRUE(reshaped.ok());
+  EXPECT_EQ(reshaped->kind, CodecKind::kOneBitSgdReshaped);
+  EXPECT_EQ(reshaped->bucket_size, 64);
+
+  auto bucketed = ParseCodecSpec("1bit*:512");
+  ASSERT_TRUE(bucketed.ok());
+  EXPECT_EQ(bucketed->bucket_size, 512);
+}
+
+TEST(ParseCodecSpecTest, Qsgd) {
+  auto q4 = ParseCodecSpec("q4");
+  ASSERT_TRUE(q4.ok());
+  EXPECT_EQ(q4->kind, CodecKind::kQsgd);
+  EXPECT_EQ(q4->bits, 4);
+  EXPECT_EQ(q4->bucket_size, 512);  // paper default for 4 bits
+
+  auto q2 = ParseCodecSpec("Q2");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->bucket_size, 128);
+
+  auto custom = ParseCodecSpec("q8:2048");
+  ASSERT_TRUE(custom.ok());
+  EXPECT_EQ(custom->bits, 8);
+  EXPECT_EQ(custom->bucket_size, 2048);
+
+  auto q16 = ParseCodecSpec("q16");
+  ASSERT_TRUE(q16.ok());
+  EXPECT_EQ(q16->bucket_size, 8192);
+}
+
+TEST(ParseCodecSpecTest, TopK) {
+  auto topk = ParseCodecSpec("topk:0.01");
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(topk->kind, CodecKind::kTopK);
+  EXPECT_DOUBLE_EQ(topk->density, 0.01);
+
+  auto full = ParseCodecSpec("topk:1.0");
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ(full->density, 1.0);
+}
+
+TEST(ParseCodecSpecTest, RejectsGarbage) {
+  for (const char* text :
+       {"", "q", "q1", "q17", "q4:", "q4:-1", "q4:abc", "1bit:64",
+        "1bit*:0", "topk", "topk:0", "topk:1.5", "topk:x", "64bit",
+        "qsgd", "32bit:4"}) {
+    EXPECT_FALSE(ParseCodecSpec(text).ok()) << "'" << text << "'";
+  }
+}
+
+TEST(ParseCodecSpecTest, RoundTripsThroughCreateCodec) {
+  for (const char* text :
+       {"32bit", "1bit", "1bit*", "1bit*:128", "q2", "q4", "q8:64", "q16",
+        "topk:0.05"}) {
+    auto spec = ParseCodecSpec(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    auto codec = CreateCodec(*spec);
+    EXPECT_TRUE(codec.ok()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace lpsgd

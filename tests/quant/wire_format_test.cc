@@ -1,0 +1,113 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Golden wire-format pins: the exact bytes each codec produces for a fixed
+// input. These detect accidental format changes — the blobs are what would
+// cross MPI/NCCL between processes of different builds, so the layout is
+// part of the public contract. If a change is intentional, regenerate the
+// goldens (the fixture below documents the input).
+#include <cctype>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "quant/codec.h"
+#include "tensor/shape.h"
+
+namespace lpsgd {
+namespace {
+
+std::string HexEncode(const std::vector<uint8_t>& bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0xf];
+  }
+  return out;
+}
+
+struct GoldenCase {
+  const char* spec;
+  const char* hex;
+};
+
+class WireFormatTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(WireFormatTest, BytesMatchGolden) {
+  const GoldenCase& c = GetParam();
+  auto spec = ParseCodecSpec(c.spec);
+  ASSERT_TRUE(spec.ok());
+  auto codec = CreateCodec(*spec);
+  ASSERT_TRUE(codec.ok());
+
+  const float grad[8] = {0.5f, -1.0f, 0.25f, 0.0f,
+                         2.0f, -0.125f, 1.5f, -2.5f};
+  const Shape shape({4, 2});
+  std::vector<float> error(8, 0.0f);
+  std::vector<uint8_t> blob;
+  (*codec)->Encode(grad, shape, /*stochastic_tag=*/7,
+                   (*codec)->UsesErrorFeedback() ? &error : nullptr, &blob);
+  EXPECT_EQ(HexEncode(blob), c.hex) << c.spec;
+
+  // And the blob must decode without tripping any size checks.
+  std::vector<float> decoded(8);
+  (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
+                   decoded.data());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Goldens, WireFormatTest,
+    ::testing::Values(
+        GoldenCase{"32bit",
+                   "0000003f000080bf0000803e00000000"
+                   "00000040000000be0000c03f000020c0"},
+        GoldenCase{"1bit",
+                   "0000883f0000000000000000abaa9abf0f00000002000000"},
+        GoldenCase{"1bit*:4",
+                   "0000803e000080bf0000e03f0000a8bf5d000000"},
+        GoldenCase{"q4:4", "0000803f00002040f40186f4"},
+        GoldenCase{"topk:0.25",
+                   "02000000040000000700000000000040000020c0"},
+        GoldenCase{"aq4:4",
+                   "0000803f000020400000000033ce4c3d1f00803ee5ffff3ea39919"
+                   "3fdecc4c3fb76d5b3f0000803ff30295f4"}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      std::string name = info.param.spec;
+      std::string out;
+      for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+      }
+      return out;
+    });
+
+// Structural spot-checks that make the formats human-auditable.
+TEST(WireFormatTest, OneBitHeaderIsAvgPairs) {
+  // Columns of {0.5, 0.25, 2.0, 1.5} / {-1, 0, -0.125, -2.5}:
+  // col0: avg+ = 1.0625 (0x3f880000 LE), col1 mixes signs.
+  auto codec = CreateCodec(OneBitSgdSpec());
+  const float grad[8] = {0.5f, -1.0f, 0.25f, 0.0f,
+                         2.0f, -0.125f, 1.5f, -2.5f};
+  std::vector<float> error(8, 0.0f);
+  std::vector<uint8_t> blob;
+  (*codec)->Encode(grad, Shape({4, 2}), 0, &error, &blob);
+  float avg_pos_col0;
+  std::memcpy(&avg_pos_col0, blob.data(), sizeof(float));
+  EXPECT_FLOAT_EQ(avg_pos_col0, (0.5f + 0.25f + 2.0f + 1.5f) / 4.0f);
+}
+
+TEST(WireFormatTest, TopKHeaderIsCount) {
+  auto codec = CreateCodec(TopKSpec(0.25));
+  const float grad[8] = {0.5f, -1.0f, 0.25f, 0.0f,
+                         2.0f, -0.125f, 1.5f, -2.5f};
+  std::vector<float> error(8, 0.0f);
+  std::vector<uint8_t> blob;
+  (*codec)->Encode(grad, Shape({4, 2}), 0, &error, &blob);
+  uint32_t count;
+  std::memcpy(&count, blob.data(), sizeof(uint32_t));
+  EXPECT_EQ(count, 2u);  // 25% of 8
+}
+
+}  // namespace
+}  // namespace lpsgd

@@ -1,0 +1,85 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Figure 16 (left) shape: the EC2 price/accuracy frontier is monotone with
+// diminishing returns, and the model-size/compute ratios order the
+// networks the way Section 6 discusses.
+#include <gtest/gtest.h>
+
+#include "sim/perf_model.h"
+
+namespace lpsgd {
+namespace {
+
+// Cheapest recipe cost across EC2 configurations with 8-bit QSGD over
+// NCCL (full precision at 1 GPU), the Figure 16 setting.
+double CheapestRecipeCostUsd(const std::string& network) {
+  auto stats = FindNetworkStats(network);
+  CHECK_OK(stats.status());
+  double best = 1e18;
+  for (int gpus : {1, 2, 4, 8}) {
+    if (stats->batch_for_gpus.find(gpus) == stats->batch_for_gpus.end()) {
+      continue;
+    }
+    auto machine = Ec2MachineForGpus(gpus);
+    CHECK_OK(machine.status());
+    PerfModel model(*stats, *machine);
+    const CodecSpec codec = gpus == 1 ? FullPrecisionSpec() : QsgdSpec(8);
+    auto cost = model.RecipeCostUsd(codec, CommPrimitive::kNccl, gpus);
+    if (cost.ok()) best = std::min(best, *cost);
+  }
+  return best;
+}
+
+TEST(CostFrontierTest, CostRisesWithAccuracyAcrossTheThreeNetworks) {
+  const double alexnet = CheapestRecipeCostUsd("AlexNet");
+  const double resnet50 = CheapestRecipeCostUsd("ResNet50");
+  const double resnet152 = CheapestRecipeCostUsd("ResNet152");
+  EXPECT_LT(alexnet, resnet50);
+  EXPECT_LT(resnet50, resnet152);
+  // Rough magnitudes from the paper's log-scale axis: ~10^2, high 10^2s,
+  // >2x10^3.
+  EXPECT_GT(alexnet, 30.0);
+  EXPECT_LT(alexnet, 500.0);
+  EXPECT_GT(resnet152, 1000.0);
+  EXPECT_LT(resnet152, 10000.0);
+}
+
+TEST(CostFrontierTest, DiminishingAccuracyReturnsPerDollar) {
+  // AlexNet -> ResNet50 buys ~15 points; ResNet50 -> ResNet152 buys ~2
+  // points for more money (Section 5.4).
+  auto alexnet = FindNetworkStats("AlexNet");
+  auto resnet50 = FindNetworkStats("ResNet50");
+  auto resnet152 = FindNetworkStats("ResNet152");
+  ASSERT_TRUE(alexnet.ok());
+  ASSERT_TRUE(resnet50.ok());
+  ASSERT_TRUE(resnet152.ok());
+  const double step1_points =
+      resnet50->recipe_accuracy_percent - alexnet->recipe_accuracy_percent;
+  const double step2_points = resnet152->recipe_accuracy_percent -
+                              resnet50->recipe_accuracy_percent;
+  const double step1_dollars =
+      CheapestRecipeCostUsd("ResNet50") - CheapestRecipeCostUsd("AlexNet");
+  const double step2_dollars = CheapestRecipeCostUsd("ResNet152") -
+                               CheapestRecipeCostUsd("ResNet50");
+  const double step1_points_per_dollar = step1_points / step1_dollars;
+  const double step2_points_per_dollar = step2_points / step2_dollars;
+  EXPECT_GT(step1_points_per_dollar, 5.0 * step2_points_per_dollar);
+}
+
+TEST(CostFrontierTest, ModelSizeToComputeRatiosOrderNetworks) {
+  // AlexNet has by far the largest MB/GFLOPs ratio (the reason it is the
+  // extrapolation base); ResNet50 and BN-Inception sit at the low end.
+  auto ratio = [](const std::string& name) {
+    auto stats = FindNetworkStats(name);
+    CHECK_OK(stats.status());
+    PerfModel model(*stats, Ec2P2_8xlarge());
+    return model.ModelSizeToComputeRatio();
+  };
+  EXPECT_GT(ratio("AlexNet"), ratio("VGG19"));
+  EXPECT_GT(ratio("VGG19"), ratio("ResNet50"));
+  EXPECT_GT(ratio("ResNet50"), ratio("ResNet152"));
+  EXPECT_GT(ratio("AlexNet"), 10.0 * ratio("ResNet152"));
+}
+
+}  // namespace
+}  // namespace lpsgd

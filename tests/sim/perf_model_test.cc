@@ -1,0 +1,167 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "sim/perf_model.h"
+
+#include <gtest/gtest.h>
+
+namespace lpsgd {
+namespace {
+
+PerfModel AlexNetOn(const MachineSpec& machine) {
+  auto stats = FindNetworkStats("AlexNet");
+  CHECK_OK(stats.status());
+  return PerfModel(*stats, machine);
+}
+
+TEST(PerfModelTest, SingleGpuHasNoCommunication) {
+  PerfModel model = AlexNetOn(Ec2P2Xlarge());
+  auto est = model.Estimate(FullPrecisionSpec(), CommPrimitive::kMpi, 1);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->comm_seconds, 0.0);
+  EXPECT_EQ(est->encode_seconds, 0.0);
+  EXPECT_GT(est->compute_seconds, 0.0);
+  // Calibration point: 256-sample batch at 240.8 samples/sec.
+  EXPECT_NEAR(est->SamplesPerSecond(), 240.8, 0.1);
+}
+
+TEST(PerfModelTest, RejectsInvalidConfigurations) {
+  PerfModel model = AlexNetOn(Ec2P2_8xlarge());
+  EXPECT_FALSE(model.Estimate(FullPrecisionSpec(), CommPrimitive::kMpi, 16)
+                   .ok());  // machine has 8 GPUs
+  EXPECT_FALSE(
+      model.Estimate(FullPrecisionSpec(), CommPrimitive::kMpi, 0).ok());
+
+  PerfModel big = AlexNetOn(Ec2P2_16xlarge());
+  EXPECT_TRUE(
+      big.Estimate(FullPrecisionSpec(), CommPrimitive::kMpi, 16).ok());
+  // NCCL unavailable beyond 8 GPUs (Section 5.2).
+  EXPECT_FALSE(
+      big.Estimate(FullPrecisionSpec(), CommPrimitive::kNccl, 16).ok());
+
+  auto lstm = FindNetworkStats("LSTM");
+  ASSERT_TRUE(lstm.ok());
+  PerfModel lstm_model(*lstm, Ec2P2_8xlarge());
+  // Figure 4 has no LSTM batch size beyond 2 GPUs ("NA").
+  EXPECT_FALSE(
+      lstm_model.Estimate(FullPrecisionSpec(), CommPrimitive::kMpi, 4).ok());
+}
+
+TEST(PerfModelTest, BatchBookkeeping) {
+  PerfModel model = AlexNetOn(Ec2P2_8xlarge());
+  auto est = model.Estimate(QsgdSpec(4), CommPrimitive::kMpi, 8);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->global_batch, 256);
+  EXPECT_EQ(est->per_gpu_batch, 32);
+  EXPECT_EQ(est->codec_label, "QSGD 4bit (b=512)");
+}
+
+TEST(PerfModelTest, EpochSecondsConsistentWithSamplesPerSecond) {
+  PerfModel model = AlexNetOn(Ec2P2_8xlarge());
+  auto est = model.Estimate(FullPrecisionSpec(), CommPrimitive::kMpi, 8);
+  ASSERT_TRUE(est.ok());
+  const double epoch_s = est->EpochSeconds(1281167);
+  EXPECT_NEAR(epoch_s * est->SamplesPerSecond(), 1281167.0,
+              1281167.0 * 1e-9);
+}
+
+TEST(PerfModelTest, QuantizationReducesWireBytes) {
+  PerfModel model = AlexNetOn(Ec2P2_8xlarge());
+  auto fp = model.Estimate(FullPrecisionSpec(), CommPrimitive::kMpi, 8);
+  auto q4 = model.Estimate(QsgdSpec(4), CommPrimitive::kMpi, 8);
+  ASSERT_TRUE(fp.ok());
+  ASSERT_TRUE(q4.ok());
+  EXPECT_EQ(fp->wire_bytes, fp->raw_bytes);
+  EXPECT_LT(q4->wire_bytes, fp->wire_bytes / 5);
+  EXPECT_LT(q4->comm_seconds, fp->comm_seconds);
+  EXPECT_GT(q4->encode_seconds, 0.0);
+}
+
+TEST(PerfModelTest, ComputeTimeIdenticalAcrossPrecisions) {
+  // "the computation time stays the same across different precision
+  // settings" (Section 5.2).
+  PerfModel model = AlexNetOn(Ec2P2_8xlarge());
+  auto fp = model.Estimate(FullPrecisionSpec(), CommPrimitive::kMpi, 8);
+  auto q2 = model.Estimate(QsgdSpec(2), CommPrimitive::kMpi, 8);
+  auto one_bit = model.Estimate(OneBitSgdSpec(), CommPrimitive::kMpi, 8);
+  ASSERT_TRUE(fp.ok());
+  EXPECT_DOUBLE_EQ(fp->compute_seconds, q2->compute_seconds);
+  EXPECT_DOUBLE_EQ(fp->compute_seconds, one_bit->compute_seconds);
+}
+
+TEST(PerfModelTest, Dgx1ComputeFasterThanK80) {
+  PerfModel ec2 = AlexNetOn(Ec2P2_8xlarge());
+  PerfModel dgx = AlexNetOn(Dgx1());
+  auto ec2_est = ec2.Estimate(FullPrecisionSpec(), CommPrimitive::kMpi, 8);
+  auto dgx_est = dgx.Estimate(FullPrecisionSpec(), CommPrimitive::kMpi, 8);
+  ASSERT_TRUE(ec2_est.ok());
+  ASSERT_TRUE(dgx_est.ok());
+  EXPECT_NEAR(ec2_est->compute_seconds / dgx_est->compute_seconds, 1.4,
+              1e-6);
+}
+
+TEST(PerfModelTest, ScalabilityBaselineIsOne) {
+  PerfModel model = AlexNetOn(Ec2P2_16xlarge());
+  auto s1 = model.Scalability(FullPrecisionSpec(), CommPrimitive::kMpi, 1);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_DOUBLE_EQ(*s1, 1.0);
+}
+
+TEST(PerfModelTest, RecipeCostPositiveAndScalesWithPrice) {
+  auto resnet = FindNetworkStats("ResNet50");
+  ASSERT_TRUE(resnet.ok());
+  PerfModel on8(*resnet, Ec2P2_8xlarge());
+  auto cost8 = on8.RecipeCostUsd(QsgdSpec(8), CommPrimitive::kNccl, 8);
+  ASSERT_TRUE(cost8.ok());
+  EXPECT_GT(*cost8, 10.0);     // training ResNet50 is not free
+  EXPECT_LT(*cost8, 100000.0);  // nor absurd
+}
+
+TEST(PerfModelTest, ScaledModelIncreasesCommNotCompute) {
+  PerfModel model = AlexNetOn(Ec2P2_8xlarge());
+  auto base = model.EstimateScaledModel(QsgdSpec(8), CommPrimitive::kNccl,
+                                        8, 1.0);
+  auto big = model.EstimateScaledModel(QsgdSpec(8), CommPrimitive::kNccl,
+                                       8, 50.0);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_DOUBLE_EQ(base->compute_seconds, big->compute_seconds);
+  EXPECT_GT(big->comm_seconds, 10.0 * base->comm_seconds);
+  EXPECT_FALSE(
+      model.EstimateScaledModel(QsgdSpec(8), CommPrimitive::kNccl, 8, 0.5)
+          .ok());
+}
+
+TEST(PerfModelTest, ModelSizeToComputeRatio) {
+  PerfModel model = AlexNetOn(Ec2P2_8xlarge());
+  // AlexNet: ~250 MB / 1.4 GFLOPs ~ 178 MB/GFLOPs.
+  EXPECT_NEAR(model.ModelSizeToComputeRatio(), 178.0, 15.0);
+  EXPECT_NEAR(model.ModelSizeToComputeRatio(10.0),
+              10.0 * model.ModelSizeToComputeRatio(), 1.0);
+}
+
+TEST(PerfModelTest, EstimateConfigurationConvenience) {
+  auto est = EstimateConfiguration("VGG19", Ec2P2_8xlarge(), QsgdSpec(4),
+                                   CommPrimitive::kMpi, 8);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->network, "VGG19");
+  EXPECT_FALSE(EstimateConfiguration("NoSuchNet", Ec2P2_8xlarge(),
+                                     QsgdSpec(4), CommPrimitive::kMpi, 8)
+                   .ok());
+}
+
+TEST(PerfModelTest, CommFractionBetweenZeroAndOne) {
+  for (const std::string& name : PerformanceFigureNetworks()) {
+    auto stats = FindNetworkStats(name);
+    ASSERT_TRUE(stats.ok());
+    PerfModel model(*stats, Ec2P2_16xlarge());
+    for (int gpus : {2, 4, 8, 16}) {
+      auto est =
+          model.Estimate(FullPrecisionSpec(), CommPrimitive::kMpi, gpus);
+      ASSERT_TRUE(est.ok()) << name << " " << gpus;
+      EXPECT_GT(est->CommFraction(), 0.0);
+      EXPECT_LT(est->CommFraction(), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpsgd

@@ -1,0 +1,58 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace lpsgd {
+namespace {
+
+TEST(ShapeTest, ElementCountAndDims) {
+  Shape s({2, 3, 4});
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.element_count(), 24);
+}
+
+TEST(ShapeTest, ScalarShape) {
+  Shape s;
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.element_count(), 1);
+  EXPECT_EQ(s.rows(), 1);
+  EXPECT_EQ(s.cols(), 1);
+}
+
+TEST(ShapeTest, CntkMatrixViewFlattensTrailingDims) {
+  // Section 3.2.1: first dimension is the row; the rest flatten to columns.
+  Shape conv({3, 3, 64, 128});
+  EXPECT_EQ(conv.rows(), 3);
+  EXPECT_EQ(conv.cols(), 3 * 64 * 128);
+
+  Shape dense({4096, 9216});
+  EXPECT_EQ(dense.rows(), 4096);
+  EXPECT_EQ(dense.cols(), 9216);
+
+  Shape vec({1000});
+  EXPECT_EQ(vec.rows(), 1000);
+  EXPECT_EQ(vec.cols(), 1);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(Shape({2, 3}).ToString(), "[2 x 3]");
+  EXPECT_EQ(Shape({7}).ToString(), "[7]");
+  EXPECT_EQ(Shape().ToString(), "[]");
+}
+
+TEST(ShapeTest, ZeroDimensionGivesZeroElements) {
+  Shape s({4, 0, 2});
+  EXPECT_EQ(s.element_count(), 0);
+}
+
+}  // namespace
+}  // namespace lpsgd
