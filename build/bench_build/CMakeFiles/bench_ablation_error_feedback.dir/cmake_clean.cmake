@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_error_feedback"
+  "../bench/bench_ablation_error_feedback.pdb"
+  "CMakeFiles/bench_ablation_error_feedback.dir/bench_ablation_error_feedback.cc.o"
+  "CMakeFiles/bench_ablation_error_feedback.dir/bench_ablation_error_feedback.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_error_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_small_matrix"
+  "../bench/bench_ablation_small_matrix.pdb"
+  "CMakeFiles/bench_ablation_small_matrix.dir/bench_ablation_small_matrix.cc.o"
+  "CMakeFiles/bench_ablation_small_matrix.dir/bench_ablation_small_matrix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_small_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

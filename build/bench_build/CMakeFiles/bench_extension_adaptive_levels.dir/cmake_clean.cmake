@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_adaptive_levels"
+  "../bench/bench_extension_adaptive_levels.pdb"
+  "CMakeFiles/bench_extension_adaptive_levels.dir/bench_extension_adaptive_levels.cc.o"
+  "CMakeFiles/bench_extension_adaptive_levels.dir/bench_extension_adaptive_levels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_adaptive_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_multinode"
+  "../bench/bench_extension_multinode.pdb"
+  "CMakeFiles/bench_extension_multinode.dir/bench_extension_multinode.cc.o"
+  "CMakeFiles/bench_extension_multinode.dir/bench_extension_multinode.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

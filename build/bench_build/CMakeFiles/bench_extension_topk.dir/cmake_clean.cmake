@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_topk"
+  "../bench/bench_extension_topk.pdb"
+  "CMakeFiles/bench_extension_topk.dir/bench_extension_topk.cc.o"
+  "CMakeFiles/bench_extension_topk.dir/bench_extension_topk.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

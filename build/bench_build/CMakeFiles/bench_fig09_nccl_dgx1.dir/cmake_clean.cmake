@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_nccl_dgx1"
+  "../bench/bench_fig09_nccl_dgx1.pdb"
+  "CMakeFiles/bench_fig09_nccl_dgx1.dir/bench_fig09_nccl_dgx1.cc.o"
+  "CMakeFiles/bench_fig09_nccl_dgx1.dir/bench_fig09_nccl_dgx1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_nccl_dgx1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

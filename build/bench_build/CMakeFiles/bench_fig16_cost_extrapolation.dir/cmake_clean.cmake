@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_cost_extrapolation"
+  "../bench/bench_fig16_cost_extrapolation.pdb"
+  "CMakeFiles/bench_fig16_cost_extrapolation.dir/bench_fig16_cost_extrapolation.cc.o"
+  "CMakeFiles/bench_fig16_cost_extrapolation.dir/bench_fig16_cost_extrapolation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_cost_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

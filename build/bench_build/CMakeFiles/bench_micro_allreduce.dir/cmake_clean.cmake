@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_allreduce"
+  "../bench/bench_micro_allreduce.pdb"
+  "CMakeFiles/bench_micro_allreduce.dir/bench_micro_allreduce.cc.o"
+  "CMakeFiles/bench_micro_allreduce.dir/bench_micro_allreduce.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_setup_tables"
+  "../bench/bench_setup_tables.pdb"
+  "CMakeFiles/bench_setup_tables.dir/bench_setup_tables.cc.o"
+  "CMakeFiles/bench_setup_tables.dir/bench_setup_tables.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_setup_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cc" "bench_build/CMakeFiles/lpsgd_bench_util.dir/bench_util.cc.o" "gcc" "bench_build/CMakeFiles/lpsgd_bench_util.dir/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lpsgd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lpsgd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lpsgd_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/lpsgd_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lpsgd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lpsgd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/lpsgd_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lpsgd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lpsgd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

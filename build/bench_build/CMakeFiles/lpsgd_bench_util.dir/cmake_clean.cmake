@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsgd_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/lpsgd_bench_util.dir/bench_util.cc.o.d"
+  "liblpsgd_bench_util.a"
+  "liblpsgd_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsgd_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

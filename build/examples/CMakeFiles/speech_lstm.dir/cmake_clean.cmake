@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_lstm.dir/speech_lstm.cpp.o"
+  "CMakeFiles/speech_lstm.dir/speech_lstm.cpp.o.d"
+  "speech_lstm"
+  "speech_lstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

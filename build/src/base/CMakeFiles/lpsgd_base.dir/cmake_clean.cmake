@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsgd_base.dir/bit_packing.cc.o"
+  "CMakeFiles/lpsgd_base.dir/bit_packing.cc.o.d"
+  "CMakeFiles/lpsgd_base.dir/logging.cc.o"
+  "CMakeFiles/lpsgd_base.dir/logging.cc.o.d"
+  "CMakeFiles/lpsgd_base.dir/rng.cc.o"
+  "CMakeFiles/lpsgd_base.dir/rng.cc.o.d"
+  "CMakeFiles/lpsgd_base.dir/status.cc.o"
+  "CMakeFiles/lpsgd_base.dir/status.cc.o.d"
+  "CMakeFiles/lpsgd_base.dir/strings.cc.o"
+  "CMakeFiles/lpsgd_base.dir/strings.cc.o.d"
+  "CMakeFiles/lpsgd_base.dir/table_printer.cc.o"
+  "CMakeFiles/lpsgd_base.dir/table_printer.cc.o.d"
+  "liblpsgd_base.a"
+  "liblpsgd_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsgd_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

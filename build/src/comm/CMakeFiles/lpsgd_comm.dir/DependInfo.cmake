@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/allreduce.cc" "src/comm/CMakeFiles/lpsgd_comm.dir/allreduce.cc.o" "gcc" "src/comm/CMakeFiles/lpsgd_comm.dir/allreduce.cc.o.d"
+  "/root/repo/src/comm/cost_model.cc" "src/comm/CMakeFiles/lpsgd_comm.dir/cost_model.cc.o" "gcc" "src/comm/CMakeFiles/lpsgd_comm.dir/cost_model.cc.o.d"
+  "/root/repo/src/comm/mpi_reduce_bcast.cc" "src/comm/CMakeFiles/lpsgd_comm.dir/mpi_reduce_bcast.cc.o" "gcc" "src/comm/CMakeFiles/lpsgd_comm.dir/mpi_reduce_bcast.cc.o.d"
+  "/root/repo/src/comm/nccl_ring.cc" "src/comm/CMakeFiles/lpsgd_comm.dir/nccl_ring.cc.o" "gcc" "src/comm/CMakeFiles/lpsgd_comm.dir/nccl_ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/lpsgd_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/lpsgd_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lpsgd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lpsgd_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lpsgd_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsgd_comm.dir/allreduce.cc.o"
+  "CMakeFiles/lpsgd_comm.dir/allreduce.cc.o.d"
+  "CMakeFiles/lpsgd_comm.dir/cost_model.cc.o"
+  "CMakeFiles/lpsgd_comm.dir/cost_model.cc.o.d"
+  "CMakeFiles/lpsgd_comm.dir/mpi_reduce_bcast.cc.o"
+  "CMakeFiles/lpsgd_comm.dir/mpi_reduce_bcast.cc.o.d"
+  "CMakeFiles/lpsgd_comm.dir/nccl_ring.cc.o"
+  "CMakeFiles/lpsgd_comm.dir/nccl_ring.cc.o.d"
+  "liblpsgd_comm.a"
+  "liblpsgd_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsgd_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsgd_core.dir/experiment.cc.o"
+  "CMakeFiles/lpsgd_core.dir/experiment.cc.o.d"
+  "CMakeFiles/lpsgd_core.dir/trainer.cc.o"
+  "CMakeFiles/lpsgd_core.dir/trainer.cc.o.d"
+  "liblpsgd_core.a"
+  "liblpsgd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsgd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

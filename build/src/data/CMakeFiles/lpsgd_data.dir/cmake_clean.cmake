@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsgd_data.dir/dataset.cc.o"
+  "CMakeFiles/lpsgd_data.dir/dataset.cc.o.d"
+  "CMakeFiles/lpsgd_data.dir/synthetic.cc.o"
+  "CMakeFiles/lpsgd_data.dir/synthetic.cc.o.d"
+  "liblpsgd_data.a"
+  "liblpsgd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsgd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

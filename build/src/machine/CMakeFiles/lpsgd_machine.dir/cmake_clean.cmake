@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsgd_machine.dir/specs.cc.o"
+  "CMakeFiles/lpsgd_machine.dir/specs.cc.o.d"
+  "liblpsgd_machine.a"
+  "liblpsgd_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsgd_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

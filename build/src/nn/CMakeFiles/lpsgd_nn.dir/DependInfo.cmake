@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/lpsgd_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/lpsgd_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/batchnorm.cc" "src/nn/CMakeFiles/lpsgd_nn.dir/batchnorm.cc.o" "gcc" "src/nn/CMakeFiles/lpsgd_nn.dir/batchnorm.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/lpsgd_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/lpsgd_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/lpsgd_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/lpsgd_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/lpsgd_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/lpsgd_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/lpsgd_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/lpsgd_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/lpsgd_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/lpsgd_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/model_zoo.cc" "src/nn/CMakeFiles/lpsgd_nn.dir/model_zoo.cc.o" "gcc" "src/nn/CMakeFiles/lpsgd_nn.dir/model_zoo.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/lpsgd_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/lpsgd_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/lpsgd_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/lpsgd_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/pool.cc" "src/nn/CMakeFiles/lpsgd_nn.dir/pool.cc.o" "gcc" "src/nn/CMakeFiles/lpsgd_nn.dir/pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/lpsgd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lpsgd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

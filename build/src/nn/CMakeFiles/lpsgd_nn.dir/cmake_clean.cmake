@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsgd_nn.dir/activation.cc.o"
+  "CMakeFiles/lpsgd_nn.dir/activation.cc.o.d"
+  "CMakeFiles/lpsgd_nn.dir/batchnorm.cc.o"
+  "CMakeFiles/lpsgd_nn.dir/batchnorm.cc.o.d"
+  "CMakeFiles/lpsgd_nn.dir/conv2d.cc.o"
+  "CMakeFiles/lpsgd_nn.dir/conv2d.cc.o.d"
+  "CMakeFiles/lpsgd_nn.dir/dense.cc.o"
+  "CMakeFiles/lpsgd_nn.dir/dense.cc.o.d"
+  "CMakeFiles/lpsgd_nn.dir/dropout.cc.o"
+  "CMakeFiles/lpsgd_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/lpsgd_nn.dir/loss.cc.o"
+  "CMakeFiles/lpsgd_nn.dir/loss.cc.o.d"
+  "CMakeFiles/lpsgd_nn.dir/lstm.cc.o"
+  "CMakeFiles/lpsgd_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/lpsgd_nn.dir/model_zoo.cc.o"
+  "CMakeFiles/lpsgd_nn.dir/model_zoo.cc.o.d"
+  "CMakeFiles/lpsgd_nn.dir/network.cc.o"
+  "CMakeFiles/lpsgd_nn.dir/network.cc.o.d"
+  "CMakeFiles/lpsgd_nn.dir/optimizer.cc.o"
+  "CMakeFiles/lpsgd_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/lpsgd_nn.dir/pool.cc.o"
+  "CMakeFiles/lpsgd_nn.dir/pool.cc.o.d"
+  "liblpsgd_nn.a"
+  "liblpsgd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsgd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

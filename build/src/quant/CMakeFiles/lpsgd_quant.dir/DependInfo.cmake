@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/adaptive_qsgd.cc" "src/quant/CMakeFiles/lpsgd_quant.dir/adaptive_qsgd.cc.o" "gcc" "src/quant/CMakeFiles/lpsgd_quant.dir/adaptive_qsgd.cc.o.d"
+  "/root/repo/src/quant/codec.cc" "src/quant/CMakeFiles/lpsgd_quant.dir/codec.cc.o" "gcc" "src/quant/CMakeFiles/lpsgd_quant.dir/codec.cc.o.d"
+  "/root/repo/src/quant/full_precision.cc" "src/quant/CMakeFiles/lpsgd_quant.dir/full_precision.cc.o" "gcc" "src/quant/CMakeFiles/lpsgd_quant.dir/full_precision.cc.o.d"
+  "/root/repo/src/quant/one_bit_sgd.cc" "src/quant/CMakeFiles/lpsgd_quant.dir/one_bit_sgd.cc.o" "gcc" "src/quant/CMakeFiles/lpsgd_quant.dir/one_bit_sgd.cc.o.d"
+  "/root/repo/src/quant/policy.cc" "src/quant/CMakeFiles/lpsgd_quant.dir/policy.cc.o" "gcc" "src/quant/CMakeFiles/lpsgd_quant.dir/policy.cc.o.d"
+  "/root/repo/src/quant/qsgd.cc" "src/quant/CMakeFiles/lpsgd_quant.dir/qsgd.cc.o" "gcc" "src/quant/CMakeFiles/lpsgd_quant.dir/qsgd.cc.o.d"
+  "/root/repo/src/quant/topk.cc" "src/quant/CMakeFiles/lpsgd_quant.dir/topk.cc.o" "gcc" "src/quant/CMakeFiles/lpsgd_quant.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/lpsgd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lpsgd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lpsgd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

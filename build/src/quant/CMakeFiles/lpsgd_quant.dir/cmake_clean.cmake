@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsgd_quant.dir/adaptive_qsgd.cc.o"
+  "CMakeFiles/lpsgd_quant.dir/adaptive_qsgd.cc.o.d"
+  "CMakeFiles/lpsgd_quant.dir/codec.cc.o"
+  "CMakeFiles/lpsgd_quant.dir/codec.cc.o.d"
+  "CMakeFiles/lpsgd_quant.dir/full_precision.cc.o"
+  "CMakeFiles/lpsgd_quant.dir/full_precision.cc.o.d"
+  "CMakeFiles/lpsgd_quant.dir/one_bit_sgd.cc.o"
+  "CMakeFiles/lpsgd_quant.dir/one_bit_sgd.cc.o.d"
+  "CMakeFiles/lpsgd_quant.dir/policy.cc.o"
+  "CMakeFiles/lpsgd_quant.dir/policy.cc.o.d"
+  "CMakeFiles/lpsgd_quant.dir/qsgd.cc.o"
+  "CMakeFiles/lpsgd_quant.dir/qsgd.cc.o.d"
+  "CMakeFiles/lpsgd_quant.dir/topk.cc.o"
+  "CMakeFiles/lpsgd_quant.dir/topk.cc.o.d"
+  "liblpsgd_quant.a"
+  "liblpsgd_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsgd_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

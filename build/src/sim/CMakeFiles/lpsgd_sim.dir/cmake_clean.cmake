@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsgd_sim.dir/perf_model.cc.o"
+  "CMakeFiles/lpsgd_sim.dir/perf_model.cc.o.d"
+  "liblpsgd_sim.a"
+  "liblpsgd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsgd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

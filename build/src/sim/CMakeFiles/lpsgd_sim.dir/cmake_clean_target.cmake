@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblpsgd_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpsgd_tensor.dir/ops.cc.o"
+  "CMakeFiles/lpsgd_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/lpsgd_tensor.dir/shape.cc.o"
+  "CMakeFiles/lpsgd_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/lpsgd_tensor.dir/tensor.cc.o"
+  "CMakeFiles/lpsgd_tensor.dir/tensor.cc.o.d"
+  "liblpsgd_tensor.a"
+  "liblpsgd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpsgd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

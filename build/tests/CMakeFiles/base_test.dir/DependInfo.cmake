@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/base/bit_packing_test.cc" "tests/CMakeFiles/base_test.dir/base/bit_packing_test.cc.o" "gcc" "tests/CMakeFiles/base_test.dir/base/bit_packing_test.cc.o.d"
+  "/root/repo/tests/base/rng_test.cc" "tests/CMakeFiles/base_test.dir/base/rng_test.cc.o" "gcc" "tests/CMakeFiles/base_test.dir/base/rng_test.cc.o.d"
+  "/root/repo/tests/base/status_test.cc" "tests/CMakeFiles/base_test.dir/base/status_test.cc.o" "gcc" "tests/CMakeFiles/base_test.dir/base/status_test.cc.o.d"
+  "/root/repo/tests/base/strings_test.cc" "tests/CMakeFiles/base_test.dir/base/strings_test.cc.o" "gcc" "tests/CMakeFiles/base_test.dir/base/strings_test.cc.o.d"
+  "/root/repo/tests/base/table_printer_test.cc" "tests/CMakeFiles/base_test.dir/base/table_printer_test.cc.o" "gcc" "tests/CMakeFiles/base_test.dir/base/table_printer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lpsgd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lpsgd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lpsgd_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/lpsgd_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lpsgd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lpsgd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/lpsgd_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lpsgd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lpsgd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

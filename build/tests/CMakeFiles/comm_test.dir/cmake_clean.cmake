@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_test.dir/comm/allreduce_test.cc.o"
+  "CMakeFiles/comm_test.dir/comm/allreduce_test.cc.o.d"
+  "CMakeFiles/comm_test.dir/comm/cost_model_test.cc.o"
+  "CMakeFiles/comm_test.dir/comm/cost_model_test.cc.o.d"
+  "CMakeFiles/comm_test.dir/comm/mpi_requantize_test.cc.o"
+  "CMakeFiles/comm_test.dir/comm/mpi_requantize_test.cc.o.d"
+  "comm_test"
+  "comm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

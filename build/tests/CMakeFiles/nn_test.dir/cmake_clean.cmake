@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test.dir/nn/checkpoint_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/checkpoint_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/dropout_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/dropout_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/gradient_check_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/gradient_check_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/layers_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/layers_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/model_zoo_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/model_zoo_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/network_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/network_test.cc.o.d"
+  "nn_test"
+  "nn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quant/adaptive_qsgd_test.cc" "tests/CMakeFiles/quant_test.dir/quant/adaptive_qsgd_test.cc.o" "gcc" "tests/CMakeFiles/quant_test.dir/quant/adaptive_qsgd_test.cc.o.d"
+  "/root/repo/tests/quant/codec_fuzz_test.cc" "tests/CMakeFiles/quant_test.dir/quant/codec_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/quant_test.dir/quant/codec_fuzz_test.cc.o.d"
+  "/root/repo/tests/quant/codec_test.cc" "tests/CMakeFiles/quant_test.dir/quant/codec_test.cc.o" "gcc" "tests/CMakeFiles/quant_test.dir/quant/codec_test.cc.o.d"
+  "/root/repo/tests/quant/one_bit_sgd_test.cc" "tests/CMakeFiles/quant_test.dir/quant/one_bit_sgd_test.cc.o" "gcc" "tests/CMakeFiles/quant_test.dir/quant/one_bit_sgd_test.cc.o.d"
+  "/root/repo/tests/quant/policy_test.cc" "tests/CMakeFiles/quant_test.dir/quant/policy_test.cc.o" "gcc" "tests/CMakeFiles/quant_test.dir/quant/policy_test.cc.o.d"
+  "/root/repo/tests/quant/qsgd_test.cc" "tests/CMakeFiles/quant_test.dir/quant/qsgd_test.cc.o" "gcc" "tests/CMakeFiles/quant_test.dir/quant/qsgd_test.cc.o.d"
+  "/root/repo/tests/quant/spec_parse_test.cc" "tests/CMakeFiles/quant_test.dir/quant/spec_parse_test.cc.o" "gcc" "tests/CMakeFiles/quant_test.dir/quant/spec_parse_test.cc.o.d"
+  "/root/repo/tests/quant/topk_test.cc" "tests/CMakeFiles/quant_test.dir/quant/topk_test.cc.o" "gcc" "tests/CMakeFiles/quant_test.dir/quant/topk_test.cc.o.d"
+  "/root/repo/tests/quant/wire_format_test.cc" "tests/CMakeFiles/quant_test.dir/quant/wire_format_test.cc.o" "gcc" "tests/CMakeFiles/quant_test.dir/quant/wire_format_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lpsgd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lpsgd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/lpsgd_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/lpsgd_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lpsgd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lpsgd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/lpsgd_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/lpsgd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lpsgd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

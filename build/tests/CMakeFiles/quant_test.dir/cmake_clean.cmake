@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_test.dir/quant/adaptive_qsgd_test.cc.o"
+  "CMakeFiles/quant_test.dir/quant/adaptive_qsgd_test.cc.o.d"
+  "CMakeFiles/quant_test.dir/quant/codec_fuzz_test.cc.o"
+  "CMakeFiles/quant_test.dir/quant/codec_fuzz_test.cc.o.d"
+  "CMakeFiles/quant_test.dir/quant/codec_test.cc.o"
+  "CMakeFiles/quant_test.dir/quant/codec_test.cc.o.d"
+  "CMakeFiles/quant_test.dir/quant/one_bit_sgd_test.cc.o"
+  "CMakeFiles/quant_test.dir/quant/one_bit_sgd_test.cc.o.d"
+  "CMakeFiles/quant_test.dir/quant/policy_test.cc.o"
+  "CMakeFiles/quant_test.dir/quant/policy_test.cc.o.d"
+  "CMakeFiles/quant_test.dir/quant/qsgd_test.cc.o"
+  "CMakeFiles/quant_test.dir/quant/qsgd_test.cc.o.d"
+  "CMakeFiles/quant_test.dir/quant/spec_parse_test.cc.o"
+  "CMakeFiles/quant_test.dir/quant/spec_parse_test.cc.o.d"
+  "CMakeFiles/quant_test.dir/quant/topk_test.cc.o"
+  "CMakeFiles/quant_test.dir/quant/topk_test.cc.o.d"
+  "CMakeFiles/quant_test.dir/quant/wire_format_test.cc.o"
+  "CMakeFiles/quant_test.dir/quant/wire_format_test.cc.o.d"
+  "quant_test"
+  "quant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

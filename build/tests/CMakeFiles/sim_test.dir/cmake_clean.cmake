@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/sim/cost_frontier_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/cost_frontier_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/perf_model_claims_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/perf_model_claims_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/perf_model_nccl_band_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/perf_model_nccl_band_test.cc.o.d"
+  "CMakeFiles/sim_test.dir/sim/perf_model_test.cc.o"
+  "CMakeFiles/sim_test.dir/sim/perf_model_test.cc.o.d"
+  "sim_test"
+  "sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
