@@ -49,7 +49,8 @@ double TrainWith(CodecSpec codec) {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_ablation_bucket_size");
   using namespace lpsgd;  // NOLINT(build/namespaces)
   bench::PrintHeader(
       "Ablation: QSGD bucket size (2-bit, L2 scaling)",

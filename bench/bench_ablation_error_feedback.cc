@@ -52,7 +52,8 @@ RunResult TrainWith(CodecSpec codec) {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_ablation_error_feedback");
   using namespace lpsgd;  // NOLINT(build/namespaces)
   bench::PrintHeader(
       "Ablation: 1bitSGD error feedback",

@@ -85,7 +85,8 @@ void Run() {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_ablation_layer_sensitivity");
   lpsgd::Run();
   return 0;
 }

@@ -49,7 +49,8 @@ void Run(CommPrimitive primitive) {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_ablation_overlap");
   lpsgd::Run(lpsgd::CommPrimitive::kMpi);
   lpsgd::Run(lpsgd::CommPrimitive::kNccl);
   std::cout << "\nReading: with MPI, even ideal overlap cannot hide "

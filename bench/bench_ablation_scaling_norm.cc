@@ -93,7 +93,8 @@ double TrainWith(QsgdNorm norm) {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_ablation_scaling_norm");
   using namespace lpsgd;  // NOLINT(build/namespaces)
   bench::PrintHeader("Ablation: QSGD scaling norm (L2 vs max element)",
                      "Variance, sparsity, and end accuracy per norm.");

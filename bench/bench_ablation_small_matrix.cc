@@ -90,7 +90,8 @@ void PrintPolicyEffect() {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_ablation_small_matrix");
   lpsgd::PrintPolicyEffect();
   return 0;
 }

@@ -79,7 +79,8 @@ double TrainWith(const CodecSpec& codec) {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_extension_adaptive_levels");
   using namespace lpsgd;  // NOLINT(build/namespaces)
   bench::PrintHeader(
       "Extension: ZipML-style adaptive quantization levels (Section 2.3)",

@@ -73,7 +73,8 @@ void Run() {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_extension_multinode");
   lpsgd::Run();
   return 0;
 }

@@ -109,7 +109,8 @@ void WireBytesVsQsgd() {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_extension_topk");
   lpsgd::AccuracyVsDensity();
   lpsgd::WireBytesVsQsgd();
   return 0;

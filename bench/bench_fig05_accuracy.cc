@@ -211,7 +211,8 @@ void Figure5e() {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_fig05_accuracy");
   lpsgd::Figure5a();
   lpsgd::Figure5bc();
   lpsgd::Figure5d();

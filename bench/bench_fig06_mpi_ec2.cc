@@ -7,7 +7,8 @@
 #include "bench/bench_util.h"
 #include "machine/specs.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_fig06_mpi_ec2");
   lpsgd::bench::PrintEpochTimeBars(
       "Figure 6", "Performance: Amazon EC2 instance with MPI, 8 GPUs.",
       lpsgd::Ec2P2_8xlarge(), lpsgd::CommPrimitive::kMpi,

@@ -5,7 +5,8 @@
 #include "bench/bench_util.h"
 #include "machine/specs.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_fig07_nccl_ec2");
   lpsgd::bench::PrintEpochTimeBars(
       "Figure 7", "Performance: Amazon EC2 instance with NCCL, 8 GPUs.",
       lpsgd::Ec2P2_8xlarge(), lpsgd::CommPrimitive::kNccl,

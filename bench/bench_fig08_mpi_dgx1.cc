@@ -5,7 +5,8 @@
 #include "bench/bench_util.h"
 #include "machine/specs.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_fig08_mpi_dgx1");
   lpsgd::bench::PrintEpochTimeBars(
       "Figure 8", "Performance: NVIDIA DGX-1 with MPI, {2,4,8} GPUs.",
       lpsgd::Dgx1(), lpsgd::CommPrimitive::kMpi,

@@ -63,7 +63,8 @@ void PrintNetworkTable(const std::string& network) {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_fig10_mpi_table");
   for (const char* network : {"AlexNet", "ResNet50", "ResNet110",
                               "ResNet152", "VGG19", "BN-Inception"}) {
     lpsgd::PrintNetworkTable(network);

@@ -4,7 +4,8 @@
 #include "bench/bench_util.h"
 #include "machine/specs.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_fig12_scalability_mpi_ec2");
   lpsgd::bench::PrintScalabilityFigure(
       "Figure 12",
       "Scalability: Amazon EC2 instance with MPI "

@@ -5,7 +5,8 @@
 #include "bench/bench_util.h"
 #include "machine/specs.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_fig13_scalability_nccl_ec2");
   lpsgd::bench::PrintScalabilityFigure(
       "Figure 13",
       "Scalability: Amazon EC2 instance with NCCL "

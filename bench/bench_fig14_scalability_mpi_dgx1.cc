@@ -4,7 +4,8 @@
 #include "bench/bench_util.h"
 #include "machine/specs.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_fig14_scalability_mpi_dgx1");
   lpsgd::bench::PrintScalabilityFigure(
       "Figure 14",
       "Scalability: NVIDIA DGX-1 with MPI (samples/sec over 1-GPU 32bit).",

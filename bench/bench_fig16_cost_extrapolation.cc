@@ -110,7 +110,8 @@ void PrintExtrapolation() {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_fig16_cost_extrapolation");
   lpsgd::PrintCostAccuracyFrontier();
   lpsgd::PrintExtrapolation();
   return 0;

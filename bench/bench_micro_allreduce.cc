@@ -5,6 +5,8 @@
 // movement between simulated ranks), by codec, engine, and rank count.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <memory>
 #include <vector>
 
@@ -106,4 +108,14 @@ BENCHMARK(BM_NcclSimulatedQsgd4)->Args({4, kElems})->Args({8, kElems});
 }  // namespace
 }  // namespace lpsgd
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the BenchRun harness in front: it
+// strips --metrics_out/--trace_out before benchmark::Initialize
+// sees (and would reject) them.
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_micro_allreduce");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

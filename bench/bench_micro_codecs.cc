@@ -6,6 +6,8 @@
 // time separately through the cost model).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <vector>
 
 #include "base/logging.h"
@@ -119,4 +121,14 @@ BENCHMARK(BM_DecodeOneBitReshaped)->Arg(kSmall)->Arg(kLarge);
 }  // namespace
 }  // namespace lpsgd
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the BenchRun harness in front: it
+// strips --metrics_out/--trace_out before benchmark::Initialize
+// sees (and would reject) them.
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_micro_codecs");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

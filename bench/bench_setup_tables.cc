@@ -73,7 +73,8 @@ void PrintFigure4() {
 }  // namespace
 }  // namespace lpsgd
 
-int main() {
+int main(int argc, char** argv) {
+  lpsgd::bench::BenchRun bench_run(&argc, argv, "bench_setup_tables");
   lpsgd::PrintFigure1();
   lpsgd::PrintFigure2();
   lpsgd::PrintFigure3();

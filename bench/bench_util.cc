@@ -3,13 +3,72 @@
 
 #include <algorithm>
 #include <iostream>
+#include <string_view>
 
 #include "base/logging.h"
 #include "base/strings.h"
 #include "base/table_printer.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 
 namespace lpsgd {
 namespace bench {
+
+BenchRun::BenchRun(int* argc, char** argv, const std::string& binary_name) {
+  CHECK(argc != nullptr);
+  // Strip our flags in place so downstream parsers (Google Benchmark)
+  // never see them.
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kMetricsFlag = "--metrics_out=";
+    constexpr std::string_view kTraceFlag = "--trace_out=";
+    if (arg.rfind(kMetricsFlag, 0) == 0) {
+      metrics_path_ = std::string(arg.substr(kMetricsFlag.size()));
+    } else if (arg.rfind(kTraceFlag, 0) == 0) {
+      trace_path_ = std::string(arg.substr(kTraceFlag.size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  for (int i = out; i < *argc; ++i) argv[i] = nullptr;
+  *argc = out;
+
+  obs::RunReport::Global().set_binary(binary_name);
+  if (!metrics_path_.empty()) {
+    obs::MetricsRegistry::Global().set_enabled(true);
+    obs::RunReport::Global().set_enabled(true);
+  }
+  if (!trace_path_.empty()) {
+    obs::Tracer::Global().set_enabled(true);
+  }
+}
+
+BenchRun::~BenchRun() {
+  if (!metrics_path_.empty()) {
+    const Status status = obs::RunReport::Global().WriteFile(
+        metrics_path_, &obs::MetricsRegistry::Global());
+    if (!status.ok()) {
+      LOG(Error) << "failed to write --metrics_out=" << metrics_path_ << ": "
+                 << status;
+    } else {
+      std::cout << "\nwrote run report to " << metrics_path_ << "\n";
+    }
+  }
+  if (!trace_path_.empty()) {
+    const Status status =
+        obs::Tracer::Global().WriteChromeTraceFile(trace_path_);
+    if (!status.ok()) {
+      LOG(Error) << "failed to write --trace_out=" << trace_path_ << ": "
+                 << status;
+    } else {
+      std::cout << "wrote Chrome trace to " << trace_path_
+                << " (load in chrome://tracing)\n";
+    }
+  }
+}
+
 namespace {
 
 using Table = std::map<PaperRowKey, std::map<int, double>>;

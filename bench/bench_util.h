@@ -17,6 +17,28 @@
 namespace lpsgd {
 namespace bench {
 
+// Per-binary observability harness. Construction strips the flags
+//   --metrics_out=<path>   write the structured run report (JSON) at exit
+//   --trace_out=<path>     write a Chrome trace_event JSON at exit
+// from argc/argv (so they never reach other flag parsers, e.g. Google
+// Benchmark's) and, when either is given, enables the global metrics
+// registry / tracer / run report. Destruction writes the requested files.
+// Every bench main constructs one as its first statement.
+class BenchRun {
+ public:
+  BenchRun(int* argc, char** argv, const std::string& binary_name);
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+  ~BenchRun();
+
+  const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
+
 // One row key of Figures 10/11: (network, precision short label).
 struct PaperRowKey {
   std::string network;

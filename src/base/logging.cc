@@ -1,7 +1,11 @@
 // Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
 #include "base/logging.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 
 namespace lpsgd {
 namespace internal_logging {
@@ -26,15 +30,36 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+// ISO-8601 UTC timestamp, e.g. "2026-08-05T14:03:27Z". Falls back to a
+// placeholder if the clock is unavailable (never in practice).
+std::string IsoTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc = {};
+  if (gmtime_r(&now, &utc) == nullptr) return "????-??-??T??:??:??Z";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec);
+  return buf;
+}
+
 }  // namespace
 
 LogSeverity MinLogLevel() {
   static const LogSeverity kLevel = [] {
     const char* env = std::getenv("LPSGD_MIN_LOG_LEVEL");
-    if (env == nullptr) return LogSeverity::kInfo;
-    int value = std::atoi(env);
-    if (value < 0) value = 0;
-    if (value > 3) value = 3;
+    if (env == nullptr || *env == '\0') return LogSeverity::kInfo;
+    // Parse defensively: malformed values (garbage, trailing text,
+    // out-of-range) fall back to the default instead of atoi's undefined
+    // behavior on overflow; in-range values clamp to [kInfo, kFatal].
+    char* end = nullptr;
+    errno = 0;
+    const long value = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE) {
+      return LogSeverity::kInfo;
+    }
+    if (value <= 0) return LogSeverity::kInfo;
+    if (value >= 3) return LogSeverity::kFatal;
     return static_cast<LogSeverity>(value);
   }();
   return kLevel;
@@ -42,8 +67,8 @@ LogSeverity MinLogLevel() {
 
 LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
     : severity_(severity) {
-  stream_ << SeverityLabel(severity) << " " << Basename(file) << ":" << line
-          << "] ";
+  stream_ << SeverityLabel(severity) << " " << IsoTimestampUtc() << " "
+          << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

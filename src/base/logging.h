@@ -38,7 +38,8 @@ struct LogMessageVoidify {
 };
 
 // Returns the minimum severity that will actually be emitted. Controlled by
-// the LPSGD_MIN_LOG_LEVEL environment variable (0..3, default 0).
+// the LPSGD_MIN_LOG_LEVEL environment variable (0..3, default 0); malformed
+// values fall back to the default and out-of-range values clamp.
 LogSeverity MinLogLevel();
 
 }  // namespace internal_logging

@@ -1,6 +1,8 @@
 // Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
 #include "comm/allreduce.h"
 
+#include "obs/metrics.h"
+
 namespace lpsgd {
 
 void CommStats::Add(const CommStats& other) {
@@ -12,8 +14,24 @@ void CommStats::Add(const CommStats& other) {
 }
 
 double CommStats::CompressionRatio() const {
-  if (wire_bytes == 0) return 1.0;
+  // Guard the zero denominator (no exchange yet, or byte accounting
+  // disabled): 1.0 means "no compression observed", never inf/NaN.
+  if (wire_bytes <= 0) return 1.0;
   return static_cast<double>(raw_bytes) / static_cast<double>(wire_bytes);
 }
+
+namespace comm_internal {
+
+void RecordAllReduceStats(const CommStats& stats) {
+  if (!obs::MetricsEnabled()) return;
+  obs::Count("comm/allreduce_calls");
+  obs::Count("comm/wire_bytes", stats.wire_bytes);
+  obs::Count("comm/raw_bytes", stats.raw_bytes);
+  obs::Count("comm/messages", stats.messages);
+  obs::Observe("comm/virtual_comm_seconds", stats.comm_seconds);
+  obs::Observe("comm/virtual_encode_seconds", stats.encode_seconds);
+}
+
+}  // namespace comm_internal
 
 }  // namespace lpsgd

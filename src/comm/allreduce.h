@@ -21,9 +21,21 @@ struct CommStats {
 
   void Add(const CommStats& other);
   double TotalSeconds() const { return comm_seconds + encode_seconds; }
-  // Compression ratio achieved on the wire (raw / encoded).
+  // Compression ratio achieved on the wire (raw / encoded). Defined for
+  // empty accounting: returns 1.0 when no bytes were sent yet.
   double CompressionRatio() const;
 };
+
+namespace comm_internal {
+
+// Flushes one AllReduce call's accounting into the comm/* metrics of the
+// global registry (comm/allreduce_calls, comm/wire_bytes, comm/raw_bytes,
+// comm/messages, comm/virtual_{comm,encode}_seconds). No-op while the
+// registry is disabled. Both aggregation engines call this so their
+// reports stay comparable.
+void RecordAllReduceStats(const CommStats& stats);
+
+}  // namespace comm_internal
 
 // One gradient matrix as seen by the aggregation engine: every rank's
 // local gradient buffer (all the same shape) plus, for error-feedback

@@ -5,6 +5,8 @@
 
 #include "base/logging.h"
 #include "base/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lpsgd {
 
@@ -32,6 +34,8 @@ MpiReduceBcastAggregator::MpiReduceBcastAggregator(
 StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
     std::vector<MatrixSlot>* slots, int64_t iteration) {
   CHECK(slots != nullptr);
+  obs::ScopedTimer wall_timer("comm/allreduce_wall_seconds");
+  obs::TraceSpan allreduce_span("mpi_reduce_bcast/allreduce", "comm");
   const int k = num_ranks_;
   if (aggregate_errors_.size() < slots->size()) {
     aggregate_errors_.resize(slots->size());
@@ -43,6 +47,7 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
   for (size_t m = 0; m < slots->size(); ++m) {
     MatrixSlot& slot = (*slots)[m];
     CHECK_EQ(static_cast<int>(slot.rank_grads.size()), k);
+    obs::TraceSpan matrix_span("mpi_reduce_bcast/matrix", "comm");
     const int64_t n = slot.quant_shape.element_count();
     const int64_t raw_bytes = n * static_cast<int64_t>(sizeof(float));
     stats.raw_bytes += raw_bytes;
@@ -63,11 +68,14 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
       }
       stats.wire_bytes += raw_bytes;
       stats.messages += 2;
+      matrix_span.set_bytes(raw_bytes);
       continue;
     }
 
     // Stage 1: every rank encodes with its local residual; the owner
     // decodes and sums.
+    const uint64_t reduce_span =
+        obs::Tracer::Global().Begin("mpi_reduce_bcast/reduce", "comm");
     const int owner = static_cast<int>(m) % k;
     std::vector<float> aggregate(static_cast<size_t>(n), 0.0f);
     std::vector<float> decoded(static_cast<size_t>(n));
@@ -91,8 +99,12 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
       }
     }
 
+    obs::Tracer::Global().EndWithBytes(reduce_span, blob_bytes * k);
+
     // Stage 2: the owner re-encodes the aggregate, carrying its own
     // persistent residual, and broadcasts; every rank decodes.
+    const uint64_t bcast_span =
+        obs::Tracer::Global().Begin("mpi_reduce_bcast/broadcast", "comm");
     std::vector<float>* agg_error = nullptr;
     if (codec_->UsesErrorFeedback()) {
       auto& residual = aggregate_errors_[m];
@@ -113,8 +125,11 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
                   static_cast<size_t>(n) * sizeof(float));
     }
 
+    obs::Tracer::Global().EndWithBytes(bcast_span, blob_bytes);
+
     stats.wire_bytes += blob_bytes;
     stats.messages += 2;
+    matrix_span.set_bytes(blob_bytes);
     // Per-rank kernel work: encode own gradient, decode the aggregate, and
     // an amortized share of the owner-side decodes and re-encode.
     const int64_t chunks = codec_->NumChunks(slot.quant_shape);
@@ -123,6 +138,8 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
 
   stats.comm_seconds +=
       cost_model_.MpiExchangeSeconds(stats.wire_bytes, stats.messages, k);
+  allreduce_span.set_bytes(stats.wire_bytes);
+  comm_internal::RecordAllReduceStats(stats);
   return stats;
 }
 

@@ -2,6 +2,8 @@
 #include "comm/nccl_ring.h"
 
 #include "base/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lpsgd {
 
@@ -31,12 +33,15 @@ NcclRingAggregator::NcclRingAggregator(int num_ranks, CodecSpec spec,
 StatusOr<CommStats> NcclRingAggregator::AllReduce(
     std::vector<MatrixSlot>* slots, int64_t /*iteration*/) {
   CHECK(slots != nullptr);
+  obs::ScopedTimer wall_timer("comm/allreduce_wall_seconds");
+  obs::TraceSpan allreduce_span("nccl_ring/allreduce", "comm");
   const int k = num_ranks_;
   CommStats stats;
   const bool identity_codec = spec_.kind == CodecKind::kFullPrecision;
 
   for (MatrixSlot& slot : *slots) {
     CHECK_EQ(static_cast<int>(slot.rank_grads.size()), k);
+    obs::TraceSpan matrix_span("nccl_ring/matrix", "comm");
     const int64_t n = slot.quant_shape.element_count();
     const int64_t raw_bytes = n * static_cast<int64_t>(sizeof(float));
     stats.raw_bytes += raw_bytes;
@@ -73,6 +78,7 @@ StatusOr<CommStats> NcclRingAggregator::AllReduce(
                                 : raw_bytes;
     stats.wire_bytes += payload;
     stats.messages += 1;
+    matrix_span.set_bytes(payload);
     if (simulate_low_precision) {
       const int64_t chunks = codec_->NumChunks(slot.quant_shape);
       // Encode before and decode after the collective, at each rank.
@@ -83,6 +89,8 @@ StatusOr<CommStats> NcclRingAggregator::AllReduce(
 
   stats.comm_seconds +=
       cost_model_.NcclAllReduceSeconds(stats.wire_bytes, stats.messages, k);
+  allreduce_span.set_bytes(stats.wire_bytes);
+  comm_internal::RecordAllReduceStats(stats);
   return stats;
 }
 

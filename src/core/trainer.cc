@@ -8,6 +8,9 @@
 #include "comm/mpi_reduce_bcast.h"
 #include "comm/nccl_ring.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace lpsgd {
@@ -20,6 +23,25 @@ double NowSeconds() {
 }
 
 }  // namespace
+
+obs::JsonValue EpochMetricsToJson(const EpochMetrics& metrics) {
+  obs::JsonValue entry = obs::JsonValue::Object();
+  entry.Set("epoch", int64_t{metrics.epoch});
+  entry.Set("train_loss", metrics.train_loss);
+  entry.Set("train_accuracy", metrics.train_accuracy);
+  entry.Set("test_loss", metrics.test_loss);
+  entry.Set("test_accuracy", metrics.test_accuracy);
+  entry.Set("test_top5_accuracy", metrics.test_top5_accuracy);
+  entry.Set("virtual_seconds", metrics.virtual_seconds);
+  entry.Set("wall_seconds", metrics.wall_seconds);
+  entry.Set("comm_seconds", metrics.comm.comm_seconds);
+  entry.Set("encode_seconds", metrics.comm.encode_seconds);
+  entry.Set("wire_bytes", metrics.comm.wire_bytes);
+  entry.Set("raw_bytes", metrics.comm.raw_bytes);
+  entry.Set("messages", metrics.comm.messages);
+  entry.Set("compression_ratio", metrics.comm.CompressionRatio());
+  return entry;
+}
 
 StatusOr<std::unique_ptr<SyncTrainer>> SyncTrainer::Create(
     const NetworkFactory& factory, const TrainerOptions& options) {
@@ -133,6 +155,9 @@ Network& SyncTrainer::replica(int rank) {
 
 Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
                                    int64_t* correct) {
+  obs::ScopedTimer iteration_timer("trainer/iteration_seconds");
+  obs::TraceSpan iteration_span("trainer/iteration", "trainer");
+  const double virtual_start = virtual_seconds_;
   const int k = options_.num_gpus;
   const int64_t shard = batch.size() / k;
   if (shard == 0) {
@@ -147,6 +172,8 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
   const int64_t sample_elems = sample_shape.element_count();
 
   // Phase 1 (parallel across ranks): local forward/backward on the shard.
+  const uint64_t compute_span =
+      obs::Tracer::Global().Begin("trainer/forward_backward", "trainer");
   for (int r = 0; r < k; ++r) {
     Network& replica = replicas_[static_cast<size_t>(r)];
     replica.ZeroGrads();
@@ -172,6 +199,8 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
     replica.Backward(loss.logits_grad);
   }
 
+  obs::Tracer::Global().End(compute_span);
+
   // Phase 2: synchronous gradient exchange (Algorithm 1, lines 3-8).
   const size_t num_matrices = replica_params_[0].size();
   std::vector<MatrixSlot> slots(num_matrices);
@@ -192,6 +221,8 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
                       options_.virtual_compute_seconds_per_iter;
 
   // Phase 3 (parallel across ranks): identical averaged update.
+  const uint64_t update_span =
+      obs::Tracer::Global().Begin("trainer/optimizer_step", "trainer");
   const float inv_k = 1.0f / static_cast<float>(k);
   for (int r = 0; r < k; ++r) {
     for (ParamRef& param : replica_params_[static_cast<size_t>(r)]) {
@@ -200,8 +231,15 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
     optimizers_[static_cast<size_t>(r)].Step(
         replica_params_[static_cast<size_t>(r)]);
   }
+  obs::Tracer::Global().End(update_span);
 
   ++iteration_;
+  if (obs::MetricsEnabled()) {
+    obs::Count("trainer/iterations");
+    obs::Count("trainer/samples", batch.size());
+    obs::SetGauge("trainer/virtual_seconds", virtual_seconds_);
+  }
+  iteration_span.set_virtual_range(virtual_start, virtual_seconds_);
   return OkStatus();
 }
 
@@ -220,6 +258,8 @@ StatusOr<std::vector<EpochMetrics>> SyncTrainer::Train(const Dataset& train,
       }
     }
 
+    obs::TraceSpan epoch_span("trainer/epoch", "trainer");
+    const double virtual_epoch_start = virtual_seconds_;
     const double wall_start = NowSeconds();
     const CommStats comm_start = total_comm_;
     iterator.StartEpoch(epoch);
@@ -272,6 +312,13 @@ StatusOr<std::vector<EpochMetrics>> SyncTrainer::Train(const Dataset& train,
     m.comm.raw_bytes -= comm_start.raw_bytes;
     m.comm.messages -= comm_start.messages;
 
+    if (obs::MetricsEnabled()) {
+      obs::Count("trainer/epochs");
+      obs::Observe("trainer/epoch_seconds", NowSeconds() - wall_start);
+    }
+    epoch_span.set_virtual_range(virtual_epoch_start, virtual_seconds_);
+    obs::RecordEntry("epoch", EpochMetricsToJson(m));
+
     metrics.push_back(m);
     ++epochs_completed_;
   }
@@ -279,6 +326,8 @@ StatusOr<std::vector<EpochMetrics>> SyncTrainer::Train(const Dataset& train,
 }
 
 EvalResult SyncTrainer::Evaluate(const Dataset& dataset) {
+  obs::ScopedTimer eval_timer("trainer/eval_seconds");
+  obs::TraceSpan eval_span("trainer/eval", "trainer");
   EvalResult total;
   Network& net = replicas_[0];
   const int64_t batch_size = options_.eval_batch_size;

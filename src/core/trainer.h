@@ -15,6 +15,7 @@
 #include "nn/loss.h"
 #include "nn/network.h"
 #include "nn/optimizer.h"
+#include "obs/json.h"
 #include "quant/codec.h"
 #include "quant/policy.h"
 #include "sim/perf_model.h"
@@ -57,6 +58,10 @@ struct EpochMetrics {
   double wall_seconds = 0.0;     // cumulative host wall time
   CommStats comm;                // this epoch's communication accounting
 };
+
+// The run-report "epoch" entry for one epoch's metrics (the trainer emits
+// one per epoch into obs::RunReport::Global() while reporting is enabled).
+obs::JsonValue EpochMetricsToJson(const EpochMetrics& metrics);
 
 // Synchronous data-parallel SGD over K simulated GPU ranks (Section 2.1).
 // Ranks execute sequentially in program order but semantically in

@@ -1,0 +1,202 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "base/logging.h"
+#include "base/strings.h"
+#include "base/table_printer.h"
+
+namespace lpsgd {
+namespace obs {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+MetricsRegistry::MetricsRegistry(bool enabled) : enabled_(enabled) {}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const kRegistry = [] {
+    const char* env = std::getenv("LPSGD_OBS");
+    const bool enabled =
+        env != nullptr && env[0] != '\0' && std::strtol(env, nullptr, 10) != 0;
+    return new MetricsRegistry(enabled);
+  }();
+  return *kRegistry;
+}
+
+const std::vector<double>& MetricsRegistry::DefaultBounds() {
+  static const std::vector<double>& kBounds = *new std::vector<double>([] {
+    std::vector<double> bounds;
+    double b = 1e-9;
+    for (int i = 0; i < 36; ++i) {  // 1e-9 * 4^35 ~= 1.2e12
+      bounds.push_back(b);
+      b *= 4.0;
+    }
+    return bounds;
+  }());
+  return kBounds;
+}
+
+void MetricsRegistry::Histogram::Record(double value) {
+  if (counts.empty()) counts.assign(bounds.size() + 1, 0);
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  ++counts[static_cast<size_t>(it - bounds.begin())];
+  if (count == 0) {
+    min = max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+}
+
+void MetricsRegistry::Count(std::string_view name, int64_t delta) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::Observe(std::string_view name, double value) {
+  ObserveWithBounds(name, value, DefaultBounds());
+}
+
+void MetricsRegistry::ObserveWithBounds(std::string_view name, double value,
+                                        const std::vector<double>& bounds) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    Histogram h;
+    h.bounds = bounds;
+    it = histograms_.emplace(std::string(name), std::move(h)).first;
+  }
+  it->second.Record(value);
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+int64_t MetricsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramSnapshot MetricsRegistry::HistogramFor(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSnapshot snap;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) return snap;
+  const Histogram& h = it->second;
+  snap.bounds = h.bounds;
+  snap.counts = h.counts.empty() ? std::vector<int64_t>(h.bounds.size() + 1, 0)
+                                 : h.counts;
+  snap.count = h.count;
+  snap.sum = h.sum;
+  snap.min = h.min;
+  snap.max = h.max;
+  return snap;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, unused] : counters_) names.push_back(name);
+  for (const auto& [name, unused] : gauges_) names.push_back(name);
+  for (const auto& [name, unused] : histograms_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue root = JsonValue::Object();
+
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, value] : counters_) counters.Set(name, value);
+  root.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, value] : gauges_) gauges.Set(name, value);
+  root.Set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [name, h] : histograms_) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("count", h.count);
+    entry.Set("sum", h.sum);
+    entry.Set("min", h.min);
+    entry.Set("max", h.max);
+    entry.Set("mean", h.count > 0 ? h.sum / h.count : 0.0);
+    JsonValue bounds = JsonValue::Array();
+    for (double b : h.bounds) bounds.Append(b);
+    entry.Set("bounds", std::move(bounds));
+    JsonValue counts = JsonValue::Array();
+    if (h.counts.empty()) {
+      for (size_t i = 0; i < h.bounds.size() + 1; ++i) counts.Append(int64_t{0});
+    } else {
+      for (int64_t c : h.counts) counts.Append(c);
+    }
+    entry.Set("counts", std::move(counts));
+    histograms.Set(name, std::move(entry));
+  }
+  root.Set("histograms", std::move(histograms));
+  return root;
+}
+
+std::string MetricsRegistry::ToJsonString(int indent) const {
+  return ToJson().Dump(indent);
+}
+
+void MetricsRegistry::PrintTable(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TablePrinter table({"Metric", "Kind", "Value", "Count", "Mean"});
+  for (const auto& [name, value] : counters_) {
+    table.AddRow({name, "counter", StrCat(value), "", ""});
+  }
+  for (const auto& [name, value] : gauges_) {
+    table.AddRow({name, "gauge", FormatDouble(value, 6), "", ""});
+  }
+  for (const auto& [name, h] : histograms_) {
+    table.AddRow({name, "histogram", FormatDouble(h.sum, 6), StrCat(h.count),
+                  FormatDouble(h.count > 0 ? h.sum / h.count : 0.0, 9)});
+  }
+  table.Print(os);
+}
+
+}  // namespace obs
+}  // namespace lpsgd

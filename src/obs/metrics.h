@@ -1,0 +1,159 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Thread-safe metrics registry: named counters, gauges, and fixed-bucket
+// histograms, exported as JSON or an aligned table. Names are hierarchical
+// slash-separated paths ("trainer/iteration_seconds", "comm/wire_bytes",
+// "quant/qsgd/encode_calls"); the first segment is the owning subsystem.
+//
+// The registry is DISABLED by default and every mutation early-exits on a
+// single relaxed atomic load, so instrumentation left in hot paths (codec
+// encode loops, per-iteration trainer hooks) costs one predictable branch
+// when observability is off. Enable programmatically, or by setting the
+// LPSGD_OBS environment variable to a nonzero value.
+#ifndef LPSGD_OBS_METRICS_H_
+#define LPSGD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace lpsgd {
+namespace obs {
+
+// Point-in-time copy of one histogram's state. Buckets are cumulative-free:
+// counts[i] holds observations with value <= bounds[i]; counts.back() is
+// the overflow bucket (value > bounds.back()).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;  // bounds.size() + 1 entries
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  double Mean() const { return count > 0 ? sum / count : 0.0; }
+};
+
+class MetricsRegistry {
+ public:
+  // Process-wide registry used by all built-in instrumentation. Starts
+  // disabled unless LPSGD_OBS is set to a nonzero value.
+  static MetricsRegistry& Global();
+
+  // Locally-constructed registries start enabled (tests, embedders).
+  explicit MetricsRegistry(bool enabled = true);
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // --- Mutation (no-ops while disabled) ---------------------------------
+
+  // Adds `delta` to counter `name`, creating it at zero.
+  void Count(std::string_view name, int64_t delta = 1);
+  // Sets gauge `name` to `value` (last write wins).
+  void SetGauge(std::string_view name, double value);
+  // Records `value` into histogram `name`, creating it with the default
+  // exponential bucket ladder (see DefaultBounds()).
+  void Observe(std::string_view name, double value);
+  // Records into a histogram created with explicit bucket upper bounds
+  // (strictly increasing); bounds of an existing histogram are kept.
+  void ObserveWithBounds(std::string_view name, double value,
+                         const std::vector<double>& bounds);
+
+  // Drops every metric (the enabled flag is preserved).
+  void Reset();
+
+  // --- Inspection (works regardless of the enabled flag) ----------------
+
+  // Value of counter `name`, or 0 when absent.
+  int64_t CounterValue(std::string_view name) const;
+  // Value of gauge `name`, or 0.0 when absent.
+  double GaugeValue(std::string_view name) const;
+  // Snapshot of histogram `name` (zero-count snapshot when absent).
+  HistogramSnapshot HistogramFor(std::string_view name) const;
+
+  // Sorted names, all three metric kinds merged.
+  std::vector<std::string> Names() const;
+
+  // {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  // sum, min, max, mean, bounds, counts}}}.
+  JsonValue ToJson() const;
+  std::string ToJsonString(int indent = 2) const;
+
+  // Aligned human-readable table of every metric.
+  void PrintTable(std::ostream& os) const;
+
+  // The default histogram ladder: powers of 4 from 1e-9 up to ~1.2e12,
+  // sized for values ranging from nanosecond timings to terabyte counts.
+  static const std::vector<double>& DefaultBounds();
+
+ private:
+  struct Histogram {
+    std::vector<double> bounds;
+    std::vector<int64_t> counts;
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    void Record(double value);
+  };
+
+  std::atomic<bool> enabled_;
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+// Convenience wrappers over MetricsRegistry::Global().
+inline void Count(std::string_view name, int64_t delta = 1) {
+  MetricsRegistry::Global().Count(name, delta);
+}
+inline void SetGauge(std::string_view name, double value) {
+  MetricsRegistry::Global().SetGauge(name, value);
+}
+inline void Observe(std::string_view name, double value) {
+  MetricsRegistry::Global().Observe(name, value);
+}
+inline bool MetricsEnabled() { return MetricsRegistry::Global().enabled(); }
+
+// Monotonic wall clock in seconds (shared by timers and the tracer).
+double MonotonicSeconds();
+
+// RAII timer: on destruction records the elapsed wall seconds into
+// histogram `name` of the global registry. When the registry is disabled
+// at construction the clock is never read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name)
+      : name_(name),
+        active_(MetricsEnabled()),
+        start_(active_ ? MonotonicSeconds() : 0.0) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (active_) Observe(name_, MonotonicSeconds() - start_);
+  }
+
+ private:
+  std::string_view name_;
+  bool active_;
+  double start_;
+};
+
+}  // namespace obs
+}  // namespace lpsgd
+
+#endif  // LPSGD_OBS_METRICS_H_

@@ -1,0 +1,88 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Structured run reports: a machine-readable record of everything a run
+// measured, written as one JSON document with a stable schema. Producers
+// (PerfModel, SyncTrainer, benches) append tagged entries to the global
+// report while it is enabled; the owning binary writes the document out at
+// exit (bench binaries do this via --metrics_out=<path>).
+//
+// Schema (version 1):
+//   {
+//     "schema_version": 1,
+//     "binary": "<producer binary name>",
+//     "meta": {"<key>": "<value>", ...},
+//     "entries": [{"kind": "<entry kind>", ...fields...}, ...],
+//     "metrics": {<MetricsRegistry::ToJson()>}   // when a registry given
+//   }
+// Entry kinds emitted by the built-in instrumentation:
+//   "perf_estimate" — one PerfModel::Estimate result (network, codec,
+//                     primitive, gpus, batch, compute/encode/comm seconds,
+//                     wire/raw bytes, samples/sec);
+//   "epoch"         — one SyncTrainer epoch (losses, accuracies, virtual
+//                     and wall seconds, comm split and byte counts).
+#ifndef LPSGD_OBS_RUN_REPORT_H_
+#define LPSGD_OBS_RUN_REPORT_H_
+
+#include <atomic>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace lpsgd {
+namespace obs {
+
+class RunReport {
+ public:
+  // Process-wide report fed by built-in instrumentation. Starts disabled;
+  // a bench's --metrics_out flag (or an embedder) enables it.
+  static RunReport& Global();
+
+  explicit RunReport(bool enabled = true);
+  RunReport(const RunReport&) = delete;
+  RunReport& operator=(const RunReport&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  void set_binary(std::string_view name);
+  void SetMeta(std::string_view key, std::string_view value);
+
+  // Appends one entry; `fields` must be a JSON object, `kind` is stamped
+  // into it. No-op while disabled.
+  void AddEntry(std::string_view kind, JsonValue fields);
+
+  size_t entry_count() const;
+  void Reset();  // drops entries and meta, keeps binary name and flag
+
+  // Assembles the full document; pass the registry whose metrics should be
+  // embedded (nullptr to omit the "metrics" section).
+  JsonValue ToJson(const MetricsRegistry* metrics) const;
+  Status Write(std::ostream& os, const MetricsRegistry* metrics) const;
+  Status WriteFile(const std::string& path,
+                   const MetricsRegistry* metrics) const;
+
+ private:
+  std::atomic<bool> enabled_;
+  mutable std::mutex mu_;
+  std::string binary_;
+  JsonValue meta_ = JsonValue::Object();
+  JsonValue entries_ = JsonValue::Array();
+};
+
+// Convenience: appends to the global report (no-op while it is disabled).
+inline void RecordEntry(std::string_view kind, JsonValue fields) {
+  RunReport::Global().AddEntry(kind, std::move(fields));
+}
+inline bool ReportEnabled() { return RunReport::Global().enabled(); }
+
+}  // namespace obs
+}  // namespace lpsgd
+
+#endif  // LPSGD_OBS_RUN_REPORT_H_

@@ -1,0 +1,134 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "obs/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "base/strings.h"
+#include "obs/metrics.h"
+
+namespace lpsgd {
+namespace obs {
+
+Tracer::Tracer(bool enabled) : enabled_(enabled) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* const kTracer = [] {
+    const char* env = std::getenv("LPSGD_TRACE");
+    const bool enabled =
+        env != nullptr && env[0] != '\0' && std::strtol(env, nullptr, 10) != 0;
+    return new Tracer(enabled);
+  }();
+  return *kTracer;
+}
+
+uint64_t Tracer::Begin(std::string_view name, std::string_view category) {
+  if (!enabled()) return 0;
+  const double now = MonotonicSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return 0;
+  }
+  TraceEvent event;
+  event.name.assign(name);
+  event.category.assign(category);
+  event.wall_start = now;
+  events_.push_back(std::move(event));
+  return events_.size();  // index + 1; 0 stays the "disabled" handle
+}
+
+void Tracer::End(uint64_t handle) {
+  if (handle == 0) return;
+  const double now = MonotonicSeconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (handle > events_.size()) return;  // Reset() since Begin()
+  TraceEvent& event = events_[handle - 1];
+  event.wall_duration = now - event.wall_start;
+}
+
+void Tracer::EndWithVirtual(uint64_t handle, double virtual_start,
+                            double virtual_end) {
+  if (handle == 0) return;
+  End(handle);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (handle > events_.size()) return;
+  events_[handle - 1].virtual_start = virtual_start;
+  events_[handle - 1].virtual_end = virtual_end;
+}
+
+void Tracer::EndWithBytes(uint64_t handle, int64_t bytes) {
+  if (handle == 0) return;
+  End(handle);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (handle > events_.size()) return;
+  events_[handle - 1].arg_bytes = bytes;
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+int64_t Tracer::dropped_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+JsonValue Tracer::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue trace_events = JsonValue::Array();
+  for (const TraceEvent& event : events_) {
+    JsonValue e = JsonValue::Object();
+    e.Set("name", event.name);
+    e.Set("cat", event.category);
+    e.Set("ph", "X");
+    e.Set("pid", int64_t{1});
+    e.Set("tid", int64_t{1});
+    e.Set("ts", event.wall_start * 1e6);        // microseconds
+    e.Set("dur", event.wall_duration * 1e6);
+    JsonValue args = JsonValue::Object();
+    if (event.virtual_start >= 0.0) {
+      args.Set("virtual_start_s", event.virtual_start);
+      args.Set("virtual_end_s", event.virtual_end);
+      args.Set("virtual_duration_s",
+               event.virtual_end - event.virtual_start);
+    }
+    if (event.arg_bytes >= 0) args.Set("bytes", event.arg_bytes);
+    if (args.size() > 0) e.Set("args", std::move(args));
+    trace_events.Append(std::move(e));
+  }
+  JsonValue root = JsonValue::Object();
+  root.Set("traceEvents", std::move(trace_events));
+  root.Set("displayTimeUnit", "ms");
+  if (dropped_ > 0) root.Set("lpsgd_dropped_events", dropped_);
+  return root;
+}
+
+Status Tracer::WriteChromeTrace(std::ostream& os) const {
+  os << ToChromeTraceJson().Dump(1) << "\n";
+  if (!os.good()) return InternalError("trace stream write failed");
+  return OkStatus();
+}
+
+Status Tracer::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return InvalidArgumentError(StrCat("cannot open trace file: ", path));
+  }
+  return WriteChromeTrace(file);
+}
+
+}  // namespace obs
+}  // namespace lpsgd

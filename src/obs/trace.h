@@ -1,0 +1,132 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Scoped-span tracer with dual clocks. Each span records its wall-clock
+// start/duration (host time) and, when the caller supplies them, the
+// simulator's virtual-clock start/end — so a trace of one training run
+// shows both where the host spent its time and where the modeled cluster
+// would have spent its (Figures 6-9 are exactly this split, per
+// iteration). Traces export as Chrome trace_event JSON ("X" complete
+// events) loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Like the metrics registry, the global tracer is disabled by default and
+// every hook early-exits on one relaxed atomic load. Enable
+// programmatically or with the LPSGD_TRACE environment variable (nonzero).
+#ifndef LPSGD_OBS_TRACE_H_
+#define LPSGD_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/json.h"
+
+namespace lpsgd {
+namespace obs {
+
+// One completed span. Wall times are in seconds on the process-local
+// monotonic clock; virtual times are simulator seconds (negative when the
+// span carries no virtual-clock annotation).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double wall_start = 0.0;
+  double wall_duration = 0.0;
+  double virtual_start = -1.0;
+  double virtual_end = -1.0;
+  int64_t arg_bytes = -1;  // optional payload-size annotation
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  explicit Tracer(bool enabled = true);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // Opens a span; returns an opaque handle (0 while disabled — every End*
+  // overload ignores handle 0, so callers never branch themselves).
+  uint64_t Begin(std::string_view name, std::string_view category);
+  void End(uint64_t handle);
+  // Ends with a virtual-clock annotation [virtual_start, virtual_end].
+  void EndWithVirtual(uint64_t handle, double virtual_start,
+                      double virtual_end);
+  // Ends with a payload-size annotation (shown in the trace viewer).
+  void EndWithBytes(uint64_t handle, int64_t bytes);
+
+  size_t event_count() const;
+  // Spans dropped after the in-memory cap (kMaxEvents) was reached.
+  int64_t dropped_count() const;
+  std::vector<TraceEvent> Events() const;
+  void Reset();
+
+  // Chrome trace_event JSON: {"traceEvents": [...], "displayTimeUnit":
+  // "ms"}. Each span is a "ph":"X" event with microsecond timestamps;
+  // virtual-clock and byte annotations land in "args".
+  JsonValue ToChromeTraceJson() const;
+  Status WriteChromeTrace(std::ostream& os) const;
+  Status WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  // Spans held in memory before new Begin() calls are dropped (~96 MB
+  // worst case; a trace this big no longer loads in chrome://tracing
+  // anyway).
+  static constexpr size_t kMaxEvents = 1u << 20;
+
+  std::atomic<bool> enabled_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;  // handle = index + 1
+  int64_t dropped_ = 0;
+};
+
+// RAII span against the global tracer. Construction opens, destruction
+// closes; annotations may be attached in between.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name,
+                     std::string_view category = "lpsgd")
+      : handle_(Tracer::Global().Begin(name, category)) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (handle_ == 0) return;
+    if (has_virtual_) {
+      Tracer::Global().EndWithVirtual(handle_, virtual_start_, virtual_end_);
+    } else if (bytes_ >= 0) {
+      Tracer::Global().EndWithBytes(handle_, bytes_);
+    } else {
+      Tracer::Global().End(handle_);
+    }
+  }
+
+  void set_virtual_range(double virtual_start, double virtual_end) {
+    has_virtual_ = true;
+    virtual_start_ = virtual_start;
+    virtual_end_ = virtual_end;
+  }
+  void set_bytes(int64_t bytes) { bytes_ = bytes; }
+
+ private:
+  uint64_t handle_;
+  bool has_virtual_ = false;
+  double virtual_start_ = 0.0;
+  double virtual_end_ = 0.0;
+  int64_t bytes_ = -1;
+};
+
+inline bool TraceEnabled() { return Tracer::Global().enabled(); }
+
+}  // namespace obs
+}  // namespace lpsgd
+
+#endif  // LPSGD_OBS_TRACE_H_

@@ -143,6 +143,8 @@ void AdaptiveQsgdCodec::Encode(const float* grad, const Shape& shape,
                                uint64_t stochastic_tag,
                                std::vector<float>* /*error*/,
                                std::vector<uint8_t>* out) const {
+  codec_internal::CodecObsScope obs_scope("adaptive_qsgd", /*encode=*/true,
+                                          out);
   const int64_t n = shape.element_count();
   const int64_t buckets = NumChunks(shape);
   const CounterRng stream(seed_, stochastic_tag);
@@ -201,6 +203,8 @@ void AdaptiveQsgdCodec::Encode(const float* grad, const Shape& shape,
 
 void AdaptiveQsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                                const Shape& shape, float* out) const {
+  codec_internal::CodecObsScope obs_scope("adaptive_qsgd",
+                                          /*encode=*/false);
   const int64_t n = shape.element_count();
   CHECK_EQ(num_bytes, EncodedSizeBytes(shape));
   const int64_t buckets = NumChunks(shape);

@@ -242,6 +242,17 @@ StatusOr<CodecSpec> ParseCodecSpec(const std::string& text) {
 
 namespace codec_internal {
 
+CodecObsScope::~CodecObsScope() {
+  if (!active_) return;
+  obs::Observe(encode_ ? "quant/encode_seconds" : "quant/decode_seconds",
+               obs::MonotonicSeconds() - start_);
+  obs::Count(StrCat("quant/", codec_,
+                    encode_ ? "/encode_calls" : "/decode_calls"));
+  if (encoded_ != nullptr) {
+    obs::Count("quant/encode_bytes", static_cast<int64_t>(encoded_->size()));
+  }
+}
+
 void AppendFloats(const float* values, int64_t count,
                   std::vector<uint8_t>* out) {
   const size_t offset = out->size();

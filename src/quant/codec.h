@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/statusor.h"
+#include "obs/metrics.h"
 #include "tensor/shape.h"
 
 namespace lpsgd {
@@ -115,6 +117,33 @@ StatusOr<std::unique_ptr<GradientCodec>> CreateCodec(const CodecSpec& spec);
 StatusOr<CodecSpec> ParseCodecSpec(const std::string& text);
 
 namespace codec_internal {
+
+// Instrumentation guard placed at the top of every codec Encode/Decode:
+// times the call into the quant/encode_seconds or quant/decode_seconds
+// histogram, bumps quant/<codec>/{encode,decode}_calls, and (for encodes)
+// accumulates quant/encode_bytes from the produced blob. All of it no-ops
+// behind one branch while the global metrics registry is disabled, keeping
+// the codec hot path unobserved-run clean.
+class CodecObsScope {
+ public:
+  CodecObsScope(std::string_view codec, bool encode,
+                const std::vector<uint8_t>* encoded = nullptr)
+      : codec_(codec),
+        encode_(encode),
+        encoded_(encoded),
+        active_(obs::MetricsEnabled()),
+        start_(active_ ? obs::MonotonicSeconds() : 0.0) {}
+  CodecObsScope(const CodecObsScope&) = delete;
+  CodecObsScope& operator=(const CodecObsScope&) = delete;
+  ~CodecObsScope();
+
+ private:
+  std::string_view codec_;
+  bool encode_;
+  const std::vector<uint8_t>* encoded_;
+  bool active_;
+  double start_;
+};
 
 // Wire-format helpers shared by codec implementations.
 void AppendFloats(const float* values, int64_t count,

@@ -19,12 +19,16 @@ void FullPrecisionCodec::Encode(const float* grad, const Shape& shape,
                                 uint64_t /*stochastic_tag*/,
                                 std::vector<float>* /*error*/,
                                 std::vector<uint8_t>* out) const {
+  codec_internal::CodecObsScope obs_scope("full_precision", /*encode=*/true,
+                                          out);
   out->clear();
   codec_internal::AppendFloats(grad, shape.element_count(), out);
 }
 
 void FullPrecisionCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                                 const Shape& shape, float* out) const {
+  codec_internal::CodecObsScope obs_scope("full_precision",
+                                          /*encode=*/false);
   const int64_t n = shape.element_count();
   CHECK_EQ(num_bytes, n * static_cast<int64_t>(sizeof(float)));
   std::memcpy(out, bytes, static_cast<size_t>(num_bytes));

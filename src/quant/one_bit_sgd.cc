@@ -57,6 +57,8 @@ void OneBitSgdCodec::Encode(const float* grad, const Shape& shape,
                             uint64_t /*stochastic_tag*/,
                             std::vector<float>* error,
                             std::vector<uint8_t>* out) const {
+  codec_internal::CodecObsScope obs_scope("one_bit_sgd", /*encode=*/true,
+                                          out);
   const int64_t rows = shape.rows();
   const int64_t cols = shape.cols();
   const int64_t n = rows * cols;
@@ -109,6 +111,7 @@ void OneBitSgdCodec::Encode(const float* grad, const Shape& shape,
 
 void OneBitSgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                             const Shape& shape, float* out) const {
+  codec_internal::CodecObsScope obs_scope("one_bit_sgd", /*encode=*/false);
   const int64_t rows = shape.rows();
   const int64_t cols = shape.cols();
   CHECK_EQ(num_bytes, EncodedSizeBytes(shape));
@@ -154,6 +157,8 @@ void OneBitSgdReshapedCodec::Encode(const float* grad, const Shape& shape,
                                     uint64_t /*stochastic_tag*/,
                                     std::vector<float>* error,
                                     std::vector<uint8_t>* out) const {
+  codec_internal::CodecObsScope obs_scope("one_bit_sgd_reshaped",
+                                          /*encode=*/true, out);
   const int64_t n = shape.element_count();
   CHECK(!error_feedback_ || error != nullptr);
   if (error_feedback_) {
@@ -199,6 +204,8 @@ void OneBitSgdReshapedCodec::Encode(const float* grad, const Shape& shape,
 
 void OneBitSgdReshapedCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                                     const Shape& shape, float* out) const {
+  codec_internal::CodecObsScope obs_scope("one_bit_sgd_reshaped",
+                                          /*encode=*/false);
   const int64_t n = shape.element_count();
   CHECK_EQ(num_bytes, EncodedSizeBytes(shape));
   const int64_t buckets = NumChunks(shape);

@@ -55,6 +55,7 @@ int64_t QsgdCodec::NumChunks(const Shape& shape) const {
 void QsgdCodec::Encode(const float* grad, const Shape& shape,
                        uint64_t stochastic_tag, std::vector<float>* /*error*/,
                        std::vector<uint8_t>* out) const {
+  codec_internal::CodecObsScope obs_scope("qsgd", /*encode=*/true, out);
   const int64_t n = shape.element_count();
   const int64_t buckets = NumChunks(shape);
   const CounterRng stream(seed_, stochastic_tag);
@@ -121,6 +122,7 @@ void QsgdCodec::Encode(const float* grad, const Shape& shape,
 
 void QsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                        const Shape& shape, float* out) const {
+  codec_internal::CodecObsScope obs_scope("qsgd", /*encode=*/false);
   const int64_t n = shape.element_count();
   CHECK_EQ(num_bytes, EncodedSizeBytes(shape));
   const int64_t buckets = NumChunks(shape);

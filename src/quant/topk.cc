@@ -44,6 +44,7 @@ void TopKCodec::Encode(const float* grad, const Shape& shape,
                        uint64_t /*stochastic_tag*/,
                        std::vector<float>* error,
                        std::vector<uint8_t>* out) const {
+  codec_internal::CodecObsScope obs_scope("topk", /*encode=*/true, out);
   const int64_t n = shape.element_count();
   CHECK(!error_feedback_ || error != nullptr);
   if (error_feedback_) {
@@ -95,6 +96,7 @@ void TopKCodec::Encode(const float* grad, const Shape& shape,
 
 void TopKCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                        const Shape& shape, float* out) const {
+  codec_internal::CodecObsScope obs_scope("topk", /*encode=*/false);
   const int64_t n = shape.element_count();
   CHECK_GE(num_bytes, static_cast<int64_t>(sizeof(uint32_t)));
   const uint32_t count = *WordsAt(bytes, 0);

@@ -5,11 +5,46 @@
 
 #include "base/logging.h"
 #include "base/strings.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 
 namespace lpsgd {
+namespace {
+
+// Counts the estimate and records a "perf_estimate" run-report entry so
+// bench binaries emit their per-configuration splits via --metrics_out.
+void RecordEstimate(const PerfEstimate& est) {
+  if (obs::MetricsEnabled()) {
+    obs::Count("sim/perf_estimates");
+  }
+  if (obs::ReportEnabled()) {
+    obs::RecordEntry("perf_estimate", PerfEstimateToJson(est));
+  }
+}
+
+}  // namespace
 
 std::string CommPrimitiveName(CommPrimitive primitive) {
   return primitive == CommPrimitive::kMpi ? "MPI" : "NCCL";
+}
+
+obs::JsonValue PerfEstimateToJson(const PerfEstimate& estimate) {
+  obs::JsonValue v = obs::JsonValue::Object();
+  v.Set("network", estimate.network);
+  v.Set("codec", estimate.codec_label);
+  v.Set("primitive", CommPrimitiveName(estimate.primitive));
+  v.Set("gpus", estimate.gpus);
+  v.Set("global_batch", estimate.global_batch);
+  v.Set("per_gpu_batch", estimate.per_gpu_batch);
+  v.Set("compute_seconds", estimate.compute_seconds);
+  v.Set("encode_seconds", estimate.encode_seconds);
+  v.Set("comm_seconds", estimate.comm_seconds);
+  v.Set("iteration_seconds", estimate.IterationSeconds());
+  v.Set("wire_bytes", estimate.wire_bytes);
+  v.Set("raw_bytes", estimate.raw_bytes);
+  v.Set("samples_per_second", estimate.SamplesPerSecond());
+  v.Set("comm_fraction", estimate.CommFraction());
+  return v;
 }
 
 PerfModel::PerfModel(NetworkStats network, MachineSpec machine)
@@ -71,6 +106,7 @@ StatusOr<PerfEstimate> PerfModel::EstimateInternal(
     est.raw_bytes = static_cast<int64_t>(
         network_.ModelBytes() * model_scale);
     est.wire_bytes = 0;
+    RecordEstimate(est);
     return est;
   }
 
@@ -130,6 +166,7 @@ StatusOr<PerfEstimate> PerfModel::EstimateInternal(
     est.encode_seconds =
         2.0 * cost_model_.QuantKernelSeconds(quantized_elements, chunks);
   }
+  RecordEstimate(est);
   return est;
 }
 

@@ -10,6 +10,7 @@
 #include "comm/cost_model.h"
 #include "machine/specs.h"
 #include "nn/model_zoo.h"
+#include "obs/json.h"
 #include "quant/codec.h"
 #include "quant/policy.h"
 
@@ -46,22 +47,34 @@ struct PerfEstimate {
   double OverlappedIterationSeconds() const {
     return std::max(compute_seconds, encode_seconds + comm_seconds);
   }
+  // All ratio helpers below return 0.0 on a zero denominator (an empty or
+  // default-constructed estimate) instead of inf/NaN.
   double OverlappedSamplesPerSecond() const {
-    return static_cast<double>(global_batch) / OverlappedIterationSeconds();
+    const double seconds = OverlappedIterationSeconds();
+    return seconds > 0.0 ? static_cast<double>(global_batch) / seconds : 0.0;
   }
   double SamplesPerSecond() const {
-    return static_cast<double>(global_batch) / IterationSeconds();
+    const double seconds = IterationSeconds();
+    return seconds > 0.0 ? static_cast<double>(global_batch) / seconds : 0.0;
   }
   double EpochSeconds(int64_t dataset_samples) const {
+    if (global_batch <= 0) return 0.0;
     return static_cast<double>(dataset_samples) /
            static_cast<double>(global_batch) * IterationSeconds();
   }
   // Communication share of the iteration, counting encode/decode kernels
   // as communication overhead (the paper's bar-chart split).
   double CommFraction() const {
-    return (encode_seconds + comm_seconds) / IterationSeconds();
+    const double seconds = IterationSeconds();
+    return seconds > 0.0 ? (encode_seconds + comm_seconds) / seconds : 0.0;
   }
 };
+
+// The run-report "perf_estimate" entry for one estimate (PerfModel emits
+// one per Estimate call into obs::RunReport::Global() while reporting is
+// enabled, so every bench binary's --metrics_out output carries its full
+// per-configuration compute/encode/comm split).
+obs::JsonValue PerfEstimateToJson(const PerfEstimate& estimate);
 
 // Analytic reproduction of the paper's performance methodology: compute
 // time is calibrated to the paper's measured single-GPU throughput

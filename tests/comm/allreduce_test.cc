@@ -256,5 +256,15 @@ TEST(CommStatsTest, AddAccumulates) {
   EXPECT_DOUBLE_EQ(a.CompressionRatio(), 2.0);
 }
 
+TEST(CommStatsTest, CompressionRatioGuardsZeroWireBytes) {
+  CommStats empty;
+  EXPECT_DOUBLE_EQ(empty.CompressionRatio(), 1.0);
+
+  // raw bytes without wire bytes (nothing sent yet) must not divide by 0.
+  CommStats raw_only;
+  raw_only.raw_bytes = 1024;
+  EXPECT_DOUBLE_EQ(raw_only.CompressionRatio(), 1.0);
+}
+
 }  // namespace
 }  // namespace lpsgd

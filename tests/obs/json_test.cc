@@ -1,0 +1,73 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "obs/json.h"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lpsgd {
+namespace obs {
+namespace {
+
+TEST(JsonValueTest, BuildsAndDumpsObjects) {
+  JsonValue v = JsonValue::Object();
+  v.Set("name", "qsgd");
+  v.Set("bits", 4);
+  v.Set("ratio", 0.125);
+  v.Set("enabled", true);
+  v.Set("missing", JsonValue());
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1);
+  arr.Append(2);
+  v.Set("counts", std::move(arr));
+
+  const std::string compact = v.Dump();
+  EXPECT_EQ(compact,
+            "{\"bits\":4,\"counts\":[1,2],\"enabled\":true,"
+            "\"missing\":null,\"name\":\"qsgd\",\"ratio\":0.125}");
+}
+
+TEST(JsonValueTest, RoundTripsThroughParse) {
+  JsonValue v = JsonValue::Object();
+  v.Set("text", "line1\nline2\t\"quoted\"");
+  v.Set("big", int64_t{1} << 40);
+  v.Set("small", -3.5e-9);
+  JsonValue nested = JsonValue::Object();
+  nested.Set("k", 42);
+  v.Set("nested", std::move(nested));
+
+  auto parsed = JsonValue::Parse(v.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->At("text").AsString(), "line1\nline2\t\"quoted\"");
+  EXPECT_EQ(parsed->At("big").AsInt(), int64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(parsed->At("small").AsDouble(), -3.5e-9);
+  EXPECT_EQ(parsed->At("nested").At("k").AsInt(), 42);
+}
+
+TEST(JsonValueTest, ParsesEscapesAndUnicode) {
+  auto parsed = JsonValue::Parse(R"({"s": "aé\n\\", "t": [true, null]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->At("s").AsString(), "a\xc3\xa9\n\\");
+  ASSERT_EQ(parsed->At("t").AsArray().size(), 2u);
+  EXPECT_TRUE(parsed->At("t").AsArray()[0].AsBool());
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+}
+
+TEST(JsonValueTest, NonFiniteNumbersSerializeAsNull) {
+  JsonValue v = JsonValue::Array();
+  v.Append(std::nan(""));
+  v.Append(1.0 / 0.0);
+  EXPECT_EQ(v.Dump(), "[null,null]");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace lpsgd

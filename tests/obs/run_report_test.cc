@@ -1,0 +1,76 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "obs/run_report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace lpsgd {
+namespace obs {
+namespace {
+
+JsonValue MakeEntryFields(int gpus) {
+  JsonValue fields = JsonValue::Object();
+  fields.Set("network", "AlexNet");
+  fields.Set("gpus", gpus);
+  return fields;
+}
+
+TEST(RunReportTest, ProducesSchemaVersionedDocument) {
+  RunReport report;
+  report.set_binary("unit_test");
+  report.SetMeta("machine", "EC2 p2.8xlarge");
+  report.AddEntry("perf_estimate", MakeEntryFields(4));
+  report.AddEntry("perf_estimate", MakeEntryFields(8));
+  ASSERT_EQ(report.entry_count(), 2u);
+
+  MetricsRegistry metrics;
+  metrics.Count("comm/wire_bytes", 777);
+
+  std::ostringstream os;
+  ASSERT_TRUE(report.Write(os, &metrics).ok());
+  auto parsed = JsonValue::Parse(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->At("schema_version").AsInt(), 1);
+  EXPECT_EQ(parsed->At("binary").AsString(), "unit_test");
+  EXPECT_EQ(parsed->At("meta").At("machine").AsString(), "EC2 p2.8xlarge");
+  const auto& entries = parsed->At("entries").AsArray();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].At("kind").AsString(), "perf_estimate");
+  EXPECT_EQ(entries[1].At("gpus").AsInt(), 8);
+  EXPECT_EQ(parsed->At("metrics").At("counters").At("comm/wire_bytes")
+                .AsInt(),
+            777);
+}
+
+TEST(RunReportTest, OmitsMetricsSectionWithoutRegistry) {
+  RunReport report;
+  const JsonValue doc = report.ToJson(nullptr);
+  EXPECT_FALSE(doc.Has("metrics"));
+  EXPECT_EQ(doc.At("schema_version").AsInt(), 1);
+}
+
+TEST(RunReportTest, DisabledReportDropsEntries) {
+  RunReport report(/*enabled=*/false);
+  report.AddEntry("perf_estimate", MakeEntryFields(2));
+  EXPECT_EQ(report.entry_count(), 0u);
+}
+
+TEST(RunReportTest, ResetKeepsBinaryName) {
+  RunReport report;
+  report.set_binary("bench_x");
+  report.SetMeta("k", "v");
+  report.AddEntry("epoch", JsonValue::Object());
+  report.Reset();
+  EXPECT_EQ(report.entry_count(), 0u);
+  const JsonValue doc = report.ToJson(nullptr);
+  EXPECT_EQ(doc.At("binary").AsString(), "bench_x");
+  EXPECT_TRUE(doc.At("meta").AsObject().empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace lpsgd

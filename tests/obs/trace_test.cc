@@ -1,0 +1,101 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "obs/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace lpsgd {
+namespace obs {
+namespace {
+
+TEST(TracerTest, RecordsSpansWithAnnotations) {
+  Tracer tracer;
+  const uint64_t plain = tracer.Begin("iteration", "trainer");
+  tracer.End(plain);
+  const uint64_t with_virtual = tracer.Begin("allreduce", "comm");
+  tracer.EndWithVirtual(with_virtual, 1.0, 1.5);
+  const uint64_t with_bytes = tracer.Begin("encode", "quant");
+  tracer.EndWithBytes(with_bytes, 4096);
+
+  const std::vector<TraceEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "iteration");
+  EXPECT_EQ(events[0].category, "trainer");
+  EXPECT_GE(events[0].wall_duration, 0.0);
+  EXPECT_DOUBLE_EQ(events[1].virtual_start, 1.0);
+  EXPECT_DOUBLE_EQ(events[1].virtual_end, 1.5);
+  EXPECT_EQ(events[2].arg_bytes, 4096);
+}
+
+TEST(TracerTest, DisabledTracerHandsOutNullHandles) {
+  Tracer tracer(/*enabled=*/false);
+  const uint64_t handle = tracer.Begin("x", "y");
+  EXPECT_EQ(handle, 0u);
+  tracer.End(handle);  // must be a safe no-op
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(TracerTest, HandlesFromBeforeResetAreIgnored) {
+  Tracer tracer;
+  const uint64_t stale = tracer.Begin("pre-reset", "t");
+  tracer.Reset();
+  tracer.End(stale);  // stale handle: must not touch the emptied buffer
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(TracerTest, ChromeTraceJsonIsWellFormed) {
+  Tracer tracer;
+  const uint64_t a = tracer.Begin("iteration", "trainer");
+  tracer.EndWithVirtual(a, 0.0, 0.25);
+  const uint64_t b = tracer.Begin("matrix \"W0\"\n", "comm");  // escapes
+  tracer.EndWithBytes(b, 512);
+
+  std::ostringstream os;
+  ASSERT_TRUE(tracer.WriteChromeTrace(os).ok());
+
+  // The acceptance check: the emitted document must parse back as JSON
+  // and follow the trace_event shape chrome://tracing expects.
+  auto parsed = JsonValue::Parse(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->At("displayTimeUnit").AsString(), "ms");
+  const auto& events = parsed->At("traceEvents").AsArray();
+  ASSERT_EQ(events.size(), 2u);
+  for (const JsonValue& e : events) {
+    EXPECT_EQ(e.At("ph").AsString(), "X");
+    EXPECT_TRUE(e.Has("name"));
+    EXPECT_TRUE(e.Has("cat"));
+    EXPECT_TRUE(e.Has("pid"));
+    EXPECT_TRUE(e.Has("tid"));
+    EXPECT_GE(e.At("ts").AsDouble(), 0.0);
+    EXPECT_GE(e.At("dur").AsDouble(), 0.0);
+  }
+  EXPECT_EQ(events[0].At("name").AsString(), "iteration");
+  EXPECT_DOUBLE_EQ(
+      events[0].At("args").At("virtual_duration_s").AsDouble(), 0.25);
+  EXPECT_EQ(events[1].At("args").At("bytes").AsInt(), 512);
+}
+
+TEST(TraceSpanTest, RaiiSpanLandsInGlobalTracer) {
+  Tracer& global = Tracer::Global();
+  const bool was_enabled = global.enabled();
+  global.set_enabled(true);
+  global.Reset();
+  {
+    TraceSpan span("scoped", "test");
+    span.set_virtual_range(2.0, 3.0);
+  }
+  const std::vector<TraceEvent> events = global.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "scoped");
+  EXPECT_DOUBLE_EQ(events[0].virtual_start, 2.0);
+  EXPECT_DOUBLE_EQ(events[0].virtual_end, 3.0);
+  global.Reset();
+  global.set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace lpsgd

@@ -163,5 +163,27 @@ TEST(PerfModelTest, CommFractionBetweenZeroAndOne) {
   }
 }
 
+TEST(PerfEstimateTest, RatioHelpersGuardZeroDenominators) {
+  // A default-constructed estimate has no timings and no batch: every
+  // ratio helper must return 0 instead of inf/NaN.
+  PerfEstimate empty;
+  EXPECT_DOUBLE_EQ(empty.CommFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.SamplesPerSecond(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.OverlappedSamplesPerSecond(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.EpochSeconds(1000), 0.0);
+}
+
+TEST(PerfEstimateTest, SerializesToRunReportEntry) {
+  auto est = AlexNetOn(Ec2P2_8xlarge())
+                 .Estimate(QsgdSpec(4), CommPrimitive::kMpi, 4);
+  ASSERT_TRUE(est.ok()) << est.status();
+  const obs::JsonValue v = PerfEstimateToJson(*est);
+  EXPECT_EQ(v.At("network").AsString(), "AlexNet");
+  EXPECT_EQ(v.At("primitive").AsString(), "MPI");
+  EXPECT_EQ(v.At("gpus").AsInt(), 4);
+  EXPECT_EQ(v.At("wire_bytes").AsInt(), est->wire_bytes);
+  EXPECT_DOUBLE_EQ(v.At("comm_fraction").AsDouble(), est->CommFraction());
+}
+
 }  // namespace
 }  // namespace lpsgd
