@@ -4,27 +4,52 @@
 // configuration of the paper's trade-off space.
 //
 //   ./perf_explorer <network> <machine> <mpi|nccl> <codec> <gpus>
+//                   [--threads N]
 //   ./perf_explorer AlexNet p2.8xlarge mpi q4 8
 //   ./perf_explorer VGG19 DGX-1 nccl 32bit 8
-//   ./perf_explorer ResNet50 p2.16xlarge mpi 1bit*:64 16
+//   ./perf_explorer ResNet50 p2.16xlarge mpi 1bit*:64 16 --threads 4
 //
 // Codec grammar: 32bit | 1bit | 1bit* | 1bit*:<bucket> | q<bits>[:<bucket>]
 //                | topk:<density>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "base/strings.h"
+#include "base/thread_pool.h"
 #include "machine/specs.h"
 #include "quant/codec.h"
 #include "sim/perf_model.h"
 
 int main(int argc, char** argv) {
   using namespace lpsgd;  // NOLINT(build/namespaces)
-  const std::string network = argc > 1 ? argv[1] : "AlexNet";
-  const std::string machine_name = argc > 2 ? argv[2] : "p2.8xlarge";
-  const std::string primitive_name = argc > 3 ? argv[3] : "mpi";
-  const std::string codec_text = argc > 4 ? argv[4] : "q4";
-  const int gpus = argc > 5 ? std::atoi(argv[5]) : 8;
+  // Split --threads (as "--threads N" or "--threads=N") out of the
+  // positional arguments.
+  int threads = 0;  // 0 = one worker per hardware thread
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --threads\n";
+        return 1;
+      }
+      threads = std::atoi(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + std::string("--threads=").size());
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string network =
+      positional.size() > 0 ? positional[0] : "AlexNet";
+  const std::string machine_name =
+      positional.size() > 1 ? positional[1] : "p2.8xlarge";
+  const std::string primitive_name =
+      positional.size() > 2 ? positional[2] : "mpi";
+  const std::string codec_text = positional.size() > 3 ? positional[3] : "q4";
+  const int gpus = positional.size() > 4 ? std::atoi(positional[4].c_str()) : 8;
 
   auto stats = FindNetworkStats(network);
   if (!stats.ok()) {
@@ -52,9 +77,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // The estimate itself is closed-form; the header still reports the
+  // effective execution context so run headers are uniform across tools.
+  ExecutionContext execution;
+  execution.intra_op_threads = threads;
   std::cout << network << " on " << machine->name << " x" << gpus
             << " GPUs, " << spec->Label() << " over "
-            << CommPrimitiveName(primitive) << "\n\n";
+            << CommPrimitiveName(primitive) << ", execution "
+            << execution.Description() << "\n\n";
   std::cout << "  global batch:        " << est->global_batch << " ("
             << est->per_gpu_batch << " per GPU)\n";
   std::cout << "  computation:         "

@@ -6,10 +6,13 @@
 //
 //   ./train_cli [--task image|sequence] [--model mlp|alexnet|resnet|lstm]
 //               [--codec <spec>] [--gpus N] [--batch N] [--epochs N]
-//               [--lr F] [--primitive mpi|nccl] [--seed N]
+//               [--lr F] [--primitive mpi|nccl] [--seed N] [--threads N]
 //
 //   ./train_cli --model resnet --codec 1bit*:16 --gpus 8 --epochs 15
-//   ./train_cli --task sequence --model lstm --codec q2
+//   ./train_cli --task sequence --model lstm --codec q2 --threads 4
+//
+// --threads sets the host worker count for the per-rank work (0 = one
+// per hardware thread, 1 = serial); results are identical either way.
 //
 // Codec grammar: 32bit | 1bit | 1bit* | 1bit*:<bucket> | q<bits>[:<bucket>]
 //                | aq<bits>[:<bucket>] | topk:<density>
@@ -37,6 +40,7 @@ struct Args {
   int epochs = 15;
   float lr = 0.05f;
   uint64_t seed = 42;
+  int threads = 0;  // 0 = one worker per hardware thread
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -65,6 +69,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->lr = static_cast<float>(std::atof(value.c_str()));
     } else if (flag == "--seed") {
       args->seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (flag == "--threads") {
+      args->threads = std::atoi(value.c_str());
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
@@ -143,6 +149,7 @@ int Run(const Args& args) {
   options.primitive =
       args.primitive == "nccl" ? CommPrimitive::kNccl : CommPrimitive::kMpi;
   options.seed = args.seed;
+  options.execution.intra_op_threads = args.threads;
 
   auto trainer = SyncTrainer::Create(factory, options);
   if (!trainer.ok()) {
@@ -153,7 +160,8 @@ int Run(const Args& args) {
   std::cout << "Training " << args.model << " on " << args.task
             << " task: " << args.gpus << " simulated GPUs, "
             << spec->Label() << " over " << args.primitive << ", batch "
-            << args.batch << ", lr " << args.lr << "\n\n";
+            << args.batch << ", lr " << args.lr << ", execution "
+            << (*trainer)->options().execution.Description() << "\n\n";
   std::cout << "epoch  train_loss  train_acc  test_acc  test_top5\n";
   auto metrics = (*trainer)->Train(*train, *test, args.epochs);
   if (!metrics.ok()) {

@@ -1,9 +1,32 @@
 // Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
 #include "comm/allreduce.h"
 
+#include <utility>
+
+#include "comm/mpi_reduce_bcast.h"
+#include "comm/nccl_ring.h"
 #include "obs/metrics.h"
 
 namespace lpsgd {
+
+std::string CommPrimitiveName(CommPrimitive primitive) {
+  return primitive == CommPrimitive::kMpi ? "MPI" : "NCCL";
+}
+
+StatusOr<std::unique_ptr<GradientAggregator>> CreateAggregator(
+    CommPrimitive primitive, int num_ranks, const CodecSpec& codec,
+    const MachineSpec& machine, const ExecutionContext& execution) {
+  if (primitive == CommPrimitive::kMpi) {
+    LPSGD_ASSIGN_OR_RETURN(auto aggregator,
+                           MpiReduceBcastAggregator::Create(
+                               num_ranks, codec, machine, execution));
+    return std::unique_ptr<GradientAggregator>(std::move(aggregator));
+  }
+  LPSGD_ASSIGN_OR_RETURN(
+      auto aggregator,
+      NcclRingAggregator::Create(num_ranks, codec, machine, execution));
+  return std::unique_ptr<GradientAggregator>(std::move(aggregator));
+}
 
 void CommStats::Add(const CommStats& other) {
   comm_seconds += other.comm_seconds;

@@ -3,13 +3,25 @@
 #define LPSGD_COMM_ALLREDUCE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "base/statusor.h"
+#include "base/thread_pool.h"
+#include "machine/specs.h"
+#include "quant/codec.h"
 #include "tensor/shape.h"
 
 namespace lpsgd {
+
+// Which collective engine moves the gradients (Section 2.4): CNTK's MPI
+// reduce-and-broadcast or the NCCL ring. (Historically declared in
+// sim/perf_model.h, which still re-exports it via this header.)
+enum class CommPrimitive { kMpi, kNccl };
+
+// "MPI" or "NCCL".
+std::string CommPrimitiveName(CommPrimitive primitive);
 
 // Accounting for one (or many accumulated) gradient exchanges.
 struct CommStats {
@@ -65,6 +77,16 @@ class GradientAggregator {
 
   virtual int num_ranks() const = 0;
 };
+
+// The single aggregator entry point: builds the engine for `primitive`
+// with `num_ranks` simulated GPUs exchanging gradients encoded per
+// `codec`, timed on `machine`, running host work on `execution`'s pool
+// (ExecutionContext::Serial() reproduces the historical sequential
+// order — as does any thread count; see DESIGN.md "Execution model").
+// The per-class Create factories are thin deprecated wrappers over this.
+StatusOr<std::unique_ptr<GradientAggregator>> CreateAggregator(
+    CommPrimitive primitive, int num_ranks, const CodecSpec& codec,
+    const MachineSpec& machine, const ExecutionContext& execution);
 
 }  // namespace lpsgd
 

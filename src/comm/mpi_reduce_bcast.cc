@@ -2,6 +2,7 @@
 #include "comm/mpi_reduce_bcast.h"
 
 #include <cstring>
+#include <utility>
 
 #include "base/logging.h"
 #include "base/rng.h"
@@ -12,24 +13,32 @@ namespace lpsgd {
 
 StatusOr<std::unique_ptr<MpiReduceBcastAggregator>>
 MpiReduceBcastAggregator::Create(int num_ranks, const CodecSpec& spec,
-                                 const MachineSpec& machine) {
+                                 const MachineSpec& machine,
+                                 const ExecutionContext& execution) {
   if (num_ranks < 1) {
     return InvalidArgumentError("num_ranks must be >= 1");
   }
   LPSGD_ASSIGN_OR_RETURN(std::unique_ptr<GradientCodec> codec,
-                         CreateCodec(spec));
+                         spec.Create());
   return std::unique_ptr<MpiReduceBcastAggregator>(
       new MpiReduceBcastAggregator(num_ranks, spec, std::move(codec),
-                                   machine));
+                                   machine, execution));
+}
+
+StatusOr<std::unique_ptr<MpiReduceBcastAggregator>>
+MpiReduceBcastAggregator::Create(int num_ranks, const CodecSpec& spec,
+                                 const MachineSpec& machine) {
+  return Create(num_ranks, spec, machine, ExecutionContext::Serial());
 }
 
 MpiReduceBcastAggregator::MpiReduceBcastAggregator(
     int num_ranks, CodecSpec spec, std::unique_ptr<GradientCodec> codec,
-    const MachineSpec& machine)
+    const MachineSpec& machine, ExecutionContext execution)
     : num_ranks_(num_ranks),
       spec_(std::move(spec)),
       codec_(std::move(codec)),
-      cost_model_(machine) {}
+      cost_model_(machine),
+      exec_(std::move(execution)) {}
 
 StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
     std::vector<MatrixSlot>* slots, int64_t iteration) {
@@ -37,105 +46,150 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
   obs::ScopedTimer wall_timer("comm/allreduce_wall_seconds");
   obs::TraceSpan allreduce_span("mpi_reduce_bcast/allreduce", "comm");
   const int k = num_ranks_;
+  const int64_t num_matrices = static_cast<int64_t>(slots->size());
   if (aggregate_errors_.size() < slots->size()) {
     aggregate_errors_.resize(slots->size());
   }
 
-  CommStats stats;
   const bool identity_codec = spec_.kind == CodecKind::kFullPrecision;
 
-  for (size_t m = 0; m < slots->size(); ++m) {
-    MatrixSlot& slot = (*slots)[m];
+  // Per-matrix accounting and scratch, merged in matrix order at the end:
+  // totals (including float encode_seconds sums) are byte-identical at any
+  // thread count because the merge order is fixed.
+  std::vector<CommStats> per_matrix(slots->size());
+  // decoded[m][r] holds rank r's gradient after its encode/decode round
+  // trip; sized only for matrices travelling the quantized pipeline.
+  std::vector<std::vector<std::vector<float>>> decoded(slots->size());
+  std::vector<int64_t> rank_blob_bytes(slots->size(), 0);
+
+  for (int64_t m = 0; m < num_matrices; ++m) {
+    MatrixSlot& slot = (*slots)[static_cast<size_t>(m)];
     CHECK_EQ(static_cast<int>(slot.rank_grads.size()), k);
-    obs::TraceSpan matrix_span("mpi_reduce_bcast/matrix", "comm");
-    const int64_t n = slot.quant_shape.element_count();
-    const int64_t raw_bytes = n * static_cast<int64_t>(sizeof(float));
-    stats.raw_bytes += raw_bytes;
-
-    const bool quantize = slot.quantized && !identity_codec;
-    if (!quantize) {
-      // Full-precision pipeline: plain reduce + broadcast of fp32 data.
-      std::vector<double> sum(static_cast<size_t>(n), 0.0);
-      for (int r = 0; r < k; ++r) {
-        const float* grad = slot.rank_grads[static_cast<size_t>(r)];
-        for (int64_t i = 0; i < n; ++i) sum[static_cast<size_t>(i)] += grad[i];
-      }
-      for (int r = 0; r < k; ++r) {
-        float* grad = slot.rank_grads[static_cast<size_t>(r)];
-        for (int64_t i = 0; i < n; ++i) {
-          grad[i] = static_cast<float>(sum[static_cast<size_t>(i)]);
-        }
-      }
-      stats.wire_bytes += raw_bytes;
-      stats.messages += 2;
-      matrix_span.set_bytes(raw_bytes);
-      continue;
+    if (slot.quantized && !identity_codec) {
+      decoded[static_cast<size_t>(m)].resize(static_cast<size_t>(k));
     }
-
-    // Stage 1: every rank encodes with its local residual; the owner
-    // decodes and sums.
-    const uint64_t reduce_span =
-        obs::Tracer::Global().Begin("mpi_reduce_bcast/reduce", "comm");
-    const int owner = static_cast<int>(m) % k;
-    std::vector<float> aggregate(static_cast<size_t>(n), 0.0f);
-    std::vector<float> decoded(static_cast<size_t>(n));
-    std::vector<uint8_t> blob;
-    int64_t blob_bytes = 0;
-    for (int r = 0; r < k; ++r) {
-      const uint64_t tag =
-          HashCounter(static_cast<uint64_t>(iteration) * 0x9e3779b9ULL + m,
-                      static_cast<uint64_t>(r));
-      std::vector<float>* error =
-          codec_->UsesErrorFeedback()
-              ? slot.rank_errors[static_cast<size_t>(r)]
-              : nullptr;
-      codec_->Encode(slot.rank_grads[static_cast<size_t>(r)],
-                     slot.quant_shape, tag, error, &blob);
-      blob_bytes = static_cast<int64_t>(blob.size());
-      codec_->Decode(blob.data(), blob_bytes, slot.quant_shape,
-                     decoded.data());
-      for (int64_t i = 0; i < n; ++i) {
-        aggregate[static_cast<size_t>(i)] += decoded[static_cast<size_t>(i)];
-      }
-    }
-
-    obs::Tracer::Global().EndWithBytes(reduce_span, blob_bytes * k);
-
-    // Stage 2: the owner re-encodes the aggregate, carrying its own
-    // persistent residual, and broadcasts; every rank decodes.
-    const uint64_t bcast_span =
-        obs::Tracer::Global().Begin("mpi_reduce_bcast/broadcast", "comm");
-    std::vector<float>* agg_error = nullptr;
-    if (codec_->UsesErrorFeedback()) {
-      auto& residual = aggregate_errors_[m];
-      if (residual.size() != static_cast<size_t>(n)) {
-        residual.assign(static_cast<size_t>(n), 0.0f);
-      }
-      agg_error = &residual;
-    }
-    const uint64_t agg_tag =
-        HashCounter(static_cast<uint64_t>(iteration) * 0x9e3779b9ULL + m,
-                    0xa66e6a7eULL + static_cast<uint64_t>(owner));
-    codec_->Encode(aggregate.data(), slot.quant_shape, agg_tag, agg_error,
-                   &blob);
-    blob_bytes = static_cast<int64_t>(blob.size());
-    codec_->Decode(blob.data(), blob_bytes, slot.quant_shape, decoded.data());
-    for (int r = 0; r < k; ++r) {
-      std::memcpy(slot.rank_grads[static_cast<size_t>(r)], decoded.data(),
-                  static_cast<size_t>(n) * sizeof(float));
-    }
-
-    obs::Tracer::Global().EndWithBytes(bcast_span, blob_bytes);
-
-    stats.wire_bytes += blob_bytes;
-    stats.messages += 2;
-    matrix_span.set_bytes(blob_bytes);
-    // Per-rank kernel work: encode own gradient, decode the aggregate, and
-    // an amortized share of the owner-side decodes and re-encode.
-    const int64_t chunks = codec_->NumChunks(slot.quant_shape);
-    stats.encode_seconds += 3.0 * cost_model_.QuantKernelSeconds(n, chunks);
   }
 
+  // Stage 1 (parallel over (matrix, rank)): every rank encodes its local
+  // gradient, folding in its error-feedback residual, and the blob is
+  // decoded into that rank's scratch buffer. Stochastic tags depend only
+  // on (iteration, m, r), residuals are per (m, r), and scratch buffers
+  // are disjoint — scheduling cannot change a single bit.
+  const uint64_t reduce_span =
+      obs::Tracer::Global().Begin("mpi_reduce_bcast/reduce", "comm");
+  LPSGD_RETURN_IF_ERROR(exec_.ParallelFor(
+      0, num_matrices * k, [&](int64_t task) -> Status {
+        const size_t m = static_cast<size_t>(task / k);
+        const size_t r = static_cast<size_t>(task % k);
+        MatrixSlot& slot = (*slots)[m];
+        if (!slot.quantized || identity_codec) return OkStatus();
+        const int64_t n = slot.quant_shape.element_count();
+        const uint64_t tag = HashCounter(
+            static_cast<uint64_t>(iteration) * 0x9e3779b9ULL + m,
+            static_cast<uint64_t>(r));
+        std::vector<float>* error =
+            codec_->UsesErrorFeedback() ? slot.rank_errors[r] : nullptr;
+        std::vector<uint8_t> blob;
+        codec_->Encode(slot.rank_grads[r], slot.quant_shape, tag, error,
+                       &blob);
+        if (r == 0) {  // blob sizes are shape-determined, uniform per rank
+          rank_blob_bytes[m] = static_cast<int64_t>(blob.size());
+        }
+        std::vector<float>& out = decoded[m][r];
+        out.resize(static_cast<size_t>(n));
+        codec_->Decode(blob.data(), static_cast<int64_t>(blob.size()),
+                       slot.quant_shape, out.data());
+        return OkStatus();
+      }));
+  int64_t reduce_bytes = 0;
+  for (int64_t bytes : rank_blob_bytes) reduce_bytes += bytes * k;
+  obs::Tracer::Global().EndWithBytes(reduce_span, reduce_bytes);
+
+  // Stage 2 (parallel over matrices): the owner sums the decoded blobs in
+  // rank order (fixed fp summation order), re-encodes the aggregate with
+  // its persistent residual, and broadcasts; every rank decodes. Bypassed
+  // matrices travel the full-precision reduce+broadcast here instead.
+  const uint64_t bcast_span =
+      obs::Tracer::Global().Begin("mpi_reduce_bcast/broadcast", "comm");
+  LPSGD_RETURN_IF_ERROR(exec_.ParallelFor(
+      0, num_matrices, [&](int64_t mi) -> Status {
+        const size_t m = static_cast<size_t>(mi);
+        MatrixSlot& slot = (*slots)[m];
+        obs::TraceSpan matrix_span("mpi_reduce_bcast/matrix", "comm");
+        const int64_t n = slot.quant_shape.element_count();
+        const int64_t raw_bytes = n * static_cast<int64_t>(sizeof(float));
+        CommStats& stats = per_matrix[m];
+        stats.raw_bytes += raw_bytes;
+
+        const bool quantize = slot.quantized && !identity_codec;
+        if (!quantize) {
+          // Full-precision pipeline: plain reduce + broadcast of fp32 data.
+          std::vector<double> sum(static_cast<size_t>(n), 0.0);
+          for (int r = 0; r < k; ++r) {
+            const float* grad = slot.rank_grads[static_cast<size_t>(r)];
+            for (int64_t i = 0; i < n; ++i) {
+              sum[static_cast<size_t>(i)] += grad[i];
+            }
+          }
+          for (int r = 0; r < k; ++r) {
+            float* grad = slot.rank_grads[static_cast<size_t>(r)];
+            for (int64_t i = 0; i < n; ++i) {
+              grad[i] = static_cast<float>(sum[static_cast<size_t>(i)]);
+            }
+          }
+          stats.wire_bytes += raw_bytes;
+          stats.messages += 2;
+          matrix_span.set_bytes(raw_bytes);
+          return OkStatus();
+        }
+
+        std::vector<float> aggregate(static_cast<size_t>(n), 0.0f);
+        for (int r = 0; r < k; ++r) {
+          const std::vector<float>& part = decoded[m][static_cast<size_t>(r)];
+          for (int64_t i = 0; i < n; ++i) {
+            aggregate[static_cast<size_t>(i)] += part[static_cast<size_t>(i)];
+          }
+        }
+        decoded[m].clear();  // free the per-rank scratch early
+
+        const int owner = static_cast<int>(m) % k;
+        std::vector<float>* agg_error = nullptr;
+        if (codec_->UsesErrorFeedback()) {
+          auto& residual = aggregate_errors_[m];
+          if (residual.size() != static_cast<size_t>(n)) {
+            residual.assign(static_cast<size_t>(n), 0.0f);
+          }
+          agg_error = &residual;
+        }
+        const uint64_t agg_tag = HashCounter(
+            static_cast<uint64_t>(iteration) * 0x9e3779b9ULL + m,
+            0xa66e6a7eULL + static_cast<uint64_t>(owner));
+        std::vector<uint8_t> blob;
+        codec_->Encode(aggregate.data(), slot.quant_shape, agg_tag,
+                       agg_error, &blob);
+        const int64_t blob_bytes = static_cast<int64_t>(blob.size());
+        std::vector<float> bcast(static_cast<size_t>(n));
+        codec_->Decode(blob.data(), blob_bytes, slot.quant_shape,
+                       bcast.data());
+        for (int r = 0; r < k; ++r) {
+          std::memcpy(slot.rank_grads[static_cast<size_t>(r)], bcast.data(),
+                      static_cast<size_t>(n) * sizeof(float));
+        }
+
+        stats.wire_bytes += blob_bytes;
+        stats.messages += 2;
+        matrix_span.set_bytes(blob_bytes);
+        // Per-rank kernel work: encode own gradient, decode the aggregate,
+        // and an amortized share of the owner-side decodes and re-encode.
+        const int64_t chunks = codec_->NumChunks(slot.quant_shape);
+        stats.encode_seconds +=
+            3.0 * cost_model_.QuantKernelSeconds(n, chunks);
+        return OkStatus();
+      }));
+  obs::Tracer::Global().End(bcast_span);
+
+  CommStats stats;
+  for (const CommStats& matrix_stats : per_matrix) stats.Add(matrix_stats);
   stats.comm_seconds +=
       cost_model_.MpiExchangeSeconds(stats.wire_bytes, stats.messages, k);
   allreduce_span.set_bytes(stats.wire_bytes);

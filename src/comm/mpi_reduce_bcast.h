@@ -29,7 +29,14 @@ namespace lpsgd {
 class MpiReduceBcastAggregator : public GradientAggregator {
  public:
   // Creates an aggregator for `num_ranks` simulated GPUs exchanging
-  // gradients encoded per `spec`, timed on `machine`.
+  // gradients encoded per `spec`, timed on `machine`, with host work
+  // (per-rank encodes, per-blob decode+sum) running on `execution`.
+  static StatusOr<std::unique_ptr<MpiReduceBcastAggregator>> Create(
+      int num_ranks, const CodecSpec& spec, const MachineSpec& machine,
+      const ExecutionContext& execution);
+
+  // Deprecated: serial-context wrapper kept for older call sites; prefer
+  // CreateAggregator (comm/allreduce.h).
   static StatusOr<std::unique_ptr<MpiReduceBcastAggregator>> Create(
       int num_ranks, const CodecSpec& spec, const MachineSpec& machine);
 
@@ -43,12 +50,14 @@ class MpiReduceBcastAggregator : public GradientAggregator {
  private:
   MpiReduceBcastAggregator(int num_ranks, CodecSpec spec,
                            std::unique_ptr<GradientCodec> codec,
-                           const MachineSpec& machine);
+                           const MachineSpec& machine,
+                           ExecutionContext execution);
 
   int num_ranks_;
   CodecSpec spec_;
   std::unique_ptr<GradientCodec> codec_;
   CommCostModel cost_model_;
+  ExecutionContext exec_;
   // Aggregation residual per matrix index (owner-side requantization
   // error). Lazily sized on first use.
   std::vector<std::vector<float>> aggregate_errors_;

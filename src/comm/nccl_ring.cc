@@ -1,6 +1,9 @@
 // Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
 #include "comm/nccl_ring.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "base/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -8,7 +11,8 @@
 namespace lpsgd {
 
 StatusOr<std::unique_ptr<NcclRingAggregator>> NcclRingAggregator::Create(
-    int num_ranks, const CodecSpec& spec, const MachineSpec& machine) {
+    int num_ranks, const CodecSpec& spec, const MachineSpec& machine,
+    const ExecutionContext& execution) {
   if (num_ranks < 1) {
     return InvalidArgumentError("num_ranks must be >= 1");
   }
@@ -17,18 +21,25 @@ StatusOr<std::unique_ptr<NcclRingAggregator>> NcclRingAggregator::Create(
         "NCCL does not support more than 8 GPUs (Section 5.2)");
   }
   LPSGD_ASSIGN_OR_RETURN(std::unique_ptr<GradientCodec> codec,
-                         CreateCodec(spec));
-  return std::unique_ptr<NcclRingAggregator>(
-      new NcclRingAggregator(num_ranks, spec, std::move(codec), machine));
+                         spec.Create());
+  return std::unique_ptr<NcclRingAggregator>(new NcclRingAggregator(
+      num_ranks, spec, std::move(codec), machine, execution));
+}
+
+StatusOr<std::unique_ptr<NcclRingAggregator>> NcclRingAggregator::Create(
+    int num_ranks, const CodecSpec& spec, const MachineSpec& machine) {
+  return Create(num_ranks, spec, machine, ExecutionContext::Serial());
 }
 
 NcclRingAggregator::NcclRingAggregator(int num_ranks, CodecSpec spec,
                                        std::unique_ptr<GradientCodec> codec,
-                                       const MachineSpec& machine)
+                                       const MachineSpec& machine,
+                                       ExecutionContext execution)
     : num_ranks_(num_ranks),
       spec_(std::move(spec)),
       codec_(std::move(codec)),
-      cost_model_(machine) {}
+      cost_model_(machine),
+      exec_(std::move(execution)) {}
 
 StatusOr<CommStats> NcclRingAggregator::AllReduce(
     std::vector<MatrixSlot>* slots, int64_t /*iteration*/) {
@@ -36,41 +47,51 @@ StatusOr<CommStats> NcclRingAggregator::AllReduce(
   obs::ScopedTimer wall_timer("comm/allreduce_wall_seconds");
   obs::TraceSpan allreduce_span("nccl_ring/allreduce", "comm");
   const int k = num_ranks_;
+  const int64_t num_matrices = static_cast<int64_t>(slots->size());
+  for (const MatrixSlot& slot : *slots) {
+    CHECK_EQ(static_cast<int>(slot.rank_grads.size()), k);
+  }
+
+  // Ring reduce-scatter + allgather, parallel over (matrix, segment)
+  // tasks. Segments are disjoint index ranges and each segment's sum
+  // accumulates in fixed ring order (exactly like NCCL's ring), so the
+  // result is bit-identical at any thread count.
+  LPSGD_RETURN_IF_ERROR(exec_.ParallelFor(
+      0, num_matrices * k, [&](int64_t task) -> Status {
+        MatrixSlot& slot = (*slots)[static_cast<size_t>(task / k)];
+        const int seg = static_cast<int>(task % k);
+        const int64_t n = slot.quant_shape.element_count();
+        const int64_t segment = (n + k - 1) / k;
+        const int64_t begin = seg * segment;
+        const int64_t end = std::min(begin + segment, n);
+        if (begin >= end) return OkStatus();
+        // Accumulate contributions in ring order starting from the
+        // segment owner's successor.
+        const int owner = seg;
+        float* acc = slot.rank_grads[static_cast<size_t>(owner)];
+        for (int hop = 1; hop < k; ++hop) {
+          const int src = (owner + hop) % k;
+          const float* other = slot.rank_grads[static_cast<size_t>(src)];
+          for (int64_t i = begin; i < end; ++i) acc[i] += other[i];
+        }
+        // Allgather: the reduced segment is copied to every rank.
+        for (int r = 0; r < k; ++r) {
+          if (r == owner) continue;
+          float* dst = slot.rank_grads[static_cast<size_t>(r)];
+          for (int64_t i = begin; i < end; ++i) dst[i] = acc[i];
+        }
+        return OkStatus();
+      }));
+
+  // Accounting pass (serial, matrix order): wire sizing and kernel-time
+  // charges are pure arithmetic on shapes, independent of the exchange.
   CommStats stats;
   const bool identity_codec = spec_.kind == CodecKind::kFullPrecision;
-
   for (MatrixSlot& slot : *slots) {
-    CHECK_EQ(static_cast<int>(slot.rank_grads.size()), k);
     obs::TraceSpan matrix_span("nccl_ring/matrix", "comm");
     const int64_t n = slot.quant_shape.element_count();
     const int64_t raw_bytes = n * static_cast<int64_t>(sizeof(float));
     stats.raw_bytes += raw_bytes;
-
-    // Ring reduce-scatter: each rank owns a contiguous segment; the
-    // segment travels the ring accumulating each rank's contribution in
-    // rank order, which fixes the floating-point summation order (exactly
-    // like NCCL's ring).
-    const int64_t segment = (n + k - 1) / k;
-    for (int seg = 0; seg < k; ++seg) {
-      const int64_t begin = seg * segment;
-      const int64_t end = std::min(begin + segment, n);
-      if (begin >= end) continue;
-      // Accumulate contributions in ring order starting from the segment
-      // owner's successor.
-      const int owner = seg;
-      float* acc = slot.rank_grads[static_cast<size_t>(owner)];
-      for (int hop = 1; hop < k; ++hop) {
-        const int src = (owner + hop) % k;
-        const float* other = slot.rank_grads[static_cast<size_t>(src)];
-        for (int64_t i = begin; i < end; ++i) acc[i] += other[i];
-      }
-      // Allgather: the reduced segment is copied to every rank.
-      for (int r = 0; r < k; ++r) {
-        if (r == owner) continue;
-        float* dst = slot.rank_grads[static_cast<size_t>(r)];
-        for (int64_t i = begin; i < end; ++i) dst[i] = acc[i];
-      }
-    }
 
     const bool simulate_low_precision = slot.quantized && !identity_codec;
     const int64_t payload = simulate_low_precision

@@ -23,6 +23,15 @@ namespace lpsgd {
 // remain exact. This is precisely how Figures 7/9/11 were produced.
 class NcclRingAggregator : public GradientAggregator {
  public:
+  // Creates an aggregator for `num_ranks` simulated GPUs, timed on
+  // `machine`, with the per-segment ring arithmetic running on
+  // `execution`.
+  static StatusOr<std::unique_ptr<NcclRingAggregator>> Create(
+      int num_ranks, const CodecSpec& spec, const MachineSpec& machine,
+      const ExecutionContext& execution);
+
+  // Deprecated: serial-context wrapper kept for older call sites; prefer
+  // CreateAggregator (comm/allreduce.h).
   static StatusOr<std::unique_ptr<NcclRingAggregator>> Create(
       int num_ranks, const CodecSpec& spec, const MachineSpec& machine);
 
@@ -34,12 +43,13 @@ class NcclRingAggregator : public GradientAggregator {
  private:
   NcclRingAggregator(int num_ranks, CodecSpec spec,
                      std::unique_ptr<GradientCodec> codec,
-                     const MachineSpec& machine);
+                     const MachineSpec& machine, ExecutionContext execution);
 
   int num_ranks_;
   CodecSpec spec_;
   std::unique_ptr<GradientCodec> codec_;  // payload sizing only
   CommCostModel cost_model_;
+  ExecutionContext exec_;
 };
 
 }  // namespace lpsgd

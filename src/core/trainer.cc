@@ -5,8 +5,6 @@
 
 #include "base/logging.h"
 #include "base/strings.h"
-#include "comm/mpi_reduce_bcast.h"
-#include "comm/nccl_ring.h"
 #include "nn/loss.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
@@ -43,42 +41,71 @@ obs::JsonValue EpochMetricsToJson(const EpochMetrics& metrics) {
   return entry;
 }
 
-StatusOr<std::unique_ptr<SyncTrainer>> SyncTrainer::Create(
-    const NetworkFactory& factory, const TrainerOptions& options) {
-  if (options.num_gpus < 1) {
+Status TrainerOptions::Validate() const {
+  if (num_gpus < 1) {
     return InvalidArgumentError("num_gpus must be >= 1");
   }
-  if (options.global_batch_size % options.num_gpus != 0) {
+  if (global_batch_size < num_gpus) {
     return InvalidArgumentError(
-        StrCat("global batch ", options.global_batch_size,
-               " not divisible by ", options.num_gpus, " GPUs"));
+        StrCat("global batch ", global_batch_size, " smaller than ",
+               num_gpus, " GPUs"));
   }
+  if (global_batch_size % num_gpus != 0) {
+    return InvalidArgumentError(
+        StrCat("global batch ", global_batch_size, " not divisible by ",
+               num_gpus, " GPUs"));
+  }
+  if (!(learning_rate > 0.0f)) {
+    return InvalidArgumentError(
+        StrCat("learning_rate must be > 0, got ", learning_rate));
+  }
+  for (size_t i = 1; i < lr_schedule.size(); ++i) {
+    if (lr_schedule[i - 1].first >= lr_schedule[i].first) {
+      return InvalidArgumentError(
+          StrCat("lr_schedule epochs must be strictly increasing; epoch ",
+                 lr_schedule[i].first, " follows epoch ",
+                 lr_schedule[i - 1].first));
+    }
+  }
+  if (eval_batch_size < 1) {
+    return InvalidArgumentError(
+        StrCat("eval_batch_size must be >= 1, got ", eval_batch_size));
+  }
+  if (execution.intra_op_threads < 0) {
+    return InvalidArgumentError(
+        StrCat("execution.intra_op_threads must be >= 0 (0 = auto), got ",
+               execution.intra_op_threads));
+  }
+  return OkStatus();
+}
+
+StatusOr<std::unique_ptr<SyncTrainer>> SyncTrainer::Create(
+    const NetworkFactory& factory, const TrainerOptions& options) {
+  LPSGD_RETURN_IF_ERROR(options.Validate());
+
+  // Materialize the thread pool once; the trainer and the aggregator
+  // share it (one pool per run, never one per component).
+  TrainerOptions resolved = options;
+  resolved.execution = options.execution.Materialized();
 
   std::vector<Network> replicas;
-  replicas.reserve(static_cast<size_t>(options.num_gpus));
-  for (int r = 0; r < options.num_gpus; ++r) {
-    replicas.push_back(factory(options.seed));
+  replicas.reserve(static_cast<size_t>(resolved.num_gpus));
+  for (int r = 0; r < resolved.num_gpus; ++r) {
+    replicas.push_back(factory(resolved.seed));
   }
   // Defend against non-deterministic factories: force identical weights.
-  for (int r = 1; r < options.num_gpus; ++r) {
+  for (int r = 1; r < resolved.num_gpus; ++r) {
     replicas[static_cast<size_t>(r)].CopyParamsFrom(replicas[0]);
   }
 
-  std::unique_ptr<GradientAggregator> aggregator;
-  if (options.primitive == CommPrimitive::kMpi) {
-    LPSGD_ASSIGN_OR_RETURN(
-        auto mpi, MpiReduceBcastAggregator::Create(
-                      options.num_gpus, options.codec, options.machine));
-    aggregator = std::move(mpi);
-  } else {
-    LPSGD_ASSIGN_OR_RETURN(
-        auto nccl, NcclRingAggregator::Create(options.num_gpus,
-                                              options.codec, options.machine));
-    aggregator = std::move(nccl);
-  }
+  LPSGD_ASSIGN_OR_RETURN(
+      std::unique_ptr<GradientAggregator> aggregator,
+      CreateAggregator(resolved.primitive, resolved.num_gpus,
+                       resolved.codec, resolved.machine,
+                       resolved.execution));
 
   return std::unique_ptr<SyncTrainer>(new SyncTrainer(
-      options, std::move(replicas), std::move(aggregator)));
+      resolved, std::move(replicas), std::move(aggregator)));
 }
 
 SyncTrainer::SyncTrainer(TrainerOptions options,
@@ -100,7 +127,7 @@ SyncTrainer::SyncTrainer(TrainerOptions options,
       ChooseQuantizedMatrices(replica_params_[0], options_.policy);
 
   // Error-feedback residuals, one per (rank, matrix), zero-initialized.
-  auto codec_or = CreateCodec(options_.codec);
+  auto codec_or = options_.codec.Create();
   CHECK_OK(codec_or.status());
   const bool needs_errors = codec_or.value()->UsesErrorFeedback() &&
                             options_.primitive == CommPrimitive::kMpi;
@@ -172,31 +199,44 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
   const int64_t sample_elems = sample_shape.element_count();
 
   // Phase 1 (parallel across ranks): local forward/backward on the shard.
+  // Each rank touches only its own replica and shard; the per-rank loss
+  // sums land in disjoint slots and are reduced in rank order below, so
+  // the totals are bit-identical at any thread count.
   const uint64_t compute_span =
       obs::Tracer::Global().Begin("trainer/forward_backward", "trainer");
+  std::vector<double> rank_loss(static_cast<size_t>(k), 0.0);
+  std::vector<int64_t> rank_correct(static_cast<size_t>(k), 0);
+  LPSGD_RETURN_IF_ERROR(options_.execution.ParallelFor(
+      0, k, [&](int64_t rank) -> Status {
+        obs::TraceSpan rank_span("trainer/rank_forward_backward", "trainer");
+        const int r = static_cast<int>(rank);
+        Network& replica = replicas_[static_cast<size_t>(r)];
+        replica.ZeroGrads();
+
+        std::vector<int64_t> dims;
+        dims.push_back(shard);
+        for (int64_t d : sample_shape.dims()) dims.push_back(d);
+        Tensor inputs{Shape(dims)};
+        std::vector<int> labels(static_cast<size_t>(shard));
+        const int64_t begin = r * shard;
+        std::copy(batch.inputs.data() + begin * sample_elems,
+                  batch.inputs.data() + (begin + shard) * sample_elems,
+                  inputs.data());
+        for (int64_t i = 0; i < shard; ++i) {
+          labels[static_cast<size_t>(i)] =
+              batch.labels[static_cast<size_t>(begin + i)];
+        }
+
+        Tensor logits = replica.Forward(inputs, /*training=*/true);
+        LossResult loss = SoftmaxCrossEntropy(logits, labels);
+        rank_loss[static_cast<size_t>(r)] = loss.loss_sum;
+        rank_correct[static_cast<size_t>(r)] = loss.correct;
+        replica.Backward(loss.logits_grad);
+        return OkStatus();
+      }));
   for (int r = 0; r < k; ++r) {
-    Network& replica = replicas_[static_cast<size_t>(r)];
-    replica.ZeroGrads();
-
-    std::vector<int64_t> dims;
-    dims.push_back(shard);
-    for (int64_t d : sample_shape.dims()) dims.push_back(d);
-    Tensor inputs{Shape(dims)};
-    std::vector<int> labels(static_cast<size_t>(shard));
-    const int64_t begin = r * shard;
-    std::copy(batch.inputs.data() + begin * sample_elems,
-              batch.inputs.data() + (begin + shard) * sample_elems,
-              inputs.data());
-    for (int64_t i = 0; i < shard; ++i) {
-      labels[static_cast<size_t>(i)] =
-          batch.labels[static_cast<size_t>(begin + i)];
-    }
-
-    Tensor logits = replica.Forward(inputs, /*training=*/true);
-    LossResult loss = SoftmaxCrossEntropy(logits, labels);
-    *loss_sum += loss.loss_sum;
-    *correct += loss.correct;
-    replica.Backward(loss.logits_grad);
+    *loss_sum += rank_loss[static_cast<size_t>(r)];
+    *correct += rank_correct[static_cast<size_t>(r)];
   }
 
   obs::Tracer::Global().End(compute_span);
@@ -220,17 +260,20 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
   virtual_seconds_ += stats.TotalSeconds() +
                       options_.virtual_compute_seconds_per_iter;
 
-  // Phase 3 (parallel across ranks): identical averaged update.
+  // Phase 3 (parallel across ranks): identical averaged update. Each rank
+  // scales and steps only its own parameters and momentum state.
   const uint64_t update_span =
       obs::Tracer::Global().Begin("trainer/optimizer_step", "trainer");
   const float inv_k = 1.0f / static_cast<float>(k);
-  for (int r = 0; r < k; ++r) {
-    for (ParamRef& param : replica_params_[static_cast<size_t>(r)]) {
-      Scale(inv_k, param.grad);
-    }
-    optimizers_[static_cast<size_t>(r)].Step(
-        replica_params_[static_cast<size_t>(r)]);
-  }
+  LPSGD_RETURN_IF_ERROR(options_.execution.ParallelFor(
+      0, k, [&](int64_t r) -> Status {
+        for (ParamRef& param : replica_params_[static_cast<size_t>(r)]) {
+          Scale(inv_k, param.grad);
+        }
+        optimizers_[static_cast<size_t>(r)].Step(
+            replica_params_[static_cast<size_t>(r)]);
+        return OkStatus();
+      }));
   obs::Tracer::Global().End(update_span);
 
   ++iteration_;

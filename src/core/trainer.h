@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "base/statusor.h"
+#include "base/thread_pool.h"
 #include "comm/allreduce.h"
 #include "data/dataset.h"
 #include "machine/specs.h"
@@ -44,6 +46,19 @@ struct TrainerOptions {
 
   uint64_t seed = 42;
   int eval_batch_size = 256;
+
+  // Host-side execution of the per-rank work (forward/backward, codec
+  // kernels, optimizer steps). Defaults to one pool sized to the hardware
+  // concurrency; ExecutionContext::Serial() reproduces the historical
+  // rank-by-rank order. Results are bit-identical at any thread count.
+  ExecutionContext execution;
+
+  // Checks the configuration for internal consistency: num_gpus >= 1, the
+  // global batch divisible by (and no smaller than) the GPU count, a
+  // positive learning rate, an lr_schedule sorted by epoch, a positive
+  // eval batch, and a non-negative thread request. Called by
+  // SyncTrainer::Create before any resources are allocated.
+  Status Validate() const;
 };
 
 // Per-epoch training metrics.

@@ -8,9 +8,30 @@
 #include "base/logging.h"
 #include "base/strings.h"
 #include "base/table_printer.h"
+#include "base/thread_pool.h"
 
 namespace lpsgd {
 namespace obs {
+namespace {
+
+// Wires the thread pool's pool/* instrumentation into the global registry
+// at static-initialization time (lpsgd_base cannot depend on lpsgd_obs, so
+// the pool exposes raw function-pointer hooks instead). Both hooks no-op
+// behind the registry's single enabled-flag branch.
+struct PoolMetricHookRegistrar {
+  PoolMetricHookRegistrar() {
+    pool_internal::SetMetricHooks(
+        [](const char* name, int64_t delta) {
+          MetricsRegistry::Global().Count(name, delta);
+        },
+        [](const char* name, double value) {
+          MetricsRegistry::Global().Observe(name, value);
+        });
+  }
+};
+const PoolMetricHookRegistrar pool_metric_hook_registrar;
+
+}  // namespace
 
 double MonotonicSeconds() {
   return std::chrono::duration<double>(

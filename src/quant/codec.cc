@@ -104,7 +104,8 @@ CodecSpec AdaptiveQsgdSpec(int bits) {
   return spec;
 }
 
-StatusOr<std::unique_ptr<GradientCodec>> CreateCodec(const CodecSpec& spec) {
+StatusOr<std::unique_ptr<GradientCodec>> CodecSpec::Create() const {
+  const CodecSpec& spec = *this;
   switch (spec.kind) {
     case CodecKind::kFullPrecision:
       return std::unique_ptr<GradientCodec>(new FullPrecisionCodec());
@@ -166,7 +167,7 @@ std::string ToLower(const std::string& text) {
 
 }  // namespace
 
-StatusOr<CodecSpec> ParseCodecSpec(const std::string& text) {
+StatusOr<CodecSpec> CodecSpec::Parse(const std::string& text) {
   const std::string lower = ToLower(text);
   const auto colon = lower.find(':');
   const std::string head = lower.substr(0, colon);
@@ -238,6 +239,14 @@ StatusOr<CodecSpec> ParseCodecSpec(const std::string& text) {
     return TopKSpec(density);
   }
   return InvalidArgumentError(StrCat("unrecognized codec: ", text));
+}
+
+StatusOr<std::unique_ptr<GradientCodec>> CreateCodec(const CodecSpec& spec) {
+  return spec.Create();
+}
+
+StatusOr<CodecSpec> ParseCodecSpec(const std::string& text) {
+  return CodecSpec::Parse(text);
 }
 
 namespace codec_internal {

@@ -85,6 +85,22 @@ struct CodecSpec {
   bool error_feedback = true;
   uint64_t seed = 0x95bd0b1f2c3d4e5fULL;
 
+  // Parses a human-friendly codec description, as accepted by the CLI
+  // tools. Grammar (case-insensitive):
+  //   "32bit" | "fp32"                      full precision
+  //   "1bit"  | "1bitsgd"                   stock per-column 1bitSGD
+  //   "1bit*" | "1bitsgd*"                  reshaped, default bucket 64
+  //   "1bit*:<bucket>"                      reshaped with explicit bucket
+  //   "q<bits>"                             QSGD with the paper bucket size
+  //   "q<bits>:<bucket>"                    QSGD with explicit bucket
+  //   "topk:<density>"                      TopK, density in (0, 1]
+  //   "aq<bits>[:<bucket>]"                 adaptive-levels QSGD
+  static StatusOr<CodecSpec> Parse(const std::string& text);
+
+  // Instantiates the codec this spec describes; fails on out-of-range
+  // parameters (bits, bucket size, density).
+  StatusOr<std::unique_ptr<GradientCodec>> Create() const;
+
   // "32bit", "QSGD 4bit (b=512)", "1bitSGD", "1bitSGD* (b=64)", ...
   std::string Label() const;
   // Compact label used in the paper's tables: "32bit", "Q4", "1b", "1b*".
@@ -101,19 +117,9 @@ CodecSpec OneBitSgdReshapedSpec(int64_t bucket_size = 64);
 CodecSpec TopKSpec(double density);       // sparse communication
 CodecSpec AdaptiveQsgdSpec(int bits);     // quantile-placed levels
 
-// Instantiates the codec for `spec`.
+// Free-function forwarders kept for older call sites; prefer the
+// CodecSpec::Create / CodecSpec::Parse members.
 StatusOr<std::unique_ptr<GradientCodec>> CreateCodec(const CodecSpec& spec);
-
-// Parses a human-friendly codec description, as accepted by the CLI
-// tools. Grammar (case-insensitive):
-//   "32bit" | "fp32"                      full precision
-//   "1bit"  | "1bitsgd"                   stock per-column 1bitSGD
-//   "1bit*" | "1bitsgd*"                  reshaped, default bucket 64
-//   "1bit*:<bucket>"                      reshaped with explicit bucket
-//   "q<bits>"                             QSGD with the paper bucket size
-//   "q<bits>:<bucket>"                    QSGD with explicit bucket
-//   "topk:<density>"                      TopK, density in (0, 1]
-//   "aq<bits>[:<bucket>]"                 adaptive-levels QSGD
 StatusOr<CodecSpec> ParseCodecSpec(const std::string& text);
 
 namespace codec_internal {

@@ -24,10 +24,6 @@ void RecordEstimate(const PerfEstimate& est) {
 
 }  // namespace
 
-std::string CommPrimitiveName(CommPrimitive primitive) {
-  return primitive == CommPrimitive::kMpi ? "MPI" : "NCCL";
-}
-
 obs::JsonValue PerfEstimateToJson(const PerfEstimate& estimate) {
   obs::JsonValue v = obs::JsonValue::Object();
   v.Set("network", estimate.network);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "base/statusor.h"
+#include "comm/allreduce.h"  // re-exports CommPrimitive / CommPrimitiveName
 #include "comm/cost_model.h"
 #include "machine/specs.h"
 #include "nn/model_zoo.h"
@@ -15,11 +16,6 @@
 #include "quant/policy.h"
 
 namespace lpsgd {
-
-// Which communication stack carries the gradient exchange.
-enum class CommPrimitive { kMpi, kNccl };
-
-std::string CommPrimitiveName(CommPrimitive primitive);
 
 // Timing estimate for one training configuration (network x machine x
 // GPU count x precision x primitive).

@@ -1,0 +1,249 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "base/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace lpsgd {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(64);
+  ASSERT_TRUE(pool.ParallelFor(0, 64, [&](int64_t i) {
+                    hits[static_cast<size_t>(i)].fetch_add(1);
+                    return OkStatus();
+                  })
+                  .ok());
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, NonZeroBeginRange) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  ASSERT_TRUE(pool.ParallelFor(10, 20, [&](int64_t i) {
+                    sum.fetch_add(i);
+                    return OkStatus();
+                  })
+                  .ok());
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  EXPECT_TRUE(pool.ParallelFor(5, 5, [&](int64_t) {
+                    ++calls;
+                    return OkStatus();
+                  })
+                  .ok());
+  EXPECT_EQ(calls, 0);
+  EXPECT_TRUE(pool.ParallelFor(7, 6, [&](int64_t) {
+                    ++calls;
+                    return OkStatus();
+                  })
+                  .ok());
+  EXPECT_EQ(calls, 0);
+  // A single index runs inline on the calling thread: plain int is safe.
+  EXPECT_TRUE(pool.ParallelFor(3, 4, [&](int64_t i) {
+                    EXPECT_EQ(i, 3);
+                    ++calls;
+                    return OkStatus();
+                  })
+                  .ok());
+  EXPECT_EQ(calls, 1);
+}
+
+// The result of a deterministic per-index computation must not depend on
+// the worker count: every index writes its own slot.
+TEST(ThreadPoolTest, ResultIndependentOfThreadCount) {
+  constexpr int64_t kN = 257;
+  auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    std::vector<uint64_t> out(kN, 0);
+    EXPECT_TRUE(pool.ParallelFor(0, kN, [&](int64_t i) {
+                      out[static_cast<size_t>(i)] =
+                          static_cast<uint64_t>(i) * 0x9e3779b9ULL + 17;
+                      return OkStatus();
+                    })
+                    .ok());
+    return out;
+  };
+  const std::vector<uint64_t> serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ThreadPoolTest, LowestObservedFailureWinsAndSkipsRemaining) {
+  ThreadPool pool(1);  // serial: index 3 is observed before index 9
+  std::vector<int> ran(16, 0);
+  const Status status = pool.ParallelFor(0, 16, [&](int64_t i) -> Status {
+    ran[static_cast<size_t>(i)] = 1;
+    if (i == 3 || i == 9) {
+      return InvalidArgumentError("boom");
+    }
+    return OkStatus();
+  });
+  EXPECT_FALSE(status.ok());
+  // The serial inline path short-circuits: nothing after index 3 ran.
+  EXPECT_EQ(ran[3], 1);
+  EXPECT_EQ(std::accumulate(ran.begin(), ran.end(), 0), 4);
+}
+
+TEST(ThreadPoolTest, StatusPropagatesFromWorkers) {
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    const Status status =
+        pool.ParallelFor(0, 64, [&](int64_t i) -> Status {
+          if (i % 5 == 0) {
+            return InvalidArgumentError("multiple of five");
+          }
+          return OkStatus();
+        });
+    ASSERT_FALSE(status.ok());
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionRethrownOnSubmitter) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      {
+        (void)pool.ParallelFor(0, 32, [&](int64_t i) -> Status {
+          if (i == 13) throw std::runtime_error("kaboom");
+          return OkStatus();
+        });
+      },
+      std::runtime_error);
+  // The pool stays usable after an exception drained.
+  std::atomic<int> hits{0};
+  EXPECT_TRUE(pool.ParallelFor(0, 8, [&](int64_t) {
+                    hits.fetch_add(1);
+                    return OkStatus();
+                  })
+                  .ok());
+  EXPECT_EQ(hits.load(), 8);
+}
+
+// Nested submission is disallowed; inner loops run inline instead of
+// deadlocking. Stress it from every outer index.
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> inner_hits(8 * 16);
+  ASSERT_TRUE(pool.ParallelFor(0, 8, [&](int64_t outer) {
+                    EXPECT_TRUE(ThreadPool::InPoolTask());
+                    return pool.ParallelFor(0, 16, [&](int64_t inner) {
+                      inner_hits[static_cast<size_t>(outer * 16 + inner)]
+                          .fetch_add(1);
+                      return OkStatus();
+                    });
+                  })
+                  .ok());
+  for (const auto& hit : inner_hits) EXPECT_EQ(hit.load(), 1);
+  EXPECT_FALSE(ThreadPool::InPoolTask());
+}
+
+TEST(ThreadPoolTest, ManyConsecutiveBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    ASSERT_TRUE(pool.ParallelFor(0, 16, [&](int64_t i) {
+                      sum.fetch_add(i + round);
+                      return OkStatus();
+                    })
+                    .ok());
+    ASSERT_EQ(sum.load(), 120 + 16 * round);
+  }
+}
+
+TEST(ThreadPoolTest, PoolMetricsRecorded) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  registry.Reset();
+  {
+    ThreadPool pool(4);
+    EXPECT_TRUE(pool.ParallelFor(0, 32, [&](int64_t) {
+                      return OkStatus();
+                    })
+                    .ok());
+  }
+  EXPECT_EQ(registry.CounterValue("pool/tasks"), 32);
+  EXPECT_EQ(registry.CounterValue("pool/parallel_for_calls"), 1);
+  registry.Reset();
+  registry.set_enabled(was_enabled);
+}
+
+TEST(ExecutionContextTest, SerialRunsInlineInOrder) {
+  const ExecutionContext context = ExecutionContext::Serial();
+  EXPECT_EQ(context.threads(), 1);
+  EXPECT_FALSE(context.parallel());
+  EXPECT_EQ(context.Description(), "serial (1 thread)");
+  std::vector<int64_t> order;
+  ASSERT_TRUE(context.ParallelFor(0, 5, [&](int64_t i) {
+                     order.push_back(i);
+                     return OkStatus();
+                   })
+                  .ok());
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ExecutionContextTest, WithThreadsMaterializesAPool) {
+  const ExecutionContext context = ExecutionContext::WithThreads(4);
+  ASSERT_NE(context.pool, nullptr);
+  EXPECT_EQ(context.threads(), 4);
+  EXPECT_TRUE(context.parallel());
+  EXPECT_EQ(context.Description(), "parallel (4 threads)");
+  std::atomic<int> hits{0};
+  ASSERT_TRUE(context.ParallelFor(0, 32, [&](int64_t) {
+                     hits.fetch_add(1);
+                     return OkStatus();
+                   })
+                  .ok());
+  EXPECT_EQ(hits.load(), 32);
+}
+
+TEST(ExecutionContextTest, WithOneThreadStaysSerial) {
+  const ExecutionContext context = ExecutionContext::WithThreads(1);
+  EXPECT_EQ(context.pool, nullptr);
+  EXPECT_EQ(context.threads(), 1);
+  EXPECT_FALSE(context.parallel());
+}
+
+TEST(ExecutionContextTest, MaterializedSharesThePool) {
+  ExecutionContext context;
+  context.intra_op_threads = 3;
+  EXPECT_EQ(context.pool, nullptr);
+  EXPECT_EQ(context.requested_threads(), 3);
+  const ExecutionContext materialized = context.Materialized();
+  ASSERT_NE(materialized.pool, nullptr);
+  EXPECT_EQ(materialized.threads(), 3);
+  // Copies alias the same pool; re-materializing is a no-op.
+  const ExecutionContext again = materialized.Materialized();
+  EXPECT_EQ(again.pool.get(), materialized.pool.get());
+}
+
+TEST(ExecutionContextTest, AutoRequestsHardwareConcurrency) {
+  ExecutionContext context;  // intra_op_threads == 0
+  EXPECT_GE(context.requested_threads(), 1);
+  EXPECT_EQ(context.threads(), 1);  // unmaterialized => inline
+}
+
+TEST(ExecutionContextTest, StatusPropagatesThroughContext) {
+  const ExecutionContext context = ExecutionContext::WithThreads(4);
+  const Status status =
+      context.ParallelFor(0, 16, [&](int64_t i) -> Status {
+        if (i == 7) return FailedPreconditionError("nope");
+        return OkStatus();
+      });
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace lpsgd

@@ -60,8 +60,8 @@ class AllReduceRankCountTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(AllReduceRankCountTest, MpiFullPrecisionComputesExactSum) {
   const int k = GetParam();
-  auto agg = MpiReduceBcastAggregator::Create(k, FullPrecisionSpec(),
-                                              Ec2P2_16xlarge());
+  auto agg = CreateAggregator(CommPrimitive::kMpi, k, FullPrecisionSpec(),
+                              Ec2P2_16xlarge(), ExecutionContext::Serial());
   ASSERT_TRUE(agg.ok());
 
   std::vector<TestMatrix> matrices;
@@ -88,8 +88,8 @@ TEST_P(AllReduceRankCountTest, MpiFullPrecisionComputesExactSum) {
 TEST_P(AllReduceRankCountTest, NcclComputesExactSum) {
   const int k = GetParam();
   if (k > 8) GTEST_SKIP() << "NCCL supports at most 8 GPUs";
-  auto agg =
-      NcclRingAggregator::Create(k, FullPrecisionSpec(), Ec2P2_8xlarge());
+  auto agg = CreateAggregator(CommPrimitive::kNccl, k, FullPrecisionSpec(),
+                              Ec2P2_8xlarge(), ExecutionContext::Serial());
   ASSERT_TRUE(agg.ok());
 
   std::vector<TestMatrix> matrices;
@@ -216,6 +216,101 @@ TEST(NcclAllReduceTest, RejectsMoreThanEightGpus) {
                                         Ec2P2_16xlarge());
   EXPECT_FALSE(agg.ok());
   EXPECT_EQ(agg.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CreateAggregatorTest, DispatchesOnPrimitive) {
+  auto mpi = CreateAggregator(CommPrimitive::kMpi, 4, QsgdSpec(4),
+                              Ec2P2_8xlarge(), ExecutionContext::Serial());
+  ASSERT_TRUE(mpi.ok());
+  EXPECT_EQ((*mpi)->Name(), "MPI reduce-and-broadcast");
+  EXPECT_EQ((*mpi)->num_ranks(), 4);
+
+  auto nccl = CreateAggregator(CommPrimitive::kNccl, 4, QsgdSpec(4),
+                               Ec2P2_8xlarge(), ExecutionContext::Serial());
+  ASSERT_TRUE(nccl.ok());
+  EXPECT_EQ((*nccl)->Name(), "NCCL ring allreduce");
+}
+
+TEST(CreateAggregatorTest, PropagatesConstructionErrors) {
+  // The NCCL GPU-count limit surfaces through the unified factory.
+  auto agg = CreateAggregator(CommPrimitive::kNccl, 16, FullPrecisionSpec(),
+                              Ec2P2_16xlarge(), ExecutionContext::Serial());
+  ASSERT_FALSE(agg.ok());
+  EXPECT_EQ(agg.status().code(), StatusCode::kFailedPrecondition);
+
+  // Bad codec parameters surface too, for either primitive.
+  CodecSpec bad = QsgdSpec(4);
+  bad.bucket_size = -1;
+  auto mpi = CreateAggregator(CommPrimitive::kMpi, 4, bad, Ec2P2_8xlarge(),
+                              ExecutionContext::Serial());
+  EXPECT_EQ(mpi.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The same exchange run serially and on a pool must agree bit for bit:
+// aggregates, error-feedback residuals, and accounting.
+void ExpectSerialAndParallelAgree(CommPrimitive primitive,
+                                  const CodecSpec& codec, int k) {
+  std::vector<TestMatrix> serial_matrices, parallel_matrices;
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    serial_matrices.push_back(MakeMatrix(Shape({96, 5}), k, seed));
+    parallel_matrices.push_back(MakeMatrix(Shape({96, 5}), k, seed));
+  }
+  auto serial_agg = CreateAggregator(primitive, k, codec, Ec2P2_8xlarge(),
+                                     ExecutionContext::Serial());
+  auto parallel_agg = CreateAggregator(primitive, k, codec, Ec2P2_8xlarge(),
+                                       ExecutionContext::WithThreads(8));
+  ASSERT_TRUE(serial_agg.ok());
+  ASSERT_TRUE(parallel_agg.ok());
+
+  for (int64_t iteration = 0; iteration < 3; ++iteration) {
+    auto serial_slots = MakeSlots(serial_matrices, k);
+    auto parallel_slots = MakeSlots(parallel_matrices, k);
+    auto serial_stats = (*serial_agg)->AllReduce(&serial_slots, iteration);
+    auto parallel_stats =
+        (*parallel_agg)->AllReduce(&parallel_slots, iteration);
+    ASSERT_TRUE(serial_stats.ok());
+    ASSERT_TRUE(parallel_stats.ok());
+    EXPECT_EQ(serial_stats->wire_bytes, parallel_stats->wire_bytes);
+    EXPECT_EQ(serial_stats->raw_bytes, parallel_stats->raw_bytes);
+    EXPECT_EQ(serial_stats->messages, parallel_stats->messages);
+    EXPECT_DOUBLE_EQ(serial_stats->comm_seconds,
+                     parallel_stats->comm_seconds);
+    EXPECT_DOUBLE_EQ(serial_stats->encode_seconds,
+                     parallel_stats->encode_seconds);
+
+    for (size_t m = 0; m < serial_matrices.size(); ++m) {
+      const TestMatrix& a = serial_matrices[m];
+      const TestMatrix& b = parallel_matrices[m];
+      for (int r = 0; r < k; ++r) {
+        for (int64_t i = 0; i < a.shape.element_count(); ++i) {
+          ASSERT_EQ(a.rank_grads[static_cast<size_t>(r)].at(i),
+                    b.rank_grads[static_cast<size_t>(r)].at(i))
+              << "iteration " << iteration << " matrix " << m << " rank "
+              << r << " elem " << i;
+        }
+        ASSERT_EQ(a.rank_errors[static_cast<size_t>(r)],
+                  b.rank_errors[static_cast<size_t>(r)])
+            << "iteration " << iteration << " matrix " << m << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST(ParallelExchangeTest, MpiQsgdBitIdenticalToSerial) {
+  ExpectSerialAndParallelAgree(CommPrimitive::kMpi, QsgdSpec(4), 4);
+}
+
+TEST(ParallelExchangeTest, MpiOneBitBitIdenticalToSerial) {
+  ExpectSerialAndParallelAgree(CommPrimitive::kMpi,
+                               OneBitSgdReshapedSpec(16), 4);
+}
+
+TEST(ParallelExchangeTest, MpiFullPrecisionBitIdenticalToSerial) {
+  ExpectSerialAndParallelAgree(CommPrimitive::kMpi, FullPrecisionSpec(), 3);
+}
+
+TEST(ParallelExchangeTest, NcclBitIdenticalToSerial) {
+  ExpectSerialAndParallelAgree(CommPrimitive::kNccl, QsgdSpec(4), 4);
 }
 
 TEST(AllReduceTest, MpiQuantizedSlowerKernelsButFewerBytesThanFp) {

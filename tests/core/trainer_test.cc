@@ -63,6 +63,60 @@ TEST(SyncTrainerTest, RejectsZeroGpus) {
   EXPECT_FALSE(SyncTrainer::Create(MlpFactory({16, 8, 4}), options).ok());
 }
 
+TEST(TrainerOptionsValidateTest, AcceptsDefaults) {
+  EXPECT_TRUE(BaseOptions(4, FullPrecisionSpec()).Validate().ok());
+}
+
+TEST(TrainerOptionsValidateTest, RejectsZeroGpus) {
+  TrainerOptions options = BaseOptions(0, FullPrecisionSpec());
+  const Status status = options.Validate();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerOptionsValidateTest, RejectsBatchSmallerThanGpus) {
+  TrainerOptions options = BaseOptions(8, FullPrecisionSpec());
+  options.global_batch_size = 4;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerOptionsValidateTest, RejectsIndivisibleBatch) {
+  TrainerOptions options = BaseOptions(3, FullPrecisionSpec());
+  options.global_batch_size = 32;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerOptionsValidateTest, RejectsNonPositiveLearningRate) {
+  TrainerOptions options = BaseOptions(2, FullPrecisionSpec());
+  options.learning_rate = 0.0f;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.learning_rate = -0.1f;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerOptionsValidateTest, RejectsUnsortedLrSchedule) {
+  TrainerOptions options = BaseOptions(2, FullPrecisionSpec());
+  options.lr_schedule = {{5, 0.01f}, {3, 0.001f}};
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.lr_schedule = {{3, 0.01f}, {3, 0.001f}};  // duplicate epoch
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  options.lr_schedule = {{3, 0.01f}, {5, 0.001f}};
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(TrainerOptionsValidateTest, RejectsNonPositiveEvalBatch) {
+  TrainerOptions options = BaseOptions(2, FullPrecisionSpec());
+  options.eval_batch_size = 0;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrainerOptionsValidateTest, RejectsNegativeThreadRequest) {
+  TrainerOptions options = BaseOptions(2, FullPrecisionSpec());
+  options.execution.intra_op_threads = -2;
+  EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  // Create surfaces the same rejection.
+  EXPECT_FALSE(SyncTrainer::Create(MlpFactory({16, 8, 4}), options).ok());
+}
+
 // Central invariant of synchronous data-parallel SGD: all replicas remain
 // bit-identical after every iteration, for every codec.
 class ReplicaConsistencyTest

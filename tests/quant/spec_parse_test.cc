@@ -85,5 +85,35 @@ TEST(ParseCodecSpecTest, RoundTripsThroughCreateCodec) {
   }
 }
 
+// The members are the primary API; the free functions above are
+// forwarders. Both must agree.
+TEST(CodecSpecMemberTest, ParseMatchesFreeFunction) {
+  for (const char* text : {"32bit", "1bit*", "q4:256", "topk:0.1", "aq4"}) {
+    auto member = CodecSpec::Parse(text);
+    auto free_fn = ParseCodecSpec(text);
+    ASSERT_TRUE(member.ok()) << text;
+    ASSERT_TRUE(free_fn.ok()) << text;
+    EXPECT_EQ(member->kind, free_fn->kind) << text;
+    EXPECT_EQ(member->bits, free_fn->bits) << text;
+    EXPECT_EQ(member->bucket_size, free_fn->bucket_size) << text;
+    EXPECT_DOUBLE_EQ(member->density, free_fn->density) << text;
+  }
+  EXPECT_FALSE(CodecSpec::Parse("64bit").ok());
+}
+
+TEST(CodecSpecMemberTest, CreateInstantiatesAndValidates) {
+  auto spec = CodecSpec::Parse("q4");
+  ASSERT_TRUE(spec.ok());
+  auto codec = spec->Create();
+  ASSERT_TRUE(codec.ok());
+  EXPECT_EQ((*codec)->Name(), CreateCodec(*spec).value()->Name());
+
+  CodecSpec bad = QsgdSpec(4);
+  bad.bits = 99;
+  EXPECT_FALSE(bad.Create().ok());
+  bad = OneBitSgdReshapedSpec(0);
+  EXPECT_FALSE(bad.Create().ok());
+}
+
 }  // namespace
 }  // namespace lpsgd
