@@ -13,6 +13,7 @@
 #include "base/logging.h"
 #include "base/rng.h"
 #include "quant/codec.h"
+#include "quant/workspace.h"
 #include "tensor/tensor.h"
 
 namespace lpsgd {
@@ -38,10 +39,14 @@ void RunEncode(benchmark::State& state, const CodecSpec& spec,
   std::vector<float>* error_ptr =
       (*codec)->UsesErrorFeedback() ? &error : nullptr;
 
+  // Steady-state measurement: one reused workspace, like the aggregators'
+  // per-slot workspaces — the loop body never allocates.
+  CodecWorkspace workspace;
   std::vector<uint8_t> blob;
   uint64_t tag = 0;
   for (auto _ : state) {
-    (*codec)->Encode(grad.data(), shape, tag++, error_ptr, &blob);
+    (*codec)->Encode(grad.data(), shape, tag++, error_ptr, &workspace,
+                     &blob);
     benchmark::DoNotOptimize(blob.data());
   }
   state.SetItemsProcessed(state.iterations() * n);
@@ -61,10 +66,11 @@ void RunDecode(benchmark::State& state, const CodecSpec& spec) {
   std::vector<uint8_t> blob;
   (*codec)->Encode(grad.data(), shape, 0,
                    (*codec)->UsesErrorFeedback() ? &error : nullptr, &blob);
+  CodecWorkspace workspace;
   std::vector<float> decoded(static_cast<size_t>(n));
   for (auto _ : state) {
     (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
-                     decoded.data());
+                     &workspace, decoded.data());
     benchmark::DoNotOptimize(decoded.data());
   }
   state.SetItemsProcessed(state.iterations() * n);

@@ -4,12 +4,19 @@
 #include "base/logging.h"
 
 namespace lpsgd {
+namespace {
+
+uint32_t MaskFor(int bits_per_value) {
+  return bits_per_value == 32 ? 0xffffffffu
+                              : ((1u << bits_per_value) - 1u);
+}
+
+}  // namespace
 
 BitPacker::BitPacker(int bits_per_value)
     : bits_per_value_(bits_per_value),
       values_per_word_(32 / bits_per_value),
-      mask_(bits_per_value == 32 ? 0xffffffffu
-                                 : ((1u << bits_per_value) - 1u)) {
+      mask_(MaskFor(bits_per_value)) {
   CHECK_GE(bits_per_value, 1);
   CHECK_LE(bits_per_value, 32);
 }
@@ -20,20 +27,19 @@ int64_t BitPacker::WordCount(int64_t count) const {
 
 void BitPacker::Pack(const uint32_t* values, int64_t count,
                      uint32_t* words) const {
-  const int64_t num_words = WordCount(count);
-  for (int64_t w = 0; w < num_words; ++w) words[w] = 0;
+  BitWriter writer(words, bits_per_value_);
   for (int64_t i = 0; i < count; ++i) {
     DCHECK_EQ(values[i] & ~mask_, 0u);
-    const int64_t word = i / values_per_word_;
-    const int shift = static_cast<int>(i % values_per_word_) * bits_per_value_;
-    words[word] |= (values[i] & mask_) << shift;
+    writer.Put(values[i]);
   }
+  writer.Finish();
 }
 
 void BitPacker::Unpack(const uint32_t* words, int64_t count,
                        uint32_t* values) const {
+  BitReader reader(words, bits_per_value_);
   for (int64_t i = 0; i < count; ++i) {
-    values[i] = Get(words, i);
+    values[i] = reader.Next();
   }
 }
 
@@ -44,14 +50,39 @@ uint32_t BitPacker::Get(const uint32_t* words, int64_t index) const {
   return (words[word] >> shift) & mask_;
 }
 
-void PackSignBits(const float* values, int64_t count,
-                  std::vector<uint32_t>* words) {
-  words->assign((count + 31) / 32, 0u);
+BitWriter::BitWriter(uint32_t* words, int bits_per_value)
+    : words_(words),
+      bits_(bits_per_value),
+      per_word_(32 / bits_per_value),
+      mask_(MaskFor(bits_per_value)) {
+  CHECK_GE(bits_per_value, 1);
+  CHECK_LE(bits_per_value, 32);
+}
+
+BitReader::BitReader(const uint32_t* words, int bits_per_value)
+    : words_(words),
+      bits_(bits_per_value),
+      per_word_(32 / bits_per_value),
+      mask_(MaskFor(bits_per_value)),
+      in_word_(per_word_) {
+  CHECK_GE(bits_per_value, 1);
+  CHECK_LE(bits_per_value, 32);
+}
+
+void PackSignBits(const float* values, int64_t count, uint32_t* words) {
+  const int64_t num_words = (count + 31) / 32;
+  for (int64_t w = 0; w < num_words; ++w) words[w] = 0u;
   for (int64_t i = 0; i < count; ++i) {
     if (values[i] >= 0.0f) {
-      (*words)[i >> 5] |= 1u << (i & 31);
+      words[i >> 5] |= 1u << (i & 31);
     }
   }
+}
+
+void PackSignBits(const float* values, int64_t count,
+                  std::vector<uint32_t>* words) {
+  words->resize(static_cast<size_t>((count + 31) / 32));
+  PackSignBits(values, count, words->data());
 }
 
 }  // namespace lpsgd

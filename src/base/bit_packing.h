@@ -13,7 +13,9 @@ namespace lpsgd {
 // integer.
 //
 // Values are stored little-endian within a word: value i occupies bits
-// [(i % per_word) * bits, ...) of word i / per_word.
+// [(i % per_word) * bits, ...) of word i / per_word. Values never straddle
+// words; when bits does not divide 32 the top 32 % bits bits of every word
+// are zero padding.
 class BitPacker {
  public:
   // `bits_per_value` must be in [1, 32].
@@ -42,8 +44,86 @@ class BitPacker {
   uint32_t mask_;
 };
 
+// Streaming writer producing BitPacker's exact word layout without a
+// materialized field array or a second packing pass: the codec hot loops
+// quantize each element and Put() it straight into the wire buffer.
+//
+// `words` must hold BitPacker(bits).WordCount(count) words; every word the
+// stream reaches is fully overwritten (padding bits zeroed), so the buffer
+// needs no pre-zeroing. Call Finish() once after the last Put() to flush a
+// trailing partial word.
+class BitWriter {
+ public:
+  // `bits_per_value` must be in [1, 32].
+  BitWriter(uint32_t* words, int bits_per_value);
+
+  // Appends `value` (must fit in bits_per_value bits) as the next field.
+  void Put(uint32_t value) {
+    current_ |= (value & mask_) << shift_;
+    shift_ += bits_;
+    if (++in_word_ == per_word_) {
+      *words_++ = current_;
+      current_ = 0;
+      shift_ = 0;
+      in_word_ = 0;
+    }
+  }
+
+  // Flushes a trailing partial word, if any. Idempotent.
+  void Finish() {
+    if (in_word_ > 0) {
+      *words_++ = current_;
+      current_ = 0;
+      shift_ = 0;
+      in_word_ = 0;
+    }
+  }
+
+ private:
+  uint32_t* words_;
+  int bits_;
+  int per_word_;
+  uint32_t mask_;
+  uint32_t current_ = 0;
+  int shift_ = 0;
+  int in_word_ = 0;
+};
+
+// Streaming counterpart of BitWriter: sequential reads of consecutive
+// fields without BitPacker::Get's per-element divide. Reads words lazily,
+// so constructing a reader over an empty stream never dereferences it.
+class BitReader {
+ public:
+  // `bits_per_value` must be in [1, 32].
+  BitReader(const uint32_t* words, int bits_per_value);
+
+  // Returns the next field in stream order.
+  uint32_t Next() {
+    if (in_word_ == per_word_) {
+      current_ = *words_++;
+      shift_ = 0;
+      in_word_ = 0;
+    }
+    const uint32_t value = (current_ >> shift_) & mask_;
+    shift_ += bits_;
+    ++in_word_;
+    return value;
+  }
+
+ private:
+  const uint32_t* words_;
+  int bits_;
+  int per_word_;
+  uint32_t mask_;
+  uint32_t current_ = 0;
+  int shift_ = 0;
+  int in_word_;  // initialized to per_word_ so the first Next() loads
+};
+
 // Packs a sign bitmap (1 bit per element, bit set when `values[i] >= 0`)
-// into 32-bit words; the layout used by the 1bitSGD codec.
+// into 32-bit words; the layout used by the 1bitSGD codec. The raw-pointer
+// overload writes (count + 31) / 32 fully-overwritten words.
+void PackSignBits(const float* values, int64_t count, uint32_t* words);
 void PackSignBits(const float* values, int64_t count,
                   std::vector<uint32_t>* words);
 

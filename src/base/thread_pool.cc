@@ -16,6 +16,11 @@ namespace {
 // ParallelFor calls consult it and fall back to inline execution.
 thread_local bool tls_in_pool_task = false;
 
+// Per-thread workspace slot: pool workers set theirs once at spawn; all
+// other threads (submitters included) stay at 0. See
+// ThreadPool::CurrentSlot().
+thread_local int tls_pool_slot = 0;
+
 std::atomic<pool_internal::CountHook> g_count_hook{nullptr};
 std::atomic<pool_internal::ObserveHook> g_observe_hook{nullptr};
 
@@ -77,7 +82,7 @@ ThreadPool::ThreadPool(int num_threads)
   // The submitting thread is one of the executors, so spawn one fewer.
   workers_.reserve(static_cast<size_t>(num_threads_ - 1));
   for (int i = 1; i < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -92,8 +97,11 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::InPoolTask() { return tls_in_pool_task; }
 
-void ThreadPool::WorkerLoop() {
+int ThreadPool::CurrentSlot() { return tls_pool_slot; }
+
+void ThreadPool::WorkerLoop(int slot) {
   tls_in_pool_task = true;
+  tls_pool_slot = slot;
   uint64_t seen_epoch = 0;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {

@@ -74,10 +74,20 @@ class ThreadPool {
   // or participating submitter) of any pool in the process.
   static bool InPoolTask();
 
+  // Stable per-thread slot id for indexing per-thread scratch (e.g. the
+  // aggregators' codec workspaces): spawned workers of a pool occupy slots
+  // [1, num_threads); every other thread — including the participating
+  // submitter — reports slot 0. Two threads executing tasks of the same
+  // ParallelFor batch never share a slot, so workspaces_[CurrentSlot()] is
+  // race-free scratch as long as the submitter is not itself a worker of a
+  // different pool (the one-pool-per-run rule, DESIGN.md "Execution
+  // model").
+  static int CurrentSlot();
+
  private:
   struct Batch;
 
-  void WorkerLoop();
+  void WorkerLoop(int slot);
   // Pulls and runs indices until `batch` is exhausted.
   static void RunTasks(Batch& batch, bool record_queue_wait);
   static void RecordFailure(Batch& batch, int64_t index, Status status,

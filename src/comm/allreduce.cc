@@ -3,6 +3,7 @@
 
 #include <utility>
 
+#include "base/rng.h"
 #include "comm/mpi_reduce_bcast.h"
 #include "comm/nccl_ring.h"
 #include "obs/metrics.h"
@@ -53,6 +54,27 @@ void RecordAllReduceStats(const CommStats& stats) {
   obs::Count("comm/messages", stats.messages);
   obs::Observe("comm/virtual_comm_seconds", stats.comm_seconds);
   obs::Observe("comm/virtual_encode_seconds", stats.encode_seconds);
+}
+
+namespace {
+
+// Per-(iteration, matrix) counter both stages hash: golden-ratio spreading
+// of the iteration keeps consecutive iterations' counters far apart.
+uint64_t ExchangeCounter(int64_t iteration, int64_t matrix) {
+  return static_cast<uint64_t>(iteration) * 0x9e3779b9ULL +
+         static_cast<uint64_t>(matrix);
+}
+
+}  // namespace
+
+uint64_t ExchangeRankTag(int64_t iteration, int64_t matrix, int rank) {
+  return HashCounter(ExchangeCounter(iteration, matrix),
+                     static_cast<uint64_t>(rank));
+}
+
+uint64_t ExchangeAggregateTag(int64_t iteration, int64_t matrix, int owner) {
+  return HashCounter(ExchangeCounter(iteration, matrix),
+                     0xa66e6a7eULL + static_cast<uint64_t>(owner));
 }
 
 }  // namespace comm_internal

@@ -47,6 +47,21 @@ namespace comm_internal {
 // reports stay comparable.
 void RecordAllReduceStats(const CommStats& stats);
 
+// Stochastic-tag derivation for the MPI exchange's two quantization
+// stages. Both hash the same per-(iteration, matrix) counter — iteration
+// is spread by the 64-bit golden ratio so consecutive iterations land far
+// apart — with a stage-distinct stream index, giving every codec call in a
+// run an independent, schedule-invariant random stream. These formulas are
+// wire-format-stable: changing them changes every stochastic codec's
+// encoded bytes (and thus the checkpoint/determinism goldens).
+//
+// Stage 1: rank `rank` encodes its local gradient for matrix `matrix`.
+uint64_t ExchangeRankTag(int64_t iteration, int64_t matrix, int rank);
+// Stage 2: owner rank `owner` re-encodes the summed aggregate. The
+// 0xa66e6a7e stream offset keeps owner streams disjoint from the rank
+// streams of stage 1 (ranks are < 2^31, well under the offset).
+uint64_t ExchangeAggregateTag(int64_t iteration, int64_t matrix, int owner);
+
 }  // namespace comm_internal
 
 // One gradient matrix as seen by the aggregation engine: every rank's

@@ -1,11 +1,11 @@
 // Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
 #include "comm/mpi_reduce_bcast.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
 #include "base/logging.h"
-#include "base/rng.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -38,7 +38,11 @@ MpiReduceBcastAggregator::MpiReduceBcastAggregator(
       spec_(std::move(spec)),
       codec_(std::move(codec)),
       cost_model_(machine),
-      exec_(std::move(execution)) {}
+      exec_(std::move(execution)),
+      // One codec workspace per thread-pool slot: two threads executing
+      // tasks of the same ParallelFor batch never share a slot, so the
+      // scratch is race-free (see ThreadPool::CurrentSlot()).
+      workspaces_(static_cast<size_t>(exec_.threads())) {}
 
 StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
     std::vector<MatrixSlot>* slots, int64_t iteration) {
@@ -55,18 +59,23 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
 
   // Per-matrix accounting and scratch, merged in matrix order at the end:
   // totals (including float encode_seconds sums) are byte-identical at any
-  // thread count because the merge order is fixed.
-  std::vector<CommStats> per_matrix(slots->size());
-  // decoded[m][r] holds rank r's gradient after its encode/decode round
-  // trip; sized only for matrices travelling the quantized pipeline.
-  std::vector<std::vector<std::vector<float>>> decoded(slots->size());
-  std::vector<int64_t> rank_blob_bytes(slots->size(), 0);
+  // thread count because the merge order is fixed. All of it lives in
+  // member buffers that keep their capacity across calls (grown entries
+  // are never dropped), so steady-state calls allocate nothing.
+  per_matrix_.assign(slots->size(), CommStats{});
+  rank_blob_bytes_.assign(slots->size(), 0);
+  if (decoded_.size() < slots->size()) decoded_.resize(slots->size());
+  if (aggregates_.size() < slots->size()) aggregates_.resize(slots->size());
+  if (bcasts_.size() < slots->size()) bcasts_.resize(slots->size());
+  if (fp_sums_.size() < slots->size()) fp_sums_.resize(slots->size());
 
   for (int64_t m = 0; m < num_matrices; ++m) {
     MatrixSlot& slot = (*slots)[static_cast<size_t>(m)];
     CHECK_EQ(static_cast<int>(slot.rank_grads.size()), k);
-    if (slot.quantized && !identity_codec) {
-      decoded[static_cast<size_t>(m)].resize(static_cast<size_t>(k));
+    if (slot.quantized && !identity_codec &&
+        decoded_[static_cast<size_t>(m)].size() <
+            static_cast<size_t>(k)) {
+      decoded_[static_cast<size_t>(m)].resize(static_cast<size_t>(k));
     }
   }
 
@@ -83,26 +92,27 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
         const size_t r = static_cast<size_t>(task % k);
         MatrixSlot& slot = (*slots)[m];
         if (!slot.quantized || identity_codec) return OkStatus();
+        const int slot_id = ThreadPool::CurrentSlot();
+        CHECK_LT(static_cast<size_t>(slot_id), workspaces_.size());
+        CodecWorkspace& ws = workspaces_[static_cast<size_t>(slot_id)];
         const int64_t n = slot.quant_shape.element_count();
-        const uint64_t tag = HashCounter(
-            static_cast<uint64_t>(iteration) * 0x9e3779b9ULL + m,
-            static_cast<uint64_t>(r));
+        const uint64_t tag = comm_internal::ExchangeRankTag(
+            iteration, static_cast<int64_t>(m), static_cast<int>(r));
         std::vector<float>* error =
             codec_->UsesErrorFeedback() ? slot.rank_errors[r] : nullptr;
-        std::vector<uint8_t> blob;
-        codec_->Encode(slot.rank_grads[r], slot.quant_shape, tag, error,
-                       &blob);
+        codec_->Encode(slot.rank_grads[r], slot.quant_shape, tag, error, &ws,
+                       &ws.blob);
         if (r == 0) {  // blob sizes are shape-determined, uniform per rank
-          rank_blob_bytes[m] = static_cast<int64_t>(blob.size());
+          rank_blob_bytes_[m] = static_cast<int64_t>(ws.blob.size());
         }
-        std::vector<float>& out = decoded[m][r];
-        out.resize(static_cast<size_t>(n));
-        codec_->Decode(blob.data(), static_cast<int64_t>(blob.size()),
-                       slot.quant_shape, out.data());
+        float* out = quant_internal::EnsureSize(&decoded_[m][r],
+                                                static_cast<size_t>(n));
+        codec_->Decode(ws.blob.data(), static_cast<int64_t>(ws.blob.size()),
+                       slot.quant_shape, &ws, out);
         return OkStatus();
       }));
   int64_t reduce_bytes = 0;
-  for (int64_t bytes : rank_blob_bytes) reduce_bytes += bytes * k;
+  for (int64_t bytes : rank_blob_bytes_) reduce_bytes += bytes * k;
   obs::Tracer::Global().EndWithBytes(reduce_span, reduce_bytes);
 
   // Stage 2 (parallel over matrices): the owner sums the decoded blobs in
@@ -118,23 +128,26 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
         obs::TraceSpan matrix_span("mpi_reduce_bcast/matrix", "comm");
         const int64_t n = slot.quant_shape.element_count();
         const int64_t raw_bytes = n * static_cast<int64_t>(sizeof(float));
-        CommStats& stats = per_matrix[m];
+        CommStats& stats = per_matrix_[m];
         stats.raw_bytes += raw_bytes;
 
         const bool quantize = slot.quantized && !identity_codec;
         if (!quantize) {
-          // Full-precision pipeline: plain reduce + broadcast of fp32 data.
-          std::vector<double> sum(static_cast<size_t>(n), 0.0);
+          // Full-precision pipeline: plain reduce + broadcast of fp32 data
+          // through the matrix's persistent double accumulator.
+          double* sum = quant_internal::EnsureSize(&fp_sums_[m],
+                                                   static_cast<size_t>(n));
+          std::fill(sum, sum + n, 0.0);
           for (int r = 0; r < k; ++r) {
             const float* grad = slot.rank_grads[static_cast<size_t>(r)];
             for (int64_t i = 0; i < n; ++i) {
-              sum[static_cast<size_t>(i)] += grad[i];
+              sum[i] += grad[i];
             }
           }
           for (int r = 0; r < k; ++r) {
             float* grad = slot.rank_grads[static_cast<size_t>(r)];
             for (int64_t i = 0; i < n; ++i) {
-              grad[i] = static_cast<float>(sum[static_cast<size_t>(i)]);
+              grad[i] = static_cast<float>(sum[i]);
             }
           }
           stats.wire_bytes += raw_bytes;
@@ -143,14 +156,19 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
           return OkStatus();
         }
 
-        std::vector<float> aggregate(static_cast<size_t>(n), 0.0f);
+        const int slot_id = ThreadPool::CurrentSlot();
+        CHECK_LT(static_cast<size_t>(slot_id), workspaces_.size());
+        CodecWorkspace& ws = workspaces_[static_cast<size_t>(slot_id)];
+
+        float* aggregate = quant_internal::EnsureSize(
+            &aggregates_[m], static_cast<size_t>(n));
+        std::fill(aggregate, aggregate + n, 0.0f);
         for (int r = 0; r < k; ++r) {
-          const std::vector<float>& part = decoded[m][static_cast<size_t>(r)];
+          const float* part = decoded_[m][static_cast<size_t>(r)].data();
           for (int64_t i = 0; i < n; ++i) {
-            aggregate[static_cast<size_t>(i)] += part[static_cast<size_t>(i)];
+            aggregate[i] += part[i];
           }
         }
-        decoded[m].clear();  // free the per-rank scratch early
 
         const int owner = static_cast<int>(m) % k;
         std::vector<float>* agg_error = nullptr;
@@ -161,18 +179,17 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
           }
           agg_error = &residual;
         }
-        const uint64_t agg_tag = HashCounter(
-            static_cast<uint64_t>(iteration) * 0x9e3779b9ULL + m,
-            0xa66e6a7eULL + static_cast<uint64_t>(owner));
-        std::vector<uint8_t> blob;
-        codec_->Encode(aggregate.data(), slot.quant_shape, agg_tag,
-                       agg_error, &blob);
-        const int64_t blob_bytes = static_cast<int64_t>(blob.size());
-        std::vector<float> bcast(static_cast<size_t>(n));
-        codec_->Decode(blob.data(), blob_bytes, slot.quant_shape,
-                       bcast.data());
+        const uint64_t agg_tag = comm_internal::ExchangeAggregateTag(
+            iteration, static_cast<int64_t>(m), owner);
+        codec_->Encode(aggregate, slot.quant_shape, agg_tag, agg_error, &ws,
+                       &ws.blob);
+        const int64_t blob_bytes = static_cast<int64_t>(ws.blob.size());
+        float* bcast =
+            quant_internal::EnsureSize(&bcasts_[m], static_cast<size_t>(n));
+        codec_->Decode(ws.blob.data(), blob_bytes, slot.quant_shape, &ws,
+                       bcast);
         for (int r = 0; r < k; ++r) {
-          std::memcpy(slot.rank_grads[static_cast<size_t>(r)], bcast.data(),
+          std::memcpy(slot.rank_grads[static_cast<size_t>(r)], bcast,
                       static_cast<size_t>(n) * sizeof(float));
         }
 
@@ -189,7 +206,7 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
   obs::Tracer::Global().End(bcast_span);
 
   CommStats stats;
-  for (const CommStats& matrix_stats : per_matrix) stats.Add(matrix_stats);
+  for (const CommStats& matrix_stats : per_matrix_) stats.Add(matrix_stats);
   stats.comm_seconds +=
       cost_model_.MpiExchangeSeconds(stats.wire_bytes, stats.messages, k);
   allreduce_span.set_bytes(stats.wire_bytes);

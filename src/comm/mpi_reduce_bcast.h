@@ -9,6 +9,7 @@
 #include "comm/allreduce.h"
 #include "comm/cost_model.h"
 #include "quant/codec.h"
+#include "quant/workspace.h"
 
 namespace lpsgd {
 
@@ -61,6 +62,27 @@ class MpiReduceBcastAggregator : public GradientAggregator {
   // Aggregation residual per matrix index (owner-side requantization
   // error). Lazily sized on first use.
   std::vector<std::vector<float>> aggregate_errors_;
+
+  // Reusable exchange workspaces (DESIGN.md "Hot-path kernels and
+  // workspaces"): every buffer below grows to the largest model seen and
+  // then stays, so steady-state AllReduce calls never touch the heap.
+  //
+  // Codec scratch, one per thread-pool slot (ThreadPool::CurrentSlot());
+  // sized to exec_.threads() at construction.
+  std::vector<CodecWorkspace> workspaces_;
+  // decoded_[m][r]: rank r's gradient for matrix m after its encode/decode
+  // round trip.
+  std::vector<std::vector<std::vector<float>>> decoded_;
+  // Owner-side sum of the decoded rank gradients, per matrix.
+  std::vector<std::vector<float>> aggregates_;
+  // Decoded broadcast blob, per matrix.
+  std::vector<std::vector<float>> bcasts_;
+  // Full-precision pipeline accumulator, per matrix (double precision, the
+  // historical summation).
+  std::vector<std::vector<double>> fp_sums_;
+  // Per-matrix accounting scratch, merged in matrix order per call.
+  std::vector<CommStats> per_matrix_;
+  std::vector<int64_t> rank_blob_bytes_;
 };
 
 }  // namespace lpsgd

@@ -204,8 +204,10 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
   // the totals are bit-identical at any thread count.
   const uint64_t compute_span =
       obs::Tracer::Global().Begin("trainer/forward_backward", "trainer");
-  std::vector<double> rank_loss(static_cast<size_t>(k), 0.0);
-  std::vector<int64_t> rank_correct(static_cast<size_t>(k), 0);
+  rank_loss_.assign(static_cast<size_t>(k), 0.0);
+  rank_correct_.assign(static_cast<size_t>(k), 0);
+  std::vector<double>& rank_loss = rank_loss_;
+  std::vector<int64_t>& rank_correct = rank_correct_;
   LPSGD_RETURN_IF_ERROR(options_.execution.ParallelFor(
       0, k, [&](int64_t rank) -> Status {
         obs::TraceSpan rank_span("trainer/rank_forward_backward", "trainer");
@@ -241,13 +243,17 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
 
   obs::Tracer::Global().End(compute_span);
 
-  // Phase 2: synchronous gradient exchange (Algorithm 1, lines 3-8).
+  // Phase 2: synchronous gradient exchange (Algorithm 1, lines 3-8). The
+  // slot list is refilled into persistent scratch; the nested rank vectors
+  // keep their capacity across iterations.
   const size_t num_matrices = replica_params_[0].size();
-  std::vector<MatrixSlot> slots(num_matrices);
+  slots_.resize(num_matrices);
   for (size_t m = 0; m < num_matrices; ++m) {
-    MatrixSlot& slot = slots[m];
+    MatrixSlot& slot = slots_[m];
     slot.quant_shape = replica_params_[0][m].quant_shape;
     slot.quantized = quantize_matrix_[m];
+    slot.rank_grads.clear();
+    slot.rank_errors.clear();
     for (int r = 0; r < k; ++r) {
       slot.rank_grads.push_back(
           replica_params_[static_cast<size_t>(r)][m].grad->data());
@@ -255,7 +261,7 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
     }
   }
   LPSGD_ASSIGN_OR_RETURN(CommStats stats,
-                         aggregator_->AllReduce(&slots, iteration_));
+                         aggregator_->AllReduce(&slots_, iteration_));
   total_comm_.Add(stats);
   virtual_seconds_ += stats.TotalSeconds() +
                       options_.virtual_compute_seconds_per_iter;

@@ -136,6 +136,13 @@ class SyncTrainer {
   std::vector<std::vector<std::vector<float>>> errors_;
   std::vector<bool> quantize_matrix_;  // policy decision per matrix
 
+  // Per-iteration exchange scratch, refilled by TrainIteration: reusing
+  // the vectors (and the nested per-slot vectors) keeps the steady-state
+  // iteration free of heap allocations on the exchange path.
+  std::vector<MatrixSlot> slots_;
+  std::vector<double> rank_loss_;
+  std::vector<int64_t> rank_correct_;
+
   int64_t iteration_ = 0;
   int epochs_completed_ = 0;
   double virtual_seconds_ = 0.0;

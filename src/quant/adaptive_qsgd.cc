@@ -3,18 +3,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <utility>
 
 #include "base/bit_packing.h"
 #include "base/logging.h"
 #include "base/rng.h"
 #include "base/strings.h"
+#include "quant/workspace.h"
 
 namespace lpsgd {
 namespace {
 
-using codec_internal::AppendFloats;
-using codec_internal::AppendWords;
 using codec_internal::FloatsAt;
+using codec_internal::MutableFloatsAt;
+using codec_internal::MutableWordsAt;
 using codec_internal::WordsAt;
 
 // Largest sample used for quantile estimation; matrices beyond this size
@@ -72,46 +75,52 @@ double PlacementVariance(const std::vector<float>& sample,
 
 }  // namespace
 
-std::vector<float> AdaptiveQsgdCodec::ComputeLevels(
-    const float* grad, const Shape& shape,
-    const std::vector<float>& scales) const {
+void AdaptiveQsgdCodec::ComputeLevelsInto(const float* grad,
+                                          const Shape& shape,
+                                          const float* scales,
+                                          CodecWorkspace* workspace) const {
   const int64_t n = shape.element_count();
   const uint32_t s = level_count_;
   // Start from QSGD's uniform grid; optimization below only improves it.
-  std::vector<float> levels(s + 1);
+  std::vector<float>& levels = workspace->levels;
+  quant_internal::EnsureSize(&levels, static_cast<size_t>(s) + 1);
   for (uint32_t j = 0; j <= s; ++j) {
     levels[j] = static_cast<float>(j) / static_cast<float>(s);
   }
   // {0, 1} has no interior levels; beyond ~5 bits the uniform grid is
   // already fine-grained and the cubic-cost optimization stops paying for
   // itself (consistent with the paper's "no significant improvement").
-  if (s < 2 || s > 31) return levels;
+  if (s < 2 || s > 31) return;
 
   // Deterministic subsample of normalized magnitudes.
-  std::vector<float> sample;
+  std::vector<float>& sample = workspace->sample;
+  sample.clear();
   sample.reserve(static_cast<size_t>(std::min(n, kQuantileSample)));
   const int64_t stride = std::max<int64_t>(1, n / kQuantileSample);
   for (int64_t i = 0; i < n; i += stride) {
-    const float scale = scales[static_cast<size_t>(i / bucket_size_)];
+    const float scale = scales[i / bucket_size_];
     if (scale > 0.0f) {
       sample.push_back(std::abs(grad[i]) / scale);
     }
   }
-  if (sample.empty()) return levels;
+  if (sample.empty()) return;
   std::sort(sample.begin(), sample.end());
 
   // ZipML-style variance-minimizing placement: coordinate descent over the
   // interior levels. For fixed neighbors the objective restricted to one
   // level is piecewise-quadratic and unimodal, so a golden-section-style
   // ternary search finds its minimum; sweeps repeat until the gain fades.
+  std::vector<float>& trial = workspace->trial;
   for (int sweep = 0; sweep < 3; ++sweep) {
     for (uint32_t j = 1; j < s; ++j) {
       double lo = levels[j - 1];
       double hi = levels[j + 1];
+      // `trial` tracks `levels` except at position j, matching the fresh
+      // copies the unfused code made per probe.
+      trial.assign(levels.begin(), levels.end());
       for (int iter = 0; iter < 25; ++iter) {
         const double m1 = lo + (hi - lo) / 3.0;
         const double m2 = hi - (hi - lo) / 3.0;
-        std::vector<float> trial = levels;
         trial[j] = static_cast<float>(m1);
         const double f1 = PlacementVariance(sample, trial);
         trial[j] = static_cast<float>(m2);
@@ -123,7 +132,6 @@ std::vector<float> AdaptiveQsgdCodec::ComputeLevels(
         }
       }
       const double candidate = (lo + hi) / 2.0;
-      std::vector<float> trial = levels;
       trial[j] = static_cast<float>(candidate);
       if (PlacementVariance(sample, trial) <
           PlacementVariance(sample, levels)) {
@@ -136,20 +144,31 @@ std::vector<float> AdaptiveQsgdCodec::ComputeLevels(
   for (uint32_t j = 1; j <= s; ++j) {
     levels[j] = std::max(levels[j], levels[j - 1]);
   }
-  return levels;
+}
+
+std::vector<float> AdaptiveQsgdCodec::ComputeLevels(
+    const float* grad, const Shape& shape,
+    const std::vector<float>& scales) const {
+  CodecWorkspace workspace;
+  ComputeLevelsInto(grad, shape, scales.data(), &workspace);
+  return std::move(workspace.levels);
 }
 
 void AdaptiveQsgdCodec::Encode(const float* grad, const Shape& shape,
                                uint64_t stochastic_tag,
                                std::vector<float>* /*error*/,
+                               CodecWorkspace* workspace,
                                std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("adaptive_qsgd", /*encode=*/true,
                                           out);
   const int64_t n = shape.element_count();
   const int64_t buckets = NumChunks(shape);
   const CounterRng stream(seed_, stochastic_tag);
+  const uint32_t s = level_count_;
 
-  std::vector<float> scales(static_cast<size_t>(buckets), 0.0f);
+  uint8_t* blob = quant_internal::EnsureSize(
+      out, static_cast<size_t>(EncodedSizeBytes(shape)));
+  float* scales = MutableFloatsAt(blob, 0);
   for (int64_t b = 0; b < buckets; ++b) {
     const int64_t begin = b * bucket_size_;
     const int64_t end = std::min(begin + bucket_size_, n);
@@ -157,16 +176,24 @@ void AdaptiveQsgdCodec::Encode(const float* grad, const Shape& shape,
     for (int64_t i = begin; i < end; ++i) {
       max_abs = std::max(max_abs, std::abs(static_cast<double>(grad[i])));
     }
-    scales[static_cast<size_t>(b)] = static_cast<float>(max_abs);
+    scales[b] = static_cast<float>(max_abs);
   }
 
-  const std::vector<float> levels = ComputeLevels(grad, shape, scales);
-  const uint32_t s = level_count_;
+  ComputeLevelsInto(grad, shape, scales, workspace);
+  const std::vector<float>& levels = workspace->levels;
+  std::memcpy(blob + buckets * sizeof(float), levels.data(),
+              (static_cast<size_t>(s) + 1) * sizeof(float));
 
-  std::vector<uint32_t> fields(static_cast<size_t>(n), 0u);
+  BitWriter writer(
+      MutableWordsAt(blob, (buckets + s + 1) *
+                               static_cast<int64_t>(sizeof(float))),
+      bits_);
   for (int64_t i = 0; i < n; ++i) {
-    const float scale = scales[static_cast<size_t>(i / bucket_size_)];
-    if (scale == 0.0f) continue;
+    const float scale = scales[i / bucket_size_];
+    if (scale == 0.0f) {
+      writer.Put(0u);
+      continue;
+    }
     const double a =
         std::min(1.0, std::abs(static_cast<double>(grad[i])) / scale);
     // Interval [levels[j], levels[j+1]] containing a.
@@ -186,23 +213,15 @@ void AdaptiveQsgdCodec::Encode(const float* grad, const Shape& shape,
       level = j + 1;
     }
     const uint32_t sign = grad[i] < 0.0f ? 1u : 0u;
-    fields[static_cast<size_t>(i)] = (sign << (bits_ - 1)) | level;
+    writer.Put((sign << (bits_ - 1)) | level);
   }
-
-  const BitPacker packer(bits_);
-  std::vector<uint32_t> words(static_cast<size_t>(packer.WordCount(n)));
-  packer.Pack(fields.data(), n, words.data());
-
-  out->clear();
-  out->reserve(static_cast<size_t>(EncodedSizeBytes(shape)));
-  AppendFloats(scales.data(), buckets, out);
-  AppendFloats(levels.data(), static_cast<int64_t>(levels.size()), out);
-  AppendWords(words.data(), static_cast<int64_t>(words.size()), out);
-  CHECK_EQ(static_cast<int64_t>(out->size()), EncodedSizeBytes(shape));
+  writer.Finish();
 }
 
 void AdaptiveQsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                               const Shape& shape, float* out) const {
+                               const Shape& shape,
+                               CodecWorkspace* /*workspace*/,
+                               float* out) const {
   codec_internal::CodecObsScope obs_scope("adaptive_qsgd",
                                           /*encode=*/false);
   const int64_t n = shape.element_count();
@@ -211,20 +230,24 @@ void AdaptiveQsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
   const float* scales = FloatsAt(bytes, 0);
   const float* levels =
       FloatsAt(bytes, buckets * static_cast<int64_t>(sizeof(float)));
-  const uint32_t* words = WordsAt(
-      bytes, (buckets + level_count_ + 1) *
-                 static_cast<int64_t>(sizeof(float)));
+  BitReader reader(
+      WordsAt(bytes, (buckets + level_count_ + 1) *
+                         static_cast<int64_t>(sizeof(float))),
+      bits_);
 
-  const BitPacker packer(bits_);
   const uint32_t magnitude_mask = (1u << (bits_ - 1)) - 1u;
-  for (int64_t i = 0; i < n; ++i) {
-    const double scale = scales[i / bucket_size_];
-    const uint32_t field = packer.Get(words, i);
-    const bool negative = (field >> (bits_ - 1)) & 1u;
-    uint32_t level = field & magnitude_mask;
-    if (level > level_count_) level = level_count_;
-    const double magnitude = levels[level] * scale;
-    out[i] = static_cast<float>(negative ? -magnitude : magnitude);
+  for (int64_t b = 0; b < buckets; ++b) {
+    const int64_t begin = b * bucket_size_;
+    const int64_t end = std::min(begin + bucket_size_, n);
+    const double scale = scales[b];
+    for (int64_t i = begin; i < end; ++i) {
+      const uint32_t field = reader.Next();
+      const bool negative = (field >> (bits_ - 1)) & 1u;
+      uint32_t level = field & magnitude_mask;
+      if (level > level_count_) level = level_count_;
+      const double magnitude = levels[level] * scale;
+      out[i] = static_cast<float>(negative ? -magnitude : magnitude);
+    }
   }
 }
 

@@ -30,11 +30,13 @@ class AdaptiveQsgdCodec : public GradientCodec {
   std::string Name() const override;
   int64_t EncodedSizeBytes(const Shape& shape) const override;
   int64_t NumChunks(const Shape& shape) const override;
+  using GradientCodec::Decode;
+  using GradientCodec::Encode;
   void Encode(const float* grad, const Shape& shape, uint64_t stochastic_tag,
-              std::vector<float>* error,
+              std::vector<float>* error, CodecWorkspace* workspace,
               std::vector<uint8_t>* out) const override;
   void Decode(const uint8_t* bytes, int64_t num_bytes, const Shape& shape,
-              float* out) const override;
+              CodecWorkspace* workspace, float* out) const override;
 
   int bits() const { return bits_; }
 
@@ -46,6 +48,13 @@ class AdaptiveQsgdCodec : public GradientCodec {
   uint32_t level_count() const { return level_count_; }
 
  private:
+  // Fills workspace->levels (using workspace->sample / trial as scratch)
+  // with the level table for `grad`; the allocation-free core the public
+  // ComputeLevels wraps.
+  void ComputeLevelsInto(const float* grad, const Shape& shape,
+                         const float* scales,
+                         CodecWorkspace* workspace) const;
+
   int bits_;
   int64_t bucket_size_;
   uint64_t seed_;

@@ -12,8 +12,23 @@
 #include "quant/one_bit_sgd.h"
 #include "quant/qsgd.h"
 #include "quant/topk.h"
+#include "quant/workspace.h"
 
 namespace lpsgd {
+
+void GradientCodec::Encode(const float* grad, const Shape& shape,
+                           uint64_t stochastic_tag,
+                           std::vector<float>* error,
+                           std::vector<uint8_t>* out) const {
+  CodecWorkspace workspace;
+  Encode(grad, shape, stochastic_tag, error, &workspace, out);
+}
+
+void GradientCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                           const Shape& shape, float* out) const {
+  CodecWorkspace workspace;
+  Decode(bytes, num_bytes, shape, &workspace, out);
+}
 
 std::string CodecSpec::Label() const {
   switch (kind) {
@@ -284,6 +299,14 @@ const float* FloatsAt(const uint8_t* bytes, int64_t offset_bytes) {
 
 const uint32_t* WordsAt(const uint8_t* bytes, int64_t offset_bytes) {
   return reinterpret_cast<const uint32_t*>(bytes + offset_bytes);
+}
+
+float* MutableFloatsAt(uint8_t* bytes, int64_t offset_bytes) {
+  return reinterpret_cast<float*>(bytes + offset_bytes);
+}
+
+uint32_t* MutableWordsAt(uint8_t* bytes, int64_t offset_bytes) {
+  return reinterpret_cast<uint32_t*>(bytes + offset_bytes);
 }
 
 }  // namespace codec_internal

@@ -14,6 +14,8 @@
 
 namespace lpsgd {
 
+struct CodecWorkspace;  // quant/workspace.h
+
 // A gradient compression codec: the Encode/Decode pair of Algorithm 1.
 //
 // Encode consumes one gradient matrix (flat fp32 buffer interpreted through
@@ -44,14 +46,29 @@ class GradientCodec {
   virtual bool UsesErrorFeedback() const { return false; }
 
   // Encodes `grad` (shape.element_count() floats). `error` may be null for
-  // codecs without error feedback. `out` is overwritten.
+  // codecs without error feedback. `workspace` provides reusable scratch
+  // and must not be null or shared across concurrent calls; `out` is
+  // overwritten (its capacity is reused). Output bytes are a pure function
+  // of (grad, shape, stochastic_tag, error) — never of the workspace's
+  // prior contents.
   virtual void Encode(const float* grad, const Shape& shape,
                       uint64_t stochastic_tag, std::vector<float>* error,
+                      CodecWorkspace* workspace,
                       std::vector<uint8_t>* out) const = 0;
 
   // Decodes `bytes` into `out` (shape.element_count() floats, overwritten).
+  // Same workspace contract as Encode.
   virtual void Decode(const uint8_t* bytes, int64_t num_bytes,
-                      const Shape& shape, float* out) const = 0;
+                      const Shape& shape, CodecWorkspace* workspace,
+                      float* out) const = 0;
+
+  // Convenience overloads for call sites without a persistent workspace
+  // (tests, one-shot tools): allocate a fresh local workspace per call.
+  // Byte-identical to the workspace overloads.
+  void Encode(const float* grad, const Shape& shape, uint64_t stochastic_tag,
+              std::vector<float>* error, std::vector<uint8_t>* out) const;
+  void Decode(const uint8_t* bytes, int64_t num_bytes, const Shape& shape,
+              float* out) const;
 };
 
 enum class CodecKind {
@@ -158,6 +175,8 @@ void AppendWords(const uint32_t* words, int64_t count,
                  std::vector<uint8_t>* out);
 const float* FloatsAt(const uint8_t* bytes, int64_t offset_bytes);
 const uint32_t* WordsAt(const uint8_t* bytes, int64_t offset_bytes);
+float* MutableFloatsAt(uint8_t* bytes, int64_t offset_bytes);
+uint32_t* MutableWordsAt(uint8_t* bytes, int64_t offset_bytes);
 
 }  // namespace codec_internal
 

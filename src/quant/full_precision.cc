@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "quant/workspace.h"
 
 namespace lpsgd {
 
@@ -18,15 +19,20 @@ int64_t FullPrecisionCodec::NumChunks(const Shape& /*shape*/) const {
 void FullPrecisionCodec::Encode(const float* grad, const Shape& shape,
                                 uint64_t /*stochastic_tag*/,
                                 std::vector<float>* /*error*/,
+                                CodecWorkspace* /*workspace*/,
                                 std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("full_precision", /*encode=*/true,
                                           out);
-  out->clear();
-  codec_internal::AppendFloats(grad, shape.element_count(), out);
+  const size_t bytes =
+      static_cast<size_t>(shape.element_count()) * sizeof(float);
+  uint8_t* blob = quant_internal::EnsureSize(out, bytes);
+  std::memcpy(blob, grad, bytes);
 }
 
 void FullPrecisionCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                                const Shape& shape, float* out) const {
+                                const Shape& shape,
+                                CodecWorkspace* /*workspace*/,
+                                float* out) const {
   codec_internal::CodecObsScope obs_scope("full_precision",
                                           /*encode=*/false);
   const int64_t n = shape.element_count();

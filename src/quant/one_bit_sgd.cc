@@ -1,25 +1,29 @@
 // Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
 #include "quant/one_bit_sgd.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "base/bit_packing.h"
 #include "base/logging.h"
 #include "base/strings.h"
+#include "quant/workspace.h"
 
 namespace lpsgd {
 namespace {
 
-using codec_internal::AppendFloats;
-using codec_internal::AppendWords;
 using codec_internal::FloatsAt;
+using codec_internal::MutableFloatsAt;
+using codec_internal::MutableWordsAt;
 using codec_internal::WordsAt;
 
-// Computes avg+ / avg- over `count` values read through `get(i)`, then
-// writes the quantized value and error through `set_q(i, q)`.
+// Computes avg+ / avg- over `count` values read through `get(i)`.
 //
 // Shared by both 1bitSGD variants; only the chunking (columns vs buckets)
-// differs.
+// differs. The error-corrected value v = grad + error is recomputed by the
+// callers' `get` in both the averaging and the quantization pass — the
+// identical float addition each time — instead of staging it in an n-float
+// buffer, so encoding allocates nothing.
 template <typename GetFn>
 void ChunkAverages(int64_t count, const GetFn& get, float* avg_pos,
                    float* avg_neg) {
@@ -56,6 +60,7 @@ int64_t OneBitSgdCodec::NumChunks(const Shape& shape) const {
 void OneBitSgdCodec::Encode(const float* grad, const Shape& shape,
                             uint64_t /*stochastic_tag*/,
                             std::vector<float>* error,
+                            CodecWorkspace* /*workspace*/,
                             std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("one_bit_sgd", /*encode=*/true,
                                           out);
@@ -67,50 +72,48 @@ void OneBitSgdCodec::Encode(const float* grad, const Shape& shape,
     CHECK_EQ(static_cast<int64_t>(error->size()), n);
   }
 
-  // v = grad + carried error (Algorithm 2, line 1).
-  std::vector<float> corrected(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    corrected[static_cast<size_t>(i)] =
-        grad[i] + (error_feedback_ ? (*error)[static_cast<size_t>(i)] : 0.0f);
-  }
-
-  std::vector<float> scales(static_cast<size_t>(2 * cols));
+  uint8_t* blob = quant_internal::EnsureSize(
+      out, static_cast<size_t>(EncodedSizeBytes(shape)));
+  float* scales = MutableFloatsAt(blob, 0);  // 2 per column
   const int64_t words_per_col = (rows + 31) / 32;
-  std::vector<uint32_t> bits(static_cast<size_t>(cols * words_per_col), 0u);
+  uint32_t* bits =
+      MutableWordsAt(blob, 2 * cols * static_cast<int64_t>(sizeof(float)));
+  std::memset(bits, 0,
+              static_cast<size_t>(cols * words_per_col) * sizeof(uint32_t));
+
+  // v = grad + carried error (Algorithm 2, line 1), recomputed per pass.
+  const auto corrected = [&](int64_t flat) {
+    return grad[flat] +
+           (error_feedback_ ? (*error)[static_cast<size_t>(flat)] : 0.0f);
+  };
 
   for (int64_t c = 0; c < cols; ++c) {
     // Column c: elements at flat index r * cols + c.
     float avg_pos = 0.0f, avg_neg = 0.0f;
     ChunkAverages(
-        rows,
-        [&](int64_t r) { return corrected[static_cast<size_t>(r * cols + c)]; },
-        &avg_pos, &avg_neg);
-    scales[static_cast<size_t>(2 * c)] = avg_pos;
-    scales[static_cast<size_t>(2 * c + 1)] = avg_neg;
+        rows, [&](int64_t r) { return corrected(r * cols + c); }, &avg_pos,
+        &avg_neg);
+    scales[2 * c] = avg_pos;
+    scales[2 * c + 1] = avg_neg;
     for (int64_t r = 0; r < rows; ++r) {
       const int64_t flat = r * cols + c;
-      const float v = corrected[static_cast<size_t>(flat)];
+      const float v = corrected(flat);
       const bool positive = v >= 0.0f;
-      const float q = positive ? avg_pos : avg_neg;
       if (positive) {
-        bits[static_cast<size_t>(c * words_per_col + r / 32)] |=
-            1u << (r & 31);
+        bits[c * words_per_col + r / 32] |= 1u << (r & 31);
       }
       if (error_feedback_) {
-        (*error)[static_cast<size_t>(flat)] = v - q;  // Algorithm 2, line 4
+        // Algorithm 2, line 4.
+        (*error)[static_cast<size_t>(flat)] =
+            v - (positive ? avg_pos : avg_neg);
       }
     }
   }
-
-  out->clear();
-  out->reserve(static_cast<size_t>(EncodedSizeBytes(shape)));
-  AppendFloats(scales.data(), static_cast<int64_t>(scales.size()), out);
-  AppendWords(bits.data(), static_cast<int64_t>(bits.size()), out);
-  CHECK_EQ(static_cast<int64_t>(out->size()), EncodedSizeBytes(shape));
 }
 
 void OneBitSgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                            const Shape& shape, float* out) const {
+                            const Shape& shape, CodecWorkspace* /*workspace*/,
+                            float* out) const {
   codec_internal::CodecObsScope obs_scope("one_bit_sgd", /*encode=*/false);
   const int64_t rows = shape.rows();
   const int64_t cols = shape.cols();
@@ -156,6 +159,7 @@ int64_t OneBitSgdReshapedCodec::NumChunks(const Shape& shape) const {
 void OneBitSgdReshapedCodec::Encode(const float* grad, const Shape& shape,
                                     uint64_t /*stochastic_tag*/,
                                     std::vector<float>* error,
+                                    CodecWorkspace* /*workspace*/,
                                     std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("one_bit_sgd_reshaped",
                                           /*encode=*/true, out);
@@ -165,45 +169,48 @@ void OneBitSgdReshapedCodec::Encode(const float* grad, const Shape& shape,
     CHECK_EQ(static_cast<int64_t>(error->size()), n);
   }
 
-  std::vector<float> corrected(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    corrected[static_cast<size_t>(i)] =
-        grad[i] + (error_feedback_ ? (*error)[static_cast<size_t>(i)] : 0.0f);
-  }
-
   const int64_t buckets = NumChunks(shape);
-  std::vector<float> scales(static_cast<size_t>(2 * buckets));
-  std::vector<uint32_t> bits;
-  PackSignBits(corrected.data(), n, &bits);
+  uint8_t* blob = quant_internal::EnsureSize(
+      out, static_cast<size_t>(EncodedSizeBytes(shape)));
+  float* scales = MutableFloatsAt(blob, 0);  // 2 per bucket
+  uint32_t* bits = MutableWordsAt(
+      blob, 2 * buckets * static_cast<int64_t>(sizeof(float)));
+  // Buckets don't align with word boundaries, so zero the whole sign
+  // bitmap up front and OR bits in below.
+  std::memset(bits, 0, static_cast<size_t>((n + 31) / 32) * sizeof(uint32_t));
+
+  const auto corrected = [&](int64_t i) {
+    return grad[i] +
+           (error_feedback_ ? (*error)[static_cast<size_t>(i)] : 0.0f);
+  };
 
   for (int64_t b = 0; b < buckets; ++b) {
     const int64_t begin = b * bucket_size_;
     const int64_t end = std::min(begin + bucket_size_, n);
     float avg_pos = 0.0f, avg_neg = 0.0f;
     ChunkAverages(
-        end - begin,
-        [&](int64_t i) { return corrected[static_cast<size_t>(begin + i)]; },
+        end - begin, [&](int64_t i) { return corrected(begin + i); },
         &avg_pos, &avg_neg);
-    scales[static_cast<size_t>(2 * b)] = avg_pos;
-    scales[static_cast<size_t>(2 * b + 1)] = avg_neg;
-    if (error_feedback_) {
-      for (int64_t i = begin; i < end; ++i) {
-        const float v = corrected[static_cast<size_t>(i)];
+    scales[2 * b] = avg_pos;
+    scales[2 * b + 1] = avg_neg;
+    for (int64_t i = begin; i < end; ++i) {
+      const float v = corrected(i);
+      const bool positive = v >= 0.0f;
+      if (positive) {
+        bits[i >> 5] |= 1u << (i & 31);
+      }
+      if (error_feedback_) {
         (*error)[static_cast<size_t>(i)] =
-            v - (v >= 0.0f ? avg_pos : avg_neg);
+            v - (positive ? avg_pos : avg_neg);
       }
     }
   }
-
-  out->clear();
-  out->reserve(static_cast<size_t>(EncodedSizeBytes(shape)));
-  AppendFloats(scales.data(), static_cast<int64_t>(scales.size()), out);
-  AppendWords(bits.data(), static_cast<int64_t>(bits.size()), out);
-  CHECK_EQ(static_cast<int64_t>(out->size()), EncodedSizeBytes(shape));
 }
 
 void OneBitSgdReshapedCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                                    const Shape& shape, float* out) const {
+                                    const Shape& shape,
+                                    CodecWorkspace* /*workspace*/,
+                                    float* out) const {
   codec_internal::CodecObsScope obs_scope("one_bit_sgd_reshaped",
                                           /*encode=*/false);
   const int64_t n = shape.element_count();
@@ -213,9 +220,14 @@ void OneBitSgdReshapedCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
   const uint32_t* bits =
       WordsAt(bytes, 2 * buckets * static_cast<int64_t>(sizeof(float)));
 
-  for (int64_t i = 0; i < n; ++i) {
-    const int64_t b = i / bucket_size_;
-    out[i] = SignBitAt(bits, i) ? scales[2 * b] : scales[2 * b + 1];
+  for (int64_t b = 0; b < buckets; ++b) {
+    const int64_t begin = b * bucket_size_;
+    const int64_t end = std::min(begin + bucket_size_, n);
+    const float avg_pos = scales[2 * b];
+    const float avg_neg = scales[2 * b + 1];
+    for (int64_t i = begin; i < end; ++i) {
+      out[i] = SignBitAt(bits, i) ? avg_pos : avg_neg;
+    }
   }
 }
 

@@ -30,11 +30,13 @@ class OneBitSgdCodec : public GradientCodec {
   int64_t EncodedSizeBytes(const Shape& shape) const override;
   int64_t NumChunks(const Shape& shape) const override;
   bool UsesErrorFeedback() const override { return error_feedback_; }
+  using GradientCodec::Decode;
+  using GradientCodec::Encode;
   void Encode(const float* grad, const Shape& shape, uint64_t stochastic_tag,
-              std::vector<float>* error,
+              std::vector<float>* error, CodecWorkspace* workspace,
               std::vector<uint8_t>* out) const override;
   void Decode(const uint8_t* bytes, int64_t num_bytes, const Shape& shape,
-              float* out) const override;
+              CodecWorkspace* workspace, float* out) const override;
 
  private:
   bool error_feedback_;
@@ -53,11 +55,13 @@ class OneBitSgdReshapedCodec : public GradientCodec {
   int64_t EncodedSizeBytes(const Shape& shape) const override;
   int64_t NumChunks(const Shape& shape) const override;
   bool UsesErrorFeedback() const override { return error_feedback_; }
+  using GradientCodec::Decode;
+  using GradientCodec::Encode;
   void Encode(const float* grad, const Shape& shape, uint64_t stochastic_tag,
-              std::vector<float>* error,
+              std::vector<float>* error, CodecWorkspace* workspace,
               std::vector<uint8_t>* out) const override;
   void Decode(const uint8_t* bytes, int64_t num_bytes, const Shape& shape,
-              float* out) const override;
+              CodecWorkspace* workspace, float* out) const override;
 
   int64_t bucket_size() const { return bucket_size_; }
 

@@ -8,13 +8,14 @@
 #include "base/logging.h"
 #include "base/rng.h"
 #include "base/strings.h"
+#include "quant/workspace.h"
 
 namespace lpsgd {
 namespace {
 
-using codec_internal::AppendFloats;
-using codec_internal::AppendWords;
 using codec_internal::FloatsAt;
+using codec_internal::MutableFloatsAt;
+using codec_internal::MutableWordsAt;
 using codec_internal::WordsAt;
 
 }  // namespace
@@ -54,14 +55,22 @@ int64_t QsgdCodec::NumChunks(const Shape& shape) const {
 
 void QsgdCodec::Encode(const float* grad, const Shape& shape,
                        uint64_t stochastic_tag, std::vector<float>* /*error*/,
+                       CodecWorkspace* /*workspace*/,
                        std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("qsgd", /*encode=*/true, out);
   const int64_t n = shape.element_count();
   const int64_t buckets = NumChunks(shape);
   const CounterRng stream(seed_, stochastic_tag);
 
-  std::vector<float> scales(static_cast<size_t>(buckets));
-  std::vector<uint32_t> fields(static_cast<size_t>(n), 0u);
+  // Quantize straight into the wire blob: scales up front, then each field
+  // streamed into the packed words — no intermediate field array and no
+  // separate packing pass.
+  uint8_t* blob =
+      quant_internal::EnsureSize(out, static_cast<size_t>(EncodedSizeBytes(shape)));
+  float* scales = MutableFloatsAt(blob, 0);
+  BitWriter writer(
+      MutableWordsAt(blob, buckets * static_cast<int64_t>(sizeof(float))),
+      bits_);
 
   const double s = static_cast<double>(level_count_);
   for (int64_t b = 0; b < buckets; ++b) {
@@ -79,12 +88,16 @@ void QsgdCodec::Encode(const float* grad, const Shape& shape,
         scale = std::max(scale, std::abs(static_cast<double>(grad[i])));
       }
     }
-    scales[static_cast<size_t>(b)] = static_cast<float>(scale);
-    if (scale == 0.0) continue;  // fields stay 0, decode to exact zeros
+    scales[b] = static_cast<float>(scale);
+    if (scale == 0.0) {
+      // Zero fields decode to exact zeros; keep the stream position.
+      for (int64_t i = begin; i < end; ++i) writer.Put(0u);
+      continue;
+    }
 
-    for (int64_t i = begin; i < end; ++i) {
-      const double u = stream.UniformAt(static_cast<uint64_t>(i));
-      if (levels_ == QsgdLevelScheme::kSignMagnitude) {
+    if (levels_ == QsgdLevelScheme::kSignMagnitude) {
+      for (int64_t i = begin; i < end; ++i) {
+        const double u = stream.UniformAt(static_cast<uint64_t>(i));
         const double a =
             std::min(1.0, std::abs(static_cast<double>(grad[i])) / scale);
         // Stochastic rounding of a*s between floor and ceil keeps the
@@ -94,54 +107,68 @@ void QsgdCodec::Encode(const float* grad, const Shape& shape,
         if (u < frac && level < level_count_) ++level;
         if (level > level_count_) level = level_count_;
         const uint32_t sign = grad[i] < 0.0f ? 1u : 0u;
-        fields[static_cast<size_t>(i)] =
-            (sign << (bits_ - 1)) | level;
-      } else {
-        // Symmetric endpoints over [-scale, +scale].
+        writer.Put((sign << (bits_ - 1)) | level);
+      }
+    } else {
+      // Symmetric endpoints over [-scale, +scale].
+      for (int64_t i = begin; i < end; ++i) {
+        const double u = stream.UniformAt(static_cast<uint64_t>(i));
         const double a = std::clamp(
             (static_cast<double>(grad[i]) + scale) / (2.0 * scale), 0.0, 1.0);
         uint32_t level = static_cast<uint32_t>(a * s);
         const double frac = a * s - level;
         if (u < frac && level < level_count_) ++level;
         if (level > level_count_) level = level_count_;
-        fields[static_cast<size_t>(i)] = level;
+        writer.Put(level);
       }
     }
   }
-
-  const BitPacker packer(bits_);
-  std::vector<uint32_t> words(static_cast<size_t>(packer.WordCount(n)));
-  packer.Pack(fields.data(), n, words.data());
-
-  out->clear();
-  out->reserve(static_cast<size_t>(EncodedSizeBytes(shape)));
-  AppendFloats(scales.data(), buckets, out);
-  AppendWords(words.data(), static_cast<int64_t>(words.size()), out);
-  CHECK_EQ(static_cast<int64_t>(out->size()), EncodedSizeBytes(shape));
+  writer.Finish();
 }
 
 void QsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                       const Shape& shape, float* out) const {
+                       const Shape& shape, CodecWorkspace* workspace,
+                       float* out) const {
   codec_internal::CodecObsScope obs_scope("qsgd", /*encode=*/false);
   const int64_t n = shape.element_count();
   CHECK_EQ(num_bytes, EncodedSizeBytes(shape));
   const int64_t buckets = NumChunks(shape);
   const float* scales = FloatsAt(bytes, 0);
-  const uint32_t* words =
-      WordsAt(bytes, buckets * static_cast<int64_t>(sizeof(float)));
+  BitReader reader(
+      WordsAt(bytes, buckets * static_cast<int64_t>(sizeof(float))), bits_);
 
-  const BitPacker packer(bits_);
   const double s = static_cast<double>(level_count_);
-  const uint32_t magnitude_mask = (1u << (bits_ - 1)) - 1u;
-  for (int64_t i = 0; i < n; ++i) {
-    const double scale = scales[i / bucket_size_];
-    const uint32_t field = packer.Get(words, i);
-    if (levels_ == QsgdLevelScheme::kSignMagnitude) {
-      const bool negative = (field >> (bits_ - 1)) & 1u;
-      const double magnitude = (field & magnitude_mask) / s * scale;
-      out[i] = static_cast<float>(negative ? -magnitude : magnitude);
-    } else {
-      out[i] = static_cast<float>(-scale + 2.0 * scale * field / s);
+  if (levels_ == QsgdLevelScheme::kSignMagnitude) {
+    const uint32_t magnitude_mask = (1u << (bits_ - 1)) - 1u;
+    // magnitudes[m] performs the identical m / s double division the flat
+    // loop used to do per element, so magnitudes[m] * scale below is
+    // bit-identical to the unfused (m / s) * scale.
+    double* magnitudes = quant_internal::EnsureSize(
+        &workspace->magnitudes, static_cast<size_t>(level_count_) + 1);
+    for (uint32_t m = 0; m <= level_count_; ++m) {
+      magnitudes[m] = m / s;
+    }
+    for (int64_t b = 0; b < buckets; ++b) {
+      const int64_t begin = b * bucket_size_;
+      const int64_t end = std::min(begin + bucket_size_, n);
+      const double scale = scales[b];
+      for (int64_t i = begin; i < end; ++i) {
+        const uint32_t field = reader.Next();
+        const bool negative = (field >> (bits_ - 1)) & 1u;
+        const double magnitude = magnitudes[field & magnitude_mask] * scale;
+        out[i] = static_cast<float>(negative ? -magnitude : magnitude);
+      }
+    }
+  } else {
+    for (int64_t b = 0; b < buckets; ++b) {
+      const int64_t begin = b * bucket_size_;
+      const int64_t end = std::min(begin + bucket_size_, n);
+      const double scale = scales[b];
+      const double two_scale = 2.0 * scale;
+      for (int64_t i = begin; i < end; ++i) {
+        const uint32_t field = reader.Next();
+        out[i] = static_cast<float>(-scale + two_scale * field / s);
+      }
     }
   }
 }

@@ -29,11 +29,13 @@ class QsgdCodec : public GradientCodec {
   std::string Name() const override;
   int64_t EncodedSizeBytes(const Shape& shape) const override;
   int64_t NumChunks(const Shape& shape) const override;
+  using GradientCodec::Decode;
+  using GradientCodec::Encode;
   void Encode(const float* grad, const Shape& shape, uint64_t stochastic_tag,
-              std::vector<float>* error,
+              std::vector<float>* error, CodecWorkspace* workspace,
               std::vector<uint8_t>* out) const override;
   void Decode(const uint8_t* bytes, int64_t num_bytes, const Shape& shape,
-              float* out) const override;
+              CodecWorkspace* workspace, float* out) const override;
 
   int bits() const { return bits_; }
   int64_t bucket_size() const { return bucket_size_; }

@@ -8,10 +8,13 @@
 
 #include "base/logging.h"
 #include "base/strings.h"
+#include "quant/workspace.h"
 
 namespace lpsgd {
 
 using codec_internal::FloatsAt;
+using codec_internal::MutableFloatsAt;
+using codec_internal::MutableWordsAt;
 using codec_internal::WordsAt;
 
 TopKCodec::TopKCodec(double density, bool error_feedback)
@@ -42,7 +45,7 @@ int64_t TopKCodec::NumChunks(const Shape& /*shape*/) const {
 
 void TopKCodec::Encode(const float* grad, const Shape& shape,
                        uint64_t /*stochastic_tag*/,
-                       std::vector<float>* error,
+                       std::vector<float>* error, CodecWorkspace* workspace,
                        std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("topk", /*encode=*/true, out);
   const int64_t n = shape.element_count();
@@ -51,51 +54,55 @@ void TopKCodec::Encode(const float* grad, const Shape& shape,
     CHECK_EQ(static_cast<int64_t>(error->size()), n);
   }
 
-  std::vector<float> corrected(static_cast<size_t>(n));
+  // v = grad + carried error; the selection permutes `order`, so the
+  // corrected values are staged once (in reusable workspace scratch) rather
+  // than recomputed per comparison.
+  float* corrected =
+      quant_internal::EnsureSize(&workspace->corrected, static_cast<size_t>(n));
   for (int64_t i = 0; i < n; ++i) {
-    corrected[static_cast<size_t>(i)] =
+    corrected[i] =
         grad[i] + (error_feedback_ ? (*error)[static_cast<size_t>(i)] : 0.0f);
   }
 
   const int64_t k = KeptCount(n);
-  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::vector<int64_t>& order = workspace->order;
+  quant_internal::EnsureSize(&order, static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
                    [&](int64_t a, int64_t b) {
-                     return std::abs(corrected[static_cast<size_t>(a)]) >
-                            std::abs(corrected[static_cast<size_t>(b)]);
+                     return std::abs(corrected[a]) > std::abs(corrected[b]);
                    });
   // Sort the kept indices so the wire format is deterministic.
   std::sort(order.begin(), order.begin() + k);
 
-  out->clear();
-  out->reserve(static_cast<size_t>(EncodedSizeBytes(shape)));
-  const uint32_t count = static_cast<uint32_t>(k);
-  codec_internal::AppendWords(&count, 1, out);
-  std::vector<uint32_t> indices(static_cast<size_t>(k));
-  std::vector<float> values(static_cast<size_t>(k));
+  uint8_t* blob = quant_internal::EnsureSize(
+      out, static_cast<size_t>(EncodedSizeBytes(shape)));
+  uint32_t* words = MutableWordsAt(blob, 0);
+  words[0] = static_cast<uint32_t>(k);
+  uint32_t* indices = words + 1;
+  float* values = MutableFloatsAt(
+      blob, static_cast<int64_t>(sizeof(uint32_t)) +
+                k * static_cast<int64_t>(sizeof(uint32_t)));
   for (int64_t i = 0; i < k; ++i) {
     const int64_t idx = order[static_cast<size_t>(i)];
-    indices[static_cast<size_t>(i)] = static_cast<uint32_t>(idx);
-    values[static_cast<size_t>(i)] = corrected[static_cast<size_t>(idx)];
+    indices[i] = static_cast<uint32_t>(idx);
+    values[i] = corrected[idx];
   }
-  codec_internal::AppendWords(indices.data(), k, out);
-  codec_internal::AppendFloats(values.data(), k, out);
-  CHECK_EQ(static_cast<int64_t>(out->size()), EncodedSizeBytes(shape));
 
   if (error_feedback_) {
     // Unsent components accumulate; sent components reset.
     for (int64_t i = 0; i < n; ++i) {
-      (*error)[static_cast<size_t>(i)] = corrected[static_cast<size_t>(i)];
+      (*error)[static_cast<size_t>(i)] = corrected[i];
     }
     for (int64_t i = 0; i < k; ++i) {
-      (*error)[order[static_cast<size_t>(i)]] = 0.0f;
+      (*error)[static_cast<size_t>(order[static_cast<size_t>(i)])] = 0.0f;
     }
   }
 }
 
 void TopKCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                       const Shape& shape, float* out) const {
+                       const Shape& shape, CodecWorkspace* /*workspace*/,
+                       float* out) const {
   codec_internal::CodecObsScope obs_scope("topk", /*encode=*/false);
   const int64_t n = shape.element_count();
   CHECK_GE(num_bytes, static_cast<int64_t>(sizeof(uint32_t)));

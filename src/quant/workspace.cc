@@ -1,0 +1,16 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "quant/workspace.h"
+
+#include "obs/metrics.h"
+
+namespace lpsgd {
+namespace quant_internal {
+
+void RecordWorkspaceGrowth(int64_t bytes) {
+  if (!obs::MetricsEnabled()) return;
+  obs::Count("quant/workspace/grow_events");
+  obs::Count("quant/workspace/grown_bytes", bytes);
+}
+
+}  // namespace quant_internal
+}  // namespace lpsgd

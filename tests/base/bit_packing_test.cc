@@ -39,6 +39,60 @@ TEST_P(BitPackerRoundtripTest, RoundtripsRandomValues) {
 INSTANTIATE_TEST_SUITE_P(AllWidths, BitPackerRoundtripTest,
                          ::testing::Values(1, 2, 3, 4, 5, 8, 15, 16, 32));
 
+// The streaming writer/reader must produce and consume the exact
+// BitPacker word layout — the codecs interleave them freely (fused encode
+// writes with BitWriter, tests and tools still read with Get/Unpack).
+class BitStreamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitStreamTest, WriterMatchesPackReaderMatchesUnpack) {
+  const int bits = GetParam();
+  BitPacker packer(bits);
+  Rng rng(2000 + bits);
+  const uint32_t mask = bits == 32 ? 0xffffffffu : ((1u << bits) - 1u);
+
+  // Counts straddling word boundaries for every width, including ones that
+  // leave a partial trailing word when bits does not divide 32.
+  for (int64_t count : {1, 2, 7, 31, 32, 33, 63, 64, 65, 1000}) {
+    std::vector<uint32_t> values(static_cast<size_t>(count));
+    for (auto& v : values) {
+      v = static_cast<uint32_t>(rng.NextUint64()) & mask;
+    }
+    const size_t words = static_cast<size_t>(packer.WordCount(count));
+
+    std::vector<uint32_t> packed(words);
+    packer.Pack(values.data(), count, packed.data());
+
+    // Streamed words must be byte-identical to Pack's, including the
+    // zero padding in a flushed partial word (stale fill exposes any
+    // missed overwrite).
+    std::vector<uint32_t> streamed(words, 0xdeadbeefu);
+    BitWriter writer(streamed.data(), bits);
+    for (int64_t i = 0; i < count; ++i) {
+      writer.Put(values[static_cast<size_t>(i)]);
+    }
+    writer.Finish();
+    writer.Finish();  // idempotent: a second flush must not emit a word
+    EXPECT_EQ(streamed, packed) << "bits=" << bits << " count=" << count;
+
+    BitReader reader(streamed.data(), bits);
+    for (int64_t i = 0; i < count; ++i) {
+      EXPECT_EQ(reader.Next(), values[static_cast<size_t>(i)])
+          << "bits=" << bits << " count=" << count << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitStreamTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 24,
+                                           32));
+
+TEST(BitStreamTest, ReaderOverEmptyStreamIsConstructible) {
+  // Lazy word loads: constructing a reader must not dereference the words
+  // pointer, so a zero-element stream over a null buffer is legal.
+  BitReader reader(nullptr, 4);
+  (void)reader;
+}
+
 TEST(BitPackerTest, WordCountMatchesCntkLayout) {
   // 32 one-bit values per unsigned int (Section 3.2.1).
   BitPacker one_bit(1);
@@ -85,6 +139,22 @@ TEST(PackSignBitsTest, CrossesWordBoundary) {
   for (int i = 0; i < 70; ++i) {
     EXPECT_EQ(SignBitAt(words.data(), i), i != 40 && i != 69) << i;
   }
+}
+
+TEST(PackSignBitsTest, RawPointerOverloadMatchesVectorAndClearsStaleBits) {
+  Rng rng(77);
+  std::vector<float> values(70);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.NextGaussian());
+  }
+  std::vector<uint32_t> via_vector;
+  PackSignBits(values.data(), 70, &via_vector);
+
+  // Pre-fill with garbage: the raw overload promises fully-overwritten
+  // words (the codecs reuse wire buffers across calls).
+  std::vector<uint32_t> via_raw(3, 0xffffffffu);
+  PackSignBits(values.data(), 70, via_raw.data());
+  EXPECT_EQ(via_raw, via_vector);
 }
 
 }  // namespace

@@ -1,0 +1,71 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// The stochastic-tag helpers are wire-format: both aggregators derive the
+// counter-based RNG streams of every quantization decision from them, so
+// the formulas below are pinned against the exact expressions the
+// aggregators historically inlined. Changing them silently changes every
+// quantized training trajectory.
+#include <cstdint>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "comm/allreduce.h"
+
+namespace lpsgd {
+namespace {
+
+TEST(ExchangeTagsTest, RankTagMatchesHistoricalInlineFormula) {
+  for (int64_t iteration : {int64_t{0}, int64_t{1}, int64_t{17},
+                            int64_t{123456}, int64_t{1} << 40}) {
+    for (int64_t matrix : {int64_t{0}, int64_t{1}, int64_t{63}}) {
+      for (int rank : {0, 1, 3, 7}) {
+        const uint64_t counter =
+            static_cast<uint64_t>(iteration) * 0x9e3779b9ULL +
+            static_cast<uint64_t>(matrix);
+        EXPECT_EQ(comm_internal::ExchangeRankTag(iteration, matrix, rank),
+                  HashCounter(counter, static_cast<uint64_t>(rank)))
+            << "iteration=" << iteration << " matrix=" << matrix
+            << " rank=" << rank;
+      }
+    }
+  }
+}
+
+TEST(ExchangeTagsTest, AggregateTagMatchesHistoricalInlineFormula) {
+  for (int64_t iteration : {int64_t{0}, int64_t{1}, int64_t{17},
+                            int64_t{123456}, int64_t{1} << 40}) {
+    for (int64_t matrix : {int64_t{0}, int64_t{1}, int64_t{63}}) {
+      for (int owner : {0, 1, 3, 7}) {
+        const uint64_t counter =
+            static_cast<uint64_t>(iteration) * 0x9e3779b9ULL +
+            static_cast<uint64_t>(matrix);
+        EXPECT_EQ(
+            comm_internal::ExchangeAggregateTag(iteration, matrix, owner),
+            HashCounter(counter, 0xa66e6a7eULL + static_cast<uint64_t>(owner)))
+            << "iteration=" << iteration << " matrix=" << matrix
+            << " owner=" << owner;
+      }
+    }
+  }
+}
+
+TEST(ExchangeTagsTest, TagsAreDistinctAcrossStagesRanksAndMatrices) {
+  // The aggregate-tag salt keeps the owner's re-encode stream disjoint from
+  // every rank-encode stream; distinct (matrix, rank) pairs must also get
+  // distinct streams within an iteration.
+  std::set<uint64_t> tags;
+  const int64_t iteration = 42;
+  for (int64_t matrix = 0; matrix < 8; ++matrix) {
+    for (int rank = 0; rank < 8; ++rank) {
+      tags.insert(comm_internal::ExchangeRankTag(iteration, matrix, rank));
+      tags.insert(
+          comm_internal::ExchangeAggregateTag(iteration, matrix, rank));
+    }
+  }
+  EXPECT_EQ(tags.size(), 8u * 8u * 2u);
+}
+
+}  // namespace
+}  // namespace lpsgd

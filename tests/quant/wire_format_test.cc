@@ -6,11 +6,14 @@
 // part of the public contract. If a change is intentional, regenerate the
 // goldens (the fixture below documents the input).
 #include <cctype>
+#include <cstdint>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "base/rng.h"
 #include "quant/codec.h"
 #include "tensor/shape.h"
 
@@ -95,6 +98,161 @@ TEST(WireFormatTest, OneBitHeaderIsAvgPairs) {
   float avg_pos_col0;
   std::memcpy(&avg_pos_col0, blob.data(), sizeof(float));
   EXPECT_FLOAT_EQ(avg_pos_col0, (0.5f + 0.25f + 2.0f + 1.5f) / 4.0f);
+}
+
+// Golden FNV-1a hashes over a 1000-element Gaussian gradient, pinned from
+// the code as of the workspace/fused-kernel refactor (which was verified
+// byte-identical to its predecessor). Unlike the short hex goldens above,
+// these cover every codec configuration axis — bit widths, bucket sizes,
+// norms, level schemes, error feedback on/off — plus a second encode round
+// (error-feedback state advanced) and the decoded floats. Any change to
+// these hashes is a wire-format or numerics break.
+uint64_t Fnv1a64(const uint8_t* bytes, size_t count, uint64_t hash) {
+  for (size_t i = 0; i < count; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+std::vector<float> GoldenGradient(int64_t n) {
+  std::vector<float> grad(static_cast<size_t>(n));
+  Rng rng(0x601dULL);
+  for (int64_t i = 0; i < n; ++i) {
+    grad[static_cast<size_t>(i)] = static_cast<float>(rng.NextGaussian());
+  }
+  // An all-zero stretch exercises the zero-scale buckets.
+  for (int64_t i = 64; i < 192 && i < n; ++i) {
+    grad[static_cast<size_t>(i)] = 0.0f;
+  }
+  return grad;
+}
+
+struct HashCase {
+  const char* name;
+  CodecSpec spec;
+  uint64_t first_encode;   // blob hash, fresh error-feedback state
+  uint64_t second_encode;  // blob hash after one error-feedback round
+  uint64_t decode;         // hash of the second blob's decoded floats
+};
+
+CodecSpec Qsgd(int bits, int64_t bucket, QsgdNorm norm, QsgdLevelScheme lv) {
+  CodecSpec spec = QsgdSpec(bits);
+  spec.bucket_size = bucket;
+  spec.norm = norm;
+  spec.levels = lv;
+  return spec;
+}
+
+CodecSpec Aqsgd(int bits, int64_t bucket) {
+  CodecSpec spec = AdaptiveQsgdSpec(bits);
+  spec.bucket_size = bucket;
+  return spec;
+}
+
+CodecSpec OneBitStar(int64_t bucket, bool ef) {
+  CodecSpec spec = OneBitSgdReshapedSpec(bucket);
+  spec.error_feedback = ef;
+  return spec;
+}
+
+CodecSpec OneBitStockNoEf() {
+  CodecSpec spec = OneBitSgdSpec();
+  spec.error_feedback = false;
+  return spec;
+}
+
+std::vector<HashCase> GoldenHashCases() {
+  const QsgdNorm kL2 = QsgdNorm::kL2;
+  const QsgdNorm kMax = QsgdNorm::kMax;
+  const QsgdLevelScheme kSm = QsgdLevelScheme::kSignMagnitude;
+  const QsgdLevelScheme kSy = QsgdLevelScheme::kSymmetric;
+  return {
+      {"fp32", FullPrecisionSpec(), 0xaf93c47a0c76c421ull,
+       0xaf93c47a0c76c421ull, 0xaf93c47a0c76c421ull},
+      {"one_bit_stock", OneBitSgdSpec(), 0xb7a03b51c455f576ull,
+       0x1f553e706a67a14aull, 0x5f39fe8ff9f22340ull},
+      {"one_bit_stock_no_ef", OneBitStockNoEf(), 0xb7a03b51c455f576ull,
+       0xb7a03b51c455f576ull, 0x5c4063dde9689f54ull},
+      {"one_bit_star_b4", OneBitStar(4, true), 0x41ff9f52297b1e1cull,
+       0x92bed52b17adc848ull, 0xa74a8ee571f945b6ull},
+      {"one_bit_star_b64", OneBitStar(64, true), 0x77de2db0dc246dc6ull,
+       0x428fbfc567ac2c09ull, 0xfcf4f451350afa1aull},
+      {"one_bit_star_b512", OneBitStar(512, true), 0xe94a98c0e0dde4c3ull,
+       0xd926a1fdd9b93cf8ull, 0xc373d9f024358031ull},
+      {"one_bit_star_b64_no_ef", OneBitStar(64, false),
+       0x77de2db0dc246dc6ull, 0x77de2db0dc246dc6ull, 0x1bb1136ab82022e5ull},
+      {"qsgd2_b4", Qsgd(2, 4, kMax, kSm), 0x964ab40044b80fe4ull,
+       0x507055f1605d8e42ull, 0x17791ad3e91dd031ull},
+      {"qsgd2_b512", Qsgd(2, 512, kMax, kSm), 0x0c3f5cf42e2dcba7ull,
+       0x7c363523a5af5705ull, 0xacd280886a338a55ull},
+      {"qsgd4_b4", Qsgd(4, 4, kMax, kSm), 0xcd226ba04d2734dfull,
+       0xbc0b1967e5aaabeaull, 0x7806b4a5eee37e3cull},
+      {"qsgd4_b512", Qsgd(4, 512, kMax, kSm), 0x8df80ab7452ae9a9ull,
+       0x99714221c736e784ull, 0x4cdd07a6ecfa30baull},
+      {"qsgd8_b4", Qsgd(8, 4, kMax, kSm), 0xec26ddc7aa7fb470ull,
+       0xcb7306431c661496ull, 0x1d25ad3fcfcafa9dull},
+      {"qsgd8_b512", Qsgd(8, 512, kMax, kSm), 0xd9d5627ac91253afull,
+       0x22d1fd41c8c8c2dbull, 0x137aeec0d48f1ec8ull},
+      {"qsgd16_b4", Qsgd(16, 4, kMax, kSm), 0xfbe311bb97400d9aull,
+       0x74fa02912ca75beeull, 0x8c0994e648d448bfull},
+      {"qsgd16_b512", Qsgd(16, 512, kMax, kSm), 0x66a4d2f6ccd42ad2ull,
+       0xf3a422a8842dc047ull, 0x2230b5c9da3b3145ull},
+      {"qsgd4_b512_l2", Qsgd(4, 512, kL2, kSm), 0x92820aee01373820ull,
+       0x2decfd4d526cfc4full, 0x696ec9b2ad483ccbull},
+      {"qsgd4_b512_sym", Qsgd(4, 512, kMax, kSy), 0xd833686716973294ull,
+       0xe664e1aa5db92776ull, 0x10ce238d72465bf2ull},
+      {"qsgd4_b512_l2_sym", Qsgd(4, 512, kL2, kSy), 0x0f524002894b6063ull,
+       0x526a40608b66e8fbull, 0x5b78260b1c92592bull},
+      {"aqsgd2_b4", Aqsgd(2, 4), 0x2244995d2cdb6109ull,
+       0xa0b4e7816ca74c3bull, 0x17791ad3e91dd031ull},
+      {"aqsgd2_b512", Aqsgd(2, 512), 0x15eb975eff33f3feull,
+       0x4d70be8c9e1d0280ull, 0xacd280886a338a55ull},
+      {"aqsgd4_b4", Aqsgd(4, 4), 0xaca47a2bf1d42fa9ull,
+       0xf7da8022976b44acull, 0x39f515b537fc3af0ull},
+      {"aqsgd4_b512", Aqsgd(4, 512), 0xbaaff7331d730ec9ull,
+       0xd31a2dc39b45dc42ull, 0x89a885af2bf1816bull},
+      {"aqsgd8_b4", Aqsgd(8, 4), 0xf9639de8d881c674ull,
+       0x2649a6b3a3399512ull, 0x0b00118c33dbe14aull},
+      {"aqsgd8_b512", Aqsgd(8, 512), 0x3e54562ee5037da3ull,
+       0x88fc35df8611df77ull, 0xd74604fc29808050ull},
+      {"topk_1pct", TopKSpec(0.01), 0xcada551389ce5c96ull,
+       0x701d5f364c6b8402ull, 0x19a7c97bcb3b2abaull},
+      {"topk_25pct", TopKSpec(0.25), 0x552e9e7400d1645bull,
+       0xa1f5cb0ee751326cull, 0xc5201dae81b8c8b3ull},
+      {"topk_100pct", TopKSpec(1.0), 0x7c45bf769e409230ull,
+       0x7c45bf769e409230ull, 0xaf93c47a0c76c421ull},
+  };
+}
+
+TEST(WireFormatTest, GoldenBlobHashes) {
+  const int64_t n = 1000;
+  const Shape shape({25, 40});
+  const std::vector<float> grad = GoldenGradient(n);
+
+  for (const HashCase& c : GoldenHashCases()) {
+    SCOPED_TRACE(c.name);
+    auto codec = c.spec.Create();
+    ASSERT_TRUE(codec.ok());
+    std::vector<float> error(static_cast<size_t>(n), 0.0f);
+    std::vector<float>* error_ptr =
+        (*codec)->UsesErrorFeedback() ? &error : nullptr;
+    std::vector<uint8_t> blob;
+    // Round 1 seeds the error-feedback state; round 2's blob depends on it.
+    (*codec)->Encode(grad.data(), shape, /*stochastic_tag=*/12345, error_ptr,
+                     &blob);
+    EXPECT_EQ(Fnv1a64(blob.data(), blob.size(), kFnvBasis), c.first_encode);
+    (*codec)->Encode(grad.data(), shape, /*stochastic_tag=*/12346, error_ptr,
+                     &blob);
+    EXPECT_EQ(Fnv1a64(blob.data(), blob.size(), kFnvBasis), c.second_encode);
+    std::vector<float> decoded(static_cast<size_t>(n));
+    (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
+                     decoded.data());
+    EXPECT_EQ(Fnv1a64(reinterpret_cast<const uint8_t*>(decoded.data()),
+                      decoded.size() * sizeof(float), kFnvBasis),
+              c.decode);
+  }
 }
 
 TEST(WireFormatTest, TopKHeaderIsCount) {
