@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/thread_annotations.h"
+
 namespace lpsgd {
 
 // Fixed-width bit packing used by the gradient codecs: packs n values of
@@ -58,6 +60,7 @@ class BitWriter {
   BitWriter(uint32_t* words, int bits_per_value);
 
   // Appends `value` (must fit in bits_per_value bits) as the next field.
+  LPSGD_HOT_PATH
   void Put(uint32_t value) {
     current_ |= (value & mask_) << shift_;
     shift_ += bits_;
@@ -70,6 +73,7 @@ class BitWriter {
   }
 
   // Flushes a trailing partial word, if any. Idempotent.
+  LPSGD_HOT_PATH
   void Finish() {
     if (in_word_ > 0) {
       *words_++ = current_;
@@ -98,6 +102,7 @@ class BitReader {
   BitReader(const uint32_t* words, int bits_per_value);
 
   // Returns the next field in stream order.
+  LPSGD_HOT_PATH
   uint32_t Next() {
     if (in_word_ == per_word_) {
       current_ = *words_++;

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <iostream>  // lpsgd-lint: allow(banned-include) log sink is stderr
 
 namespace lpsgd {
 namespace internal_logging {
@@ -31,12 +32,15 @@ const char* Basename(const char* path) {
 }
 
 // ISO-8601 UTC timestamp, e.g. "2026-08-05T14:03:27Z". Falls back to a
-// placeholder if the clock is unavailable (never in practice).
+// placeholder if the clock is unavailable (never in practice). The "?"s in
+// the placeholder are escaped so "??-" can never form a trigraph.
 std::string IsoTimestampUtc() {
   const std::time_t now = std::time(nullptr);
   std::tm utc = {};
-  if (gmtime_r(&now, &utc) == nullptr) return "????-??-??T??:??:??Z";
-  char buf[32];
+  if (gmtime_r(&now, &utc) == nullptr) return "?\?\?\?-?\?-?\?T?\?:?\?:?\?Z";
+  // Sized for the widest output snprintf can produce (tm_year is an int, so
+  // the %04d fields are not bounded at 4 digits), not just the common case.
+  char buf[80];
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
                 utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
                 utc.tm_min, utc.tm_sec);

@@ -3,7 +3,6 @@
 #define LPSGD_BASE_LOGGING_H_
 
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string>
 

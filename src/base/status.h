@@ -26,8 +26,10 @@ const char* StatusCodeToString(StatusCode code);
 
 // Value-type result of a fallible operation: a code plus a human-readable
 // message. LPSGD does not use exceptions; every fallible public API returns
-// Status or StatusOr<T>.
-class Status {
+// Status or StatusOr<T>. The class-level [[nodiscard]] makes silently
+// dropping any returned Status a compile error under -Werror (the CI
+// default): handle it, return it, or CHECK_OK it.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

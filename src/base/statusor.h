@@ -12,8 +12,9 @@ namespace lpsgd {
 
 // Holds either a value of type T or a non-OK Status explaining why the value
 // is absent. Accessing the value of a non-OK StatusOr is a fatal error.
+// [[nodiscard]] like Status: a dropped StatusOr is a dropped error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit, mirroring absl::StatusOr: allows
   // `return value;` and `return SomeError(...);` from the same function.

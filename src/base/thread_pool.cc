@@ -6,7 +6,9 @@
 #include <exception>
 #include <utility>
 
+#include "base/mutex.h"
 #include "base/strings.h"
+#include "base/thread_annotations.h"
 
 namespace lpsgd {
 namespace {
@@ -69,12 +71,13 @@ struct ThreadPool::Batch {
   std::atomic<int64_t> next{0};
   std::atomic<bool> failed{false};
 
-  std::mutex mu;  // guards everything below
-  std::condition_variable done_cv;
-  int64_t completed = 0;
-  int64_t error_index = -1;  // lowest failing index observed so far
-  Status status;
-  std::exception_ptr exception;
+  Mutex mu;
+  CondVar done_cv;
+  int64_t completed LPSGD_GUARDED_BY(mu) = 0;
+  // Lowest failing index observed so far.
+  int64_t error_index LPSGD_GUARDED_BY(mu) = -1;
+  Status status LPSGD_GUARDED_BY(mu);
+  std::exception_ptr exception LPSGD_GUARDED_BY(mu);
 };
 
 ThreadPool::ThreadPool(int num_threads)
@@ -88,10 +91,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -103,22 +106,22 @@ void ThreadPool::WorkerLoop(int slot) {
   tls_in_pool_task = true;
   tls_pool_slot = slot;
   uint64_t seen_epoch = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    work_cv_.wait(lock,
-                  [&] { return shutdown_ || batch_epoch_ != seen_epoch; });
-    if (shutdown_) return;
+    while (!shutdown_ && batch_epoch_ == seen_epoch) work_cv_.Wait(mu_);
+    if (shutdown_) break;
     seen_epoch = batch_epoch_;
     std::shared_ptr<Batch> batch = current_;
-    lock.unlock();
+    mu_.Unlock();
     if (batch != nullptr) RunTasks(*batch, /*record_queue_wait=*/true);
-    lock.lock();
+    mu_.Lock();
   }
+  mu_.Unlock();
 }
 
 void ThreadPool::RecordFailure(Batch& batch, int64_t index, Status status,
                                std::exception_ptr exception) {
-  std::lock_guard<std::mutex> lock(batch.mu);
+  MutexLock lock(batch.mu);
   if (batch.error_index < 0 || index < batch.error_index) {
     batch.error_index = index;
     batch.status = std::move(status);
@@ -152,9 +155,9 @@ void ThreadPool::RunTasks(Batch& batch, bool record_queue_wait) {
     }
     ++ran;
   }
-  std::lock_guard<std::mutex> lock(batch.mu);
+  MutexLock lock(batch.mu);
   batch.completed += ran;
-  if (batch.completed == batch.total) batch.done_cv.notify_all();
+  if (batch.completed == batch.total) batch.done_cv.NotifyAll();
 }
 
 Status ThreadPool::ParallelFor(int64_t begin, int64_t end,
@@ -183,13 +186,13 @@ Status ThreadPool::ParallelFor(int64_t begin, int64_t end,
   batch->next.store(begin, std::memory_order_relaxed);
 
   // One batch in flight at a time; concurrent submitters queue here.
-  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  MutexLock submit_lock(submit_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     current_ = batch;
     ++batch_epoch_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   {
     // The submitter drains alongside the workers.
@@ -200,14 +203,13 @@ Status ThreadPool::ParallelFor(int64_t begin, int64_t end,
   std::exception_ptr exception;
   Status status;
   {
-    std::unique_lock<std::mutex> lock(batch->mu);
-    batch->done_cv.wait(lock,
-                        [&] { return batch->completed == batch->total; });
+    MutexLock lock(batch->mu);
+    while (batch->completed != batch->total) batch->done_cv.Wait(batch->mu);
     exception = batch->exception;
     status = batch->status;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     current_.reset();
   }
   if (exception != nullptr) std::rethrow_exception(exception);

@@ -19,16 +19,16 @@
 #ifndef LPSGD_BASE_THREAD_POOL_H_
 #define LPSGD_BASE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 
 namespace lpsgd {
 
@@ -67,8 +67,9 @@ class ThreadPool {
   // returned after the batch drains (remaining indices are skipped). An
   // exception escaping `fn` is captured and rethrown here, on the
   // submitting thread.
-  Status ParallelFor(int64_t begin, int64_t end,
-                     const std::function<Status(int64_t)>& fn);
+  [[nodiscard]] Status ParallelFor(int64_t begin, int64_t end,
+                                   const std::function<Status(int64_t)>& fn)
+      LPSGD_EXCLUDES(submit_mu_, mu_);
 
   // True while the calling thread is executing a ParallelFor task (worker
   // or participating submitter) of any pool in the process.
@@ -87,7 +88,7 @@ class ThreadPool {
  private:
   struct Batch;
 
-  void WorkerLoop(int slot);
+  void WorkerLoop(int slot) LPSGD_EXCLUDES(mu_);
   // Pulls and runs indices until `batch` is exhausted.
   static void RunTasks(Batch& batch, bool record_queue_wait);
   static void RecordFailure(Batch& batch, int64_t index, Status status,
@@ -97,13 +98,13 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   // Serializes whole batches submitted from different user threads.
-  std::mutex submit_mu_;
+  Mutex submit_mu_;
 
-  std::mutex mu_;  // guards current_, batch_epoch_, shutdown_
-  std::condition_variable work_cv_;
-  std::shared_ptr<Batch> current_;
-  uint64_t batch_epoch_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::shared_ptr<Batch> current_ LPSGD_GUARDED_BY(mu_);
+  uint64_t batch_epoch_ LPSGD_GUARDED_BY(mu_) = 0;
+  bool shutdown_ LPSGD_GUARDED_BY(mu_) = false;
 };
 
 // How much host parallelism a component may use, and on which pool. The
@@ -137,8 +138,9 @@ struct ExecutionContext {
 
   // Runs fn over [begin, end): on the pool when parallel, inline
   // otherwise. Same failure contract as ThreadPool::ParallelFor.
-  Status ParallelFor(int64_t begin, int64_t end,
-                     const std::function<Status(int64_t)>& fn) const;
+  [[nodiscard]] Status ParallelFor(
+      int64_t begin, int64_t end,
+      const std::function<Status(int64_t)>& fn) const;
 
   // Human-readable summary for CLI run headers, e.g. "serial (1 thread)"
   // or "parallel (8 threads)".

@@ -99,7 +99,7 @@ class GradientAggregator {
 // (ExecutionContext::Serial() reproduces the historical sequential
 // order — as does any thread count; see DESIGN.md "Execution model").
 // The per-class Create factories are thin deprecated wrappers over this.
-StatusOr<std::unique_ptr<GradientAggregator>> CreateAggregator(
+[[nodiscard]] StatusOr<std::unique_ptr<GradientAggregator>> CreateAggregator(
     CommPrimitive primitive, int num_ranks, const CodecSpec& codec,
     const MachineSpec& machine, const ExecutionContext& execution);
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "base/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -77,6 +78,14 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
             static_cast<size_t>(k)) {
       decoded_[static_cast<size_t>(m)].resize(static_cast<size_t>(k));
     }
+    // Size the owner-side aggregation residual here, in the serial setup,
+    // so the stage-2 exchange lambda below stays allocation-free (it is an
+    // LPSGD_HOT_PATH region; tools/lint enforces this).
+    if (slot.quantized && !identity_codec && codec_->UsesErrorFeedback()) {
+      auto& residual = aggregate_errors_[static_cast<size_t>(m)];
+      const auto n = static_cast<size_t>(slot.quant_shape.element_count());
+      if (residual.size() != n) residual.assign(n, 0.0f);
+    }
   }
 
   // Stage 1 (parallel over (matrix, rank)): every rank encodes its local
@@ -87,7 +96,7 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
   const uint64_t reduce_span =
       obs::Tracer::Global().Begin("mpi_reduce_bcast/reduce", "comm");
   LPSGD_RETURN_IF_ERROR(exec_.ParallelFor(
-      0, num_matrices * k, [&](int64_t task) -> Status {
+      0, num_matrices * k, LPSGD_HOT_PATH [&](int64_t task) -> Status {
         const size_t m = static_cast<size_t>(task / k);
         const size_t r = static_cast<size_t>(task % k);
         MatrixSlot& slot = (*slots)[m];
@@ -122,7 +131,7 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
   const uint64_t bcast_span =
       obs::Tracer::Global().Begin("mpi_reduce_bcast/broadcast", "comm");
   LPSGD_RETURN_IF_ERROR(exec_.ParallelFor(
-      0, num_matrices, [&](int64_t mi) -> Status {
+      0, num_matrices, LPSGD_HOT_PATH [&](int64_t mi) -> Status {
         const size_t m = static_cast<size_t>(mi);
         MatrixSlot& slot = (*slots)[m];
         obs::TraceSpan matrix_span("mpi_reduce_bcast/matrix", "comm");
@@ -171,14 +180,9 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
         }
 
         const int owner = static_cast<int>(m) % k;
-        std::vector<float>* agg_error = nullptr;
-        if (codec_->UsesErrorFeedback()) {
-          auto& residual = aggregate_errors_[m];
-          if (residual.size() != static_cast<size_t>(n)) {
-            residual.assign(static_cast<size_t>(n), 0.0f);
-          }
-          agg_error = &residual;
-        }
+        // Residual already sized by the serial setup loop above.
+        std::vector<float>* agg_error =
+            codec_->UsesErrorFeedback() ? &aggregate_errors_[m] : nullptr;
         const uint64_t agg_tag = comm_internal::ExchangeAggregateTag(
             iteration, static_cast<int64_t>(m), owner);
         codec_->Encode(aggregate, slot.quant_shape, agg_tag, agg_error, &ws,

@@ -32,14 +32,14 @@ class MpiReduceBcastAggregator : public GradientAggregator {
   // Creates an aggregator for `num_ranks` simulated GPUs exchanging
   // gradients encoded per `spec`, timed on `machine`, with host work
   // (per-rank encodes, per-blob decode+sum) running on `execution`.
-  static StatusOr<std::unique_ptr<MpiReduceBcastAggregator>> Create(
-      int num_ranks, const CodecSpec& spec, const MachineSpec& machine,
-      const ExecutionContext& execution);
+  [[nodiscard]] static StatusOr<std::unique_ptr<MpiReduceBcastAggregator>>
+  Create(int num_ranks, const CodecSpec& spec, const MachineSpec& machine,
+         const ExecutionContext& execution);
 
   // Deprecated: serial-context wrapper kept for older call sites; prefer
   // CreateAggregator (comm/allreduce.h).
-  static StatusOr<std::unique_ptr<MpiReduceBcastAggregator>> Create(
-      int num_ranks, const CodecSpec& spec, const MachineSpec& machine);
+  [[nodiscard]] static StatusOr<std::unique_ptr<MpiReduceBcastAggregator>>
+  Create(int num_ranks, const CodecSpec& spec, const MachineSpec& machine);
 
   std::string Name() const override { return "MPI reduce-and-broadcast"; }
   StatusOr<CommStats> AllReduce(std::vector<MatrixSlot>* slots,

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "base/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -57,7 +58,7 @@ StatusOr<CommStats> NcclRingAggregator::AllReduce(
   // accumulates in fixed ring order (exactly like NCCL's ring), so the
   // result is bit-identical at any thread count.
   LPSGD_RETURN_IF_ERROR(exec_.ParallelFor(
-      0, num_matrices * k, [&](int64_t task) -> Status {
+      0, num_matrices * k, LPSGD_HOT_PATH [&](int64_t task) -> Status {
         MatrixSlot& slot = (*slots)[static_cast<size_t>(task / k)];
         const int seg = static_cast<int>(task % k);
         const int64_t n = slot.quant_shape.element_count();

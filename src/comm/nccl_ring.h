@@ -26,13 +26,13 @@ class NcclRingAggregator : public GradientAggregator {
   // Creates an aggregator for `num_ranks` simulated GPUs, timed on
   // `machine`, with the per-segment ring arithmetic running on
   // `execution`.
-  static StatusOr<std::unique_ptr<NcclRingAggregator>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<NcclRingAggregator>> Create(
       int num_ranks, const CodecSpec& spec, const MachineSpec& machine,
       const ExecutionContext& execution);
 
   // Deprecated: serial-context wrapper kept for older call sites; prefer
   // CreateAggregator (comm/allreduce.h).
-  static StatusOr<std::unique_ptr<NcclRingAggregator>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<NcclRingAggregator>> Create(
       int num_ranks, const CodecSpec& spec, const MachineSpec& machine);
 
   std::string Name() const override { return "NCCL ring allreduce"; }

@@ -58,7 +58,7 @@ struct TrainerOptions {
   // positive learning rate, an lr_schedule sorted by epoch, a positive
   // eval batch, and a non-negative thread request. Called by
   // SyncTrainer::Create before any resources are allocated.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 // Per-epoch training metrics.
@@ -91,13 +91,13 @@ class SyncTrainer {
   // starts from identical weights, enforced by copying rank 0's).
   using NetworkFactory = std::function<Network(uint64_t seed)>;
 
-  static StatusOr<std::unique_ptr<SyncTrainer>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<SyncTrainer>> Create(
       const NetworkFactory& factory, const TrainerOptions& options);
 
   // Runs `epochs` epochs over `train`, evaluating on `test` after each.
   // Appends to any previous training (the trainer is resumable).
-  StatusOr<std::vector<EpochMetrics>> Train(const Dataset& train,
-                                            const Dataset& test, int epochs);
+  [[nodiscard]] StatusOr<std::vector<EpochMetrics>> Train(
+      const Dataset& train, const Dataset& test, int epochs);
 
   // Evaluates replica 0 on `dataset` (eval mode).
   EvalResult Evaluate(const Dataset& dataset);
@@ -109,8 +109,8 @@ class SyncTrainer {
   // identical) / restores them into every replica. Optimizer momentum and
   // error-feedback residuals restart from zero, like CNTK's 1-bit
   // checkpoint-restart.
-  Status SaveCheckpoint(std::ostream& os);
-  Status LoadCheckpoint(std::istream& is);
+  [[nodiscard]] Status SaveCheckpoint(std::ostream& os);
+  [[nodiscard]] Status LoadCheckpoint(std::istream& is);
 
   int num_gpus() const { return options_.num_gpus; }
   const TrainerOptions& options() const { return options_; }

@@ -64,7 +64,7 @@ class JsonValue {
   std::string Dump(int indent = 0) const;
 
   // Strict JSON parse of the full input (trailing garbage is an error).
-  static StatusOr<JsonValue> Parse(std::string_view text);
+  [[nodiscard]] static StatusOr<JsonValue> Parse(std::string_view text);
 
  private:
   void DumpTo(std::string* out, int indent, int depth) const;

@@ -80,7 +80,7 @@ void MetricsRegistry::Histogram::Record(double value) {
 
 void MetricsRegistry::Count(std::string_view name, int64_t delta) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     counters_.emplace(std::string(name), delta);
@@ -91,7 +91,7 @@ void MetricsRegistry::Count(std::string_view name, int64_t delta) {
 
 void MetricsRegistry::SetGauge(std::string_view name, double value) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -107,7 +107,7 @@ void MetricsRegistry::Observe(std::string_view name, double value) {
 void MetricsRegistry::ObserveWithBounds(std::string_view name, double value,
                                         const std::vector<double>& bounds) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     Histogram h;
@@ -118,26 +118,26 @@ void MetricsRegistry::ObserveWithBounds(std::string_view name, double value,
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();
 }
 
 int64_t MetricsRegistry::CounterValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 double MetricsRegistry::GaugeValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 HistogramSnapshot MetricsRegistry::HistogramFor(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   HistogramSnapshot snap;
   auto it = histograms_.find(name);
   if (it == histograms_.end()) return snap;
@@ -153,7 +153,7 @@ HistogramSnapshot MetricsRegistry::HistogramFor(std::string_view name) const {
 }
 
 std::vector<std::string> MetricsRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, unused] : counters_) names.push_back(name);
@@ -164,7 +164,7 @@ std::vector<std::string> MetricsRegistry::Names() const {
 }
 
 JsonValue MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue root = JsonValue::Object();
 
   JsonValue counters = JsonValue::Object();
@@ -204,7 +204,7 @@ std::string MetricsRegistry::ToJsonString(int indent) const {
 }
 
 void MetricsRegistry::PrintTable(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   TablePrinter table({"Metric", "Kind", "Value", "Count", "Mean"});
   for (const auto& [name, value] : counters_) {
     table.AddRow({name, "counter", StrCat(value), "", ""});

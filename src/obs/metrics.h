@@ -16,12 +16,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 #include "obs/json.h"
 
 namespace lpsgd {
@@ -60,39 +61,41 @@ class MetricsRegistry {
   // --- Mutation (no-ops while disabled) ---------------------------------
 
   // Adds `delta` to counter `name`, creating it at zero.
-  void Count(std::string_view name, int64_t delta = 1);
+  void Count(std::string_view name, int64_t delta = 1) LPSGD_EXCLUDES(mu_);
   // Sets gauge `name` to `value` (last write wins).
-  void SetGauge(std::string_view name, double value);
+  void SetGauge(std::string_view name, double value) LPSGD_EXCLUDES(mu_);
   // Records `value` into histogram `name`, creating it with the default
   // exponential bucket ladder (see DefaultBounds()).
-  void Observe(std::string_view name, double value);
+  void Observe(std::string_view name, double value) LPSGD_EXCLUDES(mu_);
   // Records into a histogram created with explicit bucket upper bounds
   // (strictly increasing); bounds of an existing histogram are kept.
   void ObserveWithBounds(std::string_view name, double value,
-                         const std::vector<double>& bounds);
+                         const std::vector<double>& bounds)
+      LPSGD_EXCLUDES(mu_);
 
   // Drops every metric (the enabled flag is preserved).
-  void Reset();
+  void Reset() LPSGD_EXCLUDES(mu_);
 
   // --- Inspection (works regardless of the enabled flag) ----------------
 
   // Value of counter `name`, or 0 when absent.
-  int64_t CounterValue(std::string_view name) const;
+  int64_t CounterValue(std::string_view name) const LPSGD_EXCLUDES(mu_);
   // Value of gauge `name`, or 0.0 when absent.
-  double GaugeValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const LPSGD_EXCLUDES(mu_);
   // Snapshot of histogram `name` (zero-count snapshot when absent).
-  HistogramSnapshot HistogramFor(std::string_view name) const;
+  HistogramSnapshot HistogramFor(std::string_view name) const
+      LPSGD_EXCLUDES(mu_);
 
   // Sorted names, all three metric kinds merged.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const LPSGD_EXCLUDES(mu_);
 
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
   // sum, min, max, mean, bounds, counts}}}.
-  JsonValue ToJson() const;
-  std::string ToJsonString(int indent = 2) const;
+  JsonValue ToJson() const LPSGD_EXCLUDES(mu_);
+  std::string ToJsonString(int indent = 2) const LPSGD_EXCLUDES(mu_);
 
   // Aligned human-readable table of every metric.
-  void PrintTable(std::ostream& os) const;
+  void PrintTable(std::ostream& os) const LPSGD_EXCLUDES(mu_);
 
   // The default histogram ladder: powers of 4 from 1e-9 up to ~1.2e12,
   // sized for values ranging from nanosecond timings to terabyte counts.
@@ -111,10 +114,11 @@ class MetricsRegistry {
   };
 
   std::atomic<bool> enabled_;
-  mutable std::mutex mu_;
-  std::map<std::string, int64_t, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, int64_t, std::less<>> counters_ LPSGD_GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ LPSGD_GUARDED_BY(mu_);
+  std::map<std::string, Histogram, std::less<>> histograms_
+      LPSGD_GUARDED_BY(mu_);
 };
 
 // Convenience wrappers over MetricsRegistry::Global().

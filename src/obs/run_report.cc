@@ -17,12 +17,12 @@ RunReport& RunReport::Global() {
 }
 
 void RunReport::set_binary(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   binary_.assign(name);
 }
 
 void RunReport::SetMeta(std::string_view key, std::string_view value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   meta_.Set(std::string(key), JsonValue(std::string(value)));
 }
 
@@ -31,23 +31,23 @@ void RunReport::AddEntry(std::string_view kind, JsonValue fields) {
   CHECK(fields.kind() == JsonValue::Kind::kObject)
       << "run-report entry must be a JSON object";
   fields.Set("kind", std::string(kind));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.Append(std::move(fields));
 }
 
 size_t RunReport::entry_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 void RunReport::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   meta_ = JsonValue::Object();
   entries_ = JsonValue::Array();
 }
 
 JsonValue RunReport::ToJson(const MetricsRegistry* metrics) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue root = JsonValue::Object();
   root.Set("schema_version", int64_t{1});
   root.Set("binary", binary_);

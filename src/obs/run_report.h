@@ -24,12 +24,13 @@
 #define LPSGD_OBS_RUN_REPORT_H_
 
 #include <atomic>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 
@@ -51,29 +52,32 @@ class RunReport {
     enabled_.store(enabled, std::memory_order_relaxed);
   }
 
-  void set_binary(std::string_view name);
-  void SetMeta(std::string_view key, std::string_view value);
+  void set_binary(std::string_view name) LPSGD_EXCLUDES(mu_);
+  void SetMeta(std::string_view key, std::string_view value)
+      LPSGD_EXCLUDES(mu_);
 
   // Appends one entry; `fields` must be a JSON object, `kind` is stamped
   // into it. No-op while disabled.
-  void AddEntry(std::string_view kind, JsonValue fields);
+  void AddEntry(std::string_view kind, JsonValue fields) LPSGD_EXCLUDES(mu_);
 
-  size_t entry_count() const;
-  void Reset();  // drops entries and meta, keeps binary name and flag
+  size_t entry_count() const LPSGD_EXCLUDES(mu_);
+  // Drops entries and meta, keeps binary name and flag.
+  void Reset() LPSGD_EXCLUDES(mu_);
 
   // Assembles the full document; pass the registry whose metrics should be
   // embedded (nullptr to omit the "metrics" section).
-  JsonValue ToJson(const MetricsRegistry* metrics) const;
-  Status Write(std::ostream& os, const MetricsRegistry* metrics) const;
-  Status WriteFile(const std::string& path,
-                   const MetricsRegistry* metrics) const;
+  JsonValue ToJson(const MetricsRegistry* metrics) const LPSGD_EXCLUDES(mu_);
+  [[nodiscard]] Status Write(std::ostream& os,
+                             const MetricsRegistry* metrics) const;
+  [[nodiscard]] Status WriteFile(const std::string& path,
+                                 const MetricsRegistry* metrics) const;
 
  private:
   std::atomic<bool> enabled_;
-  mutable std::mutex mu_;
-  std::string binary_;
-  JsonValue meta_ = JsonValue::Object();
-  JsonValue entries_ = JsonValue::Array();
+  mutable Mutex mu_;
+  std::string binary_ LPSGD_GUARDED_BY(mu_);
+  JsonValue meta_ LPSGD_GUARDED_BY(mu_) = JsonValue::Object();
+  JsonValue entries_ LPSGD_GUARDED_BY(mu_) = JsonValue::Array();
 };
 
 // Convenience: appends to the global report (no-op while it is disabled).

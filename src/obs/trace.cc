@@ -25,7 +25,7 @@ Tracer& Tracer::Global() {
 uint64_t Tracer::Begin(std::string_view name, std::string_view category) {
   if (!enabled()) return 0;
   const double now = MonotonicSeconds();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (events_.size() >= kMaxEvents) {
     ++dropped_;
     return 0;
@@ -41,7 +41,7 @@ uint64_t Tracer::Begin(std::string_view name, std::string_view category) {
 void Tracer::End(uint64_t handle) {
   if (handle == 0) return;
   const double now = MonotonicSeconds();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (handle > events_.size()) return;  // Reset() since Begin()
   TraceEvent& event = events_[handle - 1];
   event.wall_duration = now - event.wall_start;
@@ -51,7 +51,7 @@ void Tracer::EndWithVirtual(uint64_t handle, double virtual_start,
                             double virtual_end) {
   if (handle == 0) return;
   End(handle);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (handle > events_.size()) return;
   events_[handle - 1].virtual_start = virtual_start;
   events_[handle - 1].virtual_end = virtual_end;
@@ -60,34 +60,34 @@ void Tracer::EndWithVirtual(uint64_t handle, double virtual_start,
 void Tracer::EndWithBytes(uint64_t handle, int64_t bytes) {
   if (handle == 0) return;
   End(handle);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (handle > events_.size()) return;
   events_[handle - 1].arg_bytes = bytes;
 }
 
 size_t Tracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 int64_t Tracer::dropped_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 std::vector<TraceEvent> Tracer::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 void Tracer::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   dropped_ = 0;
 }
 
 JsonValue Tracer::ToChromeTraceJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue trace_events = JsonValue::Array();
   for (const TraceEvent& event : events_) {
     JsonValue e = JsonValue::Object();

@@ -16,13 +16,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "base/mutex.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 #include "obs/json.h"
 
 namespace lpsgd {
@@ -56,26 +57,27 @@ class Tracer {
 
   // Opens a span; returns an opaque handle (0 while disabled — every End*
   // overload ignores handle 0, so callers never branch themselves).
-  uint64_t Begin(std::string_view name, std::string_view category);
-  void End(uint64_t handle);
+  uint64_t Begin(std::string_view name, std::string_view category)
+      LPSGD_EXCLUDES(mu_);
+  void End(uint64_t handle) LPSGD_EXCLUDES(mu_);
   // Ends with a virtual-clock annotation [virtual_start, virtual_end].
   void EndWithVirtual(uint64_t handle, double virtual_start,
-                      double virtual_end);
+                      double virtual_end) LPSGD_EXCLUDES(mu_);
   // Ends with a payload-size annotation (shown in the trace viewer).
-  void EndWithBytes(uint64_t handle, int64_t bytes);
+  void EndWithBytes(uint64_t handle, int64_t bytes) LPSGD_EXCLUDES(mu_);
 
-  size_t event_count() const;
+  size_t event_count() const LPSGD_EXCLUDES(mu_);
   // Spans dropped after the in-memory cap (kMaxEvents) was reached.
-  int64_t dropped_count() const;
-  std::vector<TraceEvent> Events() const;
-  void Reset();
+  int64_t dropped_count() const LPSGD_EXCLUDES(mu_);
+  std::vector<TraceEvent> Events() const LPSGD_EXCLUDES(mu_);
+  void Reset() LPSGD_EXCLUDES(mu_);
 
   // Chrome trace_event JSON: {"traceEvents": [...], "displayTimeUnit":
   // "ms"}. Each span is a "ph":"X" event with microsecond timestamps;
   // virtual-clock and byte annotations land in "args".
-  JsonValue ToChromeTraceJson() const;
-  Status WriteChromeTrace(std::ostream& os) const;
-  Status WriteChromeTraceFile(const std::string& path) const;
+  JsonValue ToChromeTraceJson() const LPSGD_EXCLUDES(mu_);
+  [[nodiscard]] Status WriteChromeTrace(std::ostream& os) const;
+  [[nodiscard]] Status WriteChromeTraceFile(const std::string& path) const;
 
  private:
   // Spans held in memory before new Begin() calls are dropped (~96 MB
@@ -84,9 +86,10 @@ class Tracer {
   static constexpr size_t kMaxEvents = 1u << 20;
 
   std::atomic<bool> enabled_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;  // handle = index + 1
-  int64_t dropped_ = 0;
+  mutable Mutex mu_;
+  // handle = index + 1
+  std::vector<TraceEvent> events_ LPSGD_GUARDED_BY(mu_);
+  int64_t dropped_ LPSGD_GUARDED_BY(mu_) = 0;
 };
 
 // RAII span against the global tracer. Construction opens, destruction

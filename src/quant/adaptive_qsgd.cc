@@ -8,6 +8,7 @@
 
 #include "base/bit_packing.h"
 #include "base/logging.h"
+#include "base/thread_annotations.h"
 #include "base/rng.h"
 #include "base/strings.h"
 #include "quant/workspace.h"
@@ -154,6 +155,7 @@ std::vector<float> AdaptiveQsgdCodec::ComputeLevels(
   return std::move(workspace.levels);
 }
 
+LPSGD_HOT_PATH
 void AdaptiveQsgdCodec::Encode(const float* grad, const Shape& shape,
                                uint64_t stochastic_tag,
                                std::vector<float>* /*error*/,
@@ -218,6 +220,7 @@ void AdaptiveQsgdCodec::Encode(const float* grad, const Shape& shape,
   writer.Finish();
 }
 
+LPSGD_HOT_PATH
 void AdaptiveQsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                                const Shape& shape,
                                CodecWorkspace* /*workspace*/,

@@ -112,11 +112,11 @@ struct CodecSpec {
   //   "q<bits>:<bucket>"                    QSGD with explicit bucket
   //   "topk:<density>"                      TopK, density in (0, 1]
   //   "aq<bits>[:<bucket>]"                 adaptive-levels QSGD
-  static StatusOr<CodecSpec> Parse(const std::string& text);
+  [[nodiscard]] static StatusOr<CodecSpec> Parse(const std::string& text);
 
   // Instantiates the codec this spec describes; fails on out-of-range
   // parameters (bits, bucket size, density).
-  StatusOr<std::unique_ptr<GradientCodec>> Create() const;
+  [[nodiscard]] StatusOr<std::unique_ptr<GradientCodec>> Create() const;
 
   // "32bit", "QSGD 4bit (b=512)", "1bitSGD", "1bitSGD* (b=64)", ...
   std::string Label() const;
@@ -136,8 +136,9 @@ CodecSpec AdaptiveQsgdSpec(int bits);     // quantile-placed levels
 
 // Free-function forwarders kept for older call sites; prefer the
 // CodecSpec::Create / CodecSpec::Parse members.
-StatusOr<std::unique_ptr<GradientCodec>> CreateCodec(const CodecSpec& spec);
-StatusOr<CodecSpec> ParseCodecSpec(const std::string& text);
+[[nodiscard]] StatusOr<std::unique_ptr<GradientCodec>> CreateCodec(
+    const CodecSpec& spec);
+[[nodiscard]] StatusOr<CodecSpec> ParseCodecSpec(const std::string& text);
 
 namespace codec_internal {
 

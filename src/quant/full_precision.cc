@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "base/thread_annotations.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -16,6 +17,7 @@ int64_t FullPrecisionCodec::NumChunks(const Shape& /*shape*/) const {
   return 0;
 }
 
+LPSGD_HOT_PATH
 void FullPrecisionCodec::Encode(const float* grad, const Shape& shape,
                                 uint64_t /*stochastic_tag*/,
                                 std::vector<float>* /*error*/,
@@ -29,6 +31,7 @@ void FullPrecisionCodec::Encode(const float* grad, const Shape& shape,
   std::memcpy(blob, grad, bytes);
 }
 
+LPSGD_HOT_PATH
 void FullPrecisionCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                                 const Shape& shape,
                                 CodecWorkspace* /*workspace*/,

@@ -6,6 +6,7 @@
 
 #include "base/bit_packing.h"
 #include "base/logging.h"
+#include "base/thread_annotations.h"
 #include "base/strings.h"
 #include "quant/workspace.h"
 
@@ -57,6 +58,7 @@ int64_t OneBitSgdCodec::NumChunks(const Shape& shape) const {
   return shape.cols();
 }
 
+LPSGD_HOT_PATH
 void OneBitSgdCodec::Encode(const float* grad, const Shape& shape,
                             uint64_t /*stochastic_tag*/,
                             std::vector<float>* error,
@@ -111,6 +113,7 @@ void OneBitSgdCodec::Encode(const float* grad, const Shape& shape,
   }
 }
 
+LPSGD_HOT_PATH
 void OneBitSgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                             const Shape& shape, CodecWorkspace* /*workspace*/,
                             float* out) const {
@@ -156,6 +159,7 @@ int64_t OneBitSgdReshapedCodec::NumChunks(const Shape& shape) const {
   return (n + bucket_size_ - 1) / bucket_size_;
 }
 
+LPSGD_HOT_PATH
 void OneBitSgdReshapedCodec::Encode(const float* grad, const Shape& shape,
                                     uint64_t /*stochastic_tag*/,
                                     std::vector<float>* error,
@@ -207,6 +211,7 @@ void OneBitSgdReshapedCodec::Encode(const float* grad, const Shape& shape,
   }
 }
 
+LPSGD_HOT_PATH
 void OneBitSgdReshapedCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                                     const Shape& shape,
                                     CodecWorkspace* /*workspace*/,

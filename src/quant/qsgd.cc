@@ -6,6 +6,7 @@
 
 #include "base/bit_packing.h"
 #include "base/logging.h"
+#include "base/thread_annotations.h"
 #include "base/rng.h"
 #include "base/strings.h"
 #include "quant/workspace.h"
@@ -53,6 +54,7 @@ int64_t QsgdCodec::NumChunks(const Shape& shape) const {
   return (n + bucket_size_ - 1) / bucket_size_;
 }
 
+LPSGD_HOT_PATH
 void QsgdCodec::Encode(const float* grad, const Shape& shape,
                        uint64_t stochastic_tag, std::vector<float>* /*error*/,
                        CodecWorkspace* /*workspace*/,
@@ -126,6 +128,7 @@ void QsgdCodec::Encode(const float* grad, const Shape& shape,
   writer.Finish();
 }
 
+LPSGD_HOT_PATH
 void QsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                        const Shape& shape, CodecWorkspace* workspace,
                        float* out) const {

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "base/logging.h"
+#include "base/thread_annotations.h"
 #include "base/strings.h"
 #include "quant/workspace.h"
 
@@ -43,6 +44,7 @@ int64_t TopKCodec::NumChunks(const Shape& /*shape*/) const {
   return 1;
 }
 
+LPSGD_HOT_PATH
 void TopKCodec::Encode(const float* grad, const Shape& shape,
                        uint64_t /*stochastic_tag*/,
                        std::vector<float>* error, CodecWorkspace* workspace,
@@ -100,6 +102,7 @@ void TopKCodec::Encode(const float* grad, const Shape& shape,
   }
 }
 
+LPSGD_HOT_PATH
 void TopKCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                        const Shape& shape, CodecWorkspace* /*workspace*/,
                        float* out) const {

@@ -1,0 +1,50 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "base/logging.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace lpsgd {
+namespace {
+
+// Regression test for the -Werror=format-truncation finding: the timestamp
+// buffer in logging.cc was sized for the common case only, so a hostile
+// tm_year could have truncated the ISO-8601 prefix mid-field. Assert the
+// emitted line carries a full, untruncated "YYYY-MM-DDTHH:MM:SSZ" stamp.
+TEST(LoggingTest, LogLineCarriesFullIsoTimestamp) {
+  testing::internal::CaptureStderr();
+  LOG(Warning) << "timestamp probe";
+  const std::string line = testing::internal::GetCapturedStderr();
+
+  // "W 2026-08-05T14:03:27Z logging_test.cc:NN] timestamp probe"
+  ASSERT_GE(line.size(), 2u + 20u);
+  EXPECT_EQ(line[0], 'W');
+  EXPECT_EQ(line[1], ' ');
+  const std::string stamp = line.substr(2, 20);
+  static const char kPattern[] = "dddd-dd-ddTdd:dd:ddZ";
+  for (size_t i = 0; i < sizeof(kPattern) - 1; ++i) {
+    if (kPattern[i] == 'd') {
+      EXPECT_TRUE(stamp[i] >= '0' && stamp[i] <= '9')
+          << "non-digit at stamp[" << i << "] in: " << line;
+    } else {
+      EXPECT_EQ(stamp[i], kPattern[i]) << "in: " << line;
+    }
+  }
+  EXPECT_NE(line.find("timestamp probe"), std::string::npos);
+}
+
+// The placeholder returned when gmtime_r fails must not contain the "??-"
+// character sequence: it forms a trigraph, which -Werror=trigraphs rejects
+// and -trigraphs builds would silently rewrite to '~'. The live code path
+// never returns the placeholder, so this documents the constraint at the
+// one place a regression would reappear: the literal itself.
+TEST(LoggingTest, FallbackPlaceholderAvoidsTrigraphs) {
+  const std::string placeholder = "?\?\?\?-?\?-?\?T?\?:?\?:?\?Z";
+  EXPECT_EQ(placeholder, std::string("????") + "-??" + "-??" + "T??" +
+                             ":??" + ":??" + "Z");
+  EXPECT_EQ(placeholder.find('~'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lpsgd

@@ -1,0 +1,21 @@
+// Lint fixture: identifiers that look like base/thread_annotations.h
+// macros but are misspelled. A typo'd annotation expands to nothing (or
+// fails to expand at all), silently disabling the Clang thread-safety
+// analysis — so each must be reported (rule annotation-typo).
+namespace fixture {
+
+struct Widget {
+  void Lock() LPSGD_ACQUIRES();     // typo: LPSGD_ACQUIRE
+  int value LPSGD_GUARDED_BY_(mu);  // typo: LPSGD_GUARDED_BY
+  int mu;
+};
+
+LPSGD_HOTPATH                       // typo: LPSGD_HOT_PATH
+void HotButUnprotected();
+
+// Correct spellings must not be reported:
+void Fine() LPSGD_REQUIRES(mu);
+LPSGD_HOT_PATH
+void AlsoFine();
+
+}  // namespace fixture

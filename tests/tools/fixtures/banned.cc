@@ -1,0 +1,19 @@
+// Lint fixture: banned include and banned functions, one of each
+// suppressed with a justified allow comment.
+#include <cstring>
+#include <iostream>
+
+namespace fixture {
+
+int UnseededNoise() {
+  return rand();  // banned-function: non-deterministic
+}
+
+void CopyName(char* dst, const char* src) {
+  // lpsgd-lint: allow(banned-function) bounded by caller contract (fixture)
+  strcpy(dst, src);
+}
+
+void Greet() { std::cout << "hello\n"; }
+
+}  // namespace fixture

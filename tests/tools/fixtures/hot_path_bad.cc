@@ -1,0 +1,24 @@
+// Lint fixture: an LPSGD_HOT_PATH region that violates the
+// zero-allocation invariant four distinct ways. Expected findings (rule
+// hot-path-alloc), one per numbered line comment.
+#include <vector>
+
+namespace fixture {
+
+LPSGD_HOT_PATH
+void HotEncode(const float* grad, int n, std::vector<unsigned char>* out) {
+  std::vector<float> staging(static_cast<unsigned long>(n));  // (1) by-value
+  out->resize(static_cast<unsigned long>(n));                 // (2) resize
+  for (int i = 0; i < n; ++i) {
+    staging.push_back(grad[i]);                               // (3) push_back
+  }
+  float* spill = new float[16];                               // (4) new
+  delete[] spill;
+}
+
+// Unmarked function: the same calls are fine outside a hot region.
+void ColdSetup(std::vector<float>* buffer, int n) {
+  buffer->resize(static_cast<unsigned long>(n));
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Lint fixture: an LPSGD_HOT_PATH region that follows the hot-path calling
+// convention — pointers/references to reused buffers, free-function
+// EnsureSize, no growth calls. Expected findings: none.
+#include <vector>
+
+namespace fixture {
+
+float* EnsureSize(std::vector<float>* buf, unsigned long n);
+
+LPSGD_HOT_PATH
+void HotEncode(const float* grad, int n, std::vector<float>* out) {
+  // "out->resize(n)" in a comment and in a string must not fire:
+  const char* note = "calls out->resize(n) lazily";
+  (void)note;
+  float* dst = EnsureSize(out, static_cast<unsigned long>(n));
+  std::vector<float>& alias = *out;  // reference declaration is allowed
+  (void)alias;
+  for (int i = 0; i < n; ++i) dst[i] = grad[i];
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Lint fixture: uses std::string without including <string> (and has no
+// include guard), so the generated translation unit fails to compile and
+// both header-hygiene rules fire.
+
+namespace fixture {
+
+struct Record {
+  std::string name;
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Lint fixture: a header that includes everything it uses — the generated
+// single-include translation unit compiles on its own.
+#ifndef LPSGD_TESTS_TOOLS_FIXTURES_SELF_CONTAINED_GOOD_H_
+#define LPSGD_TESTS_TOOLS_FIXTURES_SELF_CONTAINED_GOOD_H_
+
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Record {
+  std::string name;
+  std::vector<int> values;
+};
+
+}  // namespace fixture
+
+#endif  // LPSGD_TESTS_TOOLS_FIXTURES_SELF_CONTAINED_GOOD_H_

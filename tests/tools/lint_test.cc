@@ -1,0 +1,169 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Fixture-driven tests for the repo lint (tools/lint/lpsgd_lint.h), plus
+// the self-test that the shipped tree lints clean. Fixtures live in
+// tests/tools/fixtures/ (LPSGD_LINT_FIXTURE_DIR); the shipped tree is
+// reached through LPSGD_SOURCE_ROOT. Both are injected by tests/CMakeLists.
+#include "lint/lpsgd_lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace lpsgd {
+namespace lint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(LPSGD_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string ReadFixture(const std::string& name) {
+  std::ifstream in(FixturePath(name));
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> RulesOf(const std::vector<LintIssue>& issues) {
+  std::vector<std::string> rules;
+  for (const auto& issue : issues) rules.push_back(issue.rule);
+  return rules;
+}
+
+int CountRule(const std::vector<LintIssue>& issues, const std::string& rule) {
+  const std::vector<std::string> rules = RulesOf(issues);
+  return static_cast<int>(std::count(rules.begin(), rules.end(), rule));
+}
+
+TEST(StripCommentsAndStringsTest, BlanksCommentsAndLiteralsKeepsLines) {
+  const std::string stripped = StripCommentsAndStrings(
+      "int a; // new int\n"
+      "const char* s = \"x.resize(3)\";\n"
+      "/* malloc(\n"
+      "   7) */ int b;\n");
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_EQ(stripped.find("resize"), std::string::npos);
+  EXPECT_EQ(stripped.find("malloc"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+  // Line structure must survive so issue line numbers stay true.
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 4);
+}
+
+TEST(HotPathLintTest, CatchesEveryAllocationKind) {
+  const std::string contents = ReadFixture("hot_path_bad.cc");
+  const std::vector<LintIssue> issues =
+      LintFileContents("src/fixture/hot_path_bad.cc", contents, LintOptions{});
+  EXPECT_EQ(CountRule(issues, "hot-path-alloc"), 4) << [&] {
+    std::string all;
+    for (const auto& issue : issues) all += issue.ToString() + "\n";
+    return all;
+  }();
+  // The by-value vector, resize, push_back, and `new` land on their exact
+  // lines (the fixture numbers them in comments).
+  ASSERT_EQ(issues.size(), 4u);
+  EXPECT_EQ(issues[0].line, 10);
+  EXPECT_EQ(issues[1].line, 11);
+  EXPECT_EQ(issues[2].line, 13);
+  EXPECT_EQ(issues[3].line, 15);
+  // The identical calls in the unmarked ColdSetup function do not fire.
+  for (const auto& issue : issues) EXPECT_LT(issue.line, 20);
+}
+
+TEST(HotPathLintTest, CleanHotPathPasses) {
+  const std::string contents = ReadFixture("hot_path_clean.cc");
+  const std::vector<LintIssue> issues = LintFileContents(
+      "src/fixture/hot_path_clean.cc", contents, LintOptions{});
+  EXPECT_TRUE(issues.empty())
+      << (issues.empty() ? std::string() : issues[0].ToString());
+}
+
+TEST(HotPathLintTest, MarkerOnDeclarationIsIgnored) {
+  const std::vector<LintIssue> issues = LintFileContents(
+      "src/fixture/decl.h",
+      "LPSGD_HOT_PATH\n"
+      "void Encode(const float* grad, std::vector<unsigned char>* out);\n"
+      "inline void Setup(std::vector<float>* v) { v->resize(8); }\n",
+      LintOptions{});
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(AnnotationTypoTest, CatchesMisspelledAnnotations) {
+  const std::string contents = ReadFixture("annotation_typo.cc");
+  const std::vector<LintIssue> issues = LintFileContents(
+      "src/fixture/annotation_typo.cc", contents, LintOptions{});
+  EXPECT_EQ(CountRule(issues, "annotation-typo"), 3);
+  std::string all;
+  for (const auto& issue : issues) all += issue.ToString() + "\n";
+  EXPECT_NE(all.find("LPSGD_ACQUIRES"), std::string::npos) << all;
+  EXPECT_NE(all.find("LPSGD_GUARDED_BY_"), std::string::npos) << all;
+  EXPECT_NE(all.find("LPSGD_HOTPATH"), std::string::npos) << all;
+  // Correct spellings do not fire.
+  EXPECT_EQ(all.find("LPSGD_REQUIRES "), std::string::npos) << all;
+}
+
+TEST(BannedTest, FlagsIostreamAndFunctionsHonoringSuppressions) {
+  const std::string contents = ReadFixture("banned.cc");
+  const std::vector<LintIssue> issues =
+      LintFileContents("src/fixture/banned.cc", contents, LintOptions{});
+  EXPECT_EQ(CountRule(issues, "banned-include"), 1);
+  // rand() fires; strcpy() is covered by the allow comment above it.
+  EXPECT_EQ(CountRule(issues, "banned-function"), 1);
+  for (const auto& issue : issues) {
+    EXPECT_EQ(issue.message.find("strcpy"), std::string::npos)
+        << issue.ToString();
+  }
+}
+
+TEST(BannedTest, RulesAreScopedToLibraryCode) {
+  const std::string contents = ReadFixture("banned.cc");
+  // The same contents under tests/ only trip the banned-function rule
+  // scoping (tests may use iostream freely).
+  const std::vector<LintIssue> issues =
+      LintFileContents("tests/fixture/banned.cc", contents, LintOptions{});
+  EXPECT_EQ(CountRule(issues, "banned-include"), 0);
+  EXPECT_EQ(CountRule(issues, "banned-function"), 0);
+}
+
+TEST(SelfContainmentTest, GoodHeaderPasses) {
+  auto issues = CheckHeaderSelfContained(
+      FixturePath("self_contained_good.h"), "self_contained_good.h",
+      LPSGD_LINT_FIXTURE_DIR, "c++ -std=c++20", "lint_test_work");
+  ASSERT_TRUE(issues.ok()) << issues.status().ToString();
+  EXPECT_TRUE(issues->empty()) << (*issues)[0].ToString();
+}
+
+TEST(SelfContainmentTest, BadHeaderReportsFileAndCompilerError) {
+  auto issues = CheckHeaderSelfContained(
+      FixturePath("self_contained_bad.h"), "self_contained_bad.h",
+      LPSGD_LINT_FIXTURE_DIR, "c++ -std=c++20", "lint_test_work");
+  ASSERT_TRUE(issues.ok()) << issues.status().ToString();
+  EXPECT_EQ(CountRule(*issues, "missing-include-guard"), 1);
+  ASSERT_EQ(CountRule(*issues, "header-not-self-contained"), 1);
+  for (const auto& issue : *issues) {
+    EXPECT_NE(issue.file.find("self_contained_bad.h"), std::string::npos);
+    EXPECT_EQ(issue.line, 1);
+  }
+}
+
+// The shipped tree must lint clean: this is the same check the CI lint job
+// runs (minus the per-header compiles, which the job adds via
+// --check_headers). It also verifies the required LPSGD_HOT_PATH marker
+// coverage — deleting a marker from a codec fails here, not silently.
+TEST(TreeLintTest, ShippedTreeIsClean) {
+  auto issues = LintTree(LPSGD_SOURCE_ROOT, LintOptions{});
+  ASSERT_TRUE(issues.ok()) << issues.status().ToString();
+  std::string all;
+  for (const auto& issue : *issues) all += issue.ToString() + "\n";
+  EXPECT_TRUE(issues->empty()) << all;
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace lpsgd

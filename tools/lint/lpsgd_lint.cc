@@ -1,0 +1,684 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "lint/lpsgd_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lpsgd {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The marker is assembled from two halves so the scanner never fires on the
+// lint tool's own source (strings are stripped before scanning, but the
+// identifier must also not appear verbatim in code position here).
+const std::string kHotPathMarker = std::string("LPSGD_HOT") + "_PATH";
+
+// Exact spellings defined by base/thread_annotations.h. Anything that
+// merely *looks* like one of these (see kAnnotationFamilies) is a typo.
+const char* const kKnownAnnotations[] = {
+    "LPSGD_CAPABILITY",
+    "LPSGD_SCOPED_CAPABILITY",
+    "LPSGD_GUARDED_BY",
+    "LPSGD_PT_GUARDED_BY",
+    "LPSGD_REQUIRES",
+    "LPSGD_EXCLUDES",
+    "LPSGD_ACQUIRE",
+    "LPSGD_RELEASE",
+    "LPSGD_RETURN_CAPABILITY",
+    "LPSGD_NO_THREAD_SAFETY_ANALYSIS",
+    "LPSGD_THREAD_ANNOTATION_ATTRIBUTE_",
+    "LPSGD_HOT_PATH",
+};
+
+// Prefix families: an identifier starting with one of these but not
+// matching a known annotation exactly is reported as annotation-typo.
+// Chosen so legitimate non-annotation macros (LPSGD_RETURN_IF_ERROR,
+// LPSGD_ASSIGN_OR_RETURN, include guards LPSGD_<DIR>_..._H_) never match.
+const char* const kAnnotationFamilies[] = {
+    "LPSGD_GUARDED", "LPSGD_PT_GUARDED",  "LPSGD_REQUIRE",
+    "LPSGD_EXCLUDE", "LPSGD_ACQUIRE",     "LPSGD_RELEASE",
+    "LPSGD_SCOPED_", "LPSGD_CAPABILITY",  "LPSGD_HOT",
+    "LPSGD_NO_THREAD", "LPSGD_RETURN_CAP", "LPSGD_THREAD_ANNOTATION",
+};
+
+// Member calls that can grow a container (and therefore allocate) when
+// invoked as `.name(` / `->name(`.
+const char* const kGrowthMethods[] = {
+    "resize",  "push_back", "emplace_back", "reserve",
+    "assign",  "insert",    "emplace",      "append",
+};
+
+// Free functions banned outright in src/ and tools/.
+const char* const kBannedFunctions[] = {"rand", "strcpy", "sprintf"};
+
+// Allocation functions banned inside hot-path regions.
+const char* const kAllocFunctions[] = {"malloc", "calloc", "realloc"};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Files whose hot-path markers are load-bearing: deleting a marker would
+// silently disable the hot-path-alloc rule, so coverage is checked at tree
+// level. Paths are repo-root-relative; values are the minimum marker count
+// (one per Encode/Decode workspace overload, bit cursor method, or
+// exchange lambda).
+const std::pair<const char*, int> kRequiredHotPathMarkers[] = {
+    {"src/quant/full_precision.cc", 2}, {"src/quant/one_bit_sgd.cc", 2},
+    {"src/quant/qsgd.cc", 2},           {"src/quant/adaptive_qsgd.cc", 2},
+    {"src/quant/topk.cc", 2},           {"src/base/bit_packing.h", 2},
+    {"src/comm/mpi_reduce_bcast.cc", 2}, {"src/comm/nccl_ring.cc", 1},
+};
+
+// Per-line suppressions parsed from the *original* text (suppressions live
+// in comments, which the stripped copy no longer has). A suppression on
+// line N covers lines N and N+1.
+class SuppressionMap {
+ public:
+  explicit SuppressionMap(std::string_view contents) {
+    static constexpr std::string_view kTag = "lpsgd-lint: allow(";
+    int line = 1;
+    size_t pos = 0;
+    while (pos < contents.size()) {
+      size_t eol = contents.find('\n', pos);
+      if (eol == std::string_view::npos) eol = contents.size();
+      std::string_view text = contents.substr(pos, eol - pos);
+      size_t tag = text.find(kTag);
+      while (tag != std::string_view::npos) {
+        size_t start = tag + kTag.size();
+        size_t close = text.find(')', start);
+        if (close == std::string_view::npos) break;
+        std::string rules(text.substr(start, close - start));
+        std::stringstream ss(rules);
+        std::string rule;
+        while (std::getline(ss, rule, ',')) {
+          rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
+                     rule.end());
+          if (!rule.empty()) allowed_[line].insert(rule);
+        }
+        tag = text.find(kTag, close);
+      }
+      pos = eol + 1;
+      ++line;
+    }
+  }
+
+  bool Allows(int line, const std::string& rule) const {
+    for (int l : {line, line - 1}) {
+      auto it = allowed_.find(l);
+      if (it != allowed_.end() && it->second.count(rule) > 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::map<int, std::set<std::string>> allowed_;
+};
+
+// Offset -> 1-based line number, via precomputed line starts.
+class LineIndex {
+ public:
+  explicit LineIndex(std::string_view contents) {
+    starts_.push_back(0);
+    for (size_t i = 0; i < contents.size(); ++i) {
+      if (contents[i] == '\n') starts_.push_back(i + 1);
+    }
+  }
+
+  int LineAt(size_t offset) const {
+    auto it = std::upper_bound(starts_.begin(), starts_.end(), offset);
+    return static_cast<int>(it - starts_.begin());
+  }
+
+ private:
+  std::vector<size_t> starts_;
+};
+
+// One half-open [begin, end) byte range of a hot-path function body.
+struct HotRegion {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+// Finds the body of each LPSGD_HOT_PATH-marked definition in the stripped
+// text: from the marker, skip to the first '{' at parenthesis depth zero
+// (a ';' first means the marker sits on a declaration — no body to check)
+// and take the matching-brace extent.
+std::vector<HotRegion> FindHotRegions(std::string_view stripped) {
+  std::vector<HotRegion> regions;
+  size_t pos = 0;
+  while ((pos = stripped.find(kHotPathMarker, pos)) !=
+         std::string_view::npos) {
+    const size_t marker = pos;
+    pos += kHotPathMarker.size();
+    // Word boundaries: skip LPSGD_HOT_PATHS or FOO_LPSGD_HOT_PATH.
+    if (marker > 0 && IsIdentChar(stripped[marker - 1])) continue;
+    if (pos < stripped.size() && IsIdentChar(stripped[pos])) continue;
+    // Skip the #define in thread_annotations.h (and any other directive).
+    size_t bol = stripped.rfind('\n', marker);
+    bol = (bol == std::string_view::npos) ? 0 : bol + 1;
+    std::string_view head = stripped.substr(bol, marker - bol);
+    if (head.find_first_not_of(" \t") != std::string_view::npos &&
+        head[head.find_first_not_of(" \t")] == '#') {
+      continue;
+    }
+    int paren_depth = 0;
+    size_t i = pos;
+    for (; i < stripped.size(); ++i) {
+      char c = stripped[i];
+      if (c == '(') ++paren_depth;
+      if (c == ')') --paren_depth;
+      if (paren_depth > 0) continue;
+      if (c == ';') break;  // declaration only
+      if (c == '{') {
+        int brace_depth = 1;
+        size_t body = i + 1;
+        size_t j = body;
+        for (; j < stripped.size() && brace_depth > 0; ++j) {
+          if (stripped[j] == '{') ++brace_depth;
+          if (stripped[j] == '}') --brace_depth;
+        }
+        regions.push_back({body, j});
+        pos = j;
+        break;
+      }
+    }
+  }
+  return regions;
+}
+
+// True when `stripped[pos..pos+len)` is a whole identifier.
+bool IsWholeWord(std::string_view stripped, size_t pos, size_t len) {
+  if (pos > 0 && IsIdentChar(stripped[pos - 1])) return false;
+  size_t end = pos + len;
+  if (end < stripped.size() && IsIdentChar(stripped[end])) return false;
+  return true;
+}
+
+size_t SkipSpace(std::string_view text, size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+// Emits an issue unless a suppression covers it.
+struct Emitter {
+  const std::string& path;
+  const LineIndex& lines;
+  const SuppressionMap& allow;
+  std::vector<LintIssue>* out;
+
+  void Emit(size_t offset, const std::string& rule,
+            const std::string& message) const {
+    int line = lines.LineAt(offset);
+    if (allow.Allows(line, rule)) return;
+    out->push_back({path, line, rule, message});
+  }
+};
+
+void CheckHotRegions(std::string_view stripped, const Emitter& emit) {
+  for (const HotRegion& region : FindHotRegions(stripped)) {
+    std::string_view body = stripped.substr(region.begin,
+                                            region.end - region.begin);
+    const size_t base = region.begin;
+
+    // `new` expressions.
+    for (size_t pos = 0; (pos = body.find("new", pos)) !=
+                         std::string_view::npos; pos += 3) {
+      if (IsWholeWord(body, pos, 3)) {
+        emit.Emit(base + pos, "hot-path-alloc",
+                  "`new` inside an LPSGD_HOT_PATH region");
+      }
+    }
+
+    // malloc-family calls.
+    for (const char* fn : kAllocFunctions) {
+      const size_t len = std::string_view(fn).size();
+      for (size_t pos = 0; (pos = body.find(fn, pos)) !=
+                           std::string_view::npos; pos += len) {
+        if (!IsWholeWord(body, pos, len)) continue;
+        if (SkipSpace(body, pos + len) < body.size() &&
+            body[SkipSpace(body, pos + len)] == '(') {
+          emit.Emit(base + pos, "hot-path-alloc",
+                    std::string(fn) +
+                        "() inside an LPSGD_HOT_PATH region");
+        }
+      }
+    }
+
+    // Container growth member calls: `.name(` / `->name(`.
+    for (const char* method : kGrowthMethods) {
+      const size_t len = std::string_view(method).size();
+      for (size_t pos = 0; (pos = body.find(method, pos)) !=
+                           std::string_view::npos; pos += len) {
+        if (!IsWholeWord(body, pos, len)) continue;
+        bool member = false;
+        if (pos >= 1 && body[pos - 1] == '.') member = true;
+        if (pos >= 2 && body[pos - 2] == '-' && body[pos - 1] == '>') {
+          member = true;
+        }
+        if (!member) continue;
+        size_t after = SkipSpace(body, pos + len);
+        if (after < body.size() && body[after] == '(') {
+          emit.Emit(base + pos, "hot-path-alloc",
+                    std::string(".") + method +
+                        "() can grow a container inside an "
+                        "LPSGD_HOT_PATH region");
+        }
+      }
+    }
+
+    // By-value std::vector declarations or temporaries. Pointer and
+    // reference declarations (`std::vector<float>* out`) are the hot
+    // path's calling convention and are allowed; so are nested template
+    // arguments (closing '>' , ',' follow).
+    static constexpr std::string_view kVec = "std::vector";
+    for (size_t pos = 0; (pos = body.find(kVec, pos)) !=
+                         std::string_view::npos; pos += kVec.size()) {
+      if (!IsWholeWord(body, pos, kVec.size())) continue;
+      size_t angle = SkipSpace(body, pos + kVec.size());
+      if (angle >= body.size() || body[angle] != '<') continue;
+      int depth = 0;
+      size_t j = angle;
+      for (; j < body.size(); ++j) {
+        if (body[j] == '<') ++depth;
+        if (body[j] == '>' && --depth == 0) break;
+      }
+      if (j >= body.size()) continue;
+      size_t next = SkipSpace(body, j + 1);
+      if (next >= body.size()) continue;
+      char c = body[next];
+      if (IsIdentChar(c) || c == '(' || c == '{') {
+        emit.Emit(base + pos, "hot-path-alloc",
+                  "by-value std::vector inside an LPSGD_HOT_PATH region "
+                  "(pass a pointer/reference to a reused buffer)");
+      }
+    }
+  }
+}
+
+void CheckBannedIncludes(std::string_view stripped, const Emitter& emit) {
+  size_t pos = 0;
+  while ((pos = stripped.find("#include", pos)) != std::string_view::npos) {
+    size_t eol = stripped.find('\n', pos);
+    if (eol == std::string_view::npos) eol = stripped.size();
+    std::string_view line = stripped.substr(pos, eol - pos);
+    if (line.find("<iostream>") != std::string_view::npos) {
+      emit.Emit(pos, "banned-include",
+                "<iostream> in library code (static iostream initializers; "
+                "use base/logging.h, or suppress at a real sink)");
+    }
+    pos = eol;
+  }
+}
+
+void CheckBannedFunctions(std::string_view stripped, const Emitter& emit) {
+  for (const char* fn : kBannedFunctions) {
+    const size_t len = std::string_view(fn).size();
+    for (size_t pos = 0; (pos = stripped.find(fn, pos)) !=
+                         std::string_view::npos; pos += len) {
+      if (!IsWholeWord(stripped, pos, len)) continue;
+      size_t after = SkipSpace(stripped, pos + len);
+      if (after < stripped.size() && stripped[after] == '(') {
+        emit.Emit(pos, "banned-function",
+                  std::string(fn) + "() is banned (" +
+                      (std::string_view(fn) == "rand"
+                           ? "non-deterministic; use a seeded "
+                             "std::mt19937"
+                           : "unbounded write; use the bounded "
+                             "counterpart") +
+                      ")");
+      }
+    }
+  }
+}
+
+void CheckAnnotationTypos(std::string_view stripped, const Emitter& emit) {
+  static constexpr std::string_view kPrefix = "LPSGD_";
+  size_t pos = 0;
+  while ((pos = stripped.find(kPrefix, pos)) != std::string_view::npos) {
+    if (pos > 0 && IsIdentChar(stripped[pos - 1])) {
+      pos += kPrefix.size();
+      continue;
+    }
+    size_t end = pos;
+    while (end < stripped.size() && IsIdentChar(stripped[end])) ++end;
+    std::string ident(stripped.substr(pos, end - pos));
+    bool known = false;
+    for (const char* k : kKnownAnnotations) {
+      if (ident == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      for (const char* family : kAnnotationFamilies) {
+        if (ident.rfind(family, 0) == 0) {
+          emit.Emit(pos, "annotation-typo",
+                    ident +
+                        " looks like a base/thread_annotations.h macro but "
+                        "is not one (a typo'd annotation silently disables "
+                        "the analysis)");
+          break;
+        }
+      }
+    }
+    pos = end;
+  }
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool HasExtension(const fs::path& path, std::string_view ext) {
+  return path.extension() == ext;
+}
+
+std::string RelativeTo(const fs::path& path, const fs::path& root) {
+  std::error_code ec;
+  fs::path rel = fs::relative(path, root, ec);
+  return ec ? path.generic_string() : rel.generic_string();
+}
+
+}  // namespace
+
+std::string LintIssue::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << message;
+  return os.str();
+}
+
+std::string StripCommentsAndStrings(std::string_view contents) {
+  std::string out(contents);
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_close;  // ")delim\"" for the active raw string
+  for (size_t i = 0; i < contents.size(); ++i) {
+    char c = contents[i];
+    char next = (i + 1 < contents.size()) ? contents[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(contents[i - 1]))) {
+          size_t open = contents.find('(', i + 2);
+          if (open != std::string_view::npos) {
+            raw_close = ")" +
+                        std::string(contents.substr(i + 2, open - i - 2)) +
+                        "\"";
+            for (size_t j = i; j <= open; ++j) out[j] = ' ';
+            i = open;
+            state = State::kRaw;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else if (c == '\\' && next == '\n') {
+          // Line continuation keeps the comment going; preserve newline.
+          out[i] = ' ';
+          ++i;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\0') {
+            if (next != '\n') out[i + 1] = ' ';
+            ++i;
+          }
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          out[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (contents.compare(i, raw_close.size(), raw_close) == 0) {
+          for (size_t j = 0; j < raw_close.size(); ++j) out[i + j] = ' ';
+          i += raw_close.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<LintIssue> LintFileContents(const std::string& path,
+                                        std::string_view contents,
+                                        const LintOptions& options) {
+  std::vector<LintIssue> issues;
+  const std::string stripped = StripCommentsAndStrings(contents);
+  const SuppressionMap allow(contents);
+  const LineIndex lines(contents);
+  const Emitter emit{path, lines, allow, &issues};
+
+  const bool in_src = path.find("src/") != std::string::npos;
+  const bool in_tools = path.find("tools/") != std::string::npos;
+
+  if (options.hot_path_allocations) CheckHotRegions(stripped, emit);
+  if (options.banned_includes && in_src) CheckBannedIncludes(stripped, emit);
+  if (options.banned_functions && (in_src || in_tools)) {
+    CheckBannedFunctions(stripped, emit);
+  }
+  if (options.annotation_typos) CheckAnnotationTypos(stripped, emit);
+
+  std::sort(issues.begin(), issues.end(),
+            [](const LintIssue& a, const LintIssue& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return issues;
+}
+
+StatusOr<std::vector<LintIssue>> LintFile(const std::string& path,
+                                          const LintOptions& options) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  return LintFileContents(path, *contents, options);
+}
+
+StatusOr<std::vector<LintIssue>> LintTree(const std::string& repo_root,
+                                          const LintOptions& options) {
+  std::vector<LintIssue> issues;
+  const fs::path root(repo_root);
+  std::vector<fs::path> files;
+  for (const char* subdir : {"src", "tools"}) {
+    const fs::path base = root / subdir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      if (HasExtension(entry.path(), ".h") ||
+          HasExtension(entry.path(), ".cc")) {
+        files.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::map<std::string, int> marker_counts;
+  for (const fs::path& file : files) {
+    const std::string rel = RelativeTo(file, root);
+    auto contents = ReadFileToString(file.string());
+    if (!contents.ok()) return contents.status();
+    std::vector<LintIssue> file_issues =
+        LintFileContents(rel, *contents, options);
+    issues.insert(issues.end(), file_issues.begin(), file_issues.end());
+    if (options.required_hot_path_markers) {
+      const std::string stripped = StripCommentsAndStrings(*contents);
+      int count = 0;
+      size_t pos = 0;
+      while ((pos = stripped.find(kHotPathMarker, pos)) !=
+             std::string::npos) {
+        if (IsWholeWord(stripped, pos, kHotPathMarker.size())) {
+          size_t bol = stripped.rfind('\n', pos);
+          bol = (bol == std::string::npos) ? 0 : bol + 1;
+          size_t first = stripped.find_first_not_of(" \t", bol);
+          if (first == std::string::npos || stripped[first] != '#') ++count;
+        }
+        pos += kHotPathMarker.size();
+      }
+      marker_counts[rel] = count;
+    }
+  }
+
+  if (options.required_hot_path_markers) {
+    for (const auto& [rel, required] : kRequiredHotPathMarkers) {
+      auto it = marker_counts.find(rel);
+      const int have = (it == marker_counts.end()) ? -1 : it->second;
+      if (have < 0) {
+        issues.push_back({rel, 1, "missing-hot-path",
+                          "file on the steady-state exchange path is "
+                          "missing (required by the hot-path coverage "
+                          "table in tools/lint)"});
+      } else if (have < required) {
+        std::ostringstream os;
+        os << "expected at least " << required << " LPSGD_HOT_PATH "
+           << "markers on the steady-state exchange path, found " << have;
+        issues.push_back({rel, 1, "missing-hot-path", os.str()});
+      }
+    }
+  }
+  return issues;
+}
+
+StatusOr<std::vector<LintIssue>> CheckHeaderSelfContained(
+    const std::string& header_path, const std::string& include_path,
+    const std::string& include_root, const std::string& compiler_command,
+    const std::string& work_dir) {
+  std::vector<LintIssue> issues;
+  auto contents = ReadFileToString(header_path);
+  if (!contents.ok()) return contents.status();
+
+  const std::string stripped = StripCommentsAndStrings(*contents);
+  const bool has_guard =
+      stripped.find("#pragma once") != std::string::npos ||
+      (stripped.find("#ifndef") != std::string::npos &&
+       stripped.find("#define") != std::string::npos);
+  if (!has_guard) {
+    issues.push_back({header_path, 1, "missing-include-guard",
+                      "header has neither an #ifndef guard nor "
+                      "#pragma once"});
+  }
+
+  std::error_code ec;
+  fs::create_directories(work_dir, ec);
+  if (ec) {
+    return InternalError("cannot create lint work dir " + work_dir +
+                            ": " + ec.message());
+  }
+  std::string tu_name = include_path;
+  std::replace(tu_name.begin(), tu_name.end(), '/', '_');
+  std::replace(tu_name.begin(), tu_name.end(), '.', '_');
+  const fs::path tu = fs::path(work_dir) / (tu_name + "_tu.cc");
+  {
+    std::ofstream out(tu);
+    if (!out) {
+      return InternalError("cannot write " + tu.string());
+    }
+    out << "// Generated by lpsgd_lint: self-containment check.\n"
+        << "#include \"" << include_path << "\"\n"
+        << "int lpsgd_lint_tu_anchor = 0;\n";
+  }
+
+  const std::string command = compiler_command + " -fsyntax-only -I \"" +
+                              include_root + "\" \"" + tu.string() +
+                              "\" 2>&1";
+  std::string output;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    return InternalError("popen failed for: " + command);
+  }
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) output += buf;
+  const int rc = pclose(pipe);
+  if (rc != 0) {
+    std::string first_line = output.substr(0, output.find('\n'));
+    issues.push_back({header_path, 1, "header-not-self-contained",
+                      "generated TU fails to compile alone: " + first_line});
+  }
+  return issues;
+}
+
+StatusOr<std::vector<LintIssue>> CheckTreeHeaders(
+    const std::string& repo_root, const std::string& compiler_command,
+    const std::string& work_dir) {
+  std::vector<LintIssue> issues;
+  const fs::path root(repo_root);
+  const fs::path src = root / "src";
+  if (!fs::exists(src)) {
+    return InvalidArgumentError("no src/ under " + repo_root);
+  }
+  std::vector<fs::path> headers;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (entry.is_regular_file() && HasExtension(entry.path(), ".h")) {
+      headers.push_back(entry.path());
+    }
+  }
+  std::sort(headers.begin(), headers.end());
+  for (const fs::path& header : headers) {
+    const std::string include_path = RelativeTo(header, src);
+    auto header_issues = CheckHeaderSelfContained(
+        header.string(), include_path, src.string(), compiler_command,
+        work_dir);
+    if (!header_issues.ok()) return header_issues.status();
+    for (LintIssue issue : *header_issues) {
+      issue.file = RelativeTo(header, root);
+      issues.push_back(std::move(issue));
+    }
+  }
+  return issues;
+}
+
+}  // namespace lint
+}  // namespace lpsgd

@@ -1,0 +1,124 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// lpsgd_lint: the repo's compiled lint tool. It mechanically enforces the
+// invariants that the compiler alone cannot see (DESIGN.md "Static analysis
+// & enforced invariants"):
+//
+//  * hot-path-alloc      — no allocation inside an LPSGD_HOT_PATH region:
+//                          `new`, malloc/calloc/realloc, container growth
+//                          (.resize/.push_back/.emplace_back/.reserve/
+//                          .assign/.insert), and by-value std::vector
+//                          declarations (pointers/references are fine).
+//                          LPSGD_HOT_PATH marks the function definitions on
+//                          the zero-allocation steady-state exchange path:
+//                          codec Encode/Decode workspace overloads,
+//                          BitWriter/BitReader, and the aggregators'
+//                          per-iteration exchange lambdas.
+//  * banned-include      — <iostream> in src/ library code (it drags in
+//                          static iostream initializers; use base/logging.h).
+//  * banned-function     — rand(), strcpy(), sprintf() anywhere in src/ or
+//                          tools/ (non-deterministic seeding / unbounded
+//                          writes).
+//  * annotation-typo     — an identifier that looks like one of the
+//                          base/thread_annotations.h macros but is not an
+//                          exact match (a typo'd annotation silently
+//                          disables the Clang analysis, so it must be a
+//                          lint error, not a no-op).
+//  * missing-hot-path    — tree-level coverage: the files known to carry
+//                          the steady-state exchange path must contain at
+//                          least their required number of LPSGD_HOT_PATH
+//                          markers, so the alloc rule cannot be silently
+//                          disabled by deleting a marker.
+//  * missing-include-guard / header-not-self-contained — header hygiene:
+//                          every src/**/*.h has an include guard and
+//                          compiles on its own (verified by generating one
+//                          translation unit per header and syntax-checking
+//                          it).
+//
+// Suppressions: a comment containing `lpsgd-lint: allow(<rule>)` disables
+// `<rule>` on its own line and on the immediately following line. Every
+// suppression is expected to carry a justification in the same comment.
+//
+// All text rules operate on a comment- and string-stripped copy of the
+// file, so tokens inside literals or documentation never trip a rule (the
+// suppression scan runs on the original text, since suppressions live in
+// comments).
+#ifndef LPSGD_TOOLS_LINT_LPSGD_LINT_H_
+#define LPSGD_TOOLS_LINT_LPSGD_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "base/statusor.h"
+
+namespace lpsgd {
+namespace lint {
+
+// One finding. `rule` is the stable machine name used both in output and in
+// `lpsgd-lint: allow(<rule>)` suppression comments.
+struct LintIssue {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  // "file:line: [rule] message" — the format CI surfaces and tests match.
+  std::string ToString() const;
+};
+
+struct LintOptions {
+  bool hot_path_allocations = true;
+  bool banned_includes = true;
+  bool banned_functions = true;
+  bool annotation_typos = true;
+  // Tree-level only: verify the required LPSGD_HOT_PATH marker coverage
+  // (see RequiredHotPathMarkers in lpsgd_lint.cc).
+  bool required_hot_path_markers = true;
+};
+
+// Returns `contents` with comments and string/character literals blanked to
+// spaces. Newlines are preserved so byte offsets keep mapping to the same
+// line numbers. Exposed for tests.
+std::string StripCommentsAndStrings(std::string_view contents);
+
+// Runs the text rules over one file's contents. `path` determines which
+// rules apply (banned-include only fires under src/, banned-function under
+// src/ and tools/) and is echoed into the issues; the file is not opened.
+std::vector<LintIssue> LintFileContents(const std::string& path,
+                                        std::string_view contents,
+                                        const LintOptions& options);
+
+// Loads `path` and runs the text rules on it.
+StatusOr<std::vector<LintIssue>> LintFile(const std::string& path,
+                                          const LintOptions& options);
+
+// Lints every .h/.cc under `repo_root`/src and `repo_root`/tools, plus the
+// tree-level required-marker coverage check. Paths in the returned issues
+// are repo-root-relative.
+StatusOr<std::vector<LintIssue>> LintTree(const std::string& repo_root,
+                                          const LintOptions& options);
+
+// Header hygiene for one header: `header_path` is absolute or cwd-relative,
+// `include_path` is what a client would #include (e.g. "quant/codec.h").
+// Writes a single-include translation unit under `work_dir` and runs
+// `compiler_command` (e.g. "c++ -std=c++20") with -fsyntax-only and
+// -I<include_root>. Returns the issues found: missing-include-guard and/or
+// header-not-self-contained (with the compiler's first error line).
+StatusOr<std::vector<LintIssue>> CheckHeaderSelfContained(
+    const std::string& header_path, const std::string& include_path,
+    const std::string& include_root, const std::string& compiler_command,
+    const std::string& work_dir);
+
+// Runs CheckHeaderSelfContained over every src/**/*.h under `repo_root`.
+// Slow (one compiler invocation per header) — run by the CI lint job and by
+// `lpsgd_lint --check_headers`, not by the unit tests.
+StatusOr<std::vector<LintIssue>> CheckTreeHeaders(
+    const std::string& repo_root, const std::string& compiler_command,
+    const std::string& work_dir);
+
+}  // namespace lint
+}  // namespace lpsgd
+
+#endif  // LPSGD_TOOLS_LINT_LPSGD_LINT_H_

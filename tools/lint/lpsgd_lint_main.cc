@@ -1,0 +1,91 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// CLI driver for the repo lint (see lpsgd_lint.h for the rule set).
+//
+//   lpsgd_lint --root .                       # text rules over src/ + tools/
+//   lpsgd_lint --root . --check_headers       # + per-header TU syntax check
+//   lpsgd_lint --files src/quant/qsgd.cc ...  # text rules on specific files
+//
+// Exit codes: 0 clean, 1 issues found, 2 usage/internal error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lpsgd_lint.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: lpsgd_lint [--root DIR] [--check_headers] [--compiler CMD]\n"
+      "                  [--workdir DIR] [--files FILE...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string compiler = "c++ -std=c++20";
+  std::string workdir = "lpsgd_lint_work";
+  bool check_headers = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--compiler" && i + 1 < argc) {
+      compiler = argv[++i];
+    } else if (arg == "--workdir" && i + 1 < argc) {
+      workdir = argv[++i];
+    } else if (arg == "--check_headers") {
+      check_headers = true;
+    } else if (arg == "--files") {
+      for (++i; i < argc; ++i) files.push_back(argv[i]);
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  const lpsgd::lint::LintOptions options;
+  std::vector<lpsgd::lint::LintIssue> issues;
+
+  if (!files.empty()) {
+    for (const std::string& file : files) {
+      auto file_issues = lpsgd::lint::LintFile(file, options);
+      if (!file_issues.ok()) {
+        std::fprintf(stderr, "lpsgd_lint: %s\n",
+                     file_issues.status().ToString().c_str());
+        return 2;
+      }
+      issues.insert(issues.end(), file_issues->begin(), file_issues->end());
+    }
+  } else {
+    auto tree_issues = lpsgd::lint::LintTree(root, options);
+    if (!tree_issues.ok()) {
+      std::fprintf(stderr, "lpsgd_lint: %s\n",
+                   tree_issues.status().ToString().c_str());
+      return 2;
+    }
+    issues = std::move(*tree_issues);
+    if (check_headers) {
+      auto header_issues =
+          lpsgd::lint::CheckTreeHeaders(root, compiler, workdir);
+      if (!header_issues.ok()) {
+        std::fprintf(stderr, "lpsgd_lint: %s\n",
+                     header_issues.status().ToString().c_str());
+        return 2;
+      }
+      issues.insert(issues.end(), header_issues->begin(),
+                    header_issues->end());
+    }
+  }
+
+  for (const auto& issue : issues) {
+    std::fprintf(stdout, "%s\n", issue.ToString().c_str());
+  }
+  std::fprintf(stderr, "lpsgd_lint: %zu issue(s)\n", issues.size());
+  return issues.empty() ? 0 : 1;
+}
