@@ -16,6 +16,7 @@
 #include "data/synthetic.h"
 #include "nn/model_zoo.h"
 #include "tensor/tensor.h"
+#include "base/logging.h"
 
 namespace lpsgd {
 namespace {
@@ -35,8 +36,8 @@ double MeasureMse(const CodecSpec& spec) {
   for (int t = 0; t < trials; ++t) {
     (*codec)->Encode(grad.data(), shape, static_cast<uint64_t>(t), nullptr,
                      &blob);
-    (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
-                     decoded.data());
+    CHECK_OK((*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
+                     decoded.data()));
     for (int64_t i = 0; i < 4096; ++i) {
       const double d = decoded[static_cast<size_t>(i)] - grad.at(i);
       total += d * d;

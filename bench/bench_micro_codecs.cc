@@ -69,8 +69,8 @@ void RunDecode(benchmark::State& state, const CodecSpec& spec) {
   CodecWorkspace workspace;
   std::vector<float> decoded(static_cast<size_t>(n));
   for (auto _ : state) {
-    (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
-                     &workspace, decoded.data());
+    CHECK_OK((*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
+                     &workspace, decoded.data()));
     benchmark::DoNotOptimize(decoded.data());
   }
   state.SetItemsProcessed(state.iterations() * n);

@@ -7,15 +7,26 @@
 //   ./train_cli [--task image|sequence] [--model mlp|alexnet|resnet|lstm]
 //               [--codec <spec>] [--gpus N] [--batch N] [--epochs N]
 //               [--lr F] [--primitive mpi|nccl] [--seed N] [--threads N]
+//               [--fault_plan <spec>] [--checkpoint_every N]
+//               [--max_retries N]
 //
 //   ./train_cli --model resnet --codec 1bit*:16 --gpus 8 --epochs 15
 //   ./train_cli --task sequence --model lstm --codec q2 --threads 4
+//   ./train_cli --fault_plan "fail@3x2;crash@9:1" --checkpoint_every 4
+//               --max_retries 1
 //
 // --threads sets the host worker count for the per-rank work (0 = one
 // per hardware thread, 1 = serial); results are identical either way.
 //
 // Codec grammar: 32bit | 1bit | 1bit* | 1bit*:<bucket> | q<bits>[:<bucket>]
 //                | aq<bits>[:<bucket>] | topk:<density>
+//
+// Fault-plan grammar (';'-separated): straggle@<iter>:<seconds> |
+//   fail@<iter>[x<count>] | corrupt@<iter>[x<count>] | crash@<iter>:<rank>
+//   | seed=<n>. Faults replay deterministically; --checkpoint_every
+// enables rollback-and-replay, --max_retries the per-exchange retry
+// budget, and a crashed rank is dropped with training renormalized over
+// the survivors.
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -41,6 +52,9 @@ struct Args {
   float lr = 0.05f;
   uint64_t seed = 42;
   int threads = 0;  // 0 = one worker per hardware thread
+  std::string fault_plan;  // empty = no injected faults
+  int checkpoint_every = 0;  // 0 = no in-memory checkpoints
+  int max_retries = 0;  // per-exchange retry budget
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -71,6 +85,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->seed = static_cast<uint64_t>(std::atoll(value.c_str()));
     } else if (flag == "--threads") {
       args->threads = std::atoi(value.c_str());
+    } else if (flag == "--fault_plan") {
+      args->fault_plan = value;
+    } else if (flag == "--checkpoint_every") {
+      args->checkpoint_every = std::atoi(value.c_str());
+    } else if (flag == "--max_retries") {
+      args->max_retries = std::atoi(value.c_str());
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
@@ -150,6 +170,16 @@ int Run(const Args& args) {
       args.primitive == "nccl" ? CommPrimitive::kNccl : CommPrimitive::kMpi;
   options.seed = args.seed;
   options.execution.intra_op_threads = args.threads;
+  if (!args.fault_plan.empty()) {
+    auto plan = fault::FaultPlan::Parse(args.fault_plan);
+    if (!plan.ok()) {
+      std::cerr << plan.status() << "\n";
+      return 1;
+    }
+    options.fault_tolerance.plan = *plan;
+  }
+  options.fault_tolerance.checkpoint_every = args.checkpoint_every;
+  options.fault_tolerance.retry.max_retries = args.max_retries;
 
   auto trainer = SyncTrainer::Create(factory, options);
   if (!trainer.ok()) {
@@ -161,7 +191,18 @@ int Run(const Args& args) {
             << " task: " << args.gpus << " simulated GPUs, "
             << spec->Label() << " over " << args.primitive << ", batch "
             << args.batch << ", lr " << args.lr << ", execution "
-            << (*trainer)->options().execution.Description() << "\n\n";
+            << (*trainer)->options().execution.Description() << "\n";
+  const fault::FaultToleranceOptions& ft =
+      (*trainer)->options().fault_tolerance;
+  if (ft.enabled()) {
+    std::cout << "fault tolerance: plan \""
+              << (ft.plan.empty() ? std::string("none")
+                                  : ft.plan.ToString())
+              << "\", checkpoint every " << ft.checkpoint_every
+              << " steps, " << ft.retry.max_retries
+              << " retries per exchange\n";
+  }
+  std::cout << "\n";
   std::cout << "epoch  train_loss  train_acc  test_acc  test_top5\n";
   auto metrics = (*trainer)->Train(*train, *test, args.epochs);
   if (!metrics.ok()) {
@@ -183,6 +224,11 @@ int Run(const Args& args) {
             << FormatDouble(comm.CompressionRatio(), 1)
             << "x compression), " << comm.messages << " messages, "
             << HumanSeconds(comm.TotalSeconds()) << " simulated\n";
+  if ((*trainer)->live_gpus() != (*trainer)->num_gpus()) {
+    std::cout << "degraded: finished on " << (*trainer)->live_gpus()
+              << " of " << (*trainer)->num_gpus()
+              << " ranks (crashed ranks dropped)\n";
+  }
   return 0;
 }
 

@@ -138,6 +138,24 @@ inline bool SignBitAt(const uint32_t* words, int64_t index) {
   return (words[index >> 5] >> (index & 31)) & 1u;
 }
 
+// FNV-1a over 32 bits: the integrity hash every codec appends to its wire
+// blob (quant/codec.h, VerifyWireBlob). Chosen over a table-driven CRC for
+// its 4-line allocation-free inner loop — one xor and one multiply per
+// byte — which keeps the seal/verify passes memory-bound like the
+// encode/decode kernels around them.
+inline constexpr uint32_t kFnv1a32OffsetBasis = 0x811c9dc5u;
+inline constexpr uint32_t kFnv1a32Prime = 16777619u;
+
+LPSGD_HOT_PATH
+inline uint32_t Fnv1a32(const uint8_t* bytes, int64_t count) {
+  uint32_t hash = kFnv1a32OffsetBasis;
+  for (int64_t i = 0; i < count; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnv1a32Prime;
+  }
+  return hash;
+}
+
 }  // namespace lpsgd
 
 #endif  // LPSGD_BASE_BIT_PACKING_H_

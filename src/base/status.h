@@ -19,6 +19,10 @@ enum class StatusCode {
   kFailedPrecondition = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  kUnavailable = 8,       // transient failure; retrying may succeed
+  kDeadlineExceeded = 9,  // exceeded a time budget; retrying may succeed
+  kDataLoss = 10,         // unrecoverable corruption (e.g. checksum mismatch)
+  kAborted = 11,          // permanent failure; retrying cannot succeed
 };
 
 // Returns the canonical name of `code`, e.g. "INVALID_ARGUMENT".
@@ -69,6 +73,10 @@ Status OutOfRangeError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status DataLossError(std::string message);
+Status AbortedError(std::string message);
 
 }  // namespace lpsgd
 

@@ -6,6 +6,7 @@
 #include "base/rng.h"
 #include "comm/mpi_reduce_bcast.h"
 #include "comm/nccl_ring.h"
+#include "comm/retry.h"
 #include "obs/metrics.h"
 
 namespace lpsgd {
@@ -27,6 +28,24 @@ StatusOr<std::unique_ptr<GradientAggregator>> CreateAggregator(
       auto aggregator,
       NcclRingAggregator::Create(num_ranks, codec, machine, execution));
   return std::unique_ptr<GradientAggregator>(std::move(aggregator));
+}
+
+StatusOr<std::unique_ptr<GradientAggregator>> CreateAggregator(
+    CommPrimitive primitive, int num_ranks, const CodecSpec& codec,
+    const MachineSpec& machine, const ExecutionContext& execution,
+    const ExchangeRetryOptions& retry,
+    const AggregatorDecorator& decorator) {
+  LPSGD_ASSIGN_OR_RETURN(
+      std::unique_ptr<GradientAggregator> aggregator,
+      CreateAggregator(primitive, num_ranks, codec, machine, execution));
+  if (decorator) {
+    LPSGD_ASSIGN_OR_RETURN(aggregator, decorator(std::move(aggregator)));
+  }
+  if (retry.enabled()) {
+    LPSGD_ASSIGN_OR_RETURN(
+        aggregator, RetryingAggregator::Create(std::move(aggregator), retry));
+  }
+  return aggregator;
 }
 
 void CommStats::Add(const CommStats& other) {

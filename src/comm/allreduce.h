@@ -3,6 +3,7 @@
 #define LPSGD_COMM_ALLREDUCE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,11 +88,49 @@ class GradientAggregator {
   virtual std::string Name() const = 0;
 
   // `iteration` seeds the stochastic codecs so runs are reproducible.
+  // Contract with the retry layer: on a non-OK return the aggregator's
+  // internal persistent state (e.g. owner-side aggregation residuals) is
+  // unchanged — implementations restore it before returning. Caller-owned
+  // slot buffers (rank_grads, rank_errors) may be partially written; the
+  // retry wrapper snapshots and restores those.
   virtual StatusOr<CommStats> AllReduce(std::vector<MatrixSlot>* slots,
                                         int64_t iteration) = 0;
 
   virtual int num_ranks() const = 0;
+
+  // Transaction hooks for the retry layer. CheckpointExchangeState saves
+  // the aggregator's persistent cross-call state; RollbackExchangeState
+  // restores the last checkpoint. The retry wrapper invokes rollback when
+  // it discards a *successful* exchange (timeout overrun) before
+  // re-attempting it — the failure paths roll back internally per the
+  // AllReduce contract above. Stateless aggregators keep these no-ops.
+  virtual void CheckpointExchangeState() {}
+  virtual void RollbackExchangeState() {}
 };
+
+// Per-exchange fault-tolerance budget (DESIGN.md "Fault model and
+// recovery"): when enabled, AllReduce calls are wrapped in a retry loop
+// with exponential backoff and an optional virtual-time deadline.
+struct ExchangeRetryOptions {
+  // Maximum number of re-attempts after the first try. 0 disables the
+  // retry loop (but timeout_seconds alone still enables the wrapper).
+  int max_retries = 0;
+  // Virtual-time budget for one exchange; an attempt whose TotalSeconds()
+  // exceeds it is discarded and retried as if it had failed. 0 = no
+  // deadline.
+  double timeout_seconds = 0.0;
+  // Backoff penalty charged to virtual comm time before retry r (1-based):
+  // backoff_base_seconds * 2^(r-1).
+  double backoff_base_seconds = 0.001;
+
+  bool enabled() const { return max_retries > 0 || timeout_seconds > 0.0; }
+};
+
+// Hook for layering a decorator (e.g. fault::FaultInjectingAggregator)
+// between the retry wrapper and the real engine built by CreateAggregator.
+using AggregatorDecorator =
+    std::function<StatusOr<std::unique_ptr<GradientAggregator>>(
+        std::unique_ptr<GradientAggregator>)>;
 
 // The single aggregator entry point: builds the engine for `primitive`
 // with `num_ranks` simulated GPUs exchanging gradients encoded per
@@ -102,6 +141,17 @@ class GradientAggregator {
 [[nodiscard]] StatusOr<std::unique_ptr<GradientAggregator>> CreateAggregator(
     CommPrimitive primitive, int num_ranks, const CodecSpec& codec,
     const MachineSpec& machine, const ExecutionContext& execution);
+
+// Fault-tolerant variant: builds the engine, applies `decorator` (fault
+// injection layer; may be empty), then wraps the result in the retrying
+// aggregator when `retry.enabled()`. Stacking order — the retry loop is
+// outermost so injected faults are retried like real ones:
+//   Retrying(decorator(engine))
+[[nodiscard]] StatusOr<std::unique_ptr<GradientAggregator>> CreateAggregator(
+    CommPrimitive primitive, int num_ranks, const CodecSpec& codec,
+    const MachineSpec& machine, const ExecutionContext& execution,
+    const ExchangeRetryOptions& retry,
+    const AggregatorDecorator& decorator = nullptr);
 
 }  // namespace lpsgd
 

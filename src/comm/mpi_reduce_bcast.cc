@@ -45,11 +45,39 @@ MpiReduceBcastAggregator::MpiReduceBcastAggregator(
       // scratch is race-free (see ThreadPool::CurrentSlot()).
       workspaces_(static_cast<size_t>(exec_.threads())) {}
 
+void MpiReduceBcastAggregator::CheckpointExchangeState() {
+  if (aggregate_errors_snapshot_.size() < aggregate_errors_.size()) {
+    aggregate_errors_snapshot_.resize(aggregate_errors_.size());
+  }
+  for (size_t m = 0; m < aggregate_errors_.size(); ++m) {
+    aggregate_errors_snapshot_[m].assign(aggregate_errors_[m].begin(),
+                                         aggregate_errors_[m].end());
+  }
+  aggregate_errors_snapshot_count_ = aggregate_errors_.size();
+}
+
+void MpiReduceBcastAggregator::RollbackExchangeState() {
+  const size_t count =
+      std::min(aggregate_errors_snapshot_count_, aggregate_errors_.size());
+  for (size_t m = 0; m < count; ++m) {
+    aggregate_errors_[m].assign(aggregate_errors_snapshot_[m].begin(),
+                                aggregate_errors_snapshot_[m].end());
+  }
+  // Residuals first sized after the checkpoint hold partial state from the
+  // failed exchange; empty them so the next call's setup re-zeroes them.
+  for (size_t m = count; m < aggregate_errors_.size(); ++m) {
+    aggregate_errors_[m].clear();
+  }
+}
+
 StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
     std::vector<MatrixSlot>* slots, int64_t iteration) {
   CHECK(slots != nullptr);
   obs::ScopedTimer wall_timer("comm/allreduce_wall_seconds");
   obs::TraceSpan allreduce_span("mpi_reduce_bcast/allreduce", "comm");
+  // Internal-state transaction (comm/allreduce.h): any error return below
+  // rolls the aggregation residuals back to this checkpoint.
+  CheckpointExchangeState();
   const int k = num_ranks_;
   const int64_t num_matrices = static_cast<int64_t>(slots->size());
   if (aggregate_errors_.size() < slots->size()) {
@@ -95,7 +123,7 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
   // are disjoint — scheduling cannot change a single bit.
   const uint64_t reduce_span =
       obs::Tracer::Global().Begin("mpi_reduce_bcast/reduce", "comm");
-  LPSGD_RETURN_IF_ERROR(exec_.ParallelFor(
+  const Status reduce_status = exec_.ParallelFor(
       0, num_matrices * k, LPSGD_HOT_PATH [&](int64_t task) -> Status {
         const size_t m = static_cast<size_t>(task / k);
         const size_t r = static_cast<size_t>(task % k);
@@ -111,15 +139,26 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
             codec_->UsesErrorFeedback() ? slot.rank_errors[r] : nullptr;
         codec_->Encode(slot.rank_grads[r], slot.quant_shape, tag, error, &ws,
                        &ws.blob);
+        if (wire_tamper_) {
+          wire_tamper_(iteration, static_cast<int64_t>(m),
+                       static_cast<int>(r), ws.blob.data(),
+                       static_cast<int64_t>(ws.blob.size()));
+        }
         if (r == 0) {  // blob sizes are shape-determined, uniform per rank
           rank_blob_bytes_[m] = static_cast<int64_t>(ws.blob.size());
         }
         float* out = quant_internal::EnsureSize(&decoded_[m][r],
                                                 static_cast<size_t>(n));
-        codec_->Decode(ws.blob.data(), static_cast<int64_t>(ws.blob.size()),
-                       slot.quant_shape, &ws, out);
+        LPSGD_RETURN_IF_ERROR(
+            codec_->Decode(ws.blob.data(), static_cast<int64_t>(ws.blob.size()),
+                           slot.quant_shape, &ws, out));
         return OkStatus();
-      }));
+      });
+  if (!reduce_status.ok()) {
+    obs::Tracer::Global().End(reduce_span);
+    RollbackExchangeState();
+    return reduce_status;
+  }
   int64_t reduce_bytes = 0;
   for (int64_t bytes : rank_blob_bytes_) reduce_bytes += bytes * k;
   obs::Tracer::Global().EndWithBytes(reduce_span, reduce_bytes);
@@ -130,7 +169,7 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
   // matrices travel the full-precision reduce+broadcast here instead.
   const uint64_t bcast_span =
       obs::Tracer::Global().Begin("mpi_reduce_bcast/broadcast", "comm");
-  LPSGD_RETURN_IF_ERROR(exec_.ParallelFor(
+  const Status bcast_status = exec_.ParallelFor(
       0, num_matrices, LPSGD_HOT_PATH [&](int64_t mi) -> Status {
         const size_t m = static_cast<size_t>(mi);
         MatrixSlot& slot = (*slots)[m];
@@ -187,11 +226,15 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
             iteration, static_cast<int64_t>(m), owner);
         codec_->Encode(aggregate, slot.quant_shape, agg_tag, agg_error, &ws,
                        &ws.blob);
+        if (wire_tamper_) {
+          wire_tamper_(iteration, static_cast<int64_t>(m), /*rank=*/-1,
+                       ws.blob.data(), static_cast<int64_t>(ws.blob.size()));
+        }
         const int64_t blob_bytes = static_cast<int64_t>(ws.blob.size());
         float* bcast =
             quant_internal::EnsureSize(&bcasts_[m], static_cast<size_t>(n));
-        codec_->Decode(ws.blob.data(), blob_bytes, slot.quant_shape, &ws,
-                       bcast);
+        LPSGD_RETURN_IF_ERROR(codec_->Decode(ws.blob.data(), blob_bytes,
+                                             slot.quant_shape, &ws, bcast));
         for (int r = 0; r < k; ++r) {
           std::memcpy(slot.rank_grads[static_cast<size_t>(r)], bcast,
                       static_cast<size_t>(n) * sizeof(float));
@@ -206,8 +249,12 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
         stats.encode_seconds +=
             3.0 * cost_model_.QuantKernelSeconds(n, chunks);
         return OkStatus();
-      }));
+      });
   obs::Tracer::Global().End(bcast_span);
+  if (!bcast_status.ok()) {
+    RollbackExchangeState();
+    return bcast_status;
+  }
 
   CommStats stats;
   for (const CommStats& matrix_stats : per_matrix_) stats.Add(matrix_stats);

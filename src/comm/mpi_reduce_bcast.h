@@ -2,6 +2,7 @@
 #ifndef LPSGD_COMM_MPI_REDUCE_BCAST_H_
 #define LPSGD_COMM_MPI_REDUCE_BCAST_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,7 +47,25 @@ class MpiReduceBcastAggregator : public GradientAggregator {
                                 int64_t iteration) override;
   int num_ranks() const override { return num_ranks_; }
 
+  // Transaction hooks (comm/allreduce.h): the persistent cross-call state
+  // is the owner-side aggregation residuals. AllReduce checkpoints them on
+  // entry and rolls back before returning any error, so a failed exchange
+  // leaves them untouched; the retry layer rolls back when discarding a
+  // successful-but-over-deadline exchange.
+  void CheckpointExchangeState() override;
+  void RollbackExchangeState() override;
+
   const GradientCodec& codec() const { return *codec_; }
+
+  // Test seam: invoked after every stage-1 encode (rank >= 0) and stage-2
+  // aggregate encode (rank == -1) with the encoded blob; returning true
+  // means the bytes were tampered with. Lets fault tests corrupt the real
+  // wire path and exercise checksum verification end to end. Null (the
+  // default) disables it.
+  using WireTamper = std::function<bool(int64_t iteration, int64_t matrix,
+                                        int rank, uint8_t* data,
+                                        int64_t size)>;
+  void set_wire_tamper(WireTamper tamper) { wire_tamper_ = std::move(tamper); }
 
  private:
   MpiReduceBcastAggregator(int num_ranks, CodecSpec spec,
@@ -62,6 +81,13 @@ class MpiReduceBcastAggregator : public GradientAggregator {
   // Aggregation residual per matrix index (owner-side requantization
   // error). Lazily sized on first use.
   std::vector<std::vector<float>> aggregate_errors_;
+  // Checkpoint of aggregate_errors_ taken at AllReduce entry (capacity
+  // reused across calls); RollbackExchangeState restores from it. Entries
+  // that did not exist at checkpoint time are cleared on rollback so the
+  // next call's setup re-zeroes them.
+  std::vector<std::vector<float>> aggregate_errors_snapshot_;
+  size_t aggregate_errors_snapshot_count_ = 0;
+  WireTamper wire_tamper_;
 
   // Reusable exchange workspaces (DESIGN.md "Hot-path kernels and
   // workspaces"): every buffer below grows to the largest model seen and

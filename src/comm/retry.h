@@ -1,0 +1,71 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_COMM_RETRY_H_
+#define LPSGD_COMM_RETRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/allreduce.h"
+
+namespace lpsgd {
+
+// Retry-with-exponential-backoff wrapper around any GradientAggregator
+// (DESIGN.md "Fault model and recovery"). Each AllReduce call becomes an
+// atomic transaction:
+//
+//   - Before the first attempt the caller-visible slot state (rank_grads
+//     and rank_errors) is snapshotted into persistent member buffers, and
+//     the inner aggregator checkpoints its own cross-call state.
+//   - A failed attempt with a transient code (UNAVAILABLE,
+//     DEADLINE_EXCEEDED, DATA_LOSS, INTERNAL) restores the snapshot, rolls
+//     the inner aggregator back, charges the backoff penalty
+//     (backoff_base_seconds * 2^(attempt-1)) to virtual comm time, bumps
+//     comm/retries, and re-runs with the same `iteration` — so stochastic
+//     codec tags replay and the retried exchange is bit-identical.
+//   - A successful attempt whose TotalSeconds() exceeds timeout_seconds is
+//     discarded the same way (DEADLINE_EXCEEDED), except its own virtual
+//     duration is also charged.
+//   - Non-transient codes (e.g. ABORTED: a crashed rank) and exhausted
+//     budgets restore the snapshot and return the error, leaving every
+//     buffer exactly as it was before the call.
+class RetryingAggregator : public GradientAggregator {
+ public:
+  [[nodiscard]] static StatusOr<std::unique_ptr<RetryingAggregator>> Create(
+      std::unique_ptr<GradientAggregator> inner, ExchangeRetryOptions options);
+
+  std::string Name() const override;
+  StatusOr<CommStats> AllReduce(std::vector<MatrixSlot>* slots,
+                                int64_t iteration) override;
+  int num_ranks() const override { return inner_->num_ranks(); }
+  void CheckpointExchangeState() override {
+    inner_->CheckpointExchangeState();
+  }
+  void RollbackExchangeState() override { inner_->RollbackExchangeState(); }
+
+  GradientAggregator* inner() const { return inner_.get(); }
+  const ExchangeRetryOptions& options() const { return options_; }
+
+ private:
+  RetryingAggregator(std::unique_ptr<GradientAggregator> inner,
+                     ExchangeRetryOptions options)
+      : inner_(std::move(inner)), options_(options) {}
+
+  // Copies every slot's rank_grads / rank_errors contents into the
+  // persistent snapshot buffers (capacity-reusing; steady-state calls
+  // allocate nothing once the buffers have grown to the model size).
+  void SnapshotSlots(const std::vector<MatrixSlot>& slots);
+  // Restores the slot contents from the last SnapshotSlots call.
+  void RestoreSlots(std::vector<MatrixSlot>* slots) const;
+
+  std::unique_ptr<GradientAggregator> inner_;
+  ExchangeRetryOptions options_;
+  // grad_snapshot_ / error_snapshot_: flattened [matrix * ranks + rank]
+  // copies of the caller-owned buffers, reused across calls.
+  std::vector<std::vector<float>> grad_snapshot_;
+  std::vector<std::vector<float>> error_snapshot_;
+};
+
+}  // namespace lpsgd
+
+#endif  // LPSGD_COMM_RETRY_H_

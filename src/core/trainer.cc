@@ -76,6 +76,7 @@ Status TrainerOptions::Validate() const {
         StrCat("execution.intra_op_threads must be >= 0 (0 = auto), got ",
                execution.intra_op_threads));
   }
+  LPSGD_RETURN_IF_ERROR(fault_tolerance.Validate());
   return OkStatus();
 }
 
@@ -101,8 +102,10 @@ StatusOr<std::unique_ptr<SyncTrainer>> SyncTrainer::Create(
   LPSGD_ASSIGN_OR_RETURN(
       std::unique_ptr<GradientAggregator> aggregator,
       CreateAggregator(resolved.primitive, resolved.num_gpus,
-                       resolved.codec, resolved.machine,
-                       resolved.execution));
+                       resolved.codec, resolved.machine, resolved.execution,
+                       resolved.fault_tolerance.retry,
+                       fault::MakeAggregatorDecorator(
+                           resolved.fault_tolerance.plan, resolved.codec)));
 
   return std::unique_ptr<SyncTrainer>(new SyncTrainer(
       resolved, std::move(replicas), std::move(aggregator)));
@@ -113,7 +116,9 @@ SyncTrainer::SyncTrainer(TrainerOptions options,
                          std::unique_ptr<GradientAggregator> aggregator)
     : options_(std::move(options)),
       replicas_(std::move(replicas)),
-      aggregator_(std::move(aggregator)) {
+      aggregator_(std::move(aggregator)),
+      live_gpus_(static_cast<int>(replicas_.size())),
+      active_plan_(options_.fault_tolerance.plan) {
   replica_params_.reserve(replicas_.size());
   for (Network& replica : replicas_) {
     replica_params_.push_back(replica.Params());
@@ -161,7 +166,8 @@ Status SyncTrainer::LoadCheckpoint(std::istream& is) {
   for (size_t r = 1; r < replicas_.size(); ++r) {
     replicas_[r].CopyParamsFrom(replicas_[0]);
   }
-  // Restart the stateful parts: fresh momentum and residuals.
+  // Restart the stateful parts: fresh momentum and residuals. The
+  // recovery snapshot describes pre-load state, so drop it too.
   optimizers_.clear();
   for (size_t r = 0; r < replicas_.size(); ++r) {
     optimizers_.emplace_back(options_.learning_rate, options_.momentum);
@@ -171,6 +177,8 @@ Status SyncTrainer::LoadCheckpoint(std::istream& is) {
       std::fill(residual.begin(), residual.end(), 0.0f);
     }
   }
+  recovery_.valid = false;
+  replay_.clear();
   return OkStatus();
 }
 
@@ -185,7 +193,7 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
   obs::ScopedTimer iteration_timer("trainer/iteration_seconds");
   obs::TraceSpan iteration_span("trainer/iteration", "trainer");
   const double virtual_start = virtual_seconds_;
-  const int k = options_.num_gpus;
+  const int k = live_gpus_;
   const int64_t shard = batch.size() / k;
   if (shard == 0) {
     return InvalidArgumentError("batch smaller than GPU count");
@@ -236,11 +244,6 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
         replica.Backward(loss.logits_grad);
         return OkStatus();
       }));
-  for (int r = 0; r < k; ++r) {
-    *loss_sum += rank_loss[static_cast<size_t>(r)];
-    *correct += rank_correct[static_cast<size_t>(r)];
-  }
-
   obs::Tracer::Global().End(compute_span);
 
   // Phase 2: synchronous gradient exchange (Algorithm 1, lines 3-8). The
@@ -282,6 +285,13 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
       }));
   obs::Tracer::Global().End(update_span);
 
+  // Commit only now that every phase succeeded: a failed iteration must
+  // leave the epoch accumulators and the iteration counter untouched so a
+  // retried exchange reuses the same deterministic tags.
+  for (int r = 0; r < k; ++r) {
+    *loss_sum += rank_loss[static_cast<size_t>(r)];
+    *correct += rank_correct[static_cast<size_t>(r)];
+  }
   ++iteration_;
   if (obs::MetricsEnabled()) {
     obs::Count("trainer/iterations");
@@ -316,25 +326,31 @@ StatusOr<std::vector<EpochMetrics>> SyncTrainer::Train(const Dataset& train,
     double loss_sum = 0.0;
     int64_t correct = 0;
     int64_t samples = 0;
+    // The snapshot holds epoch-local accumulators, so it cannot outlive
+    // the epoch that took it.
+    recovery_.valid = false;
+    replay_.clear();
+    steps_since_snapshot_ = 0;
+    const int checkpoint_every = options_.fault_tolerance.checkpoint_every;
     Batch batch;
     while (iterator.NextBatch(&batch)) {
-      if (batch.size() < options_.num_gpus) continue;  // skip tiny remainder
-      // Trim to a multiple of the GPU count so shards stay equal.
-      const int64_t usable =
-          batch.size() / options_.num_gpus * options_.num_gpus;
-      if (usable < batch.size()) {
-        batch.labels.resize(static_cast<size_t>(usable));
-        Tensor trimmed(Shape([&] {
-          std::vector<int64_t> dims = batch.inputs.shape().dims();
-          dims[0] = usable;
-          return dims;
-        }()));
-        std::copy(batch.inputs.data(), batch.inputs.data() + trimmed.size(),
-                  trimmed.data());
-        batch.inputs = std::move(trimmed);
+      if (batch.size() < live_gpus_) continue;  // skip tiny remainder
+      TrimBatch(&batch);  // shards stay equal across live ranks
+      if (checkpoint_every > 0 &&
+          (!recovery_.valid || steps_since_snapshot_ >= checkpoint_every)) {
+        TakeRecoverySnapshot(loss_sum, correct, samples);
+        replay_.clear();
+        steps_since_snapshot_ = 0;
       }
-      LPSGD_RETURN_IF_ERROR(TrainIteration(batch, &loss_sum, &correct));
-      samples += batch.size();
+      const Status step = TrainIteration(batch, &loss_sum, &correct);
+      if (step.ok()) {
+        samples += batch.size();
+        ++steps_since_snapshot_;
+        if (checkpoint_every > 0) replay_.push_back(batch);
+      } else {
+        LPSGD_RETURN_IF_ERROR(
+            Recover(step, batch, &loss_sum, &correct, &samples));
+      }
     }
 
     EpochMetrics m;
@@ -372,6 +388,159 @@ StatusOr<std::vector<EpochMetrics>> SyncTrainer::Train(const Dataset& train,
     ++epochs_completed_;
   }
   return metrics;
+}
+
+void SyncTrainer::TrimBatch(Batch* batch) const {
+  const int64_t usable = batch->size() / live_gpus_ * live_gpus_;
+  if (usable == batch->size()) return;
+  batch->labels.resize(static_cast<size_t>(usable));
+  Tensor trimmed(Shape([&] {
+    std::vector<int64_t> dims = batch->inputs.shape().dims();
+    dims[0] = usable;
+    return dims;
+  }()));
+  std::copy(batch->inputs.data(), batch->inputs.data() + trimmed.size(),
+            trimmed.data());
+  batch->inputs = std::move(trimmed);
+}
+
+void SyncTrainer::TakeRecoverySnapshot(double loss_sum, int64_t correct,
+                                       int64_t samples) {
+  recovery_.valid = true;
+  recovery_.iteration = iteration_;
+  recovery_.loss_sum = loss_sum;
+  recovery_.correct = correct;
+  recovery_.samples = samples;
+  recovery_.params.clear();
+  for (const ParamRef& param : replica_params_[0]) {
+    recovery_.params.push_back(*param.value);
+  }
+  recovery_.velocity = optimizers_[0].velocity();
+  recovery_.errors = errors_;
+}
+
+void SyncTrainer::RestoreRecoverySnapshot(double* loss_sum, int64_t* correct,
+                                          int64_t* samples) {
+  CHECK(recovery_.valid);
+  iteration_ = recovery_.iteration;
+  *loss_sum = recovery_.loss_sum;
+  *correct = recovery_.correct;
+  *samples = recovery_.samples;
+  CHECK_EQ(recovery_.params.size(), replica_params_[0].size());
+  for (size_t r = 0; r < replica_params_.size(); ++r) {
+    for (size_t m = 0; m < recovery_.params.size(); ++m) {
+      *replica_params_[r][m].value = recovery_.params[m];
+    }
+  }
+  for (auto& optimizer : optimizers_) {
+    optimizer.set_velocity(recovery_.velocity);
+  }
+  errors_ = recovery_.errors;
+}
+
+Status SyncTrainer::DropRank(int rank) {
+  if (rank < 0 || rank >= live_gpus_) {
+    return InternalError(
+        StrCat("cannot drop rank ", rank, ": only ", live_gpus_,
+               " live ranks"));
+  }
+  const size_t r = static_cast<size_t>(rank);
+  replicas_.erase(replicas_.begin() + static_cast<std::ptrdiff_t>(r));
+  optimizers_.erase(optimizers_.begin() + static_cast<std::ptrdiff_t>(r));
+  errors_.erase(errors_.begin() + static_cast<std::ptrdiff_t>(r));
+  if (recovery_.valid && r < recovery_.errors.size()) {
+    recovery_.errors.erase(recovery_.errors.begin() +
+                           static_cast<std::ptrdiff_t>(r));
+  }
+  --live_gpus_;
+  replica_params_.clear();
+  for (Network& replica : replicas_) {
+    replica_params_.push_back(replica.Params());
+  }
+
+  // The survivors need a fresh aggregator sized to the new rank count; the
+  // satisfied crash is stripped so the rebuilt injector does not re-abort.
+  active_plan_ = active_plan_.WithoutCrashes();
+  LPSGD_ASSIGN_OR_RETURN(
+      aggregator_,
+      CreateAggregator(options_.primitive, live_gpus_, options_.codec,
+                       options_.machine, options_.execution,
+                       options_.fault_tolerance.retry,
+                       fault::MakeAggregatorDecorator(active_plan_,
+                                                      options_.codec)));
+  if (obs::ReportEnabled()) {
+    obs::JsonValue fields = obs::JsonValue::Object();
+    fields.Set("rank", rank);
+    fields.Set("live_gpus", live_gpus_);
+    fields.Set("iteration", iteration_);
+    obs::RecordEntry("rank_dropped", std::move(fields));
+  }
+  return OkStatus();
+}
+
+Status SyncTrainer::Recover(const Status& failure, const Batch& batch,
+                            double* loss_sum, int64_t* correct,
+                            int64_t* samples) {
+  Status status = failure;
+  Batch current = batch;
+  for (;;) {
+    ++recoveries_used_;
+    if (recoveries_used_ > options_.fault_tolerance.max_recoveries) {
+      return status;
+    }
+
+    int crashed_rank = -1;
+    if (fault::IsRankCrash(status, &crashed_rank)) {
+      if (!options_.fault_tolerance.degrade_to_survivors ||
+          live_gpus_ <= 1) {
+        return status;
+      }
+      LPSGD_RETURN_IF_ERROR(DropRank(crashed_rank));
+    } else if (!recovery_.valid) {
+      // A non-crash failure that survived the retry layer, and nothing to
+      // roll back to: surface it.
+      return status;
+    }
+
+    if (recovery_.valid) {
+      RestoreRecoverySnapshot(loss_sum, correct, samples);
+      if (obs::MetricsEnabled()) obs::Count("trainer/rollbacks");
+      if (obs::ReportEnabled()) {
+        obs::JsonValue fields = obs::JsonValue::Object();
+        fields.Set("iteration", recovery_.iteration);
+        fields.Set("replay_batches",
+                   static_cast<int64_t>(replay_.size()));
+        fields.Set("cause", status.message());
+        obs::RecordEntry("rollback", std::move(fields));
+      }
+      // Replay the batches committed since the snapshot (re-trimmed in
+      // case a rank was just dropped).
+      bool replayed = true;
+      for (Batch& replay_batch : replay_) {
+        TrimBatch(&replay_batch);
+        status = TrainIteration(replay_batch, loss_sum, correct);
+        if (!status.ok()) {
+          replayed = false;
+          break;
+        }
+        *samples += replay_batch.size();
+      }
+      if (!replayed) continue;  // a fault struck mid-replay; recover again
+    }
+
+    // Re-run the batch that originally failed.
+    TrimBatch(&current);
+    status = TrainIteration(current, loss_sum, correct);
+    if (status.ok()) {
+      *samples += current.size();
+      steps_since_snapshot_ =
+          static_cast<int>(replay_.size()) + 1;
+      if (options_.fault_tolerance.checkpoint_every > 0) {
+        replay_.push_back(current);
+      }
+      return OkStatus();
+    }
+  }
 }
 
 EvalResult SyncTrainer::Evaluate(const Dataset& dataset) {

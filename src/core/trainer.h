@@ -13,6 +13,8 @@
 #include "base/thread_pool.h"
 #include "comm/allreduce.h"
 #include "data/dataset.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "machine/specs.h"
 #include "nn/loss.h"
 #include "nn/network.h"
@@ -46,6 +48,13 @@ struct TrainerOptions {
 
   uint64_t seed = 42;
   int eval_batch_size = 256;
+
+  // Fault injection and recovery policy (DESIGN.md "Fault model and
+  // recovery"): the fault plan replayed at the aggregator boundary, the
+  // per-exchange retry budget, and the trainer's checkpoint cadence.
+  // Default-constructed = all disabled; the trainer behaves exactly as
+  // before.
+  fault::FaultToleranceOptions fault_tolerance;
 
   // Host-side execution of the per-rank work (forward/backward, codec
   // kernels, optimizer steps). Defaults to one pool sized to the hardware
@@ -113,6 +122,9 @@ class SyncTrainer {
   [[nodiscard]] Status LoadCheckpoint(std::istream& is);
 
   int num_gpus() const { return options_.num_gpus; }
+  // Ranks still participating: options_.num_gpus minus any ranks dropped
+  // by degrade-to-survivors.
+  int live_gpus() const { return live_gpus_; }
   const TrainerOptions& options() const { return options_; }
   // Cumulative communication accounting since construction.
   const CommStats& total_comm() const { return total_comm_; }
@@ -122,10 +134,45 @@ class SyncTrainer {
   SyncTrainer(TrainerOptions options, std::vector<Network> replicas,
               std::unique_ptr<GradientAggregator> aggregator);
 
-  // Runs one synchronous iteration on `batch`; returns the summed loss and
-  // correct count over the batch.
+  // Runs one synchronous iteration on `batch`; on success adds the batch's
+  // summed loss and correct count to the outputs. On failure nothing is
+  // committed — replicas, optimizers, residuals, the iteration counter,
+  // and the epoch accumulators are all as they were before the call (the
+  // aggregator contract plus commit-on-success ordering make the iteration
+  // a transaction), so a failed step can be retried or rolled over.
   Status TrainIteration(const Batch& batch, double* loss_sum,
                         int64_t* correct);
+
+  // In-memory state needed to roll the epoch back to a committed step:
+  // model parameters (one copy; replicas are identical), optimizer
+  // momentum (identical across ranks), per-rank error-feedback residuals,
+  // and the epoch-local progress counters.
+  struct RecoverySnapshot {
+    bool valid = false;
+    int64_t iteration = 0;
+    std::vector<Tensor> params;    // replica 0's parameter values [matrix]
+    std::vector<Tensor> velocity;  // optimizer 0's momentum state
+    std::vector<std::vector<std::vector<float>>> errors;  // [rank][matrix]
+    double loss_sum = 0.0;
+    int64_t correct = 0;
+    int64_t samples = 0;
+  };
+
+  // Cuts `batch` down to a multiple of live_gpus_ so shards stay equal.
+  void TrimBatch(Batch* batch) const;
+  void TakeRecoverySnapshot(double loss_sum, int64_t correct,
+                            int64_t samples);
+  void RestoreRecoverySnapshot(double* loss_sum, int64_t* correct,
+                               int64_t* samples);
+  // Removes a crashed rank and rebuilds the aggregator over the survivors
+  // (with the crash stripped from the active fault plan).
+  Status DropRank(int rank);
+  // Drives recovery after TrainIteration failed with `failure` on `batch`:
+  // degrade-to-survivors for rank crashes, rollback-and-replay from the
+  // last snapshot otherwise; loops until the batch commits or the recovery
+  // budget is exhausted.
+  Status Recover(const Status& failure, const Batch& batch,
+                 double* loss_sum, int64_t* correct, int64_t* samples);
 
   TrainerOptions options_;
   std::vector<Network> replicas_;
@@ -148,6 +195,18 @@ class SyncTrainer {
   double virtual_seconds_ = 0.0;
   double wall_seconds_ = 0.0;
   CommStats total_comm_;
+
+  // Fault-recovery state. live_gpus_ is the rank count every per-rank loop
+  // uses; it starts at options_.num_gpus and drops when a crashed rank is
+  // removed. active_plan_ is the not-yet-stripped fault plan the current
+  // aggregator was built with.
+  int live_gpus_ = 0;
+  fault::FaultPlan active_plan_;
+  RecoverySnapshot recovery_;
+  // Batches committed since the last snapshot, replayed after a rollback.
+  std::vector<Batch> replay_;
+  int steps_since_snapshot_ = 0;
+  int recoveries_used_ = 0;
 };
 
 }  // namespace lpsgd

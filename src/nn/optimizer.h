@@ -2,6 +2,7 @@
 #ifndef LPSGD_NN_OPTIMIZER_H_
 #define LPSGD_NN_OPTIMIZER_H_
 
+#include <utility>
 #include <vector>
 
 #include "nn/layer.h"
@@ -23,6 +24,15 @@ class SgdMomentumOptimizer {
   // Applies one update x -= lr * v, with v = momentum * v + grad. `grads[i]`
   // must already hold the (globally averaged) gradient for `params[i]`.
   void Step(const std::vector<ParamRef>& params);
+
+  // Momentum-state access for in-memory recovery snapshots (SyncTrainer's
+  // rollback-and-retry): velocity() copies out the per-parameter buffers,
+  // set_velocity restores them. An empty vector resets to the lazily-sized
+  // initial state.
+  const std::vector<Tensor>& velocity() const { return velocity_; }
+  void set_velocity(std::vector<Tensor> velocity) {
+    velocity_ = std::move(velocity);
+  }
 
  private:
   float learning_rate_;

@@ -51,7 +51,8 @@ int64_t AdaptiveQsgdCodec::EncodedSizeBytes(const Shape& shape) const {
   const BitPacker packer(bits_);
   return NumChunks(shape) * static_cast<int64_t>(sizeof(float)) +
          (level_count_ + 1) * static_cast<int64_t>(sizeof(float)) +
-         packer.WordCount(n) * static_cast<int64_t>(sizeof(uint32_t));
+         packer.WordCount(n) * static_cast<int64_t>(sizeof(uint32_t)) +
+         codec_internal::kWireChecksumBytes;
 }
 
 namespace {
@@ -218,17 +219,20 @@ void AdaptiveQsgdCodec::Encode(const float* grad, const Shape& shape,
     writer.Put((sign << (bits_ - 1)) | level);
   }
   writer.Finish();
+  codec_internal::SealWireBlob(
+      blob, EncodedSizeBytes(shape) - codec_internal::kWireChecksumBytes);
 }
 
 LPSGD_HOT_PATH
-void AdaptiveQsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                               const Shape& shape,
-                               CodecWorkspace* /*workspace*/,
-                               float* out) const {
+Status AdaptiveQsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                                 const Shape& shape,
+                                 CodecWorkspace* /*workspace*/,
+                                 float* out) const {
   codec_internal::CodecObsScope obs_scope("adaptive_qsgd",
                                           /*encode=*/false);
   const int64_t n = shape.element_count();
-  CHECK_EQ(num_bytes, EncodedSizeBytes(shape));
+  LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
+      "adaptive_qsgd", bytes, num_bytes, EncodedSizeBytes(shape)));
   const int64_t buckets = NumChunks(shape);
   const float* scales = FloatsAt(bytes, 0);
   const float* levels =
@@ -252,6 +256,7 @@ void AdaptiveQsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
       out[i] = static_cast<float>(negative ? -magnitude : magnitude);
     }
   }
+  return OkStatus();
 }
 
 }  // namespace lpsgd

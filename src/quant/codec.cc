@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "base/bit_packing.h"
 #include "base/logging.h"
 #include "base/strings.h"
 #include "quant/adaptive_qsgd.h"
@@ -24,10 +25,10 @@ void GradientCodec::Encode(const float* grad, const Shape& shape,
   Encode(grad, shape, stochastic_tag, error, &workspace, out);
 }
 
-void GradientCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                           const Shape& shape, float* out) const {
+Status GradientCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                             const Shape& shape, float* out) const {
   CodecWorkspace workspace;
-  Decode(bytes, num_bytes, shape, &workspace, out);
+  return Decode(bytes, num_bytes, shape, &workspace, out);
 }
 
 std::string CodecSpec::Label() const {
@@ -275,6 +276,35 @@ CodecObsScope::~CodecObsScope() {
   if (encoded_ != nullptr) {
     obs::Count("quant/encode_bytes", static_cast<int64_t>(encoded_->size()));
   }
+}
+
+void SealWireBlob(uint8_t* blob, int64_t payload_bytes) {
+  const uint32_t hash = Fnv1a32(blob, payload_bytes);
+  blob[payload_bytes + 0] = static_cast<uint8_t>(hash & 0xffu);
+  blob[payload_bytes + 1] = static_cast<uint8_t>((hash >> 8) & 0xffu);
+  blob[payload_bytes + 2] = static_cast<uint8_t>((hash >> 16) & 0xffu);
+  blob[payload_bytes + 3] = static_cast<uint8_t>((hash >> 24) & 0xffu);
+}
+
+Status VerifyWireBlob(std::string_view codec, const uint8_t* bytes,
+                      int64_t num_bytes, int64_t expected_bytes) {
+  if (num_bytes != expected_bytes) {
+    if (obs::MetricsEnabled()) obs::Count("comm/checksum_failures");
+    return DataLossError(StrCat(codec, ": encoded blob is ", num_bytes,
+                                " bytes, expected ", expected_bytes));
+  }
+  const int64_t payload_bytes = num_bytes - kWireChecksumBytes;
+  const uint32_t expected_hash =
+      static_cast<uint32_t>(bytes[payload_bytes + 0]) |
+      (static_cast<uint32_t>(bytes[payload_bytes + 1]) << 8) |
+      (static_cast<uint32_t>(bytes[payload_bytes + 2]) << 16) |
+      (static_cast<uint32_t>(bytes[payload_bytes + 3]) << 24);
+  const uint32_t actual_hash = Fnv1a32(bytes, payload_bytes);
+  if (actual_hash != expected_hash) {
+    if (obs::MetricsEnabled()) obs::Count("comm/checksum_failures");
+    return DataLossError(StrCat(codec, ": wire checksum mismatch"));
+  }
+  return OkStatus();
 }
 
 void AppendFloats(const float* values, int64_t count,

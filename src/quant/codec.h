@@ -50,25 +50,31 @@ class GradientCodec {
   // and must not be null or shared across concurrent calls; `out` is
   // overwritten (its capacity is reused). Output bytes are a pure function
   // of (grad, shape, stochastic_tag, error) — never of the workspace's
-  // prior contents.
+  // prior contents. The last codec_internal::kWireChecksumBytes of the
+  // blob are the FNV-1a-32 hash of everything before them (the trailing
+  // integrity word Decode verifies).
   virtual void Encode(const float* grad, const Shape& shape,
                       uint64_t stochastic_tag, std::vector<float>* error,
                       CodecWorkspace* workspace,
                       std::vector<uint8_t>* out) const = 0;
 
   // Decodes `bytes` into `out` (shape.element_count() floats, overwritten).
-  // Same workspace contract as Encode.
-  virtual void Decode(const uint8_t* bytes, int64_t num_bytes,
-                      const Shape& shape, CodecWorkspace* workspace,
-                      float* out) const = 0;
+  // Same workspace contract as Encode. Returns a DataLoss Status — and
+  // leaves `out` untouched — when the blob is mis-sized (truncated,
+  // zero-length, padded) or its trailing integrity word does not match the
+  // payload: a corrupted exchange surfaces as an error instead of decoding
+  // into garbage gradients.
+  virtual Status Decode(const uint8_t* bytes, int64_t num_bytes,
+                        const Shape& shape, CodecWorkspace* workspace,
+                        float* out) const = 0;
 
   // Convenience overloads for call sites without a persistent workspace
   // (tests, one-shot tools): allocate a fresh local workspace per call.
   // Byte-identical to the workspace overloads.
   void Encode(const float* grad, const Shape& shape, uint64_t stochastic_tag,
               std::vector<float>* error, std::vector<uint8_t>* out) const;
-  void Decode(const uint8_t* bytes, int64_t num_bytes, const Shape& shape,
-              float* out) const;
+  Status Decode(const uint8_t* bytes, int64_t num_bytes, const Shape& shape,
+                float* out) const;
 };
 
 enum class CodecKind {
@@ -168,6 +174,25 @@ class CodecObsScope {
   bool active_;
   double start_;
 };
+
+// Every encoded blob ends with a trailing integrity word: the little-endian
+// FNV-1a-32 hash (base/bit_packing.h) of all payload bytes before it.
+// EncodedSizeBytes already includes it.
+inline constexpr int64_t kWireChecksumBytes =
+    static_cast<int64_t>(sizeof(uint32_t));
+
+// Writes the trailing integrity word over blob[payload_bytes, +4). Called
+// by every Encode after the payload is complete.
+void SealWireBlob(uint8_t* blob, int64_t payload_bytes);
+
+// Validates an encoded blob's framing and integrity before decoding:
+// `num_bytes` must equal `expected_bytes` (the codec's EncodedSizeBytes for
+// the shape, checksum included) and the trailing word must match the
+// payload hash. Violations return DataLoss and bump the
+// comm/checksum_failures counter; the blob must not be decoded.
+[[nodiscard]] Status VerifyWireBlob(std::string_view codec,
+                                    const uint8_t* bytes, int64_t num_bytes,
+                                    int64_t expected_bytes);
 
 // Wire-format helpers shared by codec implementations.
 void AppendFloats(const float* values, int64_t count,

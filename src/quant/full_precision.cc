@@ -10,7 +10,8 @@
 namespace lpsgd {
 
 int64_t FullPrecisionCodec::EncodedSizeBytes(const Shape& shape) const {
-  return shape.element_count() * static_cast<int64_t>(sizeof(float));
+  return shape.element_count() * static_cast<int64_t>(sizeof(float)) +
+         codec_internal::kWireChecksumBytes;
 }
 
 int64_t FullPrecisionCodec::NumChunks(const Shape& /*shape*/) const {
@@ -25,22 +26,26 @@ void FullPrecisionCodec::Encode(const float* grad, const Shape& shape,
                                 std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("full_precision", /*encode=*/true,
                                           out);
-  const size_t bytes =
-      static_cast<size_t>(shape.element_count()) * sizeof(float);
-  uint8_t* blob = quant_internal::EnsureSize(out, bytes);
-  std::memcpy(blob, grad, bytes);
+  const int64_t payload =
+      shape.element_count() * static_cast<int64_t>(sizeof(float));
+  uint8_t* blob = quant_internal::EnsureSize(
+      out, static_cast<size_t>(EncodedSizeBytes(shape)));
+  std::memcpy(blob, grad, static_cast<size_t>(payload));
+  codec_internal::SealWireBlob(blob, payload);
 }
 
 LPSGD_HOT_PATH
-void FullPrecisionCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                                const Shape& shape,
-                                CodecWorkspace* /*workspace*/,
-                                float* out) const {
+Status FullPrecisionCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                                  const Shape& shape,
+                                  CodecWorkspace* /*workspace*/,
+                                  float* out) const {
   codec_internal::CodecObsScope obs_scope("full_precision",
                                           /*encode=*/false);
   const int64_t n = shape.element_count();
-  CHECK_EQ(num_bytes, n * static_cast<int64_t>(sizeof(float)));
-  std::memcpy(out, bytes, static_cast<size_t>(num_bytes));
+  LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
+      "full_precision", bytes, num_bytes, EncodedSizeBytes(shape)));
+  std::memcpy(out, bytes, static_cast<size_t>(n) * sizeof(float));
+  return OkStatus();
 }
 
 }  // namespace lpsgd

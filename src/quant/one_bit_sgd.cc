@@ -51,7 +51,8 @@ int64_t OneBitSgdCodec::EncodedSizeBytes(const Shape& shape) const {
   const int64_t cols = shape.cols();
   const int64_t words_per_col = (rows + 31) / 32;
   return cols * (2 * static_cast<int64_t>(sizeof(float)) +
-                 words_per_col * static_cast<int64_t>(sizeof(uint32_t)));
+                 words_per_col * static_cast<int64_t>(sizeof(uint32_t))) +
+         codec_internal::kWireChecksumBytes;
 }
 
 int64_t OneBitSgdCodec::NumChunks(const Shape& shape) const {
@@ -111,16 +112,20 @@ void OneBitSgdCodec::Encode(const float* grad, const Shape& shape,
       }
     }
   }
+  codec_internal::SealWireBlob(
+      blob, EncodedSizeBytes(shape) - codec_internal::kWireChecksumBytes);
 }
 
 LPSGD_HOT_PATH
-void OneBitSgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                            const Shape& shape, CodecWorkspace* /*workspace*/,
-                            float* out) const {
+Status OneBitSgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                              const Shape& shape,
+                              CodecWorkspace* /*workspace*/,
+                              float* out) const {
   codec_internal::CodecObsScope obs_scope("one_bit_sgd", /*encode=*/false);
   const int64_t rows = shape.rows();
   const int64_t cols = shape.cols();
-  CHECK_EQ(num_bytes, EncodedSizeBytes(shape));
+  LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
+      "one_bit_sgd", bytes, num_bytes, EncodedSizeBytes(shape)));
   const float* scales = FloatsAt(bytes, 0);
   const int64_t words_per_col = (rows + 31) / 32;
   const uint32_t* bits =
@@ -135,6 +140,7 @@ void OneBitSgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
       out[r * cols + c] = positive ? avg_pos : avg_neg;
     }
   }
+  return OkStatus();
 }
 
 OneBitSgdReshapedCodec::OneBitSgdReshapedCodec(int64_t bucket_size,
@@ -151,7 +157,8 @@ int64_t OneBitSgdReshapedCodec::EncodedSizeBytes(const Shape& shape) const {
   const int64_t n = shape.element_count();
   const int64_t buckets = (n + bucket_size_ - 1) / bucket_size_;
   return buckets * 2 * static_cast<int64_t>(sizeof(float)) +
-         ((n + 31) / 32) * static_cast<int64_t>(sizeof(uint32_t));
+         ((n + 31) / 32) * static_cast<int64_t>(sizeof(uint32_t)) +
+         codec_internal::kWireChecksumBytes;
 }
 
 int64_t OneBitSgdReshapedCodec::NumChunks(const Shape& shape) const {
@@ -209,17 +216,20 @@ void OneBitSgdReshapedCodec::Encode(const float* grad, const Shape& shape,
       }
     }
   }
+  codec_internal::SealWireBlob(
+      blob, EncodedSizeBytes(shape) - codec_internal::kWireChecksumBytes);
 }
 
 LPSGD_HOT_PATH
-void OneBitSgdReshapedCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                                    const Shape& shape,
-                                    CodecWorkspace* /*workspace*/,
-                                    float* out) const {
+Status OneBitSgdReshapedCodec::Decode(const uint8_t* bytes,
+                                      int64_t num_bytes, const Shape& shape,
+                                      CodecWorkspace* /*workspace*/,
+                                      float* out) const {
   codec_internal::CodecObsScope obs_scope("one_bit_sgd_reshaped",
                                           /*encode=*/false);
   const int64_t n = shape.element_count();
-  CHECK_EQ(num_bytes, EncodedSizeBytes(shape));
+  LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
+      "one_bit_sgd_reshaped", bytes, num_bytes, EncodedSizeBytes(shape)));
   const int64_t buckets = NumChunks(shape);
   const float* scales = FloatsAt(bytes, 0);
   const uint32_t* bits =
@@ -234,6 +244,7 @@ void OneBitSgdReshapedCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
       out[i] = SignBitAt(bits, i) ? avg_pos : avg_neg;
     }
   }
+  return OkStatus();
 }
 
 }  // namespace lpsgd

@@ -46,7 +46,8 @@ int64_t QsgdCodec::EncodedSizeBytes(const Shape& shape) const {
   const int64_t buckets = NumChunks(shape);
   const BitPacker packer(bits_);
   return buckets * static_cast<int64_t>(sizeof(float)) +
-         packer.WordCount(n) * static_cast<int64_t>(sizeof(uint32_t));
+         packer.WordCount(n) * static_cast<int64_t>(sizeof(uint32_t)) +
+         codec_internal::kWireChecksumBytes;
 }
 
 int64_t QsgdCodec::NumChunks(const Shape& shape) const {
@@ -126,15 +127,18 @@ void QsgdCodec::Encode(const float* grad, const Shape& shape,
     }
   }
   writer.Finish();
+  codec_internal::SealWireBlob(
+      blob, EncodedSizeBytes(shape) - codec_internal::kWireChecksumBytes);
 }
 
 LPSGD_HOT_PATH
-void QsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                       const Shape& shape, CodecWorkspace* workspace,
-                       float* out) const {
+Status QsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                         const Shape& shape, CodecWorkspace* workspace,
+                         float* out) const {
   codec_internal::CodecObsScope obs_scope("qsgd", /*encode=*/false);
   const int64_t n = shape.element_count();
-  CHECK_EQ(num_bytes, EncodedSizeBytes(shape));
+  LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
+      "qsgd", bytes, num_bytes, EncodedSizeBytes(shape)));
   const int64_t buckets = NumChunks(shape);
   const float* scales = FloatsAt(bytes, 0);
   BitReader reader(
@@ -174,6 +178,7 @@ void QsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
       }
     }
   }
+  return OkStatus();
 }
 
 }  // namespace lpsgd

@@ -36,7 +36,8 @@ int64_t TopKCodec::KeptCount(int64_t n) const {
 int64_t TopKCodec::EncodedSizeBytes(const Shape& shape) const {
   const int64_t k = KeptCount(shape.element_count());
   return static_cast<int64_t>(sizeof(uint32_t)) +
-         k * static_cast<int64_t>(sizeof(uint32_t) + sizeof(float));
+         k * static_cast<int64_t>(sizeof(uint32_t) + sizeof(float)) +
+         codec_internal::kWireChecksumBytes;
 }
 
 int64_t TopKCodec::NumChunks(const Shape& /*shape*/) const {
@@ -100,30 +101,42 @@ void TopKCodec::Encode(const float* grad, const Shape& shape,
       (*error)[static_cast<size_t>(order[static_cast<size_t>(i)])] = 0.0f;
     }
   }
+  codec_internal::SealWireBlob(
+      blob, EncodedSizeBytes(shape) - codec_internal::kWireChecksumBytes);
 }
 
 LPSGD_HOT_PATH
-void TopKCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                       const Shape& shape, CodecWorkspace* /*workspace*/,
-                       float* out) const {
+Status TopKCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                         const Shape& shape, CodecWorkspace* /*workspace*/,
+                         float* out) const {
   codec_internal::CodecObsScope obs_scope("topk", /*encode=*/false);
   const int64_t n = shape.element_count();
-  CHECK_GE(num_bytes, static_cast<int64_t>(sizeof(uint32_t)));
+  LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
+      "topk", bytes, num_bytes, EncodedSizeBytes(shape)));
+  // The checksum is 32 bits, so collisions are possible: re-validate the
+  // framing fields before touching `out` (which must stay intact on error).
   const uint32_t count = *WordsAt(bytes, 0);
-  CHECK_EQ(num_bytes,
-           static_cast<int64_t>(sizeof(uint32_t)) +
-               static_cast<int64_t>(count) *
-                   static_cast<int64_t>(sizeof(uint32_t) + sizeof(float)));
+  const int64_t k = KeptCount(n);
+  if (static_cast<int64_t>(count) != k) {
+    return DataLossError(StrCat("topk: blob claims ", count,
+                                " components, expected ", k));
+  }
   const uint32_t* indices = WordsAt(bytes, sizeof(uint32_t));
   const float* values =
       FloatsAt(bytes, static_cast<int64_t>(sizeof(uint32_t)) +
                           static_cast<int64_t>(count) * sizeof(uint32_t));
+  for (uint32_t i = 0; i < count; ++i) {
+    if (static_cast<int64_t>(indices[i]) >= n) {
+      return DataLossError(StrCat("topk: component index ", indices[i],
+                                  " out of range for ", n, " elements"));
+    }
+  }
 
   std::fill(out, out + n, 0.0f);
   for (uint32_t i = 0; i < count; ++i) {
-    CHECK_LT(static_cast<int64_t>(indices[i]), n);
     out[indices[i]] = values[i];
   }
+  return OkStatus();
 }
 
 }  // namespace lpsgd

@@ -34,8 +34,8 @@ class TopKCodec : public GradientCodec {
   void Encode(const float* grad, const Shape& shape, uint64_t stochastic_tag,
               std::vector<float>* error, CodecWorkspace* workspace,
               std::vector<uint8_t>* out) const override;
-  void Decode(const uint8_t* bytes, int64_t num_bytes, const Shape& shape,
-              CodecWorkspace* workspace, float* out) const override;
+  Status Decode(const uint8_t* bytes, int64_t num_bytes, const Shape& shape,
+                CodecWorkspace* workspace, float* out) const override;
 
   double density() const { return density_; }
 

@@ -1,0 +1,289 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Seeded chaos runs (ISSUE: deterministic fault injection and recovery):
+// a training run that survives stragglers, transient exchange failures,
+// and corrupted wire bytes via retry + rollback-and-replay must end in a
+// final checkpoint bit-equal to the fault-free run, with every recovery
+// metric matching the fault plan exactly. A rank crash instead degrades
+// to the survivors and completes.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+#include "obs/metrics.h"
+
+namespace lpsgd {
+namespace {
+
+SyntheticImageDataset MakeImages(int64_t n, int64_t offset = 0) {
+  SyntheticImageOptions options;
+  options.num_classes = 4;
+  options.channels = 1;
+  options.height = 4;
+  options.width = 4;
+  options.num_samples = n;
+  options.signal = 2.0f;
+  options.noise = 0.5f;
+  options.sample_offset = offset;
+  return SyntheticImageDataset(options);
+}
+
+SyncTrainer::NetworkFactory MlpFactory() {
+  return [](uint64_t seed) { return BuildMlp({16, 12, 4}, seed); };
+}
+
+TrainerOptions BaseOptions(const CodecSpec& codec, CommPrimitive primitive) {
+  TrainerOptions options;
+  options.num_gpus = 4;
+  options.global_batch_size = 32;
+  options.learning_rate = 0.05f;
+  options.codec = codec;
+  options.primitive = primitive;
+  options.seed = 7;
+  options.execution = ExecutionContext::Serial();
+  return options;
+}
+
+struct RunResult {
+  std::vector<EpochMetrics> metrics;
+  std::string checkpoint;
+  int live_gpus = 0;
+};
+
+// Runs `epochs` epochs and returns the metrics plus the final checkpoint
+// bytes. Fails the test (and returns empty) if anything errors.
+RunResult RunTraining(TrainerOptions options, const Dataset& train,
+                      const Dataset& test, int epochs) {
+  auto trainer = SyncTrainer::Create(MlpFactory(), options);
+  EXPECT_TRUE(trainer.ok()) << trainer.status();
+  if (!trainer.ok()) return {};
+  auto metrics = (*trainer)->Train(train, test, epochs);
+  EXPECT_TRUE(metrics.ok()) << metrics.status();
+  if (!metrics.ok()) return {};
+  std::ostringstream checkpoint;
+  EXPECT_TRUE((*trainer)->SaveCheckpoint(checkpoint).ok());
+  return RunResult{*std::move(metrics), checkpoint.str(),
+                   (*trainer)->live_gpus()};
+}
+
+// Counter deltas around one chaos run, with the global registry enabled
+// for the duration (it starts disabled; restored afterwards).
+struct FaultCounters {
+  int64_t injected = 0;
+  int64_t retries = 0;
+  int64_t rollbacks = 0;
+  int64_t checksum_failures = 0;
+
+  static FaultCounters Snapshot() {
+    const auto& registry = obs::MetricsRegistry::Global();
+    return FaultCounters{registry.CounterValue("fault/injected"),
+                         registry.CounterValue("comm/retries"),
+                         registry.CounterValue("trainer/rollbacks"),
+                         registry.CounterValue("comm/checksum_failures")};
+  }
+
+  FaultCounters Since(const FaultCounters& before) const {
+    return FaultCounters{injected - before.injected,
+                         retries - before.retries,
+                         rollbacks - before.rollbacks,
+                         checksum_failures - before.checksum_failures};
+  }
+};
+
+class MetricsGuard {
+ public:
+  MetricsGuard() : was_(obs::MetricsRegistry::Global().enabled()) {
+    obs::MetricsRegistry::Global().set_enabled(true);
+  }
+  ~MetricsGuard() { obs::MetricsRegistry::Global().set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+// The quality metrics (loss/accuracy per epoch) must be exactly equal;
+// communication accounting legitimately differs (retries, replay, and
+// straggler delays all cost extra virtual time and bytes).
+void ExpectSameLearningCurve(const std::vector<EpochMetrics>& fault_free,
+                             const std::vector<EpochMetrics>& recovered) {
+  ASSERT_EQ(fault_free.size(), recovered.size());
+  for (size_t e = 0; e < fault_free.size(); ++e) {
+    SCOPED_TRACE(e);
+    EXPECT_DOUBLE_EQ(fault_free[e].train_loss, recovered[e].train_loss);
+    EXPECT_DOUBLE_EQ(fault_free[e].train_accuracy,
+                     recovered[e].train_accuracy);
+    EXPECT_DOUBLE_EQ(fault_free[e].test_loss, recovered[e].test_loss);
+    EXPECT_DOUBLE_EQ(fault_free[e].test_accuracy,
+                     recovered[e].test_accuracy);
+  }
+}
+
+struct ChaosConfig {
+  const char* name;
+  CodecSpec codec;
+  CommPrimitive primitive;
+};
+
+class ChaosRecoveryTest : public ::testing::TestWithParam<ChaosConfig> {};
+
+// 128 samples / batch 32 = 4 iterations per epoch; 2 epochs = iterations
+// 0..7. The plan strikes a straggler at 2, two consecutive transient
+// failures at 3 (which with max_retries=1 exhausts the exchange budget
+// and forces a trainer rollback), and one corrupted exchange at 5 (which
+// a single retry absorbs). Exact expected accounting:
+//   fault/injected          5  (straggle twice: original + replay;
+//                               fail twice; corrupt once)
+//   comm/retries            2  (one failed retry at 3, one good at 5)
+//   trainer/rollbacks       1  (budget exhausted at iteration 3)
+//   comm/checksum_failures  1  (the corruption probe's decode)
+TEST_P(ChaosRecoveryTest, RecoveredRunIsBitEqualToFaultFreeRun) {
+  MetricsGuard metrics;
+  const auto train = MakeImages(128);
+  const auto test = MakeImages(64, 1 << 20);
+  const ChaosConfig& config = GetParam();
+
+  const RunResult fault_free = RunTraining(
+      BaseOptions(config.codec, config.primitive), train, test, 2);
+  ASSERT_FALSE(fault_free.checkpoint.empty());
+
+  TrainerOptions faulted = BaseOptions(config.codec, config.primitive);
+  auto plan = fault::FaultPlan::Parse("straggle@2:0.5;fail@3x2;corrupt@5");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  faulted.fault_tolerance.plan = *plan;
+  faulted.fault_tolerance.retry.max_retries = 1;
+  faulted.fault_tolerance.checkpoint_every = 2;
+
+  const FaultCounters before = FaultCounters::Snapshot();
+  const RunResult recovered = RunTraining(faulted, train, test, 2);
+  const FaultCounters delta = FaultCounters::Snapshot().Since(before);
+
+  EXPECT_EQ(recovered.checkpoint, fault_free.checkpoint)
+      << "recovery did not reproduce the fault-free parameters bit-for-bit";
+  ExpectSameLearningCurve(fault_free.metrics, recovered.metrics);
+  EXPECT_EQ(recovered.live_gpus, 4);
+
+  EXPECT_EQ(delta.injected, 5);
+  EXPECT_EQ(delta.retries, 2);
+  EXPECT_EQ(delta.rollbacks, 1);
+  EXPECT_EQ(delta.checksum_failures, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fabrics, ChaosRecoveryTest,
+    ::testing::Values(
+        ChaosConfig{"Fp32Mpi", FullPrecisionSpec(), CommPrimitive::kMpi},
+        ChaosConfig{"Fp32Nccl", FullPrecisionSpec(), CommPrimitive::kNccl},
+        ChaosConfig{"Qsgd4Mpi", QsgdSpec(4), CommPrimitive::kMpi},
+        ChaosConfig{"Qsgd4Nccl", QsgdSpec(4), CommPrimitive::kNccl}),
+    [](const ::testing::TestParamInfo<ChaosConfig>& info) {
+      return info.param.name;
+    });
+
+// Replaying the identical seed and plan must reproduce the identical run:
+// checkpoints and learning curves are bit-equal between two chaos runs.
+TEST(ChaosRecoveryTest, SameSeedReplaysIdentically) {
+  MetricsGuard metrics;
+  const auto train = MakeImages(128);
+  const auto test = MakeImages(64, 1 << 20);
+
+  TrainerOptions options = BaseOptions(QsgdSpec(4), CommPrimitive::kMpi);
+  auto plan = fault::FaultPlan::Parse("straggle@2:0.5;fail@3x2;corrupt@5");
+  ASSERT_TRUE(plan.ok());
+  options.fault_tolerance.plan = *plan;
+  options.fault_tolerance.retry.max_retries = 1;
+  options.fault_tolerance.checkpoint_every = 2;
+
+  const RunResult first = RunTraining(options, train, test, 2);
+  const RunResult second = RunTraining(options, train, test, 2);
+  ASSERT_FALSE(first.checkpoint.empty());
+  EXPECT_EQ(first.checkpoint, second.checkpoint);
+  ExpectSameLearningCurve(first.metrics, second.metrics);
+}
+
+// A rank crash at iteration 5 (epoch 2) aborts the exchange; the trainer
+// drops the dead rank, rolls back to the epoch's snapshot, replays, and
+// finishes on the 3 survivors. Exactly one injection (the ABORTED
+// exchange) and one rollback; the rebuilt aggregator has the satisfied
+// crash stripped, so nothing fires again.
+TEST(ChaosRecoveryTest, RankCrashDegradesToSurvivors) {
+  MetricsGuard metrics;
+  const auto train = MakeImages(128);
+  const auto test = MakeImages(64, 1 << 20);
+
+  TrainerOptions options = BaseOptions(QsgdSpec(4), CommPrimitive::kMpi);
+  auto plan = fault::FaultPlan::Parse("crash@5:1");
+  ASSERT_TRUE(plan.ok());
+  options.fault_tolerance.plan = *plan;
+  options.fault_tolerance.retry.max_retries = 1;
+  options.fault_tolerance.checkpoint_every = 2;
+
+  const FaultCounters before = FaultCounters::Snapshot();
+  const RunResult result = RunTraining(options, train, test, 2);
+  const FaultCounters delta = FaultCounters::Snapshot().Since(before);
+
+  ASSERT_EQ(result.metrics.size(), 2u);
+  EXPECT_EQ(result.live_gpus, 3);
+  ASSERT_FALSE(result.checkpoint.empty());
+  // Both epochs trained on real data (batches re-trimmed to multiples of
+  // the 3 survivors after the drop).
+  EXPECT_GT(result.metrics[1].train_accuracy, 0.0);
+
+  EXPECT_EQ(delta.injected, 1);
+  EXPECT_EQ(delta.rollbacks, 1);
+  EXPECT_EQ(delta.retries, 0);
+  EXPECT_EQ(delta.checksum_failures, 0);
+}
+
+// Without checkpoints (and without retry budget) a crash still degrades:
+// the failed iteration committed nothing, so the trainer just drops the
+// rank and re-runs the current batch on the survivors.
+TEST(ChaosRecoveryTest, RankCrashRecoversWithoutCheckpoints) {
+  MetricsGuard metrics;
+  const auto train = MakeImages(128);
+  const auto test = MakeImages(64, 1 << 20);
+
+  TrainerOptions options = BaseOptions(FullPrecisionSpec(),
+                                       CommPrimitive::kMpi);
+  auto plan = fault::FaultPlan::Parse("crash@2:0");
+  ASSERT_TRUE(plan.ok());
+  options.fault_tolerance.plan = *plan;
+
+  const FaultCounters before = FaultCounters::Snapshot();
+  const RunResult result = RunTraining(options, train, test, 2);
+  const FaultCounters delta = FaultCounters::Snapshot().Since(before);
+
+  ASSERT_EQ(result.metrics.size(), 2u);
+  EXPECT_EQ(result.live_gpus, 3);
+  EXPECT_EQ(delta.injected, 1);
+  EXPECT_EQ(delta.rollbacks, 0);
+  EXPECT_EQ(delta.retries, 0);
+}
+
+// Disabling degrade-to-survivors turns the crash into a hard run failure.
+TEST(ChaosRecoveryTest, CrashFailsRunWhenDegradeDisabled) {
+  const auto train = MakeImages(128);
+  const auto test = MakeImages(64, 1 << 20);
+
+  TrainerOptions options = BaseOptions(FullPrecisionSpec(),
+                                       CommPrimitive::kMpi);
+  auto plan = fault::FaultPlan::Parse("crash@1:2");
+  ASSERT_TRUE(plan.ok());
+  options.fault_tolerance.plan = *plan;
+  options.fault_tolerance.degrade_to_survivors = false;
+
+  auto trainer = SyncTrainer::Create(MlpFactory(), options);
+  ASSERT_TRUE(trainer.ok()) << trainer.status();
+  auto metrics = (*trainer)->Train(train, test, 1);
+  ASSERT_FALSE(metrics.ok());
+  int rank = -1;
+  EXPECT_TRUE(fault::IsRankCrash(metrics.status(), &rank));
+  EXPECT_EQ(rank, 2);
+}
+
+}  // namespace
+}  // namespace lpsgd

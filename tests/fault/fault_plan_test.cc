@@ -1,0 +1,140 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// FaultPlan grammar: Parse/ToString round-trips, canonical forms, error
+// reporting, and the crash-event helpers the trainer's recovery path uses.
+#include "fault/fault_plan.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lpsgd {
+namespace fault {
+namespace {
+
+TEST(FaultPlanTest, ParsesEveryDirectiveKind) {
+  auto plan =
+      FaultPlan::Parse("straggle@3:0.5;fail@5x2;corrupt@7;crash@9:1;seed=42");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->events.size(), 4u);
+
+  EXPECT_EQ(plan->events[0].kind, FaultKind::kStraggle);
+  EXPECT_EQ(plan->events[0].iteration, 3);
+  EXPECT_DOUBLE_EQ(plan->events[0].delay_seconds, 0.5);
+
+  EXPECT_EQ(plan->events[1].kind, FaultKind::kTransientFail);
+  EXPECT_EQ(plan->events[1].iteration, 5);
+  EXPECT_EQ(plan->events[1].count, 2);
+
+  EXPECT_EQ(plan->events[2].kind, FaultKind::kCorruptWire);
+  EXPECT_EQ(plan->events[2].iteration, 7);
+  EXPECT_EQ(plan->events[2].count, 1);
+
+  EXPECT_EQ(plan->events[3].kind, FaultKind::kRankCrash);
+  EXPECT_EQ(plan->events[3].iteration, 9);
+  EXPECT_EQ(plan->events[3].rank, 1);
+
+  EXPECT_EQ(plan->seed, 42u);
+  EXPECT_FALSE(plan->empty());
+}
+
+TEST(FaultPlanTest, ToStringRoundTripsExactly) {
+  const std::string specs[] = {
+      "straggle@3:0.5;fail@5x2;corrupt@7;crash@9:1;seed=42",
+      "fail@0",
+      "corrupt@12x3",
+      "straggle@1:0.25;straggle@2:0.25",
+      "crash@100:7",
+  };
+  for (const std::string& spec : specs) {
+    SCOPED_TRACE(spec);
+    auto plan = FaultPlan::Parse(spec);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    const std::string canonical = plan->ToString();
+    auto reparsed = FaultPlan::Parse(canonical);
+    ASSERT_TRUE(reparsed.ok())
+        << "ToString produced unparseable \"" << canonical
+        << "\": " << reparsed.status();
+    EXPECT_EQ(reparsed->ToString(), canonical);
+    ASSERT_EQ(reparsed->events.size(), plan->events.size());
+    for (size_t i = 0; i < plan->events.size(); ++i) {
+      EXPECT_EQ(reparsed->events[i].kind, plan->events[i].kind);
+      EXPECT_EQ(reparsed->events[i].iteration, plan->events[i].iteration);
+      EXPECT_EQ(reparsed->events[i].count, plan->events[i].count);
+      EXPECT_DOUBLE_EQ(reparsed->events[i].delay_seconds,
+                       plan->events[i].delay_seconds);
+      EXPECT_EQ(reparsed->events[i].rank, plan->events[i].rank);
+    }
+    EXPECT_EQ(reparsed->seed, plan->seed);
+  }
+}
+
+TEST(FaultPlanTest, CanonicalFormOmitsDefaults) {
+  // A count of 1 and the default seed are not spelled out.
+  auto plan = FaultPlan::Parse("fail@4x1");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->ToString(), "fail@4");
+
+  auto seeded = FaultPlan::Parse("fail@4;seed=9");
+  ASSERT_TRUE(seeded.ok());
+  EXPECT_EQ(seeded->ToString(), "fail@4;seed=9");
+}
+
+TEST(FaultPlanTest, EmptyTextIsEmptyPlan) {
+  auto plan = FaultPlan::Parse("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+  EXPECT_EQ(plan->ToString(), "");
+}
+
+TEST(FaultPlanTest, RejectsMalformedDirectives) {
+  const std::string bad[] = {
+      "fail",            // missing @<iter>
+      "fail@",           // missing iteration
+      "fail@x2",         // missing iteration
+      "fail@-1",         // negative iteration
+      "fail@3x0",        // zero count
+      "fail@3x-2",       // negative count
+      "straggle@3",      // missing :<seconds>
+      "straggle@3:-1",   // negative delay
+      "crash@3",         // missing :<rank>
+      "crash@3:-1",      // negative rank
+      "explode@3",       // unknown kind
+      "seed=",           // missing value
+      "seed=banana",     // non-numeric seed
+      "knob=3",          // unknown key
+  };
+  for (const std::string& spec : bad) {
+    SCOPED_TRACE(spec);
+    EXPECT_FALSE(FaultPlan::Parse(spec).ok());
+  }
+}
+
+TEST(FaultPlanTest, WithoutCrashesDropsOnlyCrashEvents) {
+  auto plan = FaultPlan::Parse("fail@2;crash@4:0;corrupt@6;crash@8:1;seed=5");
+  ASSERT_TRUE(plan.ok());
+  FaultPlan survivors = plan->WithoutCrashes();
+  ASSERT_EQ(survivors.events.size(), 2u);
+  EXPECT_EQ(survivors.events[0].kind, FaultKind::kTransientFail);
+  EXPECT_EQ(survivors.events[0].iteration, 2);
+  EXPECT_EQ(survivors.events[1].kind, FaultKind::kCorruptWire);
+  EXPECT_EQ(survivors.events[1].iteration, 6);
+  EXPECT_EQ(survivors.seed, 5u) << "seed must survive the crash filter";
+}
+
+TEST(FaultPlanTest, RankCrashErrorRoundTrips) {
+  const Status crash = RankCrashError(3);
+  EXPECT_FALSE(crash.ok());
+  int rank = -1;
+  EXPECT_TRUE(IsRankCrash(crash, &rank));
+  EXPECT_EQ(rank, 3);
+
+  int untouched = -1;
+  EXPECT_FALSE(IsRankCrash(OkStatus(), &untouched));
+  EXPECT_FALSE(IsRankCrash(InternalError("unrelated"), &untouched));
+  EXPECT_EQ(untouched, -1);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace lpsgd

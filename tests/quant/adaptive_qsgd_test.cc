@@ -8,6 +8,7 @@
 #include "base/rng.h"
 #include "quant/qsgd.h"
 #include "tensor/tensor.h"
+#include "base/logging.h"
 
 namespace lpsgd {
 namespace {
@@ -19,8 +20,8 @@ std::vector<float> EncodeDecode(const GradientCodec& codec,
   EXPECT_EQ(static_cast<int64_t>(blob.size()),
             codec.EncodedSizeBytes(grad.shape()));
   std::vector<float> decoded(static_cast<size_t>(grad.size()));
-  codec.Decode(blob.data(), static_cast<int64_t>(blob.size()), grad.shape(),
-               decoded.data());
+  CHECK_OK(codec.Decode(blob.data(), static_cast<int64_t>(blob.size()), grad.shape(),
+               decoded.data()));
   return decoded;
 }
 

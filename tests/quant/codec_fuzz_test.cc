@@ -99,8 +99,11 @@ TEST(CodecFuzzTest, WireContractHoldsForRandomInputs) {
         << spec.Label() << " shape " << shape.ToString();
 
     std::vector<float> decoded(static_cast<size_t>(n));
-    (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
-                     decoded.data());
+    ASSERT_TRUE((*codec)
+                    ->Decode(blob.data(), static_cast<int64_t>(blob.size()),
+                             shape, decoded.data())
+                    .ok())
+        << spec.Label() << " trial " << trial;
 
     // Every codec's decoded magnitudes are bounded by its chunk scale,
     // which never exceeds the gradient's L2 norm.
@@ -161,13 +164,17 @@ TEST(CodecFuzzTest, QuantizedDecodeIsIdempotentForDeterministicCodecs) {
   std::vector<uint8_t> blob;
   (*codec)->Encode(grad.data(), shape, 0, nullptr, &blob);
   std::vector<float> once(96);
-  (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
-                   once.data());
+  ASSERT_TRUE((*codec)
+                  ->Decode(blob.data(), static_cast<int64_t>(blob.size()),
+                           shape, once.data())
+                  .ok());
 
   (*codec)->Encode(once.data(), shape, 1, nullptr, &blob);
   std::vector<float> twice(96);
-  (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
-                   twice.data());
+  ASSERT_TRUE((*codec)
+                  ->Decode(blob.data(), static_cast<int64_t>(blob.size()),
+                           shape, twice.data())
+                  .ok());
   for (int i = 0; i < 96; ++i) {
     EXPECT_FLOAT_EQ(once[static_cast<size_t>(i)],
                     twice[static_cast<size_t>(i)])

@@ -5,6 +5,7 @@
 
 #include "base/rng.h"
 #include "tensor/tensor.h"
+#include "base/logging.h"
 
 namespace lpsgd {
 namespace {
@@ -64,11 +65,11 @@ TEST(FullPrecisionCodecTest, RoundTripsExactly) {
   (*codec)->Encode(grad.data(), shape, 0, nullptr, &blob);
   EXPECT_EQ(static_cast<int64_t>(blob.size()),
             (*codec)->EncodedSizeBytes(shape));
-  EXPECT_EQ(blob.size(), 7u * 5u * 4u);
+  EXPECT_EQ(blob.size(), 7u * 5u * 4u + 4u);  // payload + checksum word
 
   std::vector<float> decoded(35);
-  (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
-                   decoded.data());
+  CHECK_OK((*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
+                   decoded.data()));
   for (int64_t i = 0; i < 35; ++i) {
     EXPECT_EQ(decoded[static_cast<size_t>(i)], grad.at(i));
   }
@@ -87,7 +88,8 @@ TEST(EncodedSizeTest, QsgdSizeFormula) {
     const int64_t buckets = (n + bucket - 1) / bucket;
     const int64_t per_word = 32 / bits;
     const int64_t words = (n + per_word - 1) / per_word;
-    EXPECT_EQ((*codec)->EncodedSizeBytes(shape), buckets * 4 + words * 4)
+    EXPECT_EQ((*codec)->EncodedSizeBytes(shape),
+              buckets * 4 + words * 4 + codec_internal::kWireChecksumBytes)
         << bits;
   }
 }
@@ -98,17 +100,20 @@ TEST(EncodedSizeTest, OneBitColumnSizeFormula) {
   // Dense-like matrix: rows=4096, cols=100: per column 2 floats +
   // ceil(4096/32) words.
   EXPECT_EQ((*codec)->EncodedSizeBytes(Shape({4096, 100})),
-            100 * (8 + (4096 / 32) * 4));
+            100 * (8 + (4096 / 32) * 4) +
+                codec_internal::kWireChecksumBytes);
   // Conv-like matrix: rows=3: per column 2 floats + 1 word = 12 bytes for
   // 3 values — NO compression at all (the Section 3.2 artefact) ...
   const Shape conv({3, 1000});
-  EXPECT_EQ((*codec)->EncodedSizeBytes(conv), 1000 * 12);
+  EXPECT_EQ((*codec)->EncodedSizeBytes(conv),
+            1000 * 12 + codec_internal::kWireChecksumBytes);
   EXPECT_GE((*codec)->EncodedSizeBytes(conv), conv.element_count() * 4);
   // ... and on 1x1 convolutions (rows = 1, e.g. ResNet bottlenecks) the
   // "compressed" form is 3x LARGER than full precision.
   const Shape one_by_one({1, 1000});
   EXPECT_EQ((*codec)->EncodedSizeBytes(one_by_one),
-            3 * one_by_one.element_count() * 4);
+            3 * one_by_one.element_count() * 4 +
+                codec_internal::kWireChecksumBytes);
 }
 
 TEST(EncodedSizeTest, ReshapedOneBitBeatsColumnVariantOnConvShapes) {

@@ -8,6 +8,7 @@
 
 #include "base/rng.h"
 #include "tensor/tensor.h"
+#include "base/logging.h"
 
 namespace lpsgd {
 namespace {
@@ -16,8 +17,8 @@ std::vector<float> Decode(const GradientCodec& codec,
                           const std::vector<uint8_t>& blob,
                           const Shape& shape) {
   std::vector<float> decoded(static_cast<size_t>(shape.element_count()));
-  codec.Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
-               decoded.data());
+  CHECK_OK(codec.Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
+               decoded.data()));
   return decoded;
 }
 

@@ -7,6 +7,7 @@
 
 #include "base/rng.h"
 #include "tensor/tensor.h"
+#include "base/logging.h"
 
 namespace lpsgd {
 namespace {
@@ -30,8 +31,8 @@ std::vector<float> EncodeDecode(const GradientCodec& codec,
   std::vector<uint8_t> blob;
   codec.Encode(grad.data(), grad.shape(), tag, nullptr, &blob);
   std::vector<float> decoded(static_cast<size_t>(grad.size()));
-  codec.Decode(blob.data(), static_cast<int64_t>(blob.size()), grad.shape(),
-               decoded.data());
+  CHECK_OK(codec.Decode(blob.data(), static_cast<int64_t>(blob.size()), grad.shape(),
+               decoded.data()));
   return decoded;
 }
 

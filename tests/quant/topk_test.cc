@@ -7,6 +7,7 @@
 
 #include "base/rng.h"
 #include "tensor/tensor.h"
+#include "base/logging.h"
 
 namespace lpsgd {
 namespace {
@@ -18,8 +19,8 @@ std::vector<float> EncodeDecode(const TopKCodec& codec, const Tensor& grad,
   EXPECT_EQ(static_cast<int64_t>(blob.size()),
             codec.EncodedSizeBytes(grad.shape()));
   std::vector<float> decoded(static_cast<size_t>(grad.size()));
-  codec.Decode(blob.data(), static_cast<int64_t>(blob.size()), grad.shape(),
-               decoded.data());
+  CHECK_OK(codec.Decode(blob.data(), static_cast<int64_t>(blob.size()), grad.shape(),
+               decoded.data()));
   return decoded;
 }
 
@@ -48,7 +49,8 @@ TEST(TopKCodecTest, KeptCountAtLeastOne) {
 TEST(TopKCodecTest, EncodedSizeFormula) {
   TopKCodec codec(0.1, false);
   // n=1000 -> k=100 -> 4 + 100*8 bytes.
-  EXPECT_EQ(codec.EncodedSizeBytes(Shape({1000})), 4 + 100 * 8);
+  EXPECT_EQ(codec.EncodedSizeBytes(Shape({1000})),
+            4 + 100 * 8 + codec_internal::kWireChecksumBytes);
 }
 
 TEST(TopKCodecTest, DensityOneIsLossless) {
@@ -62,7 +64,8 @@ TEST(TopKCodecTest, DensityOneIsLossless) {
     EXPECT_EQ(decoded[static_cast<size_t>(i)], grad.at(i));
   }
   // ... but twice the bytes of fp32 (index overhead), the paper's point.
-  EXPECT_EQ(codec.EncodedSizeBytes(shape), 4 + 64 * 8);
+  EXPECT_EQ(codec.EncodedSizeBytes(shape),
+            4 + 64 * 8 + codec_internal::kWireChecksumBytes);
 }
 
 TEST(TopKCodecTest, ErrorFeedbackAccumulatesUnsentComponents) {

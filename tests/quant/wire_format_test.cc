@@ -54,10 +54,12 @@ TEST_P(WireFormatTest, BytesMatchGolden) {
                    (*codec)->UsesErrorFeedback() ? &error : nullptr, &blob);
   EXPECT_EQ(HexEncode(blob), c.hex) << c.spec;
 
-  // And the blob must decode without tripping any size checks.
+  // And the blob must decode cleanly, checksum included.
   std::vector<float> decoded(8);
-  (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
-                   decoded.data());
+  EXPECT_TRUE((*codec)
+                  ->Decode(blob.data(), static_cast<int64_t>(blob.size()),
+                           shape, decoded.data())
+                  .ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -65,17 +67,21 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         GoldenCase{"32bit",
                    "0000003f000080bf0000803e00000000"
-                   "00000040000000be0000c03f000020c0"},
+                   "00000040000000be0000c03f000020c0"
+                   "68cd9bcb"},
         GoldenCase{"1bit",
-                   "0000883f0000000000000000abaa9abf0f00000002000000"},
+                   "0000883f0000000000000000abaa9abf0f00000002000000"
+                   "779b8908"},
         GoldenCase{"1bit*:4",
-                   "0000803e000080bf0000e03f0000a8bf5d000000"},
-        GoldenCase{"q4:4", "0000803f00002040f40186f4"},
+                   "0000803e000080bf0000e03f0000a8bf5d000000173058e8"},
+        GoldenCase{"q4:4", "0000803f00002040f40186f41d6dfe13"},
         GoldenCase{"topk:0.25",
-                   "02000000040000000700000000000040000020c0"},
+                   "02000000040000000700000000000040000020c0"
+                   "c438daca"},
         GoldenCase{"aq4:4",
                    "0000803f000020400000000033ce4c3d1f00803ee5ffff3ea39919"
-                   "3fdecc4c3fb76d5b3f0000803ff30295f4"}),
+                   "3fdecc4c3fb76d5b3f0000803ff30295f4"
+                   "c2c41701"}),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
       std::string name = info.param.spec;
       std::string out;
@@ -100,11 +106,13 @@ TEST(WireFormatTest, OneBitHeaderIsAvgPairs) {
   EXPECT_FLOAT_EQ(avg_pos_col0, (0.5f + 0.25f + 2.0f + 1.5f) / 4.0f);
 }
 
-// Golden FNV-1a hashes over a 1000-element Gaussian gradient, pinned from
-// the code as of the workspace/fused-kernel refactor (which was verified
-// byte-identical to its predecessor). Unlike the short hex goldens above,
-// these cover every codec configuration axis — bit widths, bucket sizes,
-// norms, level schemes, error feedback on/off — plus a second encode round
+// Golden FNV-1a hashes over a 1000-element Gaussian gradient. The encode
+// hashes were re-pinned when the trailing wire-checksum word was added
+// (every blob grew by 4 bytes); the decode hashes were unchanged by that
+// re-pin, which is the proof the checksum is purely appended and the
+// payload numerics did not move. Unlike the short hex goldens above, these
+// cover every codec configuration axis — bit widths, bucket sizes, norms,
+// level schemes, error feedback on/off — plus a second encode round
 // (error-feedback state advanced) and the decoded floats. Any change to
 // these hashes is a wire-format or numerics break.
 uint64_t Fnv1a64(const uint8_t* bytes, size_t count, uint64_t hash) {
@@ -169,60 +177,60 @@ std::vector<HashCase> GoldenHashCases() {
   const QsgdLevelScheme kSm = QsgdLevelScheme::kSignMagnitude;
   const QsgdLevelScheme kSy = QsgdLevelScheme::kSymmetric;
   return {
-      {"fp32", FullPrecisionSpec(), 0xaf93c47a0c76c421ull,
-       0xaf93c47a0c76c421ull, 0xaf93c47a0c76c421ull},
-      {"one_bit_stock", OneBitSgdSpec(), 0xb7a03b51c455f576ull,
-       0x1f553e706a67a14aull, 0x5f39fe8ff9f22340ull},
-      {"one_bit_stock_no_ef", OneBitStockNoEf(), 0xb7a03b51c455f576ull,
-       0xb7a03b51c455f576ull, 0x5c4063dde9689f54ull},
-      {"one_bit_star_b4", OneBitStar(4, true), 0x41ff9f52297b1e1cull,
-       0x92bed52b17adc848ull, 0xa74a8ee571f945b6ull},
-      {"one_bit_star_b64", OneBitStar(64, true), 0x77de2db0dc246dc6ull,
-       0x428fbfc567ac2c09ull, 0xfcf4f451350afa1aull},
-      {"one_bit_star_b512", OneBitStar(512, true), 0xe94a98c0e0dde4c3ull,
-       0xd926a1fdd9b93cf8ull, 0xc373d9f024358031ull},
+      {"fp32", FullPrecisionSpec(), 0x299194db1d24f6f0ull,
+       0x299194db1d24f6f0ull, 0xaf93c47a0c76c421ull},
+      {"one_bit_stock", OneBitSgdSpec(), 0xf56198ae42d6e70bull,
+       0xf769bf64c5f94ccbull, 0x5f39fe8ff9f22340ull},
+      {"one_bit_stock_no_ef", OneBitStockNoEf(), 0xf56198ae42d6e70bull,
+       0xf56198ae42d6e70bull, 0x5c4063dde9689f54ull},
+      {"one_bit_star_b4", OneBitStar(4, true), 0xab4bfed3dc7c1269ull,
+       0xedcc633860940786ull, 0xa74a8ee571f945b6ull},
+      {"one_bit_star_b64", OneBitStar(64, true), 0x59c9b0434ac5121full,
+       0x8b8deb82a5691354ull, 0xfcf4f451350afa1aull},
+      {"one_bit_star_b512", OneBitStar(512, true), 0xf9c26e14fd71069cull,
+       0x3082dd794e9176aaull, 0xc373d9f024358031ull},
       {"one_bit_star_b64_no_ef", OneBitStar(64, false),
-       0x77de2db0dc246dc6ull, 0x77de2db0dc246dc6ull, 0x1bb1136ab82022e5ull},
-      {"qsgd2_b4", Qsgd(2, 4, kMax, kSm), 0x964ab40044b80fe4ull,
-       0x507055f1605d8e42ull, 0x17791ad3e91dd031ull},
-      {"qsgd2_b512", Qsgd(2, 512, kMax, kSm), 0x0c3f5cf42e2dcba7ull,
-       0x7c363523a5af5705ull, 0xacd280886a338a55ull},
-      {"qsgd4_b4", Qsgd(4, 4, kMax, kSm), 0xcd226ba04d2734dfull,
-       0xbc0b1967e5aaabeaull, 0x7806b4a5eee37e3cull},
-      {"qsgd4_b512", Qsgd(4, 512, kMax, kSm), 0x8df80ab7452ae9a9ull,
-       0x99714221c736e784ull, 0x4cdd07a6ecfa30baull},
-      {"qsgd8_b4", Qsgd(8, 4, kMax, kSm), 0xec26ddc7aa7fb470ull,
-       0xcb7306431c661496ull, 0x1d25ad3fcfcafa9dull},
-      {"qsgd8_b512", Qsgd(8, 512, kMax, kSm), 0xd9d5627ac91253afull,
-       0x22d1fd41c8c8c2dbull, 0x137aeec0d48f1ec8ull},
-      {"qsgd16_b4", Qsgd(16, 4, kMax, kSm), 0xfbe311bb97400d9aull,
-       0x74fa02912ca75beeull, 0x8c0994e648d448bfull},
-      {"qsgd16_b512", Qsgd(16, 512, kMax, kSm), 0x66a4d2f6ccd42ad2ull,
-       0xf3a422a8842dc047ull, 0x2230b5c9da3b3145ull},
-      {"qsgd4_b512_l2", Qsgd(4, 512, kL2, kSm), 0x92820aee01373820ull,
-       0x2decfd4d526cfc4full, 0x696ec9b2ad483ccbull},
-      {"qsgd4_b512_sym", Qsgd(4, 512, kMax, kSy), 0xd833686716973294ull,
-       0xe664e1aa5db92776ull, 0x10ce238d72465bf2ull},
-      {"qsgd4_b512_l2_sym", Qsgd(4, 512, kL2, kSy), 0x0f524002894b6063ull,
-       0x526a40608b66e8fbull, 0x5b78260b1c92592bull},
-      {"aqsgd2_b4", Aqsgd(2, 4), 0x2244995d2cdb6109ull,
-       0xa0b4e7816ca74c3bull, 0x17791ad3e91dd031ull},
-      {"aqsgd2_b512", Aqsgd(2, 512), 0x15eb975eff33f3feull,
-       0x4d70be8c9e1d0280ull, 0xacd280886a338a55ull},
-      {"aqsgd4_b4", Aqsgd(4, 4), 0xaca47a2bf1d42fa9ull,
-       0xf7da8022976b44acull, 0x39f515b537fc3af0ull},
-      {"aqsgd4_b512", Aqsgd(4, 512), 0xbaaff7331d730ec9ull,
-       0xd31a2dc39b45dc42ull, 0x89a885af2bf1816bull},
-      {"aqsgd8_b4", Aqsgd(8, 4), 0xf9639de8d881c674ull,
-       0x2649a6b3a3399512ull, 0x0b00118c33dbe14aull},
-      {"aqsgd8_b512", Aqsgd(8, 512), 0x3e54562ee5037da3ull,
-       0x88fc35df8611df77ull, 0xd74604fc29808050ull},
-      {"topk_1pct", TopKSpec(0.01), 0xcada551389ce5c96ull,
-       0x701d5f364c6b8402ull, 0x19a7c97bcb3b2abaull},
-      {"topk_25pct", TopKSpec(0.25), 0x552e9e7400d1645bull,
-       0xa1f5cb0ee751326cull, 0xc5201dae81b8c8b3ull},
-      {"topk_100pct", TopKSpec(1.0), 0x7c45bf769e409230ull,
-       0x7c45bf769e409230ull, 0xaf93c47a0c76c421ull},
+       0x59c9b0434ac5121full, 0x59c9b0434ac5121full, 0x1bb1136ab82022e5ull},
+      {"qsgd2_b4", Qsgd(2, 4, kMax, kSm), 0x3ba3290c9e6b7b98ull,
+       0xa29abda4e6127447ull, 0x17791ad3e91dd031ull},
+      {"qsgd2_b512", Qsgd(2, 512, kMax, kSm), 0xcc41b8f1106e8563ull,
+       0xa00c91a506d5c84dull, 0xacd280886a338a55ull},
+      {"qsgd4_b4", Qsgd(4, 4, kMax, kSm), 0x40b0592cec33212cull,
+       0x15a5795cc8ee57f5ull, 0x7806b4a5eee37e3cull},
+      {"qsgd4_b512", Qsgd(4, 512, kMax, kSm), 0xd80cd8e4816ddd22ull,
+       0x06df07661878eda6ull, 0x4cdd07a6ecfa30baull},
+      {"qsgd8_b4", Qsgd(8, 4, kMax, kSm), 0x41a4c5418f3dc8b1ull,
+       0xf606b1c4e5e9e4bcull, 0x1d25ad3fcfcafa9dull},
+      {"qsgd8_b512", Qsgd(8, 512, kMax, kSm), 0xd2c65725b72a3b97ull,
+       0xb3c2ef9c1697d42aull, 0x137aeec0d48f1ec8ull},
+      {"qsgd16_b4", Qsgd(16, 4, kMax, kSm), 0xdbe2e3279e7aa59full,
+       0x033362533dce2a89ull, 0x8c0994e648d448bfull},
+      {"qsgd16_b512", Qsgd(16, 512, kMax, kSm), 0xffd25851f5dd1618ull,
+       0x701a4ebedecacf3eull, 0x2230b5c9da3b3145ull},
+      {"qsgd4_b512_l2", Qsgd(4, 512, kL2, kSm), 0x1b032d0573b9f0edull,
+       0xc94ea8965894fd57ull, 0x696ec9b2ad483ccbull},
+      {"qsgd4_b512_sym", Qsgd(4, 512, kMax, kSy), 0xcff94e29df85a96aull,
+       0x93685df85fef8b78ull, 0x10ce238d72465bf2ull},
+      {"qsgd4_b512_l2_sym", Qsgd(4, 512, kL2, kSy), 0x038dab3432ad221bull,
+       0xb0ec8a55bbd07dd8ull, 0x5b78260b1c92592bull},
+      {"aqsgd2_b4", Aqsgd(2, 4), 0xb75bf7f9761681a3ull,
+       0x9ccd4d8cec53cd36ull, 0x17791ad3e91dd031ull},
+      {"aqsgd2_b512", Aqsgd(2, 512), 0x6b58a59ce390ad18ull,
+       0x980619a3d1a55864ull, 0xacd280886a338a55ull},
+      {"aqsgd4_b4", Aqsgd(4, 4), 0xafed163783deb4dbull,
+       0x3c12fbe4adf9fc3full, 0x39f515b537fc3af0ull},
+      {"aqsgd4_b512", Aqsgd(4, 512), 0xeae5d05cd6c49c3eull,
+       0xd602933df7227853ull, 0x89a885af2bf1816bull},
+      {"aqsgd8_b4", Aqsgd(8, 4), 0x7c32d78e2544ff8cull,
+       0x141f63e16ae8b91full, 0x0b00118c33dbe14aull},
+      {"aqsgd8_b512", Aqsgd(8, 512), 0x78055c7652eafce8ull,
+       0xb95af7c32f113396ull, 0xd74604fc29808050ull},
+      {"topk_1pct", TopKSpec(0.01), 0xea7e99f317507c8cull,
+       0x35c5698fed882303ull, 0x19a7c97bcb3b2abaull},
+      {"topk_25pct", TopKSpec(0.25), 0x390b196a40f3fa8bull,
+       0x0df0730c6bd95e22ull, 0xc5201dae81b8c8b3ull},
+      {"topk_100pct", TopKSpec(1.0), 0x8042bfd3d3b1d198ull,
+       0x8042bfd3d3b1d198ull, 0xaf93c47a0c76c421ull},
   };
 }
 
@@ -247,11 +255,89 @@ TEST(WireFormatTest, GoldenBlobHashes) {
                      &blob);
     EXPECT_EQ(Fnv1a64(blob.data(), blob.size(), kFnvBasis), c.second_encode);
     std::vector<float> decoded(static_cast<size_t>(n));
-    (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
-                     decoded.data());
+    ASSERT_TRUE((*codec)
+                    ->Decode(blob.data(), static_cast<int64_t>(blob.size()),
+                             shape, decoded.data())
+                    .ok());
     EXPECT_EQ(Fnv1a64(reinterpret_cast<const uint8_t*>(decoded.data()),
                       decoded.size() * sizeof(float), kFnvBasis),
               c.decode);
+  }
+}
+
+// Corrupted-wire fuzz: every codec must reject a damaged blob with a
+// non-OK Status — never crash, never emit NaN/Inf, never touch the output
+// buffer. The trailing FNV-1a word makes this deterministic: a single-bit
+// flip anywhere in the blob is guaranteed to change the computed hash (each
+// byte step of FNV-1a is injective in the running hash), so Decode must
+// fail on all of these, not just most.
+TEST(WireFormatTest, CorruptedBlobsAreRejected) {
+  const int64_t n = 1000;
+  const Shape shape({25, 40});
+  const std::vector<float> grad = GoldenGradient(n);
+  const char* kSpecs[] = {"32bit", "1bit",       "1bit*:64",
+                          "q4",    "topk:0.25",  "aq4"};
+
+  for (const char* spec_str : kSpecs) {
+    SCOPED_TRACE(spec_str);
+    auto spec = ParseCodecSpec(spec_str);
+    ASSERT_TRUE(spec.ok());
+    auto codec = CreateCodec(*spec);
+    ASSERT_TRUE(codec.ok());
+    std::vector<float> error(static_cast<size_t>(n), 0.0f);
+    std::vector<uint8_t> blob;
+    (*codec)->Encode(grad.data(), shape, /*stochastic_tag=*/99,
+                     (*codec)->UsesErrorFeedback() ? &error : nullptr,
+                     &blob);
+
+    const float kSentinel = -12345.0f;
+    std::vector<float> out(static_cast<size_t>(n), kSentinel);
+    const auto expect_rejected = [&](const std::vector<uint8_t>& bytes,
+                                     int64_t size, const char* what) {
+      SCOPED_TRACE(what);
+      const Status status = (*codec)->Decode(
+          bytes.empty() ? blob.data() : bytes.data(), size, shape,
+          out.data());
+      EXPECT_FALSE(status.ok());
+      for (float v : out) {
+        ASSERT_EQ(v, kSentinel) << "Decode wrote output despite failing";
+      }
+    };
+
+    // Zero-length and truncated blobs (losing part or all of the
+    // checksum, or part of the payload).
+    expect_rejected({}, 0, "zero-length");
+    expect_rejected(blob, static_cast<int64_t>(blob.size()) - 1,
+                    "truncated by 1");
+    expect_rejected(blob, static_cast<int64_t>(blob.size()) - 4,
+                    "checksum stripped");
+    expect_rejected(blob, static_cast<int64_t>(blob.size()) / 2,
+                    "half blob");
+
+    // Single-bit flips sampled across the blob, plus first and last bits
+    // (the last bits live in the checksum word itself).
+    const uint64_t total_bits = static_cast<uint64_t>(blob.size()) * 8;
+    Rng rng(0xb17f11bULL);
+    std::vector<uint64_t> bits = {0, total_bits - 1};
+    for (int i = 0; i < 64; ++i) {
+      bits.push_back(rng.NextUint64(total_bits));
+    }
+    for (uint64_t bit : bits) {
+      std::vector<uint8_t> flipped = blob;
+      flipped[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      expect_rejected(flipped, static_cast<int64_t>(flipped.size()),
+                      "bit flip");
+    }
+
+    // An all-zero blob of the right size (e.g. an uninitialized buffer).
+    const std::vector<uint8_t> zeros(blob.size(), 0);
+    expect_rejected(zeros, static_cast<int64_t>(zeros.size()), "all zeros");
+
+    // The pristine blob still decodes after all that.
+    EXPECT_TRUE((*codec)
+                    ->Decode(blob.data(), static_cast<int64_t>(blob.size()),
+                             shape, out.data())
+                    .ok());
   }
 }
 

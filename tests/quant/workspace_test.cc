@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/logging.h"
 #include "base/rng.h"
 #include "base/thread_pool.h"
 #include "comm/allreduce.h"
@@ -34,7 +35,11 @@ std::atomic<int64_t> g_allocation_count{0};
 
 }  // namespace
 
-void* operator new(std::size_t size) {
+// noinline keeps the replaced operators out of callers, so the optimizer
+// cannot pair an inlined free() against what it believes is the built-in
+// allocator (-Wmismatched-new-delete) — and every allocation goes through
+// the counter.
+__attribute__((noinline)) void* operator new(std::size_t size) {
   if (g_count_allocations.load(std::memory_order_relaxed)) {
     g_allocation_count.fetch_add(1, std::memory_order_relaxed);
   }
@@ -43,12 +48,24 @@ void* operator new(std::size_t size) {
   return ptr;
 }
 
-void* operator new[](std::size_t size) { return operator new(size); }
+__attribute__((noinline)) void* operator new[](std::size_t size) {
+  return operator new(size);
+}
 
-void operator delete(void* ptr) noexcept { std::free(ptr); }
-void operator delete[](void* ptr) noexcept { std::free(ptr); }
-void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
-void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+__attribute__((noinline)) void operator delete(void* ptr) noexcept {
+  std::free(ptr);
+}
+__attribute__((noinline)) void operator delete[](void* ptr) noexcept {
+  std::free(ptr);
+}
+__attribute__((noinline)) void operator delete(void* ptr,
+                                               std::size_t) noexcept {
+  std::free(ptr);
+}
+__attribute__((noinline)) void operator delete[](void* ptr,
+                                                 std::size_t) noexcept {
+  std::free(ptr);
+}
 
 namespace lpsgd {
 namespace {
@@ -114,16 +131,16 @@ TEST(WorkspaceAllocationTest, CodecPathAllocatesNothingAfterWarmup) {
     for (uint64_t round = 0; round < 2; ++round) {
       (*codec)->Encode(grad.data(), shape, /*stochastic_tag=*/round,
                        error_ptr, &ws, &blob);
-      (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
-                       &ws, decoded.data());
+      CHECK_OK((*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
+                       &ws, decoded.data()));
     }
 
     g_allocation_count.store(0, std::memory_order_relaxed);
     g_count_allocations.store(true, std::memory_order_relaxed);
     (*codec)->Encode(grad.data(), shape, /*stochastic_tag=*/2, error_ptr,
                      &ws, &blob);
-    (*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
-                     &ws, decoded.data());
+    CHECK_OK((*codec)->Decode(blob.data(), static_cast<int64_t>(blob.size()), shape,
+                     &ws, decoded.data()));
     g_count_allocations.store(false, std::memory_order_relaxed);
     EXPECT_EQ(g_allocation_count.load(std::memory_order_relaxed), 0);
   }
@@ -156,10 +173,10 @@ TEST(WorkspaceTest, DirtyWorkspaceProducesIdenticalBytes) {
                    (*other_codec)->UsesErrorFeedback() ? &other_error
                                                        : nullptr,
                    &dirty, &scratch_blob);
-      (*other_codec)
+      CHECK_OK((*other_codec)
           ->Decode(scratch_blob.data(),
                    static_cast<int64_t>(scratch_blob.size()), shape, &dirty,
-                   scratch_out.data());
+                   scratch_out.data()));
     }
 
     std::vector<float> error_fresh(static_cast<size_t>(n), 0.0f);
@@ -179,12 +196,12 @@ TEST(WorkspaceTest, DirtyWorkspaceProducesIdenticalBytes) {
 
     std::vector<float> out_fresh(static_cast<size_t>(n));
     std::vector<float> out_dirty(static_cast<size_t>(n));
-    (*codec)->Decode(blob_fresh.data(),
+    CHECK_OK((*codec)->Decode(blob_fresh.data(),
                      static_cast<int64_t>(blob_fresh.size()), shape, &fresh,
-                     out_fresh.data());
-    (*codec)->Decode(blob_dirty.data(),
+                     out_fresh.data()));
+    CHECK_OK((*codec)->Decode(blob_dirty.data(),
                      static_cast<int64_t>(blob_dirty.size()), shape, &dirty,
-                     out_dirty.data());
+                     out_dirty.data()));
     EXPECT_EQ(0, std::memcmp(out_fresh.data(), out_dirty.data(),
                              static_cast<size_t>(n) * sizeof(float)));
   }
@@ -219,11 +236,11 @@ TEST(WorkspaceTest, LegacyOverloadsMatchWorkspaceOverloads) {
 
     std::vector<float> out_legacy(static_cast<size_t>(n));
     std::vector<float> out_ws(static_cast<size_t>(n));
-    (*codec)->Decode(blob_legacy.data(),
+    CHECK_OK((*codec)->Decode(blob_legacy.data(),
                      static_cast<int64_t>(blob_legacy.size()), shape,
-                     out_legacy.data());
-    (*codec)->Decode(blob_ws.data(), static_cast<int64_t>(blob_ws.size()),
-                     shape, &ws, out_ws.data());
+                     out_legacy.data()));
+    CHECK_OK((*codec)->Decode(blob_ws.data(), static_cast<int64_t>(blob_ws.size()),
+                     shape, &ws, out_ws.data()));
     EXPECT_EQ(0, std::memcmp(out_legacy.data(), out_ws.data(),
                              static_cast<size_t>(n) * sizeof(float)));
   }
@@ -320,6 +337,104 @@ TEST(WorkspaceAllocationTest, AggregatorWorkspaceGrowthStopsAfterWarmup) {
   }
 
   registry.set_enabled(was_enabled);
+}
+
+// A failed exchange must leave the aggregator's persistent buffers and
+// owner-side residuals safe to reuse: with the caller's slot state
+// restored (the retry wrapper's job, emulated here) and the same iteration
+// re-run, the continuation must be bit-identical to a run that never saw
+// the failure. Exercised for both failure points — a rank blob corrupted
+// in the reduce stage, and the aggregate blob corrupted in the broadcast
+// stage after the owner residuals were already advanced.
+TEST(WorkspaceTest, ExchangeStateSafeToReuseAfterFailedExchange) {
+  const int k = 4;
+  const std::vector<Shape> shapes = {Shape({16, 32}), Shape({25, 40})};
+  const int64_t iterations = 6;
+
+  for (const CodecCase& c :
+       {CodecCase{"one_bit_star", OneBitSgdReshapedSpec(64)},
+        CodecCase{"topk_25pct", TopKSpec(0.25)},
+        CodecCase{"qsgd4",
+                  QsgdWith(QsgdNorm::kMax, QsgdLevelScheme::kSignMagnitude)}}) {
+    SCOPED_TRACE(c.name);
+
+    using State = std::vector<std::vector<std::vector<float>>>;  // [m][r]
+    const auto make_state = [&](State* grads, State* errors) {
+      grads->assign(shapes.size(), {});
+      errors->assign(shapes.size(), {});
+      for (size_t m = 0; m < shapes.size(); ++m) {
+        const size_t n = static_cast<size_t>(shapes[m].element_count());
+        for (int r = 0; r < k; ++r) {
+          (*grads)[m].push_back(
+              TestGradient(static_cast<int64_t>(n),
+                           0xfa17ULL + m * 31 + static_cast<uint64_t>(r)));
+          (*errors)[m].emplace_back(n, 0.0f);
+        }
+      }
+    };
+    const auto run_iteration = [&](MpiReduceBcastAggregator* aggregator,
+                                   State* grads, State* errors,
+                                   int64_t iteration) {
+      std::vector<MatrixSlot> slots(shapes.size());
+      for (size_t m = 0; m < shapes.size(); ++m) {
+        slots[m].quant_shape = shapes[m];
+        slots[m].quantized = true;
+        for (int r = 0; r < k; ++r) {
+          slots[m].rank_grads.push_back(
+              (*grads)[m][static_cast<size_t>(r)].data());
+          slots[m].rank_errors.push_back(
+              &(*errors)[m][static_cast<size_t>(r)]);
+        }
+      }
+      return (*aggregator).AllReduce(&slots, iteration);
+    };
+
+    // Reference: the same schedule with no failures.
+    auto reference = MpiReduceBcastAggregator::Create(
+        k, c.spec, Ec2P2_8xlarge(), ExecutionContext::Serial());
+    ASSERT_TRUE(reference.ok());
+    State ref_grads, ref_errors;
+    make_state(&ref_grads, &ref_errors);
+    for (int64_t it = 0; it < iterations; ++it) {
+      ASSERT_TRUE(
+          run_iteration(reference->get(), &ref_grads, &ref_errors, it).ok());
+    }
+
+    auto faulty = MpiReduceBcastAggregator::Create(
+        k, c.spec, Ec2P2_8xlarge(), ExecutionContext::Serial());
+    ASSERT_TRUE(faulty.ok());
+    State grads, errors;
+    make_state(&grads, &errors);
+    for (int64_t it = 0; it < iterations; ++it) {
+      const bool fail_reduce = it == 1;
+      const bool fail_bcast = it == 3;
+      if (fail_reduce || fail_bcast) {
+        // Emulate the retry wrapper: snapshot caller state, provoke a
+        // checksum failure, restore, and retry the same iteration.
+        const State grads_snapshot = grads;
+        const State errors_snapshot = errors;
+        (*faulty)->set_wire_tamper(
+            [&](int64_t, int64_t matrix, int rank, uint8_t* data,
+                int64_t size) {
+              const bool hit = fail_reduce ? (matrix == 1 && rank == 2)
+                                           : (matrix == 0 && rank == -1);
+              if (hit && size > 0) data[size / 2] ^= 0x10;
+              return hit;
+            });
+        ASSERT_FALSE(
+            run_iteration(faulty->get(), &grads, &errors, it).ok());
+        (*faulty)->set_wire_tamper(nullptr);
+        grads = grads_snapshot;
+        errors = errors_snapshot;
+      }
+      ASSERT_TRUE(run_iteration(faulty->get(), &grads, &errors, it).ok());
+    }
+
+    EXPECT_EQ(ref_grads, grads)
+        << "aggregated gradients diverged after a failed exchange";
+    EXPECT_EQ(ref_errors, errors)
+        << "error-feedback residuals diverged after a failed exchange";
+  }
 }
 
 }  // namespace
