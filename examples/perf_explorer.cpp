@@ -4,13 +4,17 @@
 // configuration of the paper's trade-off space.
 //
 //   ./perf_explorer <network> <machine> <mpi|nccl> <codec> <gpus>
-//                   [--threads N]
+//                   [--threads N] [--profile_out <path>]
 //   ./perf_explorer AlexNet p2.8xlarge mpi q4 8
 //   ./perf_explorer VGG19 DGX-1 nccl 32bit 8
 //   ./perf_explorer ResNet50 p2.16xlarge mpi 1bit*:64 16 --threads 4
 //
 // Codec grammar: 32bit | 1bit | 1bit* | 1bit*:<bucket> | q<bits>[:<bucket>]
 //                | topk:<density>
+//
+// --profile_out writes the estimated iteration as a profiler breakdown
+// (virtual compute/encode/wire phases) so model estimates and measured
+// training runs share one JSON schema and table format.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -19,6 +23,7 @@
 #include "base/strings.h"
 #include "base/thread_pool.h"
 #include "machine/specs.h"
+#include "obs/profile.h"
 #include "quant/codec.h"
 #include "sim/perf_model.h"
 
@@ -27,6 +32,7 @@ int main(int argc, char** argv) {
   // Split --threads (as "--threads N" or "--threads=N") out of the
   // positional arguments.
   int threads = 0;  // 0 = one worker per hardware thread
+  std::string profile_out;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -38,6 +44,14 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = std::atoi(arg.c_str() + std::string("--threads=").size());
+    } else if (arg == "--profile_out") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --profile_out\n";
+        return 1;
+      }
+      profile_out = argv[++i];
+    } else if (arg.rfind("--profile_out=", 0) == 0) {
+      profile_out = arg.substr(std::string("--profile_out=").size());
     } else {
       positional.push_back(arg);
     }
@@ -113,5 +127,23 @@ int main(int argc, char** argv) {
             << FormatDouble(recipe_hours * machine->price_per_hour_usd, 0)
             << " at $" << FormatDouble(machine->price_per_hour_usd, 1)
             << "/h\n";
+
+  if (!profile_out.empty()) {
+    // Export the estimate through the profiler so it lands in the same
+    // schema (and table) as a measured training run's breakdown.
+    obs::Profiler profiler(/*enabled=*/true);
+    profiler.BeginStep(0);
+    profiler.AddVirtual(obs::kPhaseForward, est->compute_seconds);
+    profiler.AddVirtual(obs::kPhaseEncode, est->encode_seconds);
+    profiler.AddVirtual(obs::kPhaseWire, est->comm_seconds);
+    profiler.EndStep(est->IterationSeconds());
+    std::cout << "\nestimated iteration breakdown:\n";
+    profiler.PrintTable(std::cout);
+    if (Status status = profiler.WriteFile(profile_out); !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "profile written to " << profile_out << "\n";
+  }
   return 0;
 }

@@ -8,7 +8,8 @@
 //               [--codec <spec>] [--gpus N] [--batch N] [--epochs N]
 //               [--lr F] [--primitive mpi|nccl] [--seed N] [--threads N]
 //               [--fault_plan <spec>] [--checkpoint_every N]
-//               [--max_retries N]
+//               [--max_retries N] [--profile_out <path>]
+//               [--flight_recorder <prefix>]
 //
 //   ./train_cli --model resnet --codec 1bit*:16 --gpus 8 --epochs 15
 //   ./train_cli --task sequence --model lstm --codec q2 --threads 4
@@ -27,6 +28,13 @@
 // enables rollback-and-replay, --max_retries the per-exchange retry
 // budget, and a crashed rank is dropped with training renormalized over
 // the survivors.
+//
+// --profile_out enables the step-phase profiler, prints the per-phase
+// breakdown table after training, and writes the profile JSON to <path>
+// (plus a Chrome trace next to it at <path>.trace.json).
+// --flight_recorder enables the fault flight recorder; each non-OK
+// exchange dumps its recent history to <prefix>.<n>.json ("-" records in
+// memory only).
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -37,6 +45,7 @@
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "nn/model_zoo.h"
+#include "obs/profile.h"
 
 namespace lpsgd {
 namespace {
@@ -55,6 +64,8 @@ struct Args {
   std::string fault_plan;  // empty = no injected faults
   int checkpoint_every = 0;  // 0 = no in-memory checkpoints
   int max_retries = 0;  // per-exchange retry budget
+  std::string profile_out;       // empty = profiler disabled
+  std::string flight_recorder;   // empty = flight recorder disabled
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -91,6 +102,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->checkpoint_every = std::atoi(value.c_str());
     } else if (flag == "--max_retries") {
       args->max_retries = std::atoi(value.c_str());
+    } else if (flag == "--profile_out") {
+      args->profile_out = value;
+    } else if (flag == "--flight_recorder") {
+      args->flight_recorder = value;
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
@@ -181,6 +196,16 @@ int Run(const Args& args) {
   options.fault_tolerance.checkpoint_every = args.checkpoint_every;
   options.fault_tolerance.retry.max_retries = args.max_retries;
 
+  if (!args.profile_out.empty()) {
+    obs::Profiler::Global().set_enabled(true);
+  }
+  if (!args.flight_recorder.empty()) {
+    obs::FlightRecorder::Global().set_enabled(true);
+    if (args.flight_recorder != "-") {
+      obs::FlightRecorder::Global().set_output_prefix(args.flight_recorder);
+    }
+  }
+
   auto trainer = SyncTrainer::Create(factory, options);
   if (!trainer.ok()) {
     std::cerr << trainer.status() << "\n";
@@ -228,6 +253,33 @@ int Run(const Args& args) {
     std::cout << "degraded: finished on " << (*trainer)->live_gpus()
               << " of " << (*trainer)->num_gpus()
               << " ranks (crashed ranks dropped)\n";
+  }
+
+  if (!args.profile_out.empty()) {
+    obs::Profiler& profiler = obs::Profiler::Global();
+    std::cout << "\nstep-phase breakdown ("
+              << profiler.steps_recorded() << " steps):\n";
+    profiler.PrintTable(std::cout);
+    if (Status status = profiler.WriteFile(args.profile_out);
+        !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    const std::string trace_path = StrCat(args.profile_out, ".trace.json");
+    if (Status status = profiler.WriteChromeTraceFile(trace_path);
+        !status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "profile written to " << args.profile_out
+              << " (trace: " << trace_path << ")\n";
+  }
+  if (!args.flight_recorder.empty()) {
+    std::cout << "flight recorder: "
+              << obs::FlightRecorder::Global().dump_count()
+              << " dump(s), "
+              << obs::FlightRecorder::Global().record_count()
+              << " records\n";
   }
   return 0;
 }

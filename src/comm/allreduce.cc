@@ -8,8 +8,50 @@
 #include "comm/nccl_ring.h"
 #include "comm/retry.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace lpsgd {
+namespace {
+
+// Transparent observer between the retry wrapper and the engine/decorator
+// stack: every non-OK AllReduce from below files a flight-recorder dump
+// (exactly once per failure — the retry layer above re-attempts without
+// re-reporting, and adds its own dump only for the deadline overruns it
+// synthesizes itself). Successful exchanges leave a breadcrumb record.
+class FlightRecordingAggregator : public GradientAggregator {
+ public:
+  explicit FlightRecordingAggregator(
+      std::unique_ptr<GradientAggregator> inner)
+      : inner_(std::move(inner)) {}
+
+  std::string Name() const override { return inner_->Name(); }
+  int num_ranks() const override { return inner_->num_ranks(); }
+  void CheckpointExchangeState() override {
+    inner_->CheckpointExchangeState();
+  }
+  void RollbackExchangeState() override { inner_->RollbackExchangeState(); }
+
+  StatusOr<CommStats> AllReduce(std::vector<MatrixSlot>* slots,
+                                int64_t iteration) override {
+    StatusOr<CommStats> result = inner_->AllReduce(slots, iteration);
+    if (!obs::FlightRecorderEnabled()) return result;
+    if (result.ok()) {
+      obs::FlightRecorder::Global().Record(
+          iteration, /*phase=*/-1, /*matrix=*/-1, /*rank=*/-1,
+          /*wall_seconds=*/0.0, result.value().TotalSeconds(),
+          "exchange_ok");
+    } else {
+      obs::FlightRecorder::Global().OnExchangeFailure(result.status(),
+                                                      iteration);
+    }
+    return result;
+  }
+
+ private:
+  std::unique_ptr<GradientAggregator> inner_;
+};
+
+}  // namespace
 
 std::string CommPrimitiveName(CommPrimitive primitive) {
   return primitive == CommPrimitive::kMpi ? "MPI" : "NCCL";
@@ -41,6 +83,10 @@ StatusOr<std::unique_ptr<GradientAggregator>> CreateAggregator(
   if (decorator) {
     LPSGD_ASSIGN_OR_RETURN(aggregator, decorator(std::move(aggregator)));
   }
+  // Stacked below the retry loop so each failed attempt — injected or real
+  // — produces its own dump before being retried.
+  aggregator = std::make_unique<FlightRecordingAggregator>(
+      std::move(aggregator));
   if (retry.enabled()) {
     LPSGD_ASSIGN_OR_RETURN(
         aggregator, RetryingAggregator::Create(std::move(aggregator), retry));

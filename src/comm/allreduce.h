@@ -143,10 +143,12 @@ using AggregatorDecorator =
     const MachineSpec& machine, const ExecutionContext& execution);
 
 // Fault-tolerant variant: builds the engine, applies `decorator` (fault
-// injection layer; may be empty), then wraps the result in the retrying
-// aggregator when `retry.enabled()`. Stacking order — the retry loop is
-// outermost so injected faults are retried like real ones:
-//   Retrying(decorator(engine))
+// injection layer; may be empty), inserts the flight-recorder observer,
+// then wraps the result in the retrying aggregator when `retry.enabled()`.
+// Stacking order — the retry loop is outermost so injected faults are
+// retried like real ones, and the observer sits below it so every failed
+// attempt files exactly one flight-recorder dump (obs/profile.h):
+//   Retrying(Observer(decorator(engine)))
 [[nodiscard]] StatusOr<std::unique_ptr<GradientAggregator>> CreateAggregator(
     CommPrimitive primitive, int num_ranks, const CodecSpec& codec,
     const MachineSpec& machine, const ExecutionContext& execution,

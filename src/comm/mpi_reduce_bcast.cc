@@ -8,6 +8,7 @@
 #include "base/logging.h"
 #include "base/thread_annotations.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace lpsgd {
@@ -77,7 +78,11 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
   obs::TraceSpan allreduce_span("mpi_reduce_bcast/allreduce", "comm");
   // Internal-state transaction (comm/allreduce.h): any error return below
   // rolls the aggregation residuals back to this checkpoint.
-  CheckpointExchangeState();
+  {
+    obs::PhaseTimer checkpoint_timer(&workspaces_[0].phases,
+                                     obs::kPhaseRetry);
+    CheckpointExchangeState();
+  }
   const int k = num_ranks_;
   const int64_t num_matrices = static_cast<int64_t>(slots->size());
   if (aggregate_errors_.size() < slots->size()) {
@@ -91,28 +96,37 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
   // thread count because the merge order is fixed. All of it lives in
   // member buffers that keep their capacity across calls (grown entries
   // are never dropped), so steady-state calls allocate nothing.
-  per_matrix_.assign(slots->size(), CommStats{});
-  rank_blob_bytes_.assign(slots->size(), 0);
-  if (decoded_.size() < slots->size()) decoded_.resize(slots->size());
-  if (aggregates_.size() < slots->size()) aggregates_.resize(slots->size());
-  if (bcasts_.size() < slots->size()) bcasts_.resize(slots->size());
-  if (fp_sums_.size() < slots->size()) fp_sums_.resize(slots->size());
-
-  for (int64_t m = 0; m < num_matrices; ++m) {
-    MatrixSlot& slot = (*slots)[static_cast<size_t>(m)];
-    CHECK_EQ(static_cast<int>(slot.rank_grads.size()), k);
-    if (slot.quantized && !identity_codec &&
-        decoded_[static_cast<size_t>(m)].size() <
-            static_cast<size_t>(k)) {
-      decoded_[static_cast<size_t>(m)].resize(static_cast<size_t>(k));
+  // The serial setup below (scratch sizing, first-call allocations,
+  // residual zeroing) is exchange staging: attribute it so a cold first
+  // step keeps its breakdown coverage.
+  {
+    obs::PhaseTimer setup_timer(&workspaces_[0].phases, obs::kPhaseSum);
+    per_matrix_.assign(slots->size(), CommStats{});
+    rank_blob_bytes_.assign(slots->size(), 0);
+    if (decoded_.size() < slots->size()) decoded_.resize(slots->size());
+    if (aggregates_.size() < slots->size()) {
+      aggregates_.resize(slots->size());
     }
-    // Size the owner-side aggregation residual here, in the serial setup,
-    // so the stage-2 exchange lambda below stays allocation-free (it is an
-    // LPSGD_HOT_PATH region; tools/lint enforces this).
-    if (slot.quantized && !identity_codec && codec_->UsesErrorFeedback()) {
-      auto& residual = aggregate_errors_[static_cast<size_t>(m)];
-      const auto n = static_cast<size_t>(slot.quant_shape.element_count());
-      if (residual.size() != n) residual.assign(n, 0.0f);
+    if (bcasts_.size() < slots->size()) bcasts_.resize(slots->size());
+    if (fp_sums_.size() < slots->size()) fp_sums_.resize(slots->size());
+
+    for (int64_t m = 0; m < num_matrices; ++m) {
+      MatrixSlot& slot = (*slots)[static_cast<size_t>(m)];
+      CHECK_EQ(static_cast<int>(slot.rank_grads.size()), k);
+      if (slot.quantized && !identity_codec &&
+          decoded_[static_cast<size_t>(m)].size() <
+              static_cast<size_t>(k)) {
+        decoded_[static_cast<size_t>(m)].resize(static_cast<size_t>(k));
+      }
+      // Size the owner-side aggregation residual here, in the serial
+      // setup, so the stage-2 exchange lambda below stays allocation-free
+      // (it is an LPSGD_HOT_PATH region; tools/lint enforces this).
+      if (slot.quantized && !identity_codec && codec_->UsesErrorFeedback()) {
+        auto& residual = aggregate_errors_[static_cast<size_t>(m)];
+        const auto n =
+            static_cast<size_t>(slot.quant_shape.element_count());
+        if (residual.size() != n) residual.assign(n, 0.0f);
+      }
     }
   }
 
@@ -147,8 +161,13 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
         if (r == 0) {  // blob sizes are shape-determined, uniform per rank
           rank_blob_bytes_[m] = static_cast<int64_t>(ws.blob.size());
         }
-        float* out = quant_internal::EnsureSize(&decoded_[m][r],
-                                                static_cast<size_t>(n));
+        float* out;
+        {
+          // First-call growth of the decode scratch is staging work.
+          obs::PhaseTimer scratch_timer(&ws.phases, obs::kPhaseSum);
+          out = quant_internal::EnsureSize(&decoded_[m][r],
+                                           static_cast<size_t>(n));
+        }
         LPSGD_RETURN_IF_ERROR(
             codec_->Decode(ws.blob.data(), static_cast<int64_t>(ws.blob.size()),
                            slot.quant_shape, &ws, out));
@@ -157,6 +176,9 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
   if (!reduce_status.ok()) {
     obs::Tracer::Global().End(reduce_span);
     RollbackExchangeState();
+    // Partial phase scratch from the failed attempt must not leak into the
+    // next (retried) exchange's breakdown.
+    for (CodecWorkspace& ws : workspaces_) ws.phases.Clear();
     return reduce_status;
   }
   int64_t reduce_bytes = 0;
@@ -179,23 +201,34 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
         CommStats& stats = per_matrix_[m];
         stats.raw_bytes += raw_bytes;
 
+        const int slot_id = ThreadPool::CurrentSlot();
+        CHECK_LT(static_cast<size_t>(slot_id), workspaces_.size());
+        CodecWorkspace& ws = workspaces_[static_cast<size_t>(slot_id)];
+
         const bool quantize = slot.quantized && !identity_codec;
         if (!quantize) {
           // Full-precision pipeline: plain reduce + broadcast of fp32 data
           // through the matrix's persistent double accumulator.
-          double* sum = quant_internal::EnsureSize(&fp_sums_[m],
-                                                   static_cast<size_t>(n));
-          std::fill(sum, sum + n, 0.0);
-          for (int r = 0; r < k; ++r) {
-            const float* grad = slot.rank_grads[static_cast<size_t>(r)];
-            for (int64_t i = 0; i < n; ++i) {
-              sum[i] += grad[i];
+          double* sum;
+          {
+            obs::PhaseTimer sum_timer(&ws.phases, obs::kPhaseSum);
+            sum = quant_internal::EnsureSize(&fp_sums_[m],
+                                             static_cast<size_t>(n));
+            std::fill(sum, sum + n, 0.0);
+            for (int r = 0; r < k; ++r) {
+              const float* grad = slot.rank_grads[static_cast<size_t>(r)];
+              for (int64_t i = 0; i < n; ++i) {
+                sum[i] += grad[i];
+              }
             }
           }
-          for (int r = 0; r < k; ++r) {
-            float* grad = slot.rank_grads[static_cast<size_t>(r)];
-            for (int64_t i = 0; i < n; ++i) {
-              grad[i] = static_cast<float>(sum[i]);
+          {
+            obs::PhaseTimer wire_timer(&ws.phases, obs::kPhaseWire);
+            for (int r = 0; r < k; ++r) {
+              float* grad = slot.rank_grads[static_cast<size_t>(r)];
+              for (int64_t i = 0; i < n; ++i) {
+                grad[i] = static_cast<float>(sum[i]);
+              }
             }
           }
           stats.wire_bytes += raw_bytes;
@@ -204,17 +237,17 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
           return OkStatus();
         }
 
-        const int slot_id = ThreadPool::CurrentSlot();
-        CHECK_LT(static_cast<size_t>(slot_id), workspaces_.size());
-        CodecWorkspace& ws = workspaces_[static_cast<size_t>(slot_id)];
-
-        float* aggregate = quant_internal::EnsureSize(
-            &aggregates_[m], static_cast<size_t>(n));
-        std::fill(aggregate, aggregate + n, 0.0f);
-        for (int r = 0; r < k; ++r) {
-          const float* part = decoded_[m][static_cast<size_t>(r)].data();
-          for (int64_t i = 0; i < n; ++i) {
-            aggregate[i] += part[i];
+        float* aggregate;
+        {
+          obs::PhaseTimer sum_timer(&ws.phases, obs::kPhaseSum);
+          aggregate = quant_internal::EnsureSize(&aggregates_[m],
+                                                 static_cast<size_t>(n));
+          std::fill(aggregate, aggregate + n, 0.0f);
+          for (int r = 0; r < k; ++r) {
+            const float* part = decoded_[m][static_cast<size_t>(r)].data();
+            for (int64_t i = 0; i < n; ++i) {
+              aggregate[i] += part[i];
+            }
           }
         }
 
@@ -231,13 +264,20 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
                        ws.blob.data(), static_cast<int64_t>(ws.blob.size()));
         }
         const int64_t blob_bytes = static_cast<int64_t>(ws.blob.size());
-        float* bcast =
-            quant_internal::EnsureSize(&bcasts_[m], static_cast<size_t>(n));
+        float* bcast;
+        {
+          obs::PhaseTimer scratch_timer(&ws.phases, obs::kPhaseSum);
+          bcast = quant_internal::EnsureSize(&bcasts_[m],
+                                             static_cast<size_t>(n));
+        }
         LPSGD_RETURN_IF_ERROR(codec_->Decode(ws.blob.data(), blob_bytes,
                                              slot.quant_shape, &ws, bcast));
-        for (int r = 0; r < k; ++r) {
-          std::memcpy(slot.rank_grads[static_cast<size_t>(r)], bcast,
-                      static_cast<size_t>(n) * sizeof(float));
+        {
+          obs::PhaseTimer wire_timer(&ws.phases, obs::kPhaseWire);
+          for (int r = 0; r < k; ++r) {
+            std::memcpy(slot.rank_grads[static_cast<size_t>(r)], bcast,
+                        static_cast<size_t>(n) * sizeof(float));
+          }
         }
 
         stats.wire_bytes += blob_bytes;
@@ -253,6 +293,7 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
   obs::Tracer::Global().End(bcast_span);
   if (!bcast_status.ok()) {
     RollbackExchangeState();
+    for (CodecWorkspace& ws : workspaces_) ws.phases.Clear();
     return bcast_status;
   }
 
@@ -262,6 +303,15 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
       cost_model_.MpiExchangeSeconds(stats.wire_bytes, stats.messages, k);
   allreduce_span.set_bytes(stats.wire_bytes);
   comm_internal::RecordAllReduceStats(stats);
+  // Fold the per-slot phase scratch (codec encode/decode plus the sum and
+  // broadcast spans above) into the profiler's open step — serially, after
+  // the parallel stages, so no slot is concurrently written.
+  if (obs::ProfileEnabled()) {
+    for (CodecWorkspace& ws : workspaces_) {
+      obs::Profiler::Global().AddPhases(ws.phases);
+      ws.phases.Clear();
+    }
+  }
   return stats;
 }
 

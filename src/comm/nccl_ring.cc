@@ -40,7 +40,10 @@ NcclRingAggregator::NcclRingAggregator(int num_ranks, CodecSpec spec,
       spec_(std::move(spec)),
       codec_(std::move(codec)),
       cost_model_(machine),
-      exec_(std::move(execution)) {}
+      exec_(std::move(execution)),
+      // One phase-scratch block per thread-pool slot, like the MPI
+      // aggregator's codec workspaces (see ThreadPool::CurrentSlot()).
+      slot_phases_(static_cast<size_t>(exec_.threads())) {}
 
 StatusOr<CommStats> NcclRingAggregator::AllReduce(
     std::vector<MatrixSlot>* slots, int64_t /*iteration*/) {
@@ -66,20 +69,29 @@ StatusOr<CommStats> NcclRingAggregator::AllReduce(
         const int64_t begin = seg * segment;
         const int64_t end = std::min(begin + segment, n);
         if (begin >= end) return OkStatus();
+        const int slot_id = ThreadPool::CurrentSlot();
+        CHECK_LT(static_cast<size_t>(slot_id), slot_phases_.size());
+        obs::PhaseTimes& phases = slot_phases_[static_cast<size_t>(slot_id)];
         // Accumulate contributions in ring order starting from the
         // segment owner's successor.
         const int owner = seg;
         float* acc = slot.rank_grads[static_cast<size_t>(owner)];
-        for (int hop = 1; hop < k; ++hop) {
-          const int src = (owner + hop) % k;
-          const float* other = slot.rank_grads[static_cast<size_t>(src)];
-          for (int64_t i = begin; i < end; ++i) acc[i] += other[i];
+        {
+          obs::PhaseTimer sum_timer(&phases, obs::kPhaseSum);
+          for (int hop = 1; hop < k; ++hop) {
+            const int src = (owner + hop) % k;
+            const float* other = slot.rank_grads[static_cast<size_t>(src)];
+            for (int64_t i = begin; i < end; ++i) acc[i] += other[i];
+          }
         }
         // Allgather: the reduced segment is copied to every rank.
-        for (int r = 0; r < k; ++r) {
-          if (r == owner) continue;
-          float* dst = slot.rank_grads[static_cast<size_t>(r)];
-          for (int64_t i = begin; i < end; ++i) dst[i] = acc[i];
+        {
+          obs::PhaseTimer wire_timer(&phases, obs::kPhaseWire);
+          for (int r = 0; r < k; ++r) {
+            if (r == owner) continue;
+            float* dst = slot.rank_grads[static_cast<size_t>(r)];
+            for (int64_t i = begin; i < end; ++i) dst[i] = acc[i];
+          }
         }
         return OkStatus();
       }));
@@ -113,6 +125,14 @@ StatusOr<CommStats> NcclRingAggregator::AllReduce(
       cost_model_.NcclAllReduceSeconds(stats.wire_bytes, stats.messages, k);
   allreduce_span.set_bytes(stats.wire_bytes);
   comm_internal::RecordAllReduceStats(stats);
+  // Fold the per-slot ring spans into the profiler's open step — serially,
+  // after the parallel loop, so no slot is concurrently written.
+  if (obs::ProfileEnabled()) {
+    for (obs::PhaseTimes& phases : slot_phases_) {
+      obs::Profiler::Global().AddPhases(phases);
+      phases.Clear();
+    }
+  }
   return stats;
 }
 

@@ -8,6 +8,7 @@
 
 #include "comm/allreduce.h"
 #include "comm/cost_model.h"
+#include "obs/profile.h"
 #include "quant/codec.h"
 
 namespace lpsgd {
@@ -50,6 +51,9 @@ class NcclRingAggregator : public GradientAggregator {
   std::unique_ptr<GradientCodec> codec_;  // payload sizing only
   CommCostModel cost_model_;
   ExecutionContext exec_;
+  // Per-thread-pool-slot profiler scratch for the ring loop's sum and
+  // allgather spans; merged serially after the exchange (obs/profile.h).
+  std::vector<obs::PhaseTimes> slot_phases_;
 };
 
 }  // namespace lpsgd

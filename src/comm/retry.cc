@@ -89,14 +89,18 @@ StatusOr<CommStats> RetryingAggregator::AllReduce(
   // The snapshot/checkpoint copies are serial, attempt-0-only work outside
   // the inner engine's parallel hot loops; they reuse their capacity, so
   // steady-state exchanges stay allocation-free.
-  SnapshotSlots(*slots);
-  inner_->CheckpointExchangeState();
+  {
+    obs::PhaseTimer retry_timer(&phases_, obs::kPhaseRetry);
+    SnapshotSlots(*slots);
+    inner_->CheckpointExchangeState();
+  }
 
   double penalty_seconds = 0.0;
   double backoff_seconds = options_.backoff_base_seconds;
   Status last_error = OkStatus();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
+      obs::PhaseTimer retry_timer(&phases_, obs::kPhaseRetry);
       RestoreSlots(slots);
       inner_->RollbackExchangeState();
       if (obs::MetricsEnabled()) obs::Count("comm/retries");
@@ -116,9 +120,15 @@ StatusOr<CommStats> RetryingAggregator::AllReduce(
                    "s, budget ",
                    FormatDouble(options_.timeout_seconds, 4), "s"));
         penalty_seconds += stats.TotalSeconds();
+        // This failure is synthesized above the exchange observer, so it
+        // must file its own flight record (everything the inner engine
+        // returns non-OK is dumped by the observer instead).
+        obs::FlightRecorder::Global().OnExchangeFailure(last_error,
+                                                        iteration);
         continue;
       }
       stats.comm_seconds += penalty_seconds;
+      FoldPhases(penalty_seconds);
       return stats;
     }
     last_error = result.status();
@@ -127,9 +137,26 @@ StatusOr<CommStats> RetryingAggregator::AllReduce(
 
   // Budget exhausted or non-retryable: leave every caller-visible buffer
   // and the inner engine exactly as they were before the call.
-  RestoreSlots(slots);
-  inner_->RollbackExchangeState();
+  {
+    obs::PhaseTimer retry_timer(&phases_, obs::kPhaseRetry);
+    RestoreSlots(slots);
+    inner_->RollbackExchangeState();
+  }
+  FoldPhases(penalty_seconds);
   return last_error;
+}
+
+void RetryingAggregator::FoldPhases(double penalty_seconds) {
+  if (!obs::ProfileEnabled()) {
+    phases_.Clear();
+    return;
+  }
+  // The backoff penalty is virtual retry time (it is also folded into the
+  // returned comm_seconds — the breakdown attributes where the virtual
+  // total came from, it does not re-sum it).
+  phases_.AddVirtual(obs::kPhaseRetry, penalty_seconds);
+  obs::Profiler::Global().AddPhases(phases_);
+  phases_.Clear();
 }
 
 }  // namespace lpsgd

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "comm/allreduce.h"
+#include "obs/profile.h"
 
 namespace lpsgd {
 
@@ -51,6 +52,9 @@ class RetryingAggregator : public GradientAggregator {
                      ExchangeRetryOptions options)
       : inner_(std::move(inner)), options_(options) {}
 
+  // Folds the accumulated retry-phase spans (plus `penalty_seconds` of
+  // virtual backoff time) into the global profiler and clears the scratch.
+  void FoldPhases(double penalty_seconds);
   // Copies every slot's rank_grads / rank_errors contents into the
   // persistent snapshot buffers (capacity-reusing; steady-state calls
   // allocate nothing once the buffers have grown to the model size).
@@ -64,6 +68,10 @@ class RetryingAggregator : public GradientAggregator {
   // copies of the caller-owned buffers, reused across calls.
   std::vector<std::vector<float>> grad_snapshot_;
   std::vector<std::vector<float>> error_snapshot_;
+  // Profiler scratch for the snapshot/restore copies (wall) and the
+  // backoff penalty (virtual), folded into the open step per call.
+  // AllReduce calls are serial, so one block suffices.
+  obs::PhaseTimes phases_;
 };
 
 }  // namespace lpsgd

@@ -7,6 +7,7 @@
 #include "base/strings.h"
 #include "nn/loss.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
@@ -155,6 +156,8 @@ SyncTrainer::SyncTrainer(TrainerOptions options,
   for (size_t r = 0; r < replicas_.size(); ++r) {
     optimizers_.emplace_back(options_.learning_rate, options_.momentum);
   }
+
+  slot_phases_.resize(static_cast<size_t>(options_.execution.threads()));
 }
 
 Status SyncTrainer::SaveCheckpoint(std::ostream& os) {
@@ -193,6 +196,15 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
   obs::ScopedTimer iteration_timer("trainer/iteration_seconds");
   obs::TraceSpan iteration_span("trainer/iteration", "trainer");
   const double virtual_start = virtual_seconds_;
+  // Open the step for phase attribution. A failed iteration is never
+  // EndStep'ed: the next BeginStep discards its partial phases, and the
+  // slot scratch is cleared here so spans from a failed attempt cannot
+  // leak into the retried iteration's breakdown.
+  obs::Profiler& profiler = obs::Profiler::Global();
+  if (obs::ProfileEnabled()) {
+    profiler.BeginStep(iteration_);
+    for (obs::PhaseTimes& phases : slot_phases_) phases.Clear();
+  }
   const int k = live_gpus_;
   const int64_t shard = batch.size() / k;
   if (shard == 0) {
@@ -220,28 +232,38 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
       0, k, [&](int64_t rank) -> Status {
         obs::TraceSpan rank_span("trainer/rank_forward_backward", "trainer");
         const int r = static_cast<int>(rank);
+        const int slot_id = ThreadPool::CurrentSlot();
+        CHECK_LT(static_cast<size_t>(slot_id), slot_phases_.size());
+        obs::PhaseTimes& phases = slot_phases_[static_cast<size_t>(slot_id)];
         Network& replica = replicas_[static_cast<size_t>(r)];
-        replica.ZeroGrads();
 
-        std::vector<int64_t> dims;
-        dims.push_back(shard);
-        for (int64_t d : sample_shape.dims()) dims.push_back(d);
-        Tensor inputs{Shape(dims)};
-        std::vector<int> labels(static_cast<size_t>(shard));
-        const int64_t begin = r * shard;
-        std::copy(batch.inputs.data() + begin * sample_elems,
-                  batch.inputs.data() + (begin + shard) * sample_elems,
-                  inputs.data());
-        for (int64_t i = 0; i < shard; ++i) {
-          labels[static_cast<size_t>(i)] =
-              batch.labels[static_cast<size_t>(begin + i)];
-        }
+        LossResult loss = [&] {
+          obs::PhaseTimer forward_timer(&phases, obs::kPhaseForward);
+          replica.ZeroGrads();
 
-        Tensor logits = replica.Forward(inputs, /*training=*/true);
-        LossResult loss = SoftmaxCrossEntropy(logits, labels);
+          std::vector<int64_t> dims;
+          dims.push_back(shard);
+          for (int64_t d : sample_shape.dims()) dims.push_back(d);
+          Tensor inputs{Shape(dims)};
+          std::vector<int> labels(static_cast<size_t>(shard));
+          const int64_t begin = r * shard;
+          std::copy(batch.inputs.data() + begin * sample_elems,
+                    batch.inputs.data() + (begin + shard) * sample_elems,
+                    inputs.data());
+          for (int64_t i = 0; i < shard; ++i) {
+            labels[static_cast<size_t>(i)] =
+                batch.labels[static_cast<size_t>(begin + i)];
+          }
+
+          Tensor logits = replica.Forward(inputs, /*training=*/true);
+          return SoftmaxCrossEntropy(logits, labels);
+        }();
         rank_loss[static_cast<size_t>(r)] = loss.loss_sum;
         rank_correct[static_cast<size_t>(r)] = loss.correct;
-        replica.Backward(loss.logits_grad);
+        {
+          obs::PhaseTimer backward_timer(&phases, obs::kPhaseBackward);
+          replica.Backward(loss.logits_grad);
+        }
         return OkStatus();
       }));
   obs::Tracer::Global().End(compute_span);
@@ -251,16 +273,20 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
   // keep their capacity across iterations.
   const size_t num_matrices = replica_params_[0].size();
   slots_.resize(num_matrices);
-  for (size_t m = 0; m < num_matrices; ++m) {
-    MatrixSlot& slot = slots_[m];
-    slot.quant_shape = replica_params_[0][m].quant_shape;
-    slot.quantized = quantize_matrix_[m];
-    slot.rank_grads.clear();
-    slot.rank_errors.clear();
-    for (int r = 0; r < k; ++r) {
-      slot.rank_grads.push_back(
-          replica_params_[static_cast<size_t>(r)][m].grad->data());
-      slot.rank_errors.push_back(&errors_[static_cast<size_t>(r)][m]);
+  {
+    // Slot refill is serial staging work for the exchange.
+    obs::PhaseTimer staging_timer(&slot_phases_[0], obs::kPhaseSum);
+    for (size_t m = 0; m < num_matrices; ++m) {
+      MatrixSlot& slot = slots_[m];
+      slot.quant_shape = replica_params_[0][m].quant_shape;
+      slot.quantized = quantize_matrix_[m];
+      slot.rank_grads.clear();
+      slot.rank_errors.clear();
+      for (int r = 0; r < k; ++r) {
+        slot.rank_grads.push_back(
+            replica_params_[static_cast<size_t>(r)][m].grad->data());
+        slot.rank_errors.push_back(&errors_[static_cast<size_t>(r)][m]);
+      }
     }
   }
   LPSGD_ASSIGN_OR_RETURN(CommStats stats,
@@ -276,6 +302,11 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
   const float inv_k = 1.0f / static_cast<float>(k);
   LPSGD_RETURN_IF_ERROR(options_.execution.ParallelFor(
       0, k, [&](int64_t r) -> Status {
+        const int slot_id = ThreadPool::CurrentSlot();
+        CHECK_LT(static_cast<size_t>(slot_id), slot_phases_.size());
+        obs::PhaseTimer optimizer_timer(
+            &slot_phases_[static_cast<size_t>(slot_id)],
+            obs::kPhaseOptimizer);
         for (ParamRef& param : replica_params_[static_cast<size_t>(r)]) {
           Scale(inv_k, param.grad);
         }
@@ -297,6 +328,20 @@ Status SyncTrainer::TrainIteration(const Batch& batch, double* loss_sum,
     obs::Count("trainer/iterations");
     obs::Count("trainer/samples", batch.size());
     obs::SetGauge("trainer/virtual_seconds", virtual_seconds_);
+  }
+  if (obs::ProfileEnabled()) {
+    // Fold the trainer's slot scratch (the aggregators folded theirs during
+    // AllReduce), attribute the step's virtual charges, and close the step.
+    for (obs::PhaseTimes& phases : slot_phases_) {
+      profiler.AddPhases(phases);
+      phases.Clear();
+    }
+    profiler.AddVirtual(obs::kPhaseWire, stats.comm_seconds);
+    profiler.AddVirtual(obs::kPhaseEncode, stats.encode_seconds);
+    profiler.AddVirtual(obs::kPhaseForward,
+                        options_.virtual_compute_seconds_per_iter);
+    profiler.EndStep(stats.TotalSeconds() +
+                     options_.virtual_compute_seconds_per_iter);
   }
   iteration_span.set_virtual_range(virtual_start, virtual_seconds_);
   return OkStatus();

@@ -20,6 +20,7 @@
 #include "nn/network.h"
 #include "nn/optimizer.h"
 #include "obs/json.h"
+#include "obs/profile.h"
 #include "quant/codec.h"
 #include "quant/policy.h"
 #include "sim/perf_model.h"
@@ -189,6 +190,10 @@ class SyncTrainer {
   std::vector<MatrixSlot> slots_;
   std::vector<double> rank_loss_;
   std::vector<int64_t> rank_correct_;
+  // Per-thread-pool-slot profiler scratch for the forward/backward,
+  // staging, and optimizer spans; folded serially at the iteration's
+  // commit point (obs/profile.h). Sized to execution.threads().
+  std::vector<obs::PhaseTimes> slot_phases_;
 
   int64_t iteration_ = 0;
   int epochs_completed_ = 0;

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 
 #include "base/logging.h"
@@ -37,6 +38,34 @@ double MonotonicSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation, 1-based: ceil(q * count), at least 1.
+  const int64_t rank =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * count)));
+  int64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    if (seen + counts[b] < rank) {
+      seen += counts[b];
+      continue;
+    }
+    // Bucket b holds the target. Interpolate between its lower and upper
+    // bound by the rank's position inside the bucket; the underflow bucket
+    // starts at min, the overflow bucket ends at max.
+    const double lower = b == 0 ? min : bounds[b - 1];
+    const double upper = b < bounds.size() ? bounds[b] : max;
+    const double fraction = counts[b] > 0
+                                ? static_cast<double>(rank - seen) /
+                                      static_cast<double>(counts[b])
+                                : 1.0;
+    const double estimate = lower + (upper - lower) * fraction;
+    return std::min(max, std::max(min, estimate));
+  }
+  return max;
 }
 
 MetricsRegistry::MetricsRegistry(bool enabled) : enabled_(enabled) {}
@@ -177,12 +206,24 @@ JsonValue MetricsRegistry::ToJson() const {
 
   JsonValue histograms = JsonValue::Object();
   for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.bounds = h.bounds;
+    snap.counts = h.counts.empty()
+                      ? std::vector<int64_t>(h.bounds.size() + 1, 0)
+                      : h.counts;
+    snap.count = h.count;
+    snap.sum = h.sum;
+    snap.min = h.min;
+    snap.max = h.max;
     JsonValue entry = JsonValue::Object();
     entry.Set("count", h.count);
     entry.Set("sum", h.sum);
     entry.Set("min", h.min);
     entry.Set("max", h.max);
     entry.Set("mean", h.count > 0 ? h.sum / h.count : 0.0);
+    entry.Set("p50", snap.Quantile(0.50));
+    entry.Set("p95", snap.Quantile(0.95));
+    entry.Set("p99", snap.Quantile(0.99));
     JsonValue bounds = JsonValue::Array();
     for (double b : h.bounds) bounds.Append(b);
     entry.Set("bounds", std::move(bounds));
@@ -205,16 +246,29 @@ std::string MetricsRegistry::ToJsonString(int indent) const {
 
 void MetricsRegistry::PrintTable(std::ostream& os) const {
   MutexLock lock(mu_);
-  TablePrinter table({"Metric", "Kind", "Value", "Count", "Mean"});
+  TablePrinter table(
+      {"Metric", "Kind", "Value", "Count", "Mean", "p50", "p95", "p99"});
   for (const auto& [name, value] : counters_) {
-    table.AddRow({name, "counter", StrCat(value), "", ""});
+    table.AddRow({name, "counter", StrCat(value), "", "", "", "", ""});
   }
   for (const auto& [name, value] : gauges_) {
-    table.AddRow({name, "gauge", FormatDouble(value, 6), "", ""});
+    table.AddRow({name, "gauge", FormatDouble(value, 6), "", "", "", "", ""});
   }
   for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.bounds = h.bounds;
+    snap.counts = h.counts.empty()
+                      ? std::vector<int64_t>(h.bounds.size() + 1, 0)
+                      : h.counts;
+    snap.count = h.count;
+    snap.sum = h.sum;
+    snap.min = h.min;
+    snap.max = h.max;
     table.AddRow({name, "histogram", FormatDouble(h.sum, 6), StrCat(h.count),
-                  FormatDouble(h.count > 0 ? h.sum / h.count : 0.0, 9)});
+                  FormatDouble(h.count > 0 ? h.sum / h.count : 0.0, 9),
+                  FormatDouble(snap.Quantile(0.50), 9),
+                  FormatDouble(snap.Quantile(0.95), 9),
+                  FormatDouble(snap.Quantile(0.99), 9)});
   }
   table.Print(os);
 }

@@ -40,6 +40,15 @@ struct HistogramSnapshot {
   double max = 0.0;
 
   double Mean() const { return count > 0 ? sum / count : 0.0; }
+
+  // Fixed-bucket quantile estimate for q in [0, 1]: locates the bucket
+  // holding the q-th observation and interpolates linearly inside it
+  // (between the previous bound and the bucket's upper bound), clamped to
+  // the observed [min, max]. Exact at bucket boundaries; within-bucket
+  // error is bounded by the bucket width, which the default power-of-4
+  // ladder keeps proportional to the value. Returns 0.0 for an empty
+  // histogram.
+  double Quantile(double q) const;
 };
 
 class MetricsRegistry {

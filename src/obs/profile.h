@@ -1,0 +1,332 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Step-phase attribution profiler and fault flight recorder (DESIGN.md
+// "Profiling and attribution").
+//
+// The profiler answers the paper's central empirical question — where does
+// a training step's time go as communication precision drops — by folding
+// scoped phase measurements (forward, backward, optimizer, encode, wire,
+// decode, sum, retry) into one TimeBreakdown per step, in both wall and
+// virtual time. Producers accumulate into per-thread-slot PhaseTimes
+// scratch (a POD struct of fixed arrays, so the enabled path stays
+// zero-allocation under the LPSGD_HOT_PATH lint) and merge serially into
+// the global Profiler at step boundaries. Like the metrics registry, the
+// global profiler starts disabled and every PhaseTimer costs exactly one
+// relaxed atomic load while it stays so (no clock reads). Enable
+// programmatically or with the LPSGD_PROFILE environment variable.
+//
+// The flight recorder keeps a fixed-capacity ring of recent spans plus
+// tracked-counter deltas, and dumps the whole history as one JSON document
+// whenever a gradient exchange returns non-OK (DATA_LOSS,
+// DEADLINE_EXCEEDED, ABORTED, ...) — so every chaos failure ships with the
+// context that led up to it. Enable with LPSGD_FLIGHT_RECORDER (the value
+// "1" keeps dumps in memory; any other value is used as the dump-file
+// prefix).
+#ifndef LPSGD_OBS_PROFILE_H_
+#define LPSGD_OBS_PROFILE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/mutex.h"
+#include "base/status.h"
+#include "base/thread_annotations.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace lpsgd {
+namespace obs {
+
+// The phases one synchronous training step decomposes into (Algorithm 1:
+// local compute, encode, exchange, decode, aggregate, update — plus the
+// retry layer's bookkeeping). Plain enum: values index fixed arrays.
+enum ProfilePhase : int {
+  kPhaseForward = 0,   // input slicing + forward pass + loss
+  kPhaseBackward = 1,  // backward pass
+  kPhaseOptimizer = 2, // gradient scaling + momentum step
+  kPhaseEncode = 3,    // codec Encode kernels
+  kPhaseWire = 4,      // wall: host copies standing in for the wire;
+                       // virtual: the cost model's comm_seconds
+  kPhaseDecode = 5,    // codec Decode kernels
+  kPhaseSum = 6,       // aggregate summation + exchange staging
+  kPhaseRetry = 7,     // retry snapshots/restores; virtual: backoff penalty
+  kNumProfilePhases = 8,
+};
+
+// "forward", "backward", ... (stable names used in JSON and tables).
+const char* ProfilePhaseName(int phase);
+
+// Per-slot phase accumulator: fixed POD arrays only, so instances may live
+// in hot-path workspaces and be written from LPSGD_HOT_PATH regions
+// without allocating. One PhaseTimes is single-threaded scratch — keep one
+// per thread-pool slot (ThreadPool::CurrentSlot()) and merge serially.
+struct PhaseTimes {
+  double wall[kNumProfilePhases] = {};
+  double virt[kNumProfilePhases] = {};
+  int64_t calls[kNumProfilePhases] = {};
+
+  void Clear() {
+    for (int p = 0; p < kNumProfilePhases; ++p) {
+      wall[p] = 0.0;
+      virt[p] = 0.0;
+      calls[p] = 0;
+    }
+  }
+
+  LPSGD_HOT_PATH
+  void Add(int phase, double wall_seconds) {
+    wall[phase] += wall_seconds;
+    calls[phase] += 1;
+  }
+
+  void AddVirtual(int phase, double virtual_seconds) {
+    virt[phase] += virtual_seconds;
+  }
+
+  void Merge(const PhaseTimes& other) {
+    for (int p = 0; p < kNumProfilePhases; ++p) {
+      wall[p] += other.wall[p];
+      virt[p] += other.virt[p];
+      calls[p] += other.calls[p];
+    }
+  }
+
+  double WallTotal() const {
+    double total = 0.0;
+    for (int p = 0; p < kNumProfilePhases; ++p) total += wall[p];
+    return total;
+  }
+
+  double VirtualTotal() const {
+    double total = 0.0;
+    for (int p = 0; p < kNumProfilePhases; ++p) total += virt[p];
+    return total;
+  }
+};
+
+// One step's (or an aggregate's) attributed time. wall_total is the
+// measured BeginStep..EndStep wall span; AttributedWall() is the sum of
+// the per-phase wall times inside it. Coverage() is their ratio — the
+// completeness the acceptance test asserts is >= 0.99. Under a parallel
+// ExecutionContext the attributed sum counts every worker's time, so
+// coverage may legitimately exceed 1.
+struct TimeBreakdown {
+  int64_t step = -1;          // -1 for aggregated totals
+  int64_t steps = 0;          // number of steps folded in (1 per step)
+  double wall_start = 0.0;    // MonotonicSeconds at BeginStep
+  double wall_total = 0.0;    // measured step wall seconds
+  double virtual_total = 0.0; // simulator seconds charged to the step
+  PhaseTimes phases;
+
+  double AttributedWall() const { return phases.WallTotal(); }
+  // Fraction of the measured wall span the phases account for; 1.0 when
+  // nothing was measured.
+  double Coverage() const {
+    return wall_total > 0.0 ? AttributedWall() / wall_total : 1.0;
+  }
+  // {step, wall_total, virtual_total, attributed_wall, coverage,
+  //  phases: {<name>: {wall, virtual, calls, wall_share}}}.
+  JsonValue ToJson() const;
+};
+
+// Serial fold point for the per-slot accumulators. The trainer calls
+// BeginStep/EndStep around each iteration; producers in between either
+// merge whole PhaseTimes scratch blocks (AddPhases) or add single
+// measurements. EndStep folds everything into a TimeBreakdown, appends it
+// to a bounded history, merges the running totals, feeds the flight
+// recorder, and emits a run-report entry while reporting is enabled.
+class Profiler {
+ public:
+  // Process-wide profiler. Starts disabled unless LPSGD_PROFILE is set to
+  // a nonzero value.
+  static Profiler& Global();
+
+  // Locally-constructed profilers start enabled (tests, embedders).
+  explicit Profiler(bool enabled = true);
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // --- Step lifecycle (no-ops while disabled) ---------------------------
+
+  // Opens step `step`, discarding any step left open (a failed iteration
+  // is simply never EndStep'ed; its partial phases are dropped).
+  void BeginStep(int64_t step) LPSGD_EXCLUDES(mu_);
+  // Merges one slot's accumulated phases into the open step.
+  void AddPhases(const PhaseTimes& delta) LPSGD_EXCLUDES(mu_);
+  void AddPhase(int phase, double wall_seconds) LPSGD_EXCLUDES(mu_);
+  void AddVirtual(int phase, double virtual_seconds) LPSGD_EXCLUDES(mu_);
+  // Closes the open step: wall_total is measured against BeginStep's
+  // clock, `virtual_seconds` is the simulator time the step charged.
+  void EndStep(double virtual_seconds) LPSGD_EXCLUDES(mu_);
+
+  // --- Inspection -------------------------------------------------------
+
+  int64_t steps_recorded() const LPSGD_EXCLUDES(mu_);
+  TimeBreakdown LastStep() const LPSGD_EXCLUDES(mu_);
+  // Running totals over every recorded step (step == -1).
+  TimeBreakdown Totals() const LPSGD_EXCLUDES(mu_);
+  // Most recent steps, oldest first (bounded history of kMaxStepHistory).
+  std::vector<TimeBreakdown> Steps() const LPSGD_EXCLUDES(mu_);
+
+  // {schema_version, kind: "profile", steps_recorded, totals, steps: []}.
+  JsonValue ToJson() const LPSGD_EXCLUDES(mu_);
+  [[nodiscard]] Status WriteFile(const std::string& path) const;
+  // Chrome trace_event JSON: one "X" event per (step, phase) laid out on
+  // the step's measured wall span (tid = phase lane), loadable in
+  // chrome://tracing or Perfetto next to the obs::Tracer export.
+  JsonValue ToChromeTraceJson() const LPSGD_EXCLUDES(mu_);
+  [[nodiscard]] Status WriteChromeTraceFile(const std::string& path) const;
+  // Aligned per-phase table of the running totals (wall, share, virtual,
+  // calls) — the breakdown train_cli prints.
+  void PrintTable(std::ostream& os) const LPSGD_EXCLUDES(mu_);
+
+  // Drops all recorded state (the enabled flag is preserved).
+  void Reset() LPSGD_EXCLUDES(mu_);
+
+ private:
+  // Steps kept for JSON/trace export; older steps fall out of the window
+  // but stay folded into Totals().
+  static constexpr size_t kMaxStepHistory = 4096;
+
+  std::atomic<bool> enabled_;
+  mutable Mutex mu_;
+  bool step_open_ LPSGD_GUARDED_BY(mu_) = false;
+  int64_t current_step_ LPSGD_GUARDED_BY(mu_) = -1;
+  double step_wall_start_ LPSGD_GUARDED_BY(mu_) = 0.0;
+  PhaseTimes current_ LPSGD_GUARDED_BY(mu_);
+  TimeBreakdown totals_ LPSGD_GUARDED_BY(mu_);
+  TimeBreakdown last_ LPSGD_GUARDED_BY(mu_);
+  // Ring of the most recent kMaxStepHistory breakdowns.
+  std::vector<TimeBreakdown> history_ LPSGD_GUARDED_BY(mu_);
+  size_t history_next_ LPSGD_GUARDED_BY(mu_) = 0;
+  int64_t steps_recorded_ LPSGD_GUARDED_BY(mu_) = 0;
+};
+
+inline bool ProfileEnabled() { return Profiler::Global().enabled(); }
+
+// RAII phase span writing into a per-slot PhaseTimes. While the global
+// profiler is disabled the sink is dropped at construction and the clock
+// is never read — the whole cost is one relaxed load per scope, which the
+// overhead test bounds at <= 1% on the codec micro-bench.
+class PhaseTimer {
+ public:
+  LPSGD_HOT_PATH
+  PhaseTimer(PhaseTimes* sink, int phase)
+      : sink_(ProfileEnabled() ? sink : nullptr),
+        phase_(phase),
+        start_(sink_ != nullptr ? MonotonicSeconds() : 0.0) {}
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  LPSGD_HOT_PATH
+  ~PhaseTimer() {
+    if (sink_ != nullptr) sink_->Add(phase_, MonotonicSeconds() - start_);
+  }
+
+ private:
+  PhaseTimes* sink_;
+  int phase_;
+  double start_;
+};
+
+// One flight-recorder ring entry. Fixed-size POD — recording never
+// allocates; labels longer than the field are truncated.
+struct FlightRecord {
+  int64_t sequence = 0;       // monotonically increasing record id
+  int64_t step = -1;          // training iteration, -1 when unknown
+  int phase = -1;             // ProfilePhase, -1 for non-phase records
+  int matrix = -1;
+  int rank = -1;
+  double wall_time = 0.0;     // MonotonicSeconds when recorded
+  double wall_seconds = 0.0;  // span duration (0 for point events)
+  double virtual_seconds = 0.0;
+  char label[24] = {};        // e.g. "step", "exchange_ok", "inject:fail"
+};
+
+// Fixed-capacity ring of recent FlightRecords plus tracked-counter deltas.
+// OnExchangeFailure() freezes the history into one JSON dump — written to
+// "<prefix>.<n>.json" when an output prefix is set, and always retrievable
+// via LastDump() — exactly once per non-OK exchange.
+class FlightRecorder {
+ public:
+  // Process-wide recorder. Starts disabled unless LPSGD_FLIGHT_RECORDER is
+  // set ("1" enables in-memory; any other non-empty value also becomes the
+  // dump-file prefix).
+  static FlightRecorder& Global();
+
+  // Locally-constructed recorders start enabled (tests, embedders).
+  explicit FlightRecorder(bool enabled = true);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // Dump files are written to "<prefix>.<dump index>.json"; empty (the
+  // default) keeps dumps in memory only.
+  void set_output_prefix(std::string prefix) LPSGD_EXCLUDES(mu_);
+
+  // Appends one record (no-op while disabled). Cheap but not free (one
+  // mutex): call at step/exchange granularity, not per element.
+  void Record(int64_t step, int phase, int matrix, int rank,
+              double wall_seconds, double virtual_seconds,
+              std::string_view label) LPSGD_EXCLUDES(mu_);
+
+  // The auto-dump hook: the exchange observer calls this for every non-OK
+  // AllReduce below the retry layer (and the retry layer for its own
+  // synthesized deadline overruns). Builds the dump document, appends a
+  // "trigger" record, writes the dump file when a prefix is set, and bumps
+  // dump_count(). No-op while disabled.
+  void OnExchangeFailure(const Status& status, int64_t iteration)
+      LPSGD_EXCLUDES(mu_);
+
+  int64_t record_count() const LPSGD_EXCLUDES(mu_);
+  int64_t dump_count() const LPSGD_EXCLUDES(mu_);
+  // The most recent dump document (null before the first dump). Schema:
+  //   {schema_version: 1, kind: "flight_record",
+  //    trigger: {code, code_name, message, iteration, sequence},
+  //    metric_deltas: {<counter>: <delta since previous dump>},
+  //    records: [{sequence, step, phase, phase_name, matrix, rank,
+  //               wall_time, wall_seconds, virtual_seconds, label}]}
+  JsonValue LastDump() const LPSGD_EXCLUDES(mu_);
+
+  // Drops records, dumps, and counter baselines (flag and prefix kept).
+  void Reset() LPSGD_EXCLUDES(mu_);
+
+  // Ring capacity: records beyond this overwrite the oldest.
+  static constexpr size_t kCapacity = 1024;
+
+ private:
+  JsonValue DumpLocked(const Status& status, int64_t iteration)
+      LPSGD_REQUIRES(mu_);
+
+  std::atomic<bool> enabled_;
+  mutable Mutex mu_;
+  std::string prefix_ LPSGD_GUARDED_BY(mu_);
+  std::vector<FlightRecord> ring_ LPSGD_GUARDED_BY(mu_);  // kCapacity slots
+  int64_t next_sequence_ LPSGD_GUARDED_BY(mu_) = 0;
+  int64_t dumps_ LPSGD_GUARDED_BY(mu_) = 0;
+  JsonValue last_dump_ LPSGD_GUARDED_BY(mu_);
+  // Tracked-counter values at the previous dump, for the delta section.
+  std::vector<int64_t> metric_baseline_ LPSGD_GUARDED_BY(mu_);
+};
+
+inline bool FlightRecorderEnabled() {
+  return FlightRecorder::Global().enabled();
+}
+
+}  // namespace obs
+}  // namespace lpsgd
+
+#endif  // LPSGD_OBS_PROFILE_H_

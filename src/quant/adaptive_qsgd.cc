@@ -11,6 +11,7 @@
 #include "base/thread_annotations.h"
 #include "base/rng.h"
 #include "base/strings.h"
+#include "obs/profile.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -164,6 +165,7 @@ void AdaptiveQsgdCodec::Encode(const float* grad, const Shape& shape,
                                std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("adaptive_qsgd", /*encode=*/true,
                                           out);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseEncode);
   const int64_t n = shape.element_count();
   const int64_t buckets = NumChunks(shape);
   const CounterRng stream(seed_, stochastic_tag);
@@ -226,10 +228,11 @@ void AdaptiveQsgdCodec::Encode(const float* grad, const Shape& shape,
 LPSGD_HOT_PATH
 Status AdaptiveQsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                                  const Shape& shape,
-                                 CodecWorkspace* /*workspace*/,
+                                 CodecWorkspace* workspace,
                                  float* out) const {
   codec_internal::CodecObsScope obs_scope("adaptive_qsgd",
                                           /*encode=*/false);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseDecode);
   const int64_t n = shape.element_count();
   LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
       "adaptive_qsgd", bytes, num_bytes, EncodedSizeBytes(shape)));

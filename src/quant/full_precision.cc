@@ -5,6 +5,7 @@
 
 #include "base/logging.h"
 #include "base/thread_annotations.h"
+#include "obs/profile.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -22,10 +23,11 @@ LPSGD_HOT_PATH
 void FullPrecisionCodec::Encode(const float* grad, const Shape& shape,
                                 uint64_t /*stochastic_tag*/,
                                 std::vector<float>* /*error*/,
-                                CodecWorkspace* /*workspace*/,
+                                CodecWorkspace* workspace,
                                 std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("full_precision", /*encode=*/true,
                                           out);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseEncode);
   const int64_t payload =
       shape.element_count() * static_cast<int64_t>(sizeof(float));
   uint8_t* blob = quant_internal::EnsureSize(
@@ -37,10 +39,11 @@ void FullPrecisionCodec::Encode(const float* grad, const Shape& shape,
 LPSGD_HOT_PATH
 Status FullPrecisionCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                                   const Shape& shape,
-                                  CodecWorkspace* /*workspace*/,
+                                  CodecWorkspace* workspace,
                                   float* out) const {
   codec_internal::CodecObsScope obs_scope("full_precision",
                                           /*encode=*/false);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseDecode);
   const int64_t n = shape.element_count();
   LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
       "full_precision", bytes, num_bytes, EncodedSizeBytes(shape)));

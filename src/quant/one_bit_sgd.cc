@@ -8,6 +8,7 @@
 #include "base/logging.h"
 #include "base/thread_annotations.h"
 #include "base/strings.h"
+#include "obs/profile.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -63,10 +64,11 @@ LPSGD_HOT_PATH
 void OneBitSgdCodec::Encode(const float* grad, const Shape& shape,
                             uint64_t /*stochastic_tag*/,
                             std::vector<float>* error,
-                            CodecWorkspace* /*workspace*/,
+                            CodecWorkspace* workspace,
                             std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("one_bit_sgd", /*encode=*/true,
                                           out);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseEncode);
   const int64_t rows = shape.rows();
   const int64_t cols = shape.cols();
   const int64_t n = rows * cols;
@@ -119,9 +121,10 @@ void OneBitSgdCodec::Encode(const float* grad, const Shape& shape,
 LPSGD_HOT_PATH
 Status OneBitSgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                               const Shape& shape,
-                              CodecWorkspace* /*workspace*/,
+                              CodecWorkspace* workspace,
                               float* out) const {
   codec_internal::CodecObsScope obs_scope("one_bit_sgd", /*encode=*/false);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseDecode);
   const int64_t rows = shape.rows();
   const int64_t cols = shape.cols();
   LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
@@ -170,10 +173,11 @@ LPSGD_HOT_PATH
 void OneBitSgdReshapedCodec::Encode(const float* grad, const Shape& shape,
                                     uint64_t /*stochastic_tag*/,
                                     std::vector<float>* error,
-                                    CodecWorkspace* /*workspace*/,
+                                    CodecWorkspace* workspace,
                                     std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("one_bit_sgd_reshaped",
                                           /*encode=*/true, out);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseEncode);
   const int64_t n = shape.element_count();
   CHECK(!error_feedback_ || error != nullptr);
   if (error_feedback_) {
@@ -223,10 +227,11 @@ void OneBitSgdReshapedCodec::Encode(const float* grad, const Shape& shape,
 LPSGD_HOT_PATH
 Status OneBitSgdReshapedCodec::Decode(const uint8_t* bytes,
                                       int64_t num_bytes, const Shape& shape,
-                                      CodecWorkspace* /*workspace*/,
+                                      CodecWorkspace* workspace,
                                       float* out) const {
   codec_internal::CodecObsScope obs_scope("one_bit_sgd_reshaped",
                                           /*encode=*/false);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseDecode);
   const int64_t n = shape.element_count();
   LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
       "one_bit_sgd_reshaped", bytes, num_bytes, EncodedSizeBytes(shape)));

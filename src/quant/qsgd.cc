@@ -9,6 +9,7 @@
 #include "base/thread_annotations.h"
 #include "base/rng.h"
 #include "base/strings.h"
+#include "obs/profile.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -58,9 +59,10 @@ int64_t QsgdCodec::NumChunks(const Shape& shape) const {
 LPSGD_HOT_PATH
 void QsgdCodec::Encode(const float* grad, const Shape& shape,
                        uint64_t stochastic_tag, std::vector<float>* /*error*/,
-                       CodecWorkspace* /*workspace*/,
+                       CodecWorkspace* workspace,
                        std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("qsgd", /*encode=*/true, out);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseEncode);
   const int64_t n = shape.element_count();
   const int64_t buckets = NumChunks(shape);
   const CounterRng stream(seed_, stochastic_tag);
@@ -136,6 +138,7 @@ Status QsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                          const Shape& shape, CodecWorkspace* workspace,
                          float* out) const {
   codec_internal::CodecObsScope obs_scope("qsgd", /*encode=*/false);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseDecode);
   const int64_t n = shape.element_count();
   LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
       "qsgd", bytes, num_bytes, EncodedSizeBytes(shape)));

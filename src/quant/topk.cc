@@ -9,6 +9,7 @@
 #include "base/logging.h"
 #include "base/thread_annotations.h"
 #include "base/strings.h"
+#include "obs/profile.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -51,6 +52,7 @@ void TopKCodec::Encode(const float* grad, const Shape& shape,
                        std::vector<float>* error, CodecWorkspace* workspace,
                        std::vector<uint8_t>* out) const {
   codec_internal::CodecObsScope obs_scope("topk", /*encode=*/true, out);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseEncode);
   const int64_t n = shape.element_count();
   CHECK(!error_feedback_ || error != nullptr);
   if (error_feedback_) {
@@ -107,9 +109,10 @@ void TopKCodec::Encode(const float* grad, const Shape& shape,
 
 LPSGD_HOT_PATH
 Status TopKCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
-                         const Shape& shape, CodecWorkspace* /*workspace*/,
+                         const Shape& shape, CodecWorkspace* workspace,
                          float* out) const {
   codec_internal::CodecObsScope obs_scope("topk", /*encode=*/false);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseDecode);
   const int64_t n = shape.element_count();
   LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
       "topk", bytes, num_bytes, EncodedSizeBytes(shape)));

@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/profile.h"
+
 namespace lpsgd {
 
 // Reusable scratch for one codec Encode/Decode call chain. The buffers grow
@@ -36,6 +38,11 @@ struct CodecWorkspace {
   // Caller-side scratch blob for encode-then-decode round trips (the
   // aggregators' stage-2 re-encode).
   std::vector<uint8_t> blob;
+  // Per-slot profiler scratch: codec Encode/Decode calls and the
+  // aggregators' hot loops accumulate phase spans here (fixed POD arrays,
+  // so the hot path stays allocation-free); the owning aggregator merges
+  // and clears it serially after each exchange (obs/profile.h).
+  obs::PhaseTimes phases;
 };
 
 namespace quant_internal {

@@ -14,7 +14,9 @@
 
 #include "comm/allreduce.h"
 #include "machine/specs.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "tensor/shape.h"
 
 namespace lpsgd {
@@ -276,6 +278,37 @@ TEST(RetryingAggregatorTest, OverDeadlineSuccessIsDiscardedAndRetried) {
   auto relaxed_stats = (*relaxed_retrying)->AllReduce(&relaxed_fixture.slots, 0);
   ASSERT_TRUE(relaxed_stats.ok());
   EXPECT_NEAR(relaxed_stats->comm_seconds, 10.0, 1e-9);
+}
+
+// A deadline overrun is synthesized by the retry layer itself — above the
+// exchange observer, which only sees the inner engine's OK result — so the
+// retry layer must file its own flight record, exactly once per overrun.
+TEST(RetryingAggregatorTest, DeadlineOverrunFilesOneFlightRecord) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  const bool was_enabled = recorder.enabled();
+  recorder.set_enabled(true);
+  recorder.Reset();
+
+  auto inner = std::make_unique<FlakyAggregator>(2);
+  inner->durations = {10.0, 0.5};  // only the first attempt overruns
+  ExchangeRetryOptions options;
+  options.max_retries = 1;
+  options.timeout_seconds = 1.0;
+  auto retrying = RetryingAggregator::Create(std::move(inner), options);
+  ASSERT_TRUE(retrying.ok());
+
+  SlotFixture fixture(2, 13);
+  ASSERT_TRUE((*retrying)->AllReduce(&fixture.slots, 7).ok());
+
+  EXPECT_EQ(recorder.dump_count(), 1);
+  const obs::JsonValue dump = recorder.LastDump();
+  EXPECT_EQ(dump.At("kind").AsString(), "flight_record");
+  EXPECT_EQ(dump.At("trigger").At("code_name").AsString(),
+            "DEADLINE_EXCEEDED");
+  EXPECT_EQ(dump.At("trigger").At("iteration").AsInt(), 7);
+
+  recorder.Reset();
+  recorder.set_enabled(was_enabled);
 }
 
 TEST(RetryingAggregatorTest, CreateAggregatorWrapsOnlyWhenEnabled) {

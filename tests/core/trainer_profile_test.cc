@@ -1,0 +1,118 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Breakdown completeness (ISSUE: profiling and attribution): with the
+// global profiler enabled, a serial training run must attribute >= 99% of
+// every step's measured wall time to named phases, exercise each phase the
+// step actually contains, and leave the global profiler untouched while
+// disabled.
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/synthetic.h"
+#include "nn/model_zoo.h"
+#include "obs/profile.h"
+
+namespace lpsgd {
+namespace {
+
+SyntheticImageDataset Images(int64_t n, int64_t offset = 0) {
+  SyntheticImageOptions options;
+  options.num_classes = 4;
+  options.channels = 1;
+  options.height = 4;
+  options.width = 4;
+  options.num_samples = n;
+  options.signal = 2.0f;
+  options.noise = 0.5f;
+  options.sample_offset = offset;
+  return SyntheticImageDataset(options);
+}
+
+class ProfilerGuard {
+ public:
+  ProfilerGuard() : was_(obs::Profiler::Global().enabled()) {
+    obs::Profiler::Global().set_enabled(true);
+    obs::Profiler::Global().Reset();
+  }
+  ~ProfilerGuard() {
+    obs::Profiler::Global().Reset();
+    obs::Profiler::Global().set_enabled(was_);
+  }
+
+ private:
+  bool was_;
+};
+
+// A wide-enough MLP that each step does real work (milliseconds, not
+// microseconds), so fixed per-step bookkeeping cannot eat into coverage.
+TrainerOptions ProfiledOptions() {
+  TrainerOptions options;
+  options.num_gpus = 4;
+  options.global_batch_size = 64;
+  options.learning_rate = 0.05f;
+  options.codec = QsgdSpec(4);
+  options.primitive = CommPrimitive::kMpi;
+  options.seed = 13;
+  options.execution = ExecutionContext::Serial();
+  return options;
+}
+
+TEST(TrainerProfileTest, BreakdownCoversAtLeast99PercentOfStepWall) {
+  ProfilerGuard guard;
+  const auto train = Images(128);
+  const auto test = Images(32, 1 << 20);
+
+  auto trainer = SyncTrainer::Create(
+      [](uint64_t seed) { return BuildMlp({16, 512, 256, 4}, seed); },
+      ProfiledOptions());
+  ASSERT_TRUE(trainer.ok()) << trainer.status();
+  auto metrics = (*trainer)->Train(train, test, /*epochs=*/1);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+
+  obs::Profiler& profiler = obs::Profiler::Global();
+  // 128 samples / batch 64 = 2 iterations, each one recorded step.
+  ASSERT_EQ(profiler.steps_recorded(), 2);
+
+  const obs::TimeBreakdown totals = profiler.Totals();
+  EXPECT_EQ(totals.steps, 2);
+  EXPECT_GT(totals.wall_total, 0.0);
+  EXPECT_GE(totals.Coverage(), 0.99)
+      << "attributed " << totals.AttributedWall() << "s of "
+      << totals.wall_total << "s measured step wall";
+
+  // Every phase a quantized synchronous step contains was actually hit.
+  for (int phase : {obs::kPhaseForward, obs::kPhaseBackward,
+                    obs::kPhaseOptimizer, obs::kPhaseEncode,
+                    obs::kPhaseDecode, obs::kPhaseSum}) {
+    EXPECT_GT(totals.phases.calls[phase], 0)
+        << "phase " << obs::ProfilePhaseName(phase) << " never recorded";
+  }
+  // The cost model's simulated comm time lands on the wire phase.
+  EXPECT_GT(totals.phases.virt[obs::kPhaseWire], 0.0);
+
+  // Per-step coverage holds too, not just in aggregate.
+  for (const obs::TimeBreakdown& step : profiler.Steps()) {
+    EXPECT_GE(step.Coverage(), 0.99) << "step " << step.step;
+    EXPECT_GT(step.virtual_total, 0.0);
+  }
+}
+
+TEST(TrainerProfileTest, DisabledProfilerSeesNothingFromTraining) {
+  obs::Profiler& profiler = obs::Profiler::Global();
+  ASSERT_FALSE(profiler.enabled());
+  profiler.Reset();
+
+  auto trainer = SyncTrainer::Create(
+      [](uint64_t seed) { return BuildMlp({16, 8, 4}, seed); },
+      ProfiledOptions());
+  ASSERT_TRUE(trainer.ok()) << trainer.status();
+  const auto train = Images(64);
+  const auto test = Images(32, 1 << 20);
+  ASSERT_TRUE((*trainer)->Train(train, test, 1).ok());
+
+  EXPECT_EQ(profiler.steps_recorded(), 0);
+  EXPECT_EQ(profiler.Totals().AttributedWall(), 0.0);
+}
+
+}  // namespace
+}  // namespace lpsgd

@@ -15,7 +15,9 @@
 #include "core/trainer.h"
 #include "data/synthetic.h"
 #include "nn/model_zoo.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace lpsgd {
 namespace {
@@ -101,6 +103,23 @@ class MetricsGuard {
     obs::MetricsRegistry::Global().set_enabled(true);
   }
   ~MetricsGuard() { obs::MetricsRegistry::Global().set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+// Enables the global flight recorder (memory-only) for one test and
+// restores the previous state afterwards.
+class FlightRecorderGuard {
+ public:
+  FlightRecorderGuard() : was_(obs::FlightRecorder::Global().enabled()) {
+    obs::FlightRecorder::Global().set_enabled(true);
+    obs::FlightRecorder::Global().Reset();
+  }
+  ~FlightRecorderGuard() {
+    obs::FlightRecorder::Global().Reset();
+    obs::FlightRecorder::Global().set_enabled(was_);
+  }
 
  private:
   bool was_;
@@ -283,6 +302,83 @@ TEST(ChaosRecoveryTest, CrashFailsRunWhenDegradeDisabled) {
   int rank = -1;
   EXPECT_TRUE(fault::IsRankCrash(metrics.status(), &rank));
   EXPECT_EQ(rank, 2);
+}
+
+// Every injected failure surfaces as exactly one flight-recorder dump:
+// two transient failures at iteration 1 (each non-OK exchange below the
+// retry layer is dumped by the observer before the retry re-attempts), one
+// corrupted exchange at 3, and the ABORTED crash at 5. The replay after
+// degrading to survivors injects nothing, so the total stays 4 and the
+// last dump's trigger is the crash.
+TEST(ChaosRecoveryTest, FlightRecorderDumpsOncePerInjectedFailure) {
+  MetricsGuard metrics;
+  FlightRecorderGuard flight;
+  const auto train = MakeImages(128);
+  const auto test = MakeImages(64, 1 << 20);
+
+  TrainerOptions options = BaseOptions(QsgdSpec(4), CommPrimitive::kMpi);
+  auto plan = fault::FaultPlan::Parse("fail@1x2;corrupt@3;crash@5:1");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  options.fault_tolerance.plan = *plan;
+  options.fault_tolerance.retry.max_retries = 2;
+  options.fault_tolerance.checkpoint_every = 2;
+
+  const RunResult result = RunTraining(options, train, test, 2);
+  ASSERT_EQ(result.metrics.size(), 2u);
+  EXPECT_EQ(result.live_gpus, 3);
+
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  EXPECT_EQ(recorder.dump_count(), 4)
+      << "expected one dump per injected failure (2 fails + corrupt + crash)";
+
+  // The last dump is the crash; validate the documented schema.
+  const obs::JsonValue dump = recorder.LastDump();
+  EXPECT_EQ(dump.At("schema_version").AsInt(), 1);
+  EXPECT_EQ(dump.At("kind").AsString(), "flight_record");
+  const obs::JsonValue& trigger = dump.At("trigger");
+  EXPECT_EQ(trigger.At("code_name").AsString(), "ABORTED");
+  EXPECT_EQ(trigger.At("iteration").AsInt(), 5);
+  EXPECT_GE(trigger.At("sequence").AsInt(), 0);
+  EXPECT_GE(dump.At("metric_deltas").At("fault/injected").AsInt(), 1);
+
+  // The ring history carries the earlier failures' trigger markers and the
+  // successful exchanges between them.
+  const auto& records = dump.At("records").AsArray();
+  ASSERT_FALSE(records.empty());
+  bool saw_unavailable_marker = false;
+  bool saw_ok_exchange = false;
+  for (const obs::JsonValue& record : records) {
+    const std::string& label = record.At("label").AsString();
+    if (label == "fail:UNAVAILABLE") saw_unavailable_marker = true;
+    if (label == "exchange_ok") saw_ok_exchange = true;
+  }
+  EXPECT_TRUE(saw_unavailable_marker);
+  EXPECT_TRUE(saw_ok_exchange);
+
+  // Schema-valid means it round-trips through the JSON parser.
+  auto parsed = obs::JsonValue::Parse(dump.Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->At("trigger").At("code_name").AsString(), "ABORTED");
+}
+
+// With the recorder disabled (the default), the same chaos run files
+// nothing: no records, no dumps.
+TEST(ChaosRecoveryTest, DisabledFlightRecorderStaysEmptyUnderChaos) {
+  MetricsGuard metrics;
+  obs::FlightRecorder::Global().Reset();
+  const auto train = MakeImages(128);
+  const auto test = MakeImages(64, 1 << 20);
+
+  TrainerOptions options = BaseOptions(QsgdSpec(4), CommPrimitive::kMpi);
+  auto plan = fault::FaultPlan::Parse("fail@1x2;corrupt@3");
+  ASSERT_TRUE(plan.ok());
+  options.fault_tolerance.plan = *plan;
+  options.fault_tolerance.retry.max_retries = 2;
+
+  const RunResult result = RunTraining(options, train, test, 1);
+  ASSERT_EQ(result.metrics.size(), 1u);
+  EXPECT_EQ(obs::FlightRecorder::Global().dump_count(), 0);
+  EXPECT_EQ(obs::FlightRecorder::Global().record_count(), 0);
 }
 
 }  // namespace

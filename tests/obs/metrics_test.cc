@@ -127,6 +127,57 @@ TEST(MetricsRegistryTest, PrintTableListsEveryMetric) {
   EXPECT_NE(table.find("quant/encode_seconds"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, QuantilesInterpolateInsideBuckets) {
+  MetricsRegistry reg;
+  // 20 integer observations 1..20 over bounds {10, 20}: ten per bucket.
+  for (int v = 1; v <= 20; ++v) {
+    reg.ObserveWithBounds("q", static_cast<double>(v), {10.0, 20.0});
+  }
+  const HistogramSnapshot snap = reg.HistogramFor("q");
+  // p50 = rank 10, the last observation of bucket 0: exactly its bound.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.50), 10.0);
+  // p95 = rank 19, 9/10 through bucket (10, 20].
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.95), 19.0);
+  // p99 = rank 20, the top of the histogram.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 20.0);
+  // q=0 still returns a value inside the first bucket, above the min.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 1.9);
+}
+
+TEST(MetricsRegistryTest, QuantilesClampToObservedRange) {
+  MetricsRegistry reg;
+  reg.ObserveWithBounds("single", 5.0, {10.0});
+  // One observation: every quantile is that observation, not the bucket
+  // bound above it.
+  EXPECT_DOUBLE_EQ(reg.HistogramFor("single").Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(reg.HistogramFor("single").Quantile(0.99), 5.0);
+
+  reg.ObserveWithBounds("overflow", 50.0, {10.0});
+  // Overflow bucket interpolates up to the observed max.
+  EXPECT_DOUBLE_EQ(reg.HistogramFor("overflow").Quantile(0.99), 50.0);
+
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.Quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, JsonAndTableExportQuantiles) {
+  MetricsRegistry reg;
+  for (int v = 1; v <= 20; ++v) {
+    reg.ObserveWithBounds("lat", static_cast<double>(v), {10.0, 20.0});
+  }
+  const JsonValue json = reg.ToJson();
+  const JsonValue& entry = json.At("histograms").At("lat");
+  EXPECT_DOUBLE_EQ(entry.At("p50").AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(entry.At("p95").AsDouble(), 19.0);
+  EXPECT_DOUBLE_EQ(entry.At("p99").AsDouble(), 20.0);
+
+  std::ostringstream os;
+  reg.PrintTable(os);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("p50"), std::string::npos);
+  EXPECT_NE(table.find("p95"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+}
+
 TEST(ScopedTimerTest, RecordsElapsedIntoGlobalHistogram) {
   MetricsRegistry& global = MetricsRegistry::Global();
   const bool was_enabled = global.enabled();

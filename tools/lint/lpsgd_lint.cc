@@ -79,7 +79,7 @@ const std::pair<const char*, int> kRequiredHotPathMarkers[] = {
     {"src/quant/qsgd.cc", 2},           {"src/quant/adaptive_qsgd.cc", 2},
     {"src/quant/topk.cc", 2},           {"src/base/bit_packing.h", 2},
     {"src/comm/mpi_reduce_bcast.cc", 2}, {"src/comm/nccl_ring.cc", 1},
-    {"src/comm/retry.cc", 1},
+    {"src/comm/retry.cc", 1},           {"src/obs/profile.h", 3},
 };
 
 // Per-line suppressions parsed from the *original* text (suppressions live
