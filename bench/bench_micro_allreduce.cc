@@ -45,7 +45,8 @@ struct Fixture {
 void RunMpi(benchmark::State& state, const CodecSpec& spec) {
   const int ranks = static_cast<int>(state.range(0));
   const int64_t n = state.range(1);
-  auto agg = MpiReduceBcastAggregator::Create(ranks, spec, Ec2P2_16xlarge());
+  auto agg = CreateAggregator(CommPrimitive::kMpi, ranks, spec,
+                              Ec2P2_16xlarge(), ExecutionContext::Serial());
   CHECK_OK(agg.status());
   Fixture fixture(ranks, n);
   int64_t iteration = 0;
@@ -60,7 +61,8 @@ void RunMpi(benchmark::State& state, const CodecSpec& spec) {
 void RunNccl(benchmark::State& state, const CodecSpec& spec) {
   const int ranks = static_cast<int>(state.range(0));
   const int64_t n = state.range(1);
-  auto agg = NcclRingAggregator::Create(ranks, spec, Ec2P2_8xlarge());
+  auto agg = CreateAggregator(CommPrimitive::kNccl, ranks, spec,
+                              Ec2P2_8xlarge(), ExecutionContext::Serial());
   CHECK_OK(agg.status());
   Fixture fixture(ranks, n);
   int64_t iteration = 0;

@@ -100,6 +100,21 @@ void BM_EncodeOneBitColumnConvShape(benchmark::State& state) {
   RunEncode(state, OneBitSgdSpec(), /*column_matrix=*/true);
 }
 
+void BM_EncodeTernGrad(benchmark::State& state) {
+  RunEncode(state, TernGradSpec());
+}
+void BM_EncodeNuq4(benchmark::State& state) {
+  RunEncode(state, NuqsgdSpec(4));
+}
+void BM_EncodeEcq4(benchmark::State& state) {
+  RunEncode(state, EcqSgdSpec(4));
+}
+// Top-K at the paper's 1% density: selection + index-run packing dominate,
+// so this is the codec most sensitive to nth_element regressions.
+void BM_EncodeTopK1pct(benchmark::State& state) {
+  RunEncode(state, TopKSpec(0.01));
+}
+
 void BM_DecodeQsgd4(benchmark::State& state) {
   RunDecode(state, QsgdSpec(4));
 }
@@ -108,6 +123,17 @@ void BM_DecodeQsgd8(benchmark::State& state) {
 }
 void BM_DecodeOneBitReshaped(benchmark::State& state) {
   RunDecode(state, OneBitSgdReshapedSpec(64));
+}
+void BM_DecodeTernGrad(benchmark::State& state) {
+  RunDecode(state, TernGradSpec());
+}
+void BM_DecodeNuq4(benchmark::State& state) {
+  RunDecode(state, NuqsgdSpec(4));
+}
+// Sparse decode is a scatter into a zero-filled dense buffer — measures
+// the memset + index-run unpack cost the aggregators pay per rank.
+void BM_DecodeTopK1pct(benchmark::State& state) {
+  RunDecode(state, TopKSpec(0.01));
 }
 
 constexpr int64_t kSmall = 3 << 10;
@@ -120,9 +146,16 @@ BENCHMARK(BM_EncodeQsgd8)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_EncodeQsgd16)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_EncodeOneBitReshaped)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_EncodeOneBitColumnConvShape)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeTernGrad)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeNuq4)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeEcq4)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeTopK1pct)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_DecodeQsgd4)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_DecodeQsgd8)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_DecodeOneBitReshaped)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeTernGrad)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeNuq4)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeTopK1pct)->Arg(kSmall)->Arg(kLarge);
 
 }  // namespace
 }  // namespace lpsgd

@@ -9,8 +9,11 @@
 //   ./perf_explorer VGG19 DGX-1 nccl 32bit 8
 //   ./perf_explorer ResNet50 p2.16xlarge mpi 1bit*:64 16 --threads 4
 //
-// Codec grammar: 32bit | 1bit | 1bit* | 1bit*:<bucket> | q<bits>[:<bucket>]
-//                | topk:<density>
+// Codec grammar (from the codec registry; a bad spec prints the full
+// per-family help): 32bit | 1bit | 1bit*[:<bucket>] | q<bits>[:<bucket>]
+//   | aq<bits>[:<bucket>] | nuq<bits>[:<bucket>] | ecq<bits>[:<bucket>]
+//   | terngrad[:clip=<c>] | topk:<density> — families also take
+//   key=value parameters, e.g. q4:bucket=512,norm=l2.
 //
 // --profile_out writes the estimated iteration as a profiler breakdown
 // (virtual compute/encode/wire phases) so model estimates and measured
@@ -25,6 +28,7 @@
 #include "machine/specs.h"
 #include "obs/profile.h"
 #include "quant/codec.h"
+#include "quant/registry.h"
 #include "sim/perf_model.h"
 
 int main(int argc, char** argv) {
@@ -77,7 +81,10 @@ int main(int argc, char** argv) {
   }
   auto spec = ParseCodecSpec(codec_text);
   if (!spec.ok()) {
-    std::cerr << spec.status() << "\n";
+    std::cerr << spec.status() << "\nregistered codecs:\n";
+    for (const std::string& line : CodecRegistry::Global().HelpLines()) {
+      std::cerr << "  " << line << "\n";
+    }
     return 1;
   }
   const CommPrimitive primitive = primitive_name == "nccl"

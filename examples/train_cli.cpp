@@ -19,8 +19,11 @@
 // --threads sets the host worker count for the per-rank work (0 = one
 // per hardware thread, 1 = serial); results are identical either way.
 //
-// Codec grammar: 32bit | 1bit | 1bit* | 1bit*:<bucket> | q<bits>[:<bucket>]
-//                | aq<bits>[:<bucket>] | topk:<density>
+// Codec grammar (from the codec registry; a bad spec prints the full
+// per-family help): 32bit | 1bit | 1bit*[:<bucket>] | q<bits>[:<bucket>]
+//   | aq<bits>[:<bucket>] | nuq<bits>[:<bucket>] | ecq<bits>[:<bucket>]
+//   | terngrad[:clip=<c>] | topk:<density> — families also take
+//   key=value parameters, e.g. q4:bucket=512,norm=l2.
 //
 // Fault-plan grammar (';'-separated): straggle@<iter>:<seconds> |
 //   fail@<iter>[x<count>] | corrupt@<iter>[x<count>] | crash@<iter>:<rank>
@@ -46,6 +49,7 @@
 #include "data/synthetic.h"
 #include "nn/model_zoo.h"
 #include "obs/profile.h"
+#include "quant/registry.h"
 
 namespace lpsgd {
 namespace {
@@ -117,7 +121,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 int Run(const Args& args) {
   auto spec = ParseCodecSpec(args.codec);
   if (!spec.ok()) {
-    std::cerr << spec.status() << "\n";
+    std::cerr << spec.status() << "\nregistered codecs:\n";
+    for (const std::string& line : CodecRegistry::Global().HelpLines()) {
+      std::cerr << "  " << line << "\n";
+    }
     return 1;
   }
 

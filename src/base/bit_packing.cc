@@ -25,6 +25,10 @@ int64_t BitPacker::WordCount(int64_t count) const {
   return (count + values_per_word_ - 1) / values_per_word_;
 }
 
+int64_t IndexRunWordCount(int64_t element_count, int64_t count) {
+  return BitPacker(IndexBitWidth(element_count)).WordCount(count);
+}
+
 void BitPacker::Pack(const uint32_t* values, int64_t count,
                      uint32_t* words) const {
   BitWriter writer(words, bits_per_value_);

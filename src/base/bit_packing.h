@@ -138,6 +138,58 @@ inline bool SignBitAt(const uint32_t* words, int64_t index) {
   return (words[index >> 5] >> (index & 31)) & 1u;
 }
 
+// Sparse index runs (the TopK wire format): k strictly-increasing element
+// indices of an n-element gradient, packed at the fixed width
+// IndexBitWidth(n) bits each through the BitWriter/BitReader word layout.
+// A fixed width keeps the encoded size an exact function of (n, k) — the
+// EncodedSizeBytes contract every codec blob must satisfy — while still
+// cutting the 32-bit-per-index cost to ceil(log2 n) bits.
+
+// Bits needed to address any element of an n-element buffer (>= 1 so an
+// empty field never occurs; n == 1 still packs one 1-bit zero index).
+inline int IndexBitWidth(int64_t element_count) {
+  int bits = 1;
+  while ((int64_t{1} << bits) < element_count) ++bits;
+  return bits;
+}
+
+// 32-bit words occupied by `count` packed indices of an n-element buffer.
+int64_t IndexRunWordCount(int64_t element_count, int64_t count);
+
+// Packs `count` strictly-increasing indices (each < element_count) into
+// `words`, which must hold IndexRunWordCount(element_count, count) fully
+// overwritten words.
+LPSGD_HOT_PATH
+inline void PackIndexRun(const int64_t* indices, int64_t count,
+                         int64_t element_count, uint32_t* words) {
+  BitWriter writer(words, IndexBitWidth(element_count));
+  for (int64_t i = 0; i < count; ++i) {
+    writer.Put(static_cast<uint32_t>(indices[i]));
+  }
+  writer.Finish();
+}
+
+// Unpacks `count` indices into `indices` and validates the run: every
+// index must be < element_count and the run strictly increasing (the
+// canonical order PackIndexRun wrote). Returns false on a malformed run —
+// the caller must treat the blob as corrupt and not scatter from it.
+[[nodiscard]] LPSGD_HOT_PATH inline bool UnpackIndexRun(
+    const uint32_t* words, int64_t count, int64_t element_count,
+    uint32_t* indices) {
+  BitReader reader(words, IndexBitWidth(element_count));
+  int64_t previous = -1;
+  for (int64_t i = 0; i < count; ++i) {
+    const uint32_t index = reader.Next();
+    if (static_cast<int64_t>(index) >= element_count ||
+        static_cast<int64_t>(index) <= previous) {
+      return false;
+    }
+    indices[i] = index;
+    previous = static_cast<int64_t>(index);
+  }
+  return true;
+}
+
 // FNV-1a over 32 bits: the integrity hash every codec appends to its wire
 // blob (quant/codec.h, VerifyWireBlob). Chosen over a table-driven CRC for
 // its 4-line allocation-free inner loop — one xor and one multiply per

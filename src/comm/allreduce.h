@@ -137,7 +137,9 @@ using AggregatorDecorator =
 // `codec`, timed on `machine`, running host work on `execution`'s pool
 // (ExecutionContext::Serial() reproduces the historical sequential
 // order — as does any thread count; see DESIGN.md "Execution model").
-// The per-class Create factories are thin deprecated wrappers over this.
+// The concrete classes keep a 4-argument Create for call sites that need
+// the concrete type (test seams like set_wire_tamper); everything else
+// goes through here.
 [[nodiscard]] StatusOr<std::unique_ptr<GradientAggregator>> CreateAggregator(
     CommPrimitive primitive, int num_ranks, const CodecSpec& codec,
     const MachineSpec& machine, const ExecutionContext& execution);

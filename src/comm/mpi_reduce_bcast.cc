@@ -27,12 +27,6 @@ MpiReduceBcastAggregator::Create(int num_ranks, const CodecSpec& spec,
                                    machine, execution));
 }
 
-StatusOr<std::unique_ptr<MpiReduceBcastAggregator>>
-MpiReduceBcastAggregator::Create(int num_ranks, const CodecSpec& spec,
-                                 const MachineSpec& machine) {
-  return Create(num_ranks, spec, machine, ExecutionContext::Serial());
-}
-
 MpiReduceBcastAggregator::MpiReduceBcastAggregator(
     int num_ranks, CodecSpec spec, std::unique_ptr<GradientCodec> codec,
     const MachineSpec& machine, ExecutionContext execution)
@@ -104,6 +98,12 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
     per_matrix_.assign(slots->size(), CommStats{});
     rank_blob_bytes_.assign(slots->size(), 0);
     if (decoded_.size() < slots->size()) decoded_.resize(slots->size());
+    if (sparse_indices_.size() < slots->size()) {
+      sparse_indices_.resize(slots->size());
+    }
+    if (sparse_values_.size() < slots->size()) {
+      sparse_values_.resize(slots->size());
+    }
     if (aggregates_.size() < slots->size()) {
       aggregates_.resize(slots->size());
     }
@@ -113,10 +113,19 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
     for (int64_t m = 0; m < num_matrices; ++m) {
       MatrixSlot& slot = (*slots)[static_cast<size_t>(m)];
       CHECK_EQ(static_cast<int>(slot.rank_grads.size()), k);
-      if (slot.quantized && !identity_codec &&
-          decoded_[static_cast<size_t>(m)].size() <
-              static_cast<size_t>(k)) {
-        decoded_[static_cast<size_t>(m)].resize(static_cast<size_t>(k));
+      if (slot.quantized && !identity_codec) {
+        const bool sparse = codec_->SparseCount(slot.quant_shape) > 0;
+        auto& per_rank = sparse ? sparse_values_[static_cast<size_t>(m)]
+                                : decoded_[static_cast<size_t>(m)];
+        if (per_rank.size() < static_cast<size_t>(k)) {
+          per_rank.resize(static_cast<size_t>(k));
+        }
+        if (sparse &&
+            sparse_indices_[static_cast<size_t>(m)].size() <
+                static_cast<size_t>(k)) {
+          sparse_indices_[static_cast<size_t>(m)].resize(
+              static_cast<size_t>(k));
+        }
       }
       // Size the owner-side aggregation residual here, in the serial
       // setup, so the stage-2 exchange lambda below stays allocation-free
@@ -160,6 +169,25 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
         }
         if (r == 0) {  // blob sizes are shape-determined, uniform per rank
           rank_blob_bytes_[m] = static_cast<int64_t>(ws.blob.size());
+        }
+        const int64_t sparse_count = codec_->SparseCount(slot.quant_shape);
+        if (sparse_count > 0) {
+          // Sparse wire form: decode the (index, value) runs directly; the
+          // owner scatter-adds them in stage 2 without densifying k blobs.
+          uint32_t* indices;
+          float* values;
+          {
+            // First-call growth of the decode scratch is staging work.
+            obs::PhaseTimer scratch_timer(&ws.phases, obs::kPhaseSum);
+            indices = quant_internal::EnsureSize(
+                &sparse_indices_[m][r], static_cast<size_t>(sparse_count));
+            values = quant_internal::EnsureSize(
+                &sparse_values_[m][r], static_cast<size_t>(sparse_count));
+          }
+          LPSGD_RETURN_IF_ERROR(codec_->DecodeSparse(
+              ws.blob.data(), static_cast<int64_t>(ws.blob.size()),
+              slot.quant_shape, &ws, indices, values));
+          return OkStatus();
         }
         float* out;
         {
@@ -237,16 +265,32 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
           return OkStatus();
         }
 
+        const int64_t sparse_count = codec_->SparseCount(slot.quant_shape);
         float* aggregate;
         {
           obs::PhaseTimer sum_timer(&ws.phases, obs::kPhaseSum);
           aggregate = quant_internal::EnsureSize(&aggregates_[m],
                                                  static_cast<size_t>(n));
           std::fill(aggregate, aggregate + n, 0.0f);
-          for (int r = 0; r < k; ++r) {
-            const float* part = decoded_[m][static_cast<size_t>(r)].data();
-            for (int64_t i = 0; i < n; ++i) {
-              aggregate[i] += part[i];
+          if (sparse_count > 0) {
+            // Scatter-add the k (index, value) runs in rank order. Each
+            // absent component contributes an exact 0.0f, so the result is
+            // element-equal to the dense sum at any thread count.
+            for (int r = 0; r < k; ++r) {
+              const uint32_t* indices =
+                  sparse_indices_[m][static_cast<size_t>(r)].data();
+              const float* values =
+                  sparse_values_[m][static_cast<size_t>(r)].data();
+              for (int64_t i = 0; i < sparse_count; ++i) {
+                aggregate[indices[i]] += values[i];
+              }
+            }
+          } else {
+            for (int r = 0; r < k; ++r) {
+              const float* part = decoded_[m][static_cast<size_t>(r)].data();
+              for (int64_t i = 0; i < n; ++i) {
+                aggregate[i] += part[i];
+              }
             }
           }
         }

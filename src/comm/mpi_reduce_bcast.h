@@ -37,11 +37,6 @@ class MpiReduceBcastAggregator : public GradientAggregator {
   Create(int num_ranks, const CodecSpec& spec, const MachineSpec& machine,
          const ExecutionContext& execution);
 
-  // Deprecated: serial-context wrapper kept for older call sites; prefer
-  // CreateAggregator (comm/allreduce.h).
-  [[nodiscard]] static StatusOr<std::unique_ptr<MpiReduceBcastAggregator>>
-  Create(int num_ranks, const CodecSpec& spec, const MachineSpec& machine);
-
   std::string Name() const override { return "MPI reduce-and-broadcast"; }
   StatusOr<CommStats> AllReduce(std::vector<MatrixSlot>* slots,
                                 int64_t iteration) override;
@@ -97,8 +92,14 @@ class MpiReduceBcastAggregator : public GradientAggregator {
   // sized to exec_.threads() at construction.
   std::vector<CodecWorkspace> workspaces_;
   // decoded_[m][r]: rank r's gradient for matrix m after its encode/decode
-  // round trip.
+  // round trip (dense codecs only).
   std::vector<std::vector<std::vector<float>>> decoded_;
+  // Sparse codecs (codec->SparseCount() > 0) skip the dense densify: rank
+  // r's blob for matrix m decodes into these (index, value) runs and the
+  // owner scatter-adds k * SparseCount pairs instead of summing k * n
+  // floats.
+  std::vector<std::vector<std::vector<uint32_t>>> sparse_indices_;
+  std::vector<std::vector<std::vector<float>>> sparse_values_;
   // Owner-side sum of the decoded rank gradients, per matrix.
   std::vector<std::vector<float>> aggregates_;
   // Decoded broadcast blob, per matrix.

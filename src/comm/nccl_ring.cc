@@ -2,6 +2,7 @@
 #include "comm/nccl_ring.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "base/logging.h"
@@ -27,11 +28,6 @@ StatusOr<std::unique_ptr<NcclRingAggregator>> NcclRingAggregator::Create(
       num_ranks, spec, std::move(codec), machine, execution));
 }
 
-StatusOr<std::unique_ptr<NcclRingAggregator>> NcclRingAggregator::Create(
-    int num_ranks, const CodecSpec& spec, const MachineSpec& machine) {
-  return Create(num_ranks, spec, machine, ExecutionContext::Serial());
-}
-
 NcclRingAggregator::NcclRingAggregator(int num_ranks, CodecSpec spec,
                                        std::unique_ptr<GradientCodec> codec,
                                        const MachineSpec& machine,
@@ -41,28 +37,112 @@ NcclRingAggregator::NcclRingAggregator(int num_ranks, CodecSpec spec,
       codec_(std::move(codec)),
       cost_model_(machine),
       exec_(std::move(execution)),
-      // One phase-scratch block per thread-pool slot, like the MPI
-      // aggregator's codec workspaces (see ThreadPool::CurrentSlot()).
-      slot_phases_(static_cast<size_t>(exec_.threads())) {}
+      // One codec workspace per thread-pool slot, like the MPI
+      // aggregator's (see ThreadPool::CurrentSlot()).
+      workspaces_(static_cast<size_t>(exec_.threads())) {}
 
 StatusOr<CommStats> NcclRingAggregator::AllReduce(
-    std::vector<MatrixSlot>* slots, int64_t /*iteration*/) {
+    std::vector<MatrixSlot>* slots, int64_t iteration) {
   CHECK(slots != nullptr);
   obs::ScopedTimer wall_timer("comm/allreduce_wall_seconds");
   obs::TraceSpan allreduce_span("nccl_ring/allreduce", "comm");
   const int k = num_ranks_;
   const int64_t num_matrices = static_cast<int64_t>(slots->size());
-  for (const MatrixSlot& slot : *slots) {
-    CHECK_EQ(static_cast<int>(slot.rank_grads.size()), k);
+  const bool identity_codec = spec_.kind == CodecKind::kFullPrecision;
+
+  // A matrix takes the sparse wire path when its codec has a sparse wire
+  // form; dense codecs ride the exact fp32 ring below (the paper's NCCL
+  // simulation).
+  const auto takes_sparse_path = [&](const MatrixSlot& slot) {
+    return slot.quantized && !identity_codec &&
+           codec_->SparseCount(slot.quant_shape) > 0;
+  };
+
+  // Serial setup: validate the slots and size the sparse scratch so the
+  // parallel stages below stay allocation-free.
+  bool any_sparse = false;
+  {
+    obs::PhaseTimer setup_timer(&workspaces_[0].phases, obs::kPhaseSum);
+    if (sparse_indices_.size() < slots->size()) {
+      sparse_indices_.resize(slots->size());
+    }
+    if (sparse_values_.size() < slots->size()) {
+      sparse_values_.resize(slots->size());
+    }
+    if (aggregates_.size() < slots->size()) {
+      aggregates_.resize(slots->size());
+    }
+    for (int64_t m = 0; m < num_matrices; ++m) {
+      const MatrixSlot& slot = (*slots)[static_cast<size_t>(m)];
+      CHECK_EQ(static_cast<int>(slot.rank_grads.size()), k);
+      if (takes_sparse_path(slot)) {
+        any_sparse = true;
+        auto& indices = sparse_indices_[static_cast<size_t>(m)];
+        auto& values = sparse_values_[static_cast<size_t>(m)];
+        if (indices.size() < static_cast<size_t>(k)) {
+          indices.resize(static_cast<size_t>(k));
+        }
+        if (values.size() < static_cast<size_t>(k)) {
+          values.resize(static_cast<size_t>(k));
+        }
+      }
+    }
+  }
+
+  // Sparse stage A (parallel over (matrix, rank)): every rank encodes its
+  // gradient — folding in its error-feedback residual — and the blob is
+  // sparse-decoded into that rank's (index, value) run. The real wire
+  // path: integrity words are produced and verified per blob.
+  if (any_sparse) {
+    const Status encode_status = exec_.ParallelFor(
+        0, num_matrices * k, LPSGD_HOT_PATH [&](int64_t task) -> Status {
+          const size_t m = static_cast<size_t>(task / k);
+          const size_t r = static_cast<size_t>(task % k);
+          MatrixSlot& slot = (*slots)[m];
+          if (!takes_sparse_path(slot)) return OkStatus();
+          const int slot_id = ThreadPool::CurrentSlot();
+          CHECK_LT(static_cast<size_t>(slot_id), workspaces_.size());
+          CodecWorkspace& ws = workspaces_[static_cast<size_t>(slot_id)];
+          const uint64_t tag = comm_internal::ExchangeRankTag(
+              iteration, static_cast<int64_t>(m), static_cast<int>(r));
+          std::vector<float>* error =
+              codec_->UsesErrorFeedback() ? slot.rank_errors[r] : nullptr;
+          codec_->Encode(slot.rank_grads[r], slot.quant_shape, tag, error,
+                         &ws, &ws.blob);
+          const int64_t sparse_count =
+              codec_->SparseCount(slot.quant_shape);
+          uint32_t* indices;
+          float* values;
+          {
+            // First-call growth of the decode scratch is staging work.
+            obs::PhaseTimer scratch_timer(&ws.phases, obs::kPhaseSum);
+            indices = quant_internal::EnsureSize(
+                &sparse_indices_[m][r], static_cast<size_t>(sparse_count));
+            values = quant_internal::EnsureSize(
+                &sparse_values_[m][r], static_cast<size_t>(sparse_count));
+          }
+          LPSGD_RETURN_IF_ERROR(codec_->DecodeSparse(
+              ws.blob.data(), static_cast<int64_t>(ws.blob.size()),
+              slot.quant_shape, &ws, indices, values));
+          return OkStatus();
+        });
+    if (!encode_status.ok()) {
+      // Partial phase scratch from the failed attempt must not leak into
+      // the next (retried) exchange's breakdown.
+      for (CodecWorkspace& ws : workspaces_) ws.phases.Clear();
+      return encode_status;
+    }
   }
 
   // Ring reduce-scatter + allgather, parallel over (matrix, segment)
-  // tasks. Segments are disjoint index ranges and each segment's sum
-  // accumulates in fixed ring order (exactly like NCCL's ring), so the
-  // result is bit-identical at any thread count.
+  // tasks; sparse-path matrices are aggregated in stage C instead.
+  // Segments are disjoint index ranges and each segment's sum accumulates
+  // in fixed ring order (exactly like NCCL's ring), so the result is
+  // bit-identical at any thread count.
   LPSGD_RETURN_IF_ERROR(exec_.ParallelFor(
       0, num_matrices * k, LPSGD_HOT_PATH [&](int64_t task) -> Status {
         MatrixSlot& slot = (*slots)[static_cast<size_t>(task / k)];
+        if (takes_sparse_path(slot)) return OkStatus();
         const int seg = static_cast<int>(task % k);
         const int64_t n = slot.quant_shape.element_count();
         const int64_t segment = (n + k - 1) / k;
@@ -70,8 +150,9 @@ StatusOr<CommStats> NcclRingAggregator::AllReduce(
         const int64_t end = std::min(begin + segment, n);
         if (begin >= end) return OkStatus();
         const int slot_id = ThreadPool::CurrentSlot();
-        CHECK_LT(static_cast<size_t>(slot_id), slot_phases_.size());
-        obs::PhaseTimes& phases = slot_phases_[static_cast<size_t>(slot_id)];
+        CHECK_LT(static_cast<size_t>(slot_id), workspaces_.size());
+        obs::PhaseTimes& phases =
+            workspaces_[static_cast<size_t>(slot_id)].phases;
         // Accumulate contributions in ring order starting from the
         // segment owner's successor.
         const int owner = seg;
@@ -96,24 +177,73 @@ StatusOr<CommStats> NcclRingAggregator::AllReduce(
         return OkStatus();
       }));
 
+  // Sparse stage C (parallel over matrices): scatter-add the k decoded
+  // runs in rank order — element-equal to the dense sum, since absent
+  // components contribute exact zeros — and hand every rank the
+  // aggregate.
+  if (any_sparse) {
+    LPSGD_RETURN_IF_ERROR(exec_.ParallelFor(
+        0, num_matrices, LPSGD_HOT_PATH [&](int64_t mi) -> Status {
+          const size_t m = static_cast<size_t>(mi);
+          MatrixSlot& slot = (*slots)[m];
+          if (!takes_sparse_path(slot)) return OkStatus();
+          const int slot_id = ThreadPool::CurrentSlot();
+          CHECK_LT(static_cast<size_t>(slot_id), workspaces_.size());
+          obs::PhaseTimes& phases =
+              workspaces_[static_cast<size_t>(slot_id)].phases;
+          const int64_t n = slot.quant_shape.element_count();
+          const int64_t sparse_count =
+              codec_->SparseCount(slot.quant_shape);
+          float* aggregate;
+          {
+            obs::PhaseTimer sum_timer(&phases, obs::kPhaseSum);
+            aggregate = quant_internal::EnsureSize(&aggregates_[m],
+                                                   static_cast<size_t>(n));
+            std::fill(aggregate, aggregate + n, 0.0f);
+            for (int r = 0; r < k; ++r) {
+              const uint32_t* indices =
+                  sparse_indices_[m][static_cast<size_t>(r)].data();
+              const float* values =
+                  sparse_values_[m][static_cast<size_t>(r)].data();
+              for (int64_t i = 0; i < sparse_count; ++i) {
+                aggregate[indices[i]] += values[i];
+              }
+            }
+          }
+          {
+            obs::PhaseTimer wire_timer(&phases, obs::kPhaseWire);
+            for (int r = 0; r < k; ++r) {
+              std::memcpy(slot.rank_grads[static_cast<size_t>(r)],
+                          aggregate, static_cast<size_t>(n) * sizeof(float));
+            }
+          }
+          return OkStatus();
+        }));
+  }
+
   // Accounting pass (serial, matrix order): wire sizing and kernel-time
   // charges are pure arithmetic on shapes, independent of the exchange.
   CommStats stats;
-  const bool identity_codec = spec_.kind == CodecKind::kFullPrecision;
   for (MatrixSlot& slot : *slots) {
     obs::TraceSpan matrix_span("nccl_ring/matrix", "comm");
     const int64_t n = slot.quant_shape.element_count();
     const int64_t raw_bytes = n * static_cast<int64_t>(sizeof(float));
     stats.raw_bytes += raw_bytes;
 
-    const bool simulate_low_precision = slot.quantized && !identity_codec;
-    const int64_t payload = simulate_low_precision
-                                ? codec_->EncodedSizeBytes(slot.quant_shape)
-                                : raw_bytes;
+    const bool low_precision = slot.quantized && !identity_codec;
+    int64_t payload = raw_bytes;
+    if (low_precision) {
+      payload = codec_->EncodedSizeBytes(slot.quant_shape);
+      if (takes_sparse_path(slot)) {
+        // Sparse allgather: every rank receives every other rank's blob,
+        // so the per-rank traffic is k blobs, not one ring payload.
+        payload *= k;
+      }
+    }
     stats.wire_bytes += payload;
     stats.messages += 1;
     matrix_span.set_bytes(payload);
-    if (simulate_low_precision) {
+    if (low_precision) {
       const int64_t chunks = codec_->NumChunks(slot.quant_shape);
       // Encode before and decode after the collective, at each rank.
       stats.encode_seconds +=
@@ -125,12 +255,13 @@ StatusOr<CommStats> NcclRingAggregator::AllReduce(
       cost_model_.NcclAllReduceSeconds(stats.wire_bytes, stats.messages, k);
   allreduce_span.set_bytes(stats.wire_bytes);
   comm_internal::RecordAllReduceStats(stats);
-  // Fold the per-slot ring spans into the profiler's open step — serially,
-  // after the parallel loop, so no slot is concurrently written.
+  // Fold the per-slot phase scratch into the profiler's open step —
+  // serially, after the parallel stages, so no slot is concurrently
+  // written.
   if (obs::ProfileEnabled()) {
-    for (obs::PhaseTimes& phases : slot_phases_) {
-      obs::Profiler::Global().AddPhases(phases);
-      phases.Clear();
+    for (CodecWorkspace& ws : workspaces_) {
+      obs::Profiler::Global().AddPhases(ws.phases);
+      ws.phases.Clear();
     }
   }
   return stats;

@@ -133,20 +133,25 @@ SyncTrainer::SyncTrainer(TrainerOptions options,
       ChooseQuantizedMatrices(replica_params_[0], options_.policy);
 
   // Error-feedback residuals, one per (rank, matrix), zero-initialized.
+  // A matrix needs a residual when the engine will actually run the
+  // codec on it: always under MPI, and on the sparse wire path under
+  // NCCL (the fp32 ring never encodes dense codecs — it simulates their
+  // payload size; same criterion as NcclRingAggregator's sparse check).
   auto codec_or = options_.codec.Create();
   CHECK_OK(codec_or.status());
-  const bool needs_errors = codec_or.value()->UsesErrorFeedback() &&
-                            options_.primitive == CommPrimitive::kMpi;
+  const bool uses_error_feedback = codec_or.value()->UsesErrorFeedback();
   errors_.resize(replicas_.size());
   for (size_t r = 0; r < replicas_.size(); ++r) {
     errors_[r].resize(num_matrices);
-    if (needs_errors) {
+    if (uses_error_feedback) {
       for (size_t m = 0; m < num_matrices; ++m) {
-        if (quantize_matrix_[m]) {
+        const Shape& quant_shape = replica_params_[0][m].quant_shape;
+        const bool engine_encodes =
+            options_.primitive == CommPrimitive::kMpi ||
+            codec_or.value()->SparseCount(quant_shape) > 0;
+        if (quantize_matrix_[m] && engine_encodes) {
           errors_[r][m].assign(
-              static_cast<size_t>(
-                  replica_params_[0][m].quant_shape.element_count()),
-              0.0f);
+              static_cast<size_t>(quant_shape.element_count()), 0.0f);
         }
       }
     }

@@ -12,6 +12,7 @@
 #include "base/rng.h"
 #include "base/strings.h"
 #include "obs/profile.h"
+#include "quant/registry.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -262,4 +263,62 @@ Status AdaptiveQsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
   return OkStatus();
 }
 
+CodecSpec AdaptiveQsgdSpec(int bits) {
+  CodecSpec spec = QsgdSpec(bits);
+  spec.kind = CodecKind::kQsgdAdaptive;
+  return spec;
+}
+
+namespace codec_internal {
+// Force-link anchor referenced by registry.cc (see kCodecFamilyLinkAnchor).
+int LinkAdaptiveQsgdCodecFamily() { return 0; }
+}  // namespace codec_internal
+
+namespace {
+
+CodecFamily AdaptiveQsgdFamily() {
+  CodecFamily family;
+  family.kind = CodecKind::kQsgdAdaptive;
+  family.name = "aq<bits>";
+  family.help = "adaptive-level QSGD (ZipML placement), bits in [2,16], "
+                "optional :<bucket> or bucket=";
+  family.keys = {"bucket"};
+  family.matches = [](const std::string& head) {
+    return MatchesBitsHead(head, "aq");
+  };
+  family.parse = [](const std::string& head,
+                    CodecParams* params) -> StatusOr<CodecSpec> {
+    LPSGD_ASSIGN_OR_RETURN(const int bits,
+                           ParseBitsHead(head, "aq", "AdaptiveQSGD"));
+    CodecSpec spec = AdaptiveQsgdSpec(bits);
+    LPSGD_RETURN_IF_ERROR(TakeBucketParam(params, &spec));
+    return spec;
+  };
+  family.create = [](const CodecSpec& spec)
+      -> StatusOr<std::unique_ptr<GradientCodec>> {
+    if (spec.bits < 2 || spec.bits > 16) {
+      return InvalidArgumentError(
+          StrCat("AdaptiveQSGD bits must be in [2, 16], got ", spec.bits));
+    }
+    if (spec.bucket_size <= 0) {
+      return InvalidArgumentError(
+          StrCat("AdaptiveQSGD bucket size must be positive, got ",
+                 spec.bucket_size));
+    }
+    return std::unique_ptr<GradientCodec>(
+        new AdaptiveQsgdCodec(spec.bits, spec.bucket_size, spec.seed));
+  };
+  family.label = [](const CodecSpec& spec) {
+    return StrCat("AdaptiveQSGD ", spec.bits, "bit (b=", spec.bucket_size,
+                  ")");
+  };
+  family.short_label = [](const CodecSpec& spec) {
+    return StrCat("AQ", spec.bits);
+  };
+  return family;
+}
+
+const CodecRegistrar registrar(AdaptiveQsgdFamily());
+
+}  // namespace
 }  // namespace lpsgd

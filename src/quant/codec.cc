@@ -2,17 +2,12 @@
 #include "quant/codec.h"
 
 #include <cctype>
-#include <cstdlib>
 #include <cstring>
 
 #include "base/bit_packing.h"
 #include "base/logging.h"
 #include "base/strings.h"
-#include "quant/adaptive_qsgd.h"
-#include "quant/full_precision.h"
-#include "quant/one_bit_sgd.h"
-#include "quant/qsgd.h"
-#include "quant/topk.h"
+#include "quant/registry.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -31,144 +26,30 @@ Status GradientCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
   return Decode(bytes, num_bytes, shape, &workspace, out);
 }
 
+Status GradientCodec::DecodeSparse(const uint8_t* /*bytes*/,
+                                   int64_t /*num_bytes*/,
+                                   const Shape& /*shape*/,
+                                   CodecWorkspace* /*workspace*/,
+                                   uint32_t* /*indices*/,
+                                   float* /*values*/) const {
+  return FailedPreconditionError(
+      StrCat(Name(), " is a dense codec and has no sparse wire form"));
+}
+
 std::string CodecSpec::Label() const {
-  switch (kind) {
-    case CodecKind::kFullPrecision:
-      return "32bit";
-    case CodecKind::kOneBitSgd:
-      return error_feedback ? "1bitSGD" : "1bitSGD (no EF)";
-    case CodecKind::kOneBitSgdReshaped:
-      return StrCat(error_feedback ? "1bitSGD*" : "1bitSGD* (no EF)", " (b=",
-                    bucket_size, ")");
-    case CodecKind::kQsgd:
-      return StrCat("QSGD ", bits, "bit (b=", bucket_size, ")");
-    case CodecKind::kQsgdAdaptive:
-      return StrCat("AdaptiveQSGD ", bits, "bit (b=", bucket_size, ")");
-    case CodecKind::kTopK:
-      return StrCat("TopK ", FormatDouble(density * 100.0, 1), "%");
-  }
-  return "unknown";
+  const CodecFamily* family = CodecRegistry::Global().FindByKind(kind);
+  return family == nullptr ? "unknown" : family->label(*this);
 }
 
 std::string CodecSpec::ShortLabel() const {
-  switch (kind) {
-    case CodecKind::kFullPrecision:
-      return "32bit";
-    case CodecKind::kOneBitSgd:
-      return "1b";
-    case CodecKind::kOneBitSgdReshaped:
-      return "1b*";
-    case CodecKind::kQsgd:
-      return StrCat("Q", bits);
-    case CodecKind::kQsgdAdaptive:
-      return StrCat("AQ", bits);
-    case CodecKind::kTopK:
-      return StrCat("K", FormatDouble(density * 100.0, 0));
-  }
-  return "?";
-}
-
-CodecSpec FullPrecisionSpec() { return CodecSpec{}; }
-
-CodecSpec QsgdSpec(int bits) {
-  CodecSpec spec;
-  spec.kind = CodecKind::kQsgd;
-  spec.bits = bits;
-  // Section 4.4 tuning protocol: bucket 128 for 2bit, 512 for 4/8bit,
-  // 8192 for 16bit.
-  switch (bits) {
-    case 2:
-      spec.bucket_size = 128;
-      break;
-    case 4:
-    case 8:
-      spec.bucket_size = 512;
-      break;
-    case 16:
-      spec.bucket_size = 8192;
-      break;
-    default:
-      spec.bucket_size = 512;
-      break;
-  }
-  return spec;
-}
-
-CodecSpec OneBitSgdSpec() {
-  CodecSpec spec;
-  spec.kind = CodecKind::kOneBitSgd;
-  return spec;
-}
-
-CodecSpec OneBitSgdReshapedSpec(int64_t bucket_size) {
-  CodecSpec spec;
-  spec.kind = CodecKind::kOneBitSgdReshaped;
-  spec.bucket_size = bucket_size;
-  return spec;
-}
-
-CodecSpec TopKSpec(double density) {
-  CodecSpec spec;
-  spec.kind = CodecKind::kTopK;
-  spec.density = density;
-  return spec;
-}
-
-CodecSpec AdaptiveQsgdSpec(int bits) {
-  CodecSpec spec = QsgdSpec(bits);
-  spec.kind = CodecKind::kQsgdAdaptive;
-  return spec;
+  const CodecFamily* family = CodecRegistry::Global().FindByKind(kind);
+  return family == nullptr ? "?" : family->short_label(*this);
 }
 
 StatusOr<std::unique_ptr<GradientCodec>> CodecSpec::Create() const {
-  const CodecSpec& spec = *this;
-  switch (spec.kind) {
-    case CodecKind::kFullPrecision:
-      return std::unique_ptr<GradientCodec>(new FullPrecisionCodec());
-    case CodecKind::kOneBitSgd:
-      return std::unique_ptr<GradientCodec>(
-          new OneBitSgdCodec(spec.error_feedback));
-    case CodecKind::kOneBitSgdReshaped:
-      if (spec.bucket_size <= 0) {
-        return InvalidArgumentError(
-            StrCat("1bitSGD* bucket size must be positive, got ",
-                   spec.bucket_size));
-      }
-      return std::unique_ptr<GradientCodec>(new OneBitSgdReshapedCodec(
-          spec.bucket_size, spec.error_feedback));
-    case CodecKind::kQsgd: {
-      if (spec.bits < 2 || spec.bits > 16) {
-        return InvalidArgumentError(
-            StrCat("QSGD bits must be in [2, 16], got ", spec.bits));
-      }
-      if (spec.bucket_size <= 0) {
-        return InvalidArgumentError(StrCat(
-            "QSGD bucket size must be positive, got ", spec.bucket_size));
-      }
-      return std::unique_ptr<GradientCodec>(new QsgdCodec(
-          spec.bits, spec.bucket_size, spec.norm, spec.levels, spec.seed));
-    }
-    case CodecKind::kQsgdAdaptive:
-      if (spec.bits < 2 || spec.bits > 16) {
-        return InvalidArgumentError(
-            StrCat("AdaptiveQSGD bits must be in [2, 16], got ", spec.bits));
-      }
-      if (spec.bucket_size <= 0) {
-        return InvalidArgumentError(StrCat(
-            "AdaptiveQSGD bucket size must be positive, got ",
-            spec.bucket_size));
-      }
-      return std::unique_ptr<GradientCodec>(new AdaptiveQsgdCodec(
-          spec.bits, spec.bucket_size, spec.seed));
-    case CodecKind::kTopK:
-      if (spec.density <= 0.0 || spec.density > 1.0) {
-        return InvalidArgumentError(
-            StrCat("TopK density must be in (0, 1], got ", spec.density));
-      }
-      return std::unique_ptr<GradientCodec>(
-          new TopKCodec(spec.density, spec.error_feedback));
-  }
-  return InvalidArgumentError("unknown codec kind");
+  const CodecFamily* family = CodecRegistry::Global().FindByKind(kind);
+  if (family == nullptr) return InvalidArgumentError("unknown codec kind");
+  return family->create(*this);
 }
 
 namespace {
@@ -193,68 +74,17 @@ StatusOr<CodecSpec> CodecSpec::Parse(const std::string& text) {
     return InvalidArgumentError(StrCat("dangling ':' in codec: ", text));
   }
 
-  if (head == "32bit" || head == "fp32") {
-    if (!arg.empty()) return InvalidArgumentError("32bit takes no argument");
-    return FullPrecisionSpec();
+  const CodecRegistry& registry = CodecRegistry::Global();
+  const CodecFamily* family = registry.FindByHead(head);
+  if (family == nullptr) {
+    return InvalidArgumentError(
+        StrCat("unrecognized codec: '", head, "' (registered codecs: ",
+               StrJoin(registry.Names(), ", "), ")"));
   }
-  if (head == "1bit" || head == "1bitsgd") {
-    if (!arg.empty()) {
-      return InvalidArgumentError(
-          "stock 1bitSGD has no bucket size; use 1bit*:<bucket>");
-    }
-    return OneBitSgdSpec();
-  }
-  if (head == "1bit*" || head == "1bitsgd*") {
-    if (arg.empty()) return OneBitSgdReshapedSpec();
-    char* end = nullptr;
-    const long bucket = std::strtol(arg.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || bucket <= 0) {
-      return InvalidArgumentError(StrCat("bad bucket size: ", arg));
-    }
-    return OneBitSgdReshapedSpec(bucket);
-  }
-  if (head.size() >= 3 && head[0] == 'a' && head[1] == 'q') {
-    char* end = nullptr;
-    const long bits = std::strtol(head.c_str() + 2, &end, 10);
-    if (end == nullptr || *end != '\0' || bits < 2 || bits > 16) {
-      return InvalidArgumentError(StrCat("bad AdaptiveQSGD bits: ", head));
-    }
-    CodecSpec spec = AdaptiveQsgdSpec(static_cast<int>(bits));
-    if (!arg.empty()) {
-      const long bucket = std::strtol(arg.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || bucket <= 0) {
-        return InvalidArgumentError(StrCat("bad bucket size: ", arg));
-      }
-      spec.bucket_size = bucket;
-    }
-    return spec;
-  }
-  if (head.size() >= 2 && head[0] == 'q') {
-    char* end = nullptr;
-    const long bits = std::strtol(head.c_str() + 1, &end, 10);
-    if (end == nullptr || *end != '\0' || bits < 2 || bits > 16) {
-      return InvalidArgumentError(StrCat("bad QSGD bits: ", head));
-    }
-    CodecSpec spec = QsgdSpec(static_cast<int>(bits));
-    if (!arg.empty()) {
-      const long bucket = std::strtol(arg.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || bucket <= 0) {
-        return InvalidArgumentError(StrCat("bad bucket size: ", arg));
-      }
-      spec.bucket_size = bucket;
-    }
-    return spec;
-  }
-  if (head == "topk") {
-    if (arg.empty()) return InvalidArgumentError("topk needs a density");
-    char* end = nullptr;
-    const double density = std::strtod(arg.c_str(), &end);
-    if (end == nullptr || *end != '\0' || density <= 0.0 || density > 1.0) {
-      return InvalidArgumentError(StrCat("bad TopK density: ", arg));
-    }
-    return TopKSpec(density);
-  }
-  return InvalidArgumentError(StrCat("unrecognized codec: ", text));
+  LPSGD_ASSIGN_OR_RETURN(CodecParams params, CodecParams::Split(arg));
+  LPSGD_ASSIGN_OR_RETURN(CodecSpec spec, family->parse(head, &params));
+  LPSGD_RETURN_IF_ERROR(params.Finish(family->name, family->keys));
+  return spec;
 }
 
 StatusOr<std::unique_ptr<GradientCodec>> CreateCodec(const CodecSpec& spec) {

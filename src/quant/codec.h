@@ -68,6 +68,21 @@ class GradientCodec {
                         const Shape& shape, CodecWorkspace* workspace,
                         float* out) const = 0;
 
+  // Sparse wire support. A sparse codec (TopK) transmits (index, value)
+  // pairs; SparseCount returns how many pairs a blob for `shape` carries —
+  // exactly, as a pure function of the shape — and 0 for dense codecs.
+  virtual int64_t SparseCount(const Shape& /*shape*/) const { return 0; }
+
+  // Decodes a sparse blob into caller-provided arrays of
+  // SparseCount(shape) entries each: strictly-increasing element indices
+  // and their values. Lets the aggregators scatter-add K blobs without
+  // materializing K dense buffers. Same integrity contract as Decode
+  // (DataLoss on a mis-sized or tampered blob, outputs untouched). The
+  // default fails: dense codecs have no sparse representation.
+  virtual Status DecodeSparse(const uint8_t* bytes, int64_t num_bytes,
+                              const Shape& shape, CodecWorkspace* workspace,
+                              uint32_t* indices, float* values) const;
+
   // Convenience overloads for call sites without a persistent workspace
   // (tests, one-shot tools): allocate a fresh local workspace per call.
   // Byte-identical to the workspace overloads.
@@ -84,6 +99,9 @@ enum class CodecKind {
   kQsgd,
   kQsgdAdaptive,       // ZipML-style data-adaptive levels (Section 2.3)
   kTopK,               // sparsification (Aji & Heafield; Section 7)
+  kTernGrad,           // ternary with layer-wise scalar (Wen et al.)
+  kNuqsgd,             // nonuniform exponential levels (Ramezani-Kebrya)
+  kEcqSgd,             // error-compensated QSGD
 };
 
 // QSGD scaling-factor choice (Section 3.2.2): 2-norm yields sparser
@@ -104,12 +122,16 @@ struct CodecSpec {
   QsgdNorm norm = QsgdNorm::kMax;
   QsgdLevelScheme levels = QsgdLevelScheme::kSignMagnitude;
   double density = 0.01;        // TopK only: fraction of components sent
+  // TernGrad only: gradient clipping threshold as a multiple of the chunk's
+  // standard deviation (Wen et al. Section 4); 0 disables clipping.
+  double clip = 0.0;
   // Ablation switch: disable 1bitSGD's error-feedback accumulator.
   bool error_feedback = true;
   uint64_t seed = 0x95bd0b1f2c3d4e5fULL;
 
   // Parses a human-friendly codec description, as accepted by the CLI
-  // tools. Grammar (case-insensitive):
+  // tools, by dispatching on the registered codec families
+  // (quant/registry.h). Grammar (case-insensitive):
   //   "32bit" | "fp32"                      full precision
   //   "1bit"  | "1bitsgd"                   stock per-column 1bitSGD
   //   "1bit*" | "1bitsgd*"                  reshaped, default bucket 64
@@ -118,10 +140,18 @@ struct CodecSpec {
   //   "q<bits>:<bucket>"                    QSGD with explicit bucket
   //   "topk:<density>"                      TopK, density in (0, 1]
   //   "aq<bits>[:<bucket>]"                 adaptive-levels QSGD
+  //   "nuq<bits>[:<bucket>]"                nonuniform-levels QSGD
+  //   "ecq<bits>[:<bucket>]"                error-compensated QSGD
+  //   "terngrad" | "tern"                   ternary, per-matrix scalar
+  // Every family also accepts comma-separated key=value parameters after
+  // the ':' in place of the positional value, e.g. "q4:bucket=512,norm=l2"
+  // or "terngrad:bucket=1024,clip=2.5"; unknown codecs and malformed
+  // parameters are rejected with the offending token named and the
+  // registered names/keys listed.
   [[nodiscard]] static StatusOr<CodecSpec> Parse(const std::string& text);
 
-  // Instantiates the codec this spec describes; fails on out-of-range
-  // parameters (bits, bucket size, density).
+  // Instantiates the codec this spec describes via the family registry;
+  // fails on out-of-range parameters (bits, bucket size, density).
   [[nodiscard]] StatusOr<std::unique_ptr<GradientCodec>> Create() const;
 
   // "32bit", "QSGD 4bit (b=512)", "1bitSGD", "1bitSGD* (b=64)", ...
@@ -139,6 +169,11 @@ CodecSpec OneBitSgdSpec();                // stock CNTK variant
 CodecSpec OneBitSgdReshapedSpec(int64_t bucket_size = 64);
 CodecSpec TopKSpec(double density);       // sparse communication
 CodecSpec AdaptiveQsgdSpec(int bits);     // quantile-placed levels
+// bucket_size 0 = one scalar per matrix (the paper's layer-wise scaling);
+// clip > 0 clamps gradients at clip * sigma before scaling.
+CodecSpec TernGradSpec(int64_t bucket_size = 0, double clip = 0.0);
+CodecSpec NuqsgdSpec(int bits);           // exponential levels, L2 norm
+CodecSpec EcqSgdSpec(int bits);           // QSGD + error feedback
 
 // Free-function forwarders kept for older call sites; prefer the
 // CodecSpec::Create / CodecSpec::Parse members.

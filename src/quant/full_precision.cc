@@ -6,6 +6,7 @@
 #include "base/logging.h"
 #include "base/thread_annotations.h"
 #include "obs/profile.h"
+#include "quant/registry.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -51,4 +52,41 @@ Status FullPrecisionCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
   return OkStatus();
 }
 
+CodecSpec FullPrecisionSpec() { return CodecSpec{}; }
+
+namespace codec_internal {
+// Force-link anchor referenced by registry.cc (see kCodecFamilyLinkAnchor).
+int LinkFullPrecisionCodecFamily() { return 0; }
+}  // namespace codec_internal
+
+namespace {
+
+CodecFamily FullPrecisionFamily() {
+  CodecFamily family;
+  family.kind = CodecKind::kFullPrecision;
+  family.name = "32bit";
+  family.help = "full precision (alias: fp32)";
+  family.matches = [](const std::string& head) {
+    return head == "32bit" || head == "fp32";
+  };
+  family.parse = [](const std::string& /*head*/,
+                    CodecParams* /*params*/) -> StatusOr<CodecSpec> {
+    return FullPrecisionSpec();
+  };
+  family.create = [](const CodecSpec& /*spec*/)
+      -> StatusOr<std::unique_ptr<GradientCodec>> {
+    return std::unique_ptr<GradientCodec>(new FullPrecisionCodec());
+  };
+  family.label = [](const CodecSpec& /*spec*/) {
+    return std::string("32bit");
+  };
+  family.short_label = [](const CodecSpec& /*spec*/) {
+    return std::string("32bit");
+  };
+  return family;
+}
+
+const CodecRegistrar registrar(FullPrecisionFamily());
+
+}  // namespace
 }  // namespace lpsgd

@@ -1,0 +1,218 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "quant/nuqsgd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/bit_packing.h"
+#include "base/logging.h"
+#include "base/thread_annotations.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "obs/profile.h"
+#include "quant/registry.h"
+#include "quant/workspace.h"
+
+namespace lpsgd {
+namespace {
+
+using codec_internal::FloatsAt;
+using codec_internal::MutableFloatsAt;
+using codec_internal::MutableWordsAt;
+using codec_internal::WordsAt;
+
+// Fills levels[0..s] with the exponential grid l_0 = 0, l_j = 2^(j - s).
+// Hoisted into workspace scratch so Encode and Decode share one table
+// build per call instead of a pow() per element.
+double* BuildLevelTable(uint32_t s, CodecWorkspace* workspace) {
+  double* levels = quant_internal::EnsureSize(&workspace->magnitudes,
+                                              static_cast<size_t>(s) + 1);
+  levels[0] = 0.0;
+  for (uint32_t j = 1; j <= s; ++j) {
+    levels[j] = std::ldexp(1.0, static_cast<int>(j) - static_cast<int>(s));
+  }
+  return levels;
+}
+
+}  // namespace
+
+NuqsgdCodec::NuqsgdCodec(int bits, int64_t bucket_size, uint64_t seed)
+    : bits_(bits), bucket_size_(bucket_size), seed_(seed) {
+  CHECK_GE(bits, 2);
+  CHECK_LE(bits, 16);
+  CHECK_GT(bucket_size, 0);
+  level_count_ = (1u << (bits_ - 1)) - 1u;
+  CHECK_GE(level_count_, 1u);
+}
+
+std::string NuqsgdCodec::Name() const {
+  return StrCat("NUQSGD ", bits_, "bit (b=", bucket_size_, ")");
+}
+
+int64_t NuqsgdCodec::NumChunks(const Shape& shape) const {
+  const int64_t n = shape.element_count();
+  return (n + bucket_size_ - 1) / bucket_size_;
+}
+
+int64_t NuqsgdCodec::EncodedSizeBytes(const Shape& shape) const {
+  const int64_t n = shape.element_count();
+  const BitPacker packer(bits_);
+  return NumChunks(shape) * static_cast<int64_t>(sizeof(float)) +
+         packer.WordCount(n) * static_cast<int64_t>(sizeof(uint32_t)) +
+         codec_internal::kWireChecksumBytes;
+}
+
+LPSGD_HOT_PATH
+void NuqsgdCodec::Encode(const float* grad, const Shape& shape,
+                         uint64_t stochastic_tag,
+                         std::vector<float>* /*error*/,
+                         CodecWorkspace* workspace,
+                         std::vector<uint8_t>* out) const {
+  codec_internal::CodecObsScope obs_scope("nuqsgd", /*encode=*/true, out);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseEncode);
+  const int64_t n = shape.element_count();
+  const int64_t buckets = NumChunks(shape);
+  const CounterRng stream(seed_, stochastic_tag);
+  const uint32_t s = level_count_;
+  const int s_int = static_cast<int>(s);
+  const double* levels = BuildLevelTable(s, workspace);
+
+  uint8_t* blob = quant_internal::EnsureSize(
+      out, static_cast<size_t>(EncodedSizeBytes(shape)));
+  float* scales = MutableFloatsAt(blob, 0);
+  BitWriter writer(
+      MutableWordsAt(blob, buckets * static_cast<int64_t>(sizeof(float))),
+      bits_);
+
+  for (int64_t b = 0; b < buckets; ++b) {
+    const int64_t begin = b * bucket_size_;
+    const int64_t end = std::min(begin + bucket_size_, n);
+
+    double scale = 0.0;
+    for (int64_t i = begin; i < end; ++i) {
+      scale += static_cast<double>(grad[i]) * grad[i];
+    }
+    scale = std::sqrt(scale);
+    scales[b] = static_cast<float>(scale);
+    if (scale == 0.0) {
+      // Zero fields decode to exact zeros; keep the stream position.
+      for (int64_t i = begin; i < end; ++i) writer.Put(0u);
+      continue;
+    }
+
+    for (int64_t i = begin; i < end; ++i) {
+      const double a =
+          std::min(1.0, std::abs(static_cast<double>(grad[i])) / scale);
+      uint32_t level = 0;
+      if (a > 0.0) {
+        // a is in [2^(e-1), 2^e) with e from frexp, so its bracket on the
+        // exponential grid starts at level j = e - 1 + s — no per-element
+        // log2. Below l_1 the bracket is [l_0 = 0, l_1].
+        int exponent = 0;
+        (void)std::frexp(a, &exponent);
+        const int j = std::clamp(exponent - 1 + s_int, 0, s_int - 1);
+        const double lo = levels[j];
+        const double hi = levels[j + 1];
+        // Stochastic rounding between the bracket endpoints keeps the
+        // estimator unbiased: E[Q(a)] = a.
+        const double p = (a - lo) / (hi - lo);
+        level = static_cast<uint32_t>(j);
+        if (stream.UniformAt(static_cast<uint64_t>(i)) < p) ++level;
+      }
+      const uint32_t sign = grad[i] < 0.0f ? 1u : 0u;
+      writer.Put((sign << (bits_ - 1)) | level);
+    }
+  }
+  writer.Finish();
+  codec_internal::SealWireBlob(
+      blob, EncodedSizeBytes(shape) - codec_internal::kWireChecksumBytes);
+}
+
+LPSGD_HOT_PATH
+Status NuqsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
+                           const Shape& shape, CodecWorkspace* workspace,
+                           float* out) const {
+  codec_internal::CodecObsScope obs_scope("nuqsgd", /*encode=*/false);
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseDecode);
+  const int64_t n = shape.element_count();
+  LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
+      "nuqsgd", bytes, num_bytes, EncodedSizeBytes(shape)));
+  const int64_t buckets = NumChunks(shape);
+  const float* scales = FloatsAt(bytes, 0);
+  BitReader reader(
+      WordsAt(bytes, buckets * static_cast<int64_t>(sizeof(float))), bits_);
+  const double* levels = BuildLevelTable(level_count_, workspace);
+
+  const uint32_t magnitude_mask = (1u << (bits_ - 1)) - 1u;
+  for (int64_t b = 0; b < buckets; ++b) {
+    const int64_t begin = b * bucket_size_;
+    const int64_t end = std::min(begin + bucket_size_, n);
+    const double scale = scales[b];
+    for (int64_t i = begin; i < end; ++i) {
+      const uint32_t field = reader.Next();
+      const bool negative = (field >> (bits_ - 1)) & 1u;
+      const double magnitude = levels[field & magnitude_mask] * scale;
+      out[i] = static_cast<float>(negative ? -magnitude : magnitude);
+    }
+  }
+  return OkStatus();
+}
+
+CodecSpec NuqsgdSpec(int bits) {
+  CodecSpec spec = QsgdSpec(bits);
+  spec.kind = CodecKind::kNuqsgd;
+  spec.norm = QsgdNorm::kL2;  // the norm the NUQSGD analysis assumes
+  return spec;
+}
+
+namespace codec_internal {
+// Force-link anchor referenced by registry.cc (see kCodecFamilyLinkAnchor).
+int LinkNuqsgdCodecFamily() { return 0; }
+}  // namespace codec_internal
+
+namespace {
+
+CodecFamily NuqsgdFamily() {
+  CodecFamily family;
+  family.kind = CodecKind::kNuqsgd;
+  family.name = "nuq<bits>";
+  family.help = "nonuniform (exponential-level) QSGD, bits in [2,16], "
+                "optional :<bucket> or bucket=";
+  family.keys = {"bucket"};
+  family.matches = [](const std::string& head) {
+    return MatchesBitsHead(head, "nuq");
+  };
+  family.parse = [](const std::string& head,
+                    CodecParams* params) -> StatusOr<CodecSpec> {
+    LPSGD_ASSIGN_OR_RETURN(const int bits,
+                           ParseBitsHead(head, "nuq", "NUQSGD"));
+    CodecSpec spec = NuqsgdSpec(bits);
+    LPSGD_RETURN_IF_ERROR(TakeBucketParam(params, &spec));
+    return spec;
+  };
+  family.create = [](const CodecSpec& spec)
+      -> StatusOr<std::unique_ptr<GradientCodec>> {
+    if (spec.bits < 2 || spec.bits > 16) {
+      return InvalidArgumentError(
+          StrCat("NUQSGD bits must be in [2, 16], got ", spec.bits));
+    }
+    if (spec.bucket_size <= 0) {
+      return InvalidArgumentError(StrCat(
+          "NUQSGD bucket size must be positive, got ", spec.bucket_size));
+    }
+    return std::unique_ptr<GradientCodec>(
+        new NuqsgdCodec(spec.bits, spec.bucket_size, spec.seed));
+  };
+  family.label = [](const CodecSpec& spec) {
+    return StrCat("NUQSGD ", spec.bits, "bit (b=", spec.bucket_size, ")");
+  };
+  family.short_label = [](const CodecSpec& spec) {
+    return StrCat("NQ", spec.bits);
+  };
+  return family;
+}
+
+const CodecRegistrar registrar(NuqsgdFamily());
+
+}  // namespace
+}  // namespace lpsgd

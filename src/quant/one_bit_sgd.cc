@@ -9,6 +9,7 @@
 #include "base/thread_annotations.h"
 #include "base/strings.h"
 #include "obs/profile.h"
+#include "quant/registry.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -252,4 +253,104 @@ Status OneBitSgdReshapedCodec::Decode(const uint8_t* bytes,
   return OkStatus();
 }
 
+CodecSpec OneBitSgdSpec() {
+  CodecSpec spec;
+  spec.kind = CodecKind::kOneBitSgd;
+  return spec;
+}
+
+CodecSpec OneBitSgdReshapedSpec(int64_t bucket_size) {
+  CodecSpec spec;
+  spec.kind = CodecKind::kOneBitSgdReshaped;
+  spec.bucket_size = bucket_size;
+  return spec;
+}
+
+namespace codec_internal {
+// Force-link anchor referenced by registry.cc (see kCodecFamilyLinkAnchor).
+int LinkOneBitSgdCodecFamilies() { return 0; }
+}  // namespace codec_internal
+
+namespace {
+
+CodecFamily OneBitSgdFamily() {
+  CodecFamily family;
+  family.kind = CodecKind::kOneBitSgd;
+  family.name = "1bit";
+  family.help = "stock per-column 1bitSGD (alias: 1bitsgd)";
+  family.matches = [](const std::string& head) {
+    return head == "1bit" || head == "1bitsgd";
+  };
+  family.parse = [](const std::string& /*head*/,
+                    CodecParams* params) -> StatusOr<CodecSpec> {
+    if (!params->TakePositional().empty() ||
+        params->Take("bucket") != nullptr) {
+      return InvalidArgumentError(
+          "stock 1bitSGD has no bucket size; use 1bit*:<bucket>");
+    }
+    return OneBitSgdSpec();
+  };
+  family.create = [](const CodecSpec& spec)
+      -> StatusOr<std::unique_ptr<GradientCodec>> {
+    return std::unique_ptr<GradientCodec>(
+        new OneBitSgdCodec(spec.error_feedback));
+  };
+  family.label = [](const CodecSpec& spec) {
+    return std::string(spec.error_feedback ? "1bitSGD" : "1bitSGD (no EF)");
+  };
+  family.short_label = [](const CodecSpec& /*spec*/) {
+    return std::string("1b");
+  };
+  return family;
+}
+
+CodecFamily OneBitSgdReshapedFamily() {
+  CodecFamily family;
+  family.kind = CodecKind::kOneBitSgdReshaped;
+  family.name = "1bit*";
+  family.help = "reshaped 1bitSGD, optional :<bucket> (default 64)";
+  family.keys = {"bucket"};
+  family.matches = [](const std::string& head) {
+    return head == "1bit*" || head == "1bitsgd*";
+  };
+  family.parse = [](const std::string& /*head*/,
+                    CodecParams* params) -> StatusOr<CodecSpec> {
+    CodecSpec spec = OneBitSgdReshapedSpec();
+    LPSGD_ASSIGN_OR_RETURN(const std::string bucket_text,
+                           TakeValueOrKey(params, "bucket"));
+    if (!bucket_text.empty()) {
+      LPSGD_ASSIGN_OR_RETURN(const int64_t bucket,
+                             ParseInt64Param(bucket_text, "bucket size"));
+      if (bucket <= 0) {
+        return InvalidArgumentError(
+            StrCat("bad bucket size: ", bucket_text));
+      }
+      spec.bucket_size = bucket;
+    }
+    return spec;
+  };
+  family.create = [](const CodecSpec& spec)
+      -> StatusOr<std::unique_ptr<GradientCodec>> {
+    if (spec.bucket_size <= 0) {
+      return InvalidArgumentError(
+          StrCat("1bitSGD* bucket size must be positive, got ",
+                 spec.bucket_size));
+    }
+    return std::unique_ptr<GradientCodec>(
+        new OneBitSgdReshapedCodec(spec.bucket_size, spec.error_feedback));
+  };
+  family.label = [](const CodecSpec& spec) {
+    return StrCat(spec.error_feedback ? "1bitSGD*" : "1bitSGD* (no EF)",
+                  " (b=", spec.bucket_size, ")");
+  };
+  family.short_label = [](const CodecSpec& /*spec*/) {
+    return std::string("1b*");
+  };
+  return family;
+}
+
+const CodecRegistrar stock_registrar(OneBitSgdFamily());
+const CodecRegistrar reshaped_registrar(OneBitSgdReshapedFamily());
+
+}  // namespace
 }  // namespace lpsgd

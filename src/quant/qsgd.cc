@@ -10,6 +10,7 @@
 #include "base/rng.h"
 #include "base/strings.h"
 #include "obs/profile.h"
+#include "quant/registry.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -184,4 +185,98 @@ Status QsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
   return OkStatus();
 }
 
+CodecSpec QsgdSpec(int bits) {
+  CodecSpec spec;
+  spec.kind = CodecKind::kQsgd;
+  spec.bits = bits;
+  // Section 4.4 tuning protocol: bucket 128 for 2bit, 512 for 4/8bit,
+  // 8192 for 16bit.
+  switch (bits) {
+    case 2:
+      spec.bucket_size = 128;
+      break;
+    case 4:
+    case 8:
+      spec.bucket_size = 512;
+      break;
+    case 16:
+      spec.bucket_size = 8192;
+      break;
+    default:
+      spec.bucket_size = 512;
+      break;
+  }
+  return spec;
+}
+
+namespace codec_internal {
+// Force-link anchor referenced by registry.cc (see kCodecFamilyLinkAnchor).
+int LinkQsgdCodecFamily() { return 0; }
+}  // namespace codec_internal
+
+namespace {
+
+CodecFamily QsgdFamily() {
+  CodecFamily family;
+  family.kind = CodecKind::kQsgd;
+  family.name = "q<bits>";
+  family.help = "QSGD, bits in [2,16], optional :<bucket> or key=value "
+                "(bucket=, norm=max|l2, levels=sm|sym)";
+  family.keys = {"bucket", "norm", "levels"};
+  family.matches = [](const std::string& head) {
+    return MatchesBitsHead(head, "q");
+  };
+  family.parse = [](const std::string& head,
+                    CodecParams* params) -> StatusOr<CodecSpec> {
+    LPSGD_ASSIGN_OR_RETURN(const int bits, ParseBitsHead(head, "q", "QSGD"));
+    CodecSpec spec = QsgdSpec(bits);
+    LPSGD_RETURN_IF_ERROR(TakeBucketParam(params, &spec));
+    if (const std::string* norm = params->Take("norm")) {
+      if (*norm == "max") {
+        spec.norm = QsgdNorm::kMax;
+      } else if (*norm == "l2") {
+        spec.norm = QsgdNorm::kL2;
+      } else {
+        return InvalidArgumentError(
+            StrCat("bad QSGD norm: ", *norm, " (expected max or l2)"));
+      }
+    }
+    if (const std::string* levels = params->Take("levels")) {
+      if (*levels == "sm") {
+        spec.levels = QsgdLevelScheme::kSignMagnitude;
+      } else if (*levels == "sym") {
+        spec.levels = QsgdLevelScheme::kSymmetric;
+      } else {
+        return InvalidArgumentError(StrCat("bad QSGD level scheme: ",
+                                           *levels,
+                                           " (expected sm or sym)"));
+      }
+    }
+    return spec;
+  };
+  family.create = [](const CodecSpec& spec)
+      -> StatusOr<std::unique_ptr<GradientCodec>> {
+    if (spec.bits < 2 || spec.bits > 16) {
+      return InvalidArgumentError(
+          StrCat("QSGD bits must be in [2, 16], got ", spec.bits));
+    }
+    if (spec.bucket_size <= 0) {
+      return InvalidArgumentError(StrCat(
+          "QSGD bucket size must be positive, got ", spec.bucket_size));
+    }
+    return std::unique_ptr<GradientCodec>(new QsgdCodec(
+        spec.bits, spec.bucket_size, spec.norm, spec.levels, spec.seed));
+  };
+  family.label = [](const CodecSpec& spec) {
+    return StrCat("QSGD ", spec.bits, "bit (b=", spec.bucket_size, ")");
+  };
+  family.short_label = [](const CodecSpec& spec) {
+    return StrCat("Q", spec.bits);
+  };
+  return family;
+}
+
+const CodecRegistrar registrar(QsgdFamily());
+
+}  // namespace
 }  // namespace lpsgd

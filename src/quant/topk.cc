@@ -6,10 +6,12 @@
 #include <cstring>
 #include <numeric>
 
+#include "base/bit_packing.h"
 #include "base/logging.h"
 #include "base/thread_annotations.h"
 #include "base/strings.h"
 #include "obs/profile.h"
+#include "quant/registry.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -35,10 +37,16 @@ int64_t TopKCodec::KeptCount(int64_t n) const {
 }
 
 int64_t TopKCodec::EncodedSizeBytes(const Shape& shape) const {
-  const int64_t k = KeptCount(shape.element_count());
+  const int64_t n = shape.element_count();
+  const int64_t k = KeptCount(n);
   return static_cast<int64_t>(sizeof(uint32_t)) +
-         k * static_cast<int64_t>(sizeof(uint32_t) + sizeof(float)) +
+         IndexRunWordCount(n, k) * static_cast<int64_t>(sizeof(uint32_t)) +
+         k * static_cast<int64_t>(sizeof(float)) +
          codec_internal::kWireChecksumBytes;
+}
+
+int64_t TopKCodec::SparseCount(const Shape& shape) const {
+  return KeptCount(shape.element_count());
 }
 
 int64_t TopKCodec::NumChunks(const Shape& /*shape*/) const {
@@ -84,14 +92,13 @@ void TopKCodec::Encode(const float* grad, const Shape& shape,
       out, static_cast<size_t>(EncodedSizeBytes(shape)));
   uint32_t* words = MutableWordsAt(blob, 0);
   words[0] = static_cast<uint32_t>(k);
-  uint32_t* indices = words + 1;
+  PackIndexRun(order.data(), k, n, words + 1);
   float* values = MutableFloatsAt(
       blob, static_cast<int64_t>(sizeof(uint32_t)) +
-                k * static_cast<int64_t>(sizeof(uint32_t)));
+                IndexRunWordCount(n, k) *
+                    static_cast<int64_t>(sizeof(uint32_t)));
   for (int64_t i = 0; i < k; ++i) {
-    const int64_t idx = order[static_cast<size_t>(i)];
-    indices[i] = static_cast<uint32_t>(idx);
-    values[i] = corrected[idx];
+    values[i] = corrected[order[static_cast<size_t>(i)]];
   }
 
   if (error_feedback_) {
@@ -111,35 +118,110 @@ LPSGD_HOT_PATH
 Status TopKCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
                          const Shape& shape, CodecWorkspace* workspace,
                          float* out) const {
+  const int64_t n = shape.element_count();
+  const int64_t k = KeptCount(n);
+  // Stage the sparse form in workspace scratch: the validation inside
+  // DecodeSparse must finish before `out` is touched (which must stay
+  // intact on error).
+  uint32_t* indices = quant_internal::EnsureSize(&workspace->sparse_indices,
+                                                 static_cast<size_t>(k));
+  float* values = quant_internal::EnsureSize(&workspace->corrected,
+                                             static_cast<size_t>(k));
+  LPSGD_RETURN_IF_ERROR(
+      DecodeSparse(bytes, num_bytes, shape, workspace, indices, values));
+  obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseDecode);
+  std::fill(out, out + n, 0.0f);
+  for (int64_t i = 0; i < k; ++i) {
+    out[indices[i]] = values[i];
+  }
+  return OkStatus();
+}
+
+LPSGD_HOT_PATH
+Status TopKCodec::DecodeSparse(const uint8_t* bytes, int64_t num_bytes,
+                               const Shape& shape, CodecWorkspace* workspace,
+                               uint32_t* indices, float* values) const {
   codec_internal::CodecObsScope obs_scope("topk", /*encode=*/false);
   obs::PhaseTimer phase_timer(&workspace->phases, obs::kPhaseDecode);
   const int64_t n = shape.element_count();
   LPSGD_RETURN_IF_ERROR(codec_internal::VerifyWireBlob(
       "topk", bytes, num_bytes, EncodedSizeBytes(shape)));
   // The checksum is 32 bits, so collisions are possible: re-validate the
-  // framing fields before touching `out` (which must stay intact on error).
+  // framing fields before trusting the payload.
   const uint32_t count = *WordsAt(bytes, 0);
   const int64_t k = KeptCount(n);
   if (static_cast<int64_t>(count) != k) {
     return DataLossError(StrCat("topk: blob claims ", count,
                                 " components, expected ", k));
   }
-  const uint32_t* indices = WordsAt(bytes, sizeof(uint32_t));
-  const float* values =
+  if (!UnpackIndexRun(WordsAt(bytes, sizeof(uint32_t)), k, n, indices)) {
+    return DataLossError(StrCat(
+        "topk: component indices not strictly increasing in [0, ", n, ")"));
+  }
+  const float* wire_values =
       FloatsAt(bytes, static_cast<int64_t>(sizeof(uint32_t)) +
-                          static_cast<int64_t>(count) * sizeof(uint32_t));
-  for (uint32_t i = 0; i < count; ++i) {
-    if (static_cast<int64_t>(indices[i]) >= n) {
-      return DataLossError(StrCat("topk: component index ", indices[i],
-                                  " out of range for ", n, " elements"));
-    }
-  }
-
-  std::fill(out, out + n, 0.0f);
-  for (uint32_t i = 0; i < count; ++i) {
-    out[indices[i]] = values[i];
-  }
+                          IndexRunWordCount(n, k) *
+                              static_cast<int64_t>(sizeof(uint32_t)));
+  std::memcpy(values, wire_values, static_cast<size_t>(k) * sizeof(float));
   return OkStatus();
 }
 
+CodecSpec TopKSpec(double density) {
+  CodecSpec spec;
+  spec.kind = CodecKind::kTopK;
+  spec.density = density;
+  return spec;
+}
+
+namespace codec_internal {
+// Force-link anchor referenced by registry.cc (see kCodecFamilyLinkAnchor).
+int LinkTopKCodecFamily() { return 0; }
+}  // namespace codec_internal
+
+namespace {
+
+CodecFamily TopKFamily() {
+  CodecFamily family;
+  family.kind = CodecKind::kTopK;
+  family.name = "topk";
+  family.help = "top-k sparsification, density in (0,1] required "
+                "(topk:<density> or topk:density=<density>)";
+  family.keys = {"density"};
+  family.matches = [](const std::string& head) { return head == "topk"; };
+  family.parse = [](const std::string& /*head*/,
+                    CodecParams* params) -> StatusOr<CodecSpec> {
+    LPSGD_ASSIGN_OR_RETURN(const std::string text,
+                           TakeValueOrKey(params, "density"));
+    if (text.empty()) {
+      return InvalidArgumentError(
+          "topk needs a density (topk:<density> or topk:density=<density>)");
+    }
+    LPSGD_ASSIGN_OR_RETURN(const double density,
+                           ParseDoubleParam(text, "TopK density"));
+    if (density <= 0.0 || density > 1.0) {
+      return InvalidArgumentError(StrCat("bad TopK density: ", text));
+    }
+    return TopKSpec(density);
+  };
+  family.create = [](const CodecSpec& spec)
+      -> StatusOr<std::unique_ptr<GradientCodec>> {
+    if (spec.density <= 0.0 || spec.density > 1.0) {
+      return InvalidArgumentError(StrCat(
+          "TopK density must be in (0, 1], got ", spec.density));
+    }
+    return std::unique_ptr<GradientCodec>(
+        new TopKCodec(spec.density, spec.error_feedback));
+  };
+  family.label = [](const CodecSpec& spec) {
+    return StrCat("TopK ", FormatDouble(spec.density * 100.0, 1), "%");
+  };
+  family.short_label = [](const CodecSpec& spec) {
+    return StrCat("K", FormatDouble(spec.density * 100.0, 0));
+  };
+  return family;
+}
+
+const CodecRegistrar registrar(TopKFamily());
+
+}  // namespace
 }  // namespace lpsgd

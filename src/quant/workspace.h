@@ -35,6 +35,9 @@ struct CodecWorkspace {
   // QSGD decode: per-level magnitude table (level / s), reused across
   // buckets.
   std::vector<double> magnitudes;
+  // TopK dense decode: unpacked component indices staged for validation
+  // before `out` is touched.
+  std::vector<uint32_t> sparse_indices;
   // Caller-side scratch blob for encode-then-decode round trips (the
   // aggregators' stage-2 re-encode).
   std::vector<uint8_t> blob;

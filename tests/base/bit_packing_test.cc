@@ -1,6 +1,8 @@
 // Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
 #include "base/bit_packing.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "base/rng.h"
@@ -115,6 +117,73 @@ TEST(BitPackerTest, PackClearsStaleWordContent) {
   EXPECT_EQ(packer.Get(words.data(), 1), 2u);
   // Unused high fields were zeroed, not left stale.
   EXPECT_EQ(words[0] >> 16, 0u);
+}
+
+TEST(IndexRunTest, IndexBitWidthIsMinimal) {
+  EXPECT_EQ(IndexBitWidth(1), 1);
+  EXPECT_EQ(IndexBitWidth(2), 1);
+  EXPECT_EQ(IndexBitWidth(3), 2);
+  EXPECT_EQ(IndexBitWidth(64), 6);
+  EXPECT_EQ(IndexBitWidth(65), 7);
+  EXPECT_EQ(IndexBitWidth(1000), 10);
+  EXPECT_EQ(IndexBitWidth(1 << 20), 20);
+}
+
+TEST(IndexRunTest, RoundtripsSortedIndexRuns) {
+  Rng rng(3000);
+  for (int64_t n : {8, 64, 1000, 100000}) {
+    for (int64_t k : {int64_t{1}, n / 4, n}) {
+      if (k == 0) continue;
+      // k distinct sorted indices in [0, n).
+      std::vector<int64_t> indices;
+      std::vector<bool> used(static_cast<size_t>(n), false);
+      while (static_cast<int64_t>(indices.size()) < k) {
+        const int64_t i =
+            static_cast<int64_t>(rng.NextUint64(static_cast<uint64_t>(n)));
+        if (!used[static_cast<size_t>(i)]) {
+          used[static_cast<size_t>(i)] = true;
+          indices.push_back(i);
+        }
+      }
+      std::sort(indices.begin(), indices.end());
+
+      std::vector<uint32_t> words(
+          static_cast<size_t>(IndexRunWordCount(n, k)), 0xdeadbeefu);
+      PackIndexRun(indices.data(), k, n, words.data());
+      std::vector<uint32_t> unpacked(static_cast<size_t>(k));
+      ASSERT_TRUE(UnpackIndexRun(words.data(), k, n, unpacked.data()))
+          << "n=" << n << " k=" << k;
+      for (int64_t i = 0; i < k; ++i) {
+        EXPECT_EQ(unpacked[static_cast<size_t>(i)],
+                  static_cast<uint32_t>(indices[static_cast<size_t>(i)]))
+            << i;
+      }
+    }
+  }
+}
+
+TEST(IndexRunTest, UnpackRejectsMalformedRuns) {
+  const int64_t n = 100;
+  const int64_t indices[] = {3, 10, 42, 99};
+  std::vector<uint32_t> words(static_cast<size_t>(IndexRunWordCount(n, 4)));
+  PackIndexRun(indices, 4, n, words.data());
+  std::vector<uint32_t> out(4);
+  ASSERT_TRUE(UnpackIndexRun(words.data(), 4, n, out.data()));
+
+  // Duplicate (not strictly increasing).
+  const int64_t dup[] = {3, 10, 10, 99};
+  PackIndexRun(dup, 4, n, words.data());
+  EXPECT_FALSE(UnpackIndexRun(words.data(), 4, n, out.data()));
+
+  // Decreasing.
+  const int64_t dec[] = {3, 42, 10, 99};
+  PackIndexRun(dec, 4, n, words.data());
+  EXPECT_FALSE(UnpackIndexRun(words.data(), 4, n, out.data()));
+
+  // Out of range for a smaller element count: 99 needs 7 bits, and at
+  // element_count 80 the same packed fields decode to indices >= 80.
+  PackIndexRun(indices, 4, n, words.data());
+  EXPECT_FALSE(UnpackIndexRun(words.data(), 4, 80, out.data()));
 }
 
 TEST(PackSignBitsTest, EncodesSignsIncludingZeroAsPositive) {

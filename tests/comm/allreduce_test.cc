@@ -110,8 +110,8 @@ INSTANTIATE_TEST_SUITE_P(RankCounts, AllReduceRankCountTest,
 
 TEST(MpiAllReduceTest, AllRanksReceiveIdenticalQuantizedAggregate) {
   const int k = 4;
-  auto agg =
-      MpiReduceBcastAggregator::Create(k, QsgdSpec(4), Ec2P2_8xlarge());
+  auto agg = CreateAggregator(CommPrimitive::kMpi, k, QsgdSpec(4),
+                              Ec2P2_8xlarge(), ExecutionContext::Serial());
   ASSERT_TRUE(agg.ok());
   std::vector<TestMatrix> matrices;
   matrices.push_back(MakeMatrix(Shape({32, 16}), k, 4));
@@ -127,8 +127,8 @@ TEST(MpiAllReduceTest, AllRanksReceiveIdenticalQuantizedAggregate) {
 
 TEST(MpiAllReduceTest, QsgdAggregateIsCloseToExactSum) {
   const int k = 4;
-  auto agg =
-      MpiReduceBcastAggregator::Create(k, QsgdSpec(8), Ec2P2_8xlarge());
+  auto agg = CreateAggregator(CommPrimitive::kMpi, k, QsgdSpec(8),
+                              Ec2P2_8xlarge(), ExecutionContext::Serial());
   ASSERT_TRUE(agg.ok());
   std::vector<TestMatrix> matrices;
   matrices.push_back(MakeMatrix(Shape({512}), k, 5));
@@ -149,8 +149,8 @@ TEST(MpiAllReduceTest, QsgdAggregateIsCloseToExactSum) {
 
 TEST(MpiAllReduceTest, QuantizedWireBytesSmallerThanRaw) {
   const int k = 4;
-  auto agg =
-      MpiReduceBcastAggregator::Create(k, QsgdSpec(4), Ec2P2_8xlarge());
+  auto agg = CreateAggregator(CommPrimitive::kMpi, k, QsgdSpec(4),
+                              Ec2P2_8xlarge(), ExecutionContext::Serial());
   ASSERT_TRUE(agg.ok());
   std::vector<TestMatrix> matrices;
   matrices.push_back(MakeMatrix(Shape({4096, 32}), k, 6));
@@ -164,8 +164,8 @@ TEST(MpiAllReduceTest, QuantizedWireBytesSmallerThanRaw) {
 
 TEST(MpiAllReduceTest, PolicyBypassedSlotsStayExact) {
   const int k = 3;
-  auto agg =
-      MpiReduceBcastAggregator::Create(k, QsgdSpec(2), Ec2P2_8xlarge());
+  auto agg = CreateAggregator(CommPrimitive::kMpi, k, QsgdSpec(2),
+                              Ec2P2_8xlarge(), ExecutionContext::Serial());
   ASSERT_TRUE(agg.ok());
   std::vector<TestMatrix> matrices;
   matrices.push_back(MakeMatrix(Shape({40}), k, 7));
@@ -180,8 +180,9 @@ TEST(MpiAllReduceTest, PolicyBypassedSlotsStayExact) {
 
 TEST(MpiAllReduceTest, OneBitErrorFeedbackResidualsUpdated) {
   const int k = 2;
-  auto agg = MpiReduceBcastAggregator::Create(k, OneBitSgdReshapedSpec(16),
-                                              Ec2P2_8xlarge());
+  auto agg =
+      CreateAggregator(CommPrimitive::kMpi, k, OneBitSgdReshapedSpec(16),
+                       Ec2P2_8xlarge(), ExecutionContext::Serial());
   ASSERT_TRUE(agg.ok());
   std::vector<TestMatrix> matrices;
   matrices.push_back(MakeMatrix(Shape({64}), k, 8));
@@ -197,7 +198,8 @@ TEST(MpiAllReduceTest, OneBitErrorFeedbackResidualsUpdated) {
 TEST(NcclAllReduceTest, SimulatedLowPrecisionKeepsExactValues) {
   // The paper's NCCL simulation: fewer bytes on the wire, exact fp32 sums.
   const int k = 4;
-  auto agg = NcclRingAggregator::Create(k, QsgdSpec(4), Ec2P2_8xlarge());
+  auto agg = CreateAggregator(CommPrimitive::kNccl, k, QsgdSpec(4),
+                              Ec2P2_8xlarge(), ExecutionContext::Serial());
   ASSERT_TRUE(agg.ok());
   std::vector<TestMatrix> matrices;
   matrices.push_back(MakeMatrix(Shape({2048}), k, 9));
@@ -212,8 +214,9 @@ TEST(NcclAllReduceTest, SimulatedLowPrecisionKeepsExactValues) {
 }
 
 TEST(NcclAllReduceTest, RejectsMoreThanEightGpus) {
-  auto agg = NcclRingAggregator::Create(16, FullPrecisionSpec(),
-                                        Ec2P2_16xlarge());
+  auto agg =
+      CreateAggregator(CommPrimitive::kNccl, 16, FullPrecisionSpec(),
+                       Ec2P2_16xlarge(), ExecutionContext::Serial());
   EXPECT_FALSE(agg.ok());
   EXPECT_EQ(agg.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -320,10 +323,11 @@ TEST(AllReduceTest, MpiQuantizedSlowerKernelsButFewerBytesThanFp) {
   fp_matrices.push_back(MakeMatrix(Shape({1024, 256}), k, 10));
   q_matrices.push_back(MakeMatrix(Shape({1024, 256}), k, 10));
 
-  auto fp_agg = MpiReduceBcastAggregator::Create(k, FullPrecisionSpec(),
-                                                 Ec2P2_8xlarge());
-  auto q_agg =
-      MpiReduceBcastAggregator::Create(k, QsgdSpec(4), Ec2P2_8xlarge());
+  auto fp_agg =
+      CreateAggregator(CommPrimitive::kMpi, k, FullPrecisionSpec(),
+                       Ec2P2_8xlarge(), ExecutionContext::Serial());
+  auto q_agg = CreateAggregator(CommPrimitive::kMpi, k, QsgdSpec(4),
+                                Ec2P2_8xlarge(), ExecutionContext::Serial());
   auto fp_slots = MakeSlots(fp_matrices, k);
   auto q_slots = MakeSlots(q_matrices, k);
   auto fp_stats = (*fp_agg)->AllReduce(&fp_slots, 0);

@@ -46,8 +46,9 @@ struct Fixture {
 
 TEST(MpiRequantizeTest, ManyMatricesAllAggregatedConsistently) {
   const int ranks = 3, matrices = 7;
-  auto agg = MpiReduceBcastAggregator::Create(ranks, QsgdSpec(8),
-                                              Ec2P2_8xlarge());
+  auto agg =
+      CreateAggregator(CommPrimitive::kMpi, ranks, QsgdSpec(8),
+                       Ec2P2_8xlarge(), ExecutionContext::Serial());
   ASSERT_TRUE(agg.ok());
   Fixture fixture(matrices, ranks, 128, 1);
   auto stats = (*agg)->AllReduce(&fixture.slots, 0);
@@ -80,8 +81,9 @@ TEST(MpiRequantizeTest, AggregateResidualImprovesRunningAccuracy) {
     Rng rng(7);
     std::vector<double> true_sum(static_cast<size_t>(n), 0.0);
     std::vector<double> agg_sum(static_cast<size_t>(n), 0.0);
-    auto persistent = MpiReduceBcastAggregator::Create(
-        ranks, OneBitSgdReshapedSpec(64), Ec2P2_8xlarge());
+    auto persistent =
+        CreateAggregator(CommPrimitive::kMpi, ranks, OneBitSgdReshapedSpec(64),
+                         Ec2P2_8xlarge(), ExecutionContext::Serial());
     CHECK_OK(persistent.status());
     // Persistent per-rank residuals in both settings (they belong to the
     // trainer); only the aggregator's own residual differs.
@@ -107,8 +109,9 @@ TEST(MpiRequantizeTest, AggregateResidualImprovesRunningAccuracy) {
       if (reuse_aggregator) {
         CHECK_OK((*persistent)->AllReduce(&slots, t).status());
       } else {
-        auto fresh = MpiReduceBcastAggregator::Create(
-            ranks, OneBitSgdReshapedSpec(64), Ec2P2_8xlarge());
+        auto fresh = CreateAggregator(
+            CommPrimitive::kMpi, ranks, OneBitSgdReshapedSpec(64),
+            Ec2P2_8xlarge(), ExecutionContext::Serial());
         CHECK_OK(fresh.status());
         CHECK_OK((*fresh)->AllReduce(&slots, t).status());
       }
@@ -133,8 +136,9 @@ TEST(MpiRequantizeTest, AggregateResidualImprovesRunningAccuracy) {
 
 TEST(MpiRequantizeTest, RankResidualsDivergeButMatricesStayIsolated) {
   const int ranks = 2;
-  auto agg = MpiReduceBcastAggregator::Create(
-      ranks, OneBitSgdReshapedSpec(32), Ec2P2_8xlarge());
+  auto agg =
+      CreateAggregator(CommPrimitive::kMpi, ranks, OneBitSgdReshapedSpec(32),
+                       Ec2P2_8xlarge(), ExecutionContext::Serial());
   ASSERT_TRUE(agg.ok());
   Fixture fixture(2, ranks, 64, 3);
   // Zero matrix 1's gradients: its residuals must stay exactly zero no
@@ -161,7 +165,8 @@ TEST(MpiRequantizeTest, WireBytesCountOneRanksGradientOnce) {
   // (the quantity the cost model consumes), independent of rank count.
   for (int ranks : {2, 4, 8}) {
     auto agg =
-        MpiReduceBcastAggregator::Create(ranks, QsgdSpec(4), Ec2P2_8xlarge());
+        CreateAggregator(CommPrimitive::kMpi, ranks, QsgdSpec(4),
+                         Ec2P2_8xlarge(), ExecutionContext::Serial());
     ASSERT_TRUE(agg.ok());
     Fixture fixture(1, ranks, 512, 4);
     auto stats = (*agg)->AllReduce(&fixture.slots, 0);

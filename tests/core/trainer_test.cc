@@ -147,7 +147,8 @@ INSTANTIATE_TEST_SUITE_P(
     Codecs, ReplicaConsistencyTest,
     ::testing::Values(FullPrecisionSpec(), QsgdSpec(4), QsgdSpec(8),
                       OneBitSgdSpec(), OneBitSgdReshapedSpec(16),
-                      TopKSpec(0.25), AdaptiveQsgdSpec(4)),
+                      TopKSpec(0.25), AdaptiveQsgdSpec(4), TernGradSpec(),
+                      NuqsgdSpec(4), EcqSgdSpec(4)),
     [](const ::testing::TestParamInfo<CodecSpec>& info) {
       std::string name = info.param.Label();
       std::string out;
@@ -156,6 +157,21 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return out;
     });
+
+// Regression: the NCCL ring really encodes sparse codecs (allgather of
+// Top-K blobs), so the trainer must size their error-feedback residuals
+// under kNccl too — not only for MPI. This crashed before the fix: the
+// sparse encode CHECKed on an empty residual buffer.
+TEST(SyncTrainerTest, SparseCodecTrainsOverNccl) {
+  TrainerOptions options = BaseOptions(4, TopKSpec(0.25));
+  options.primitive = CommPrimitive::kNccl;
+  auto trainer = SyncTrainer::Create(MlpFactory({16, 12, 4}), options);
+  ASSERT_TRUE(trainer.ok());
+  const auto train = TrainSet();
+  const auto test = TestSet(32);
+  ASSERT_TRUE((*trainer)->Train(train, test, 2).ok());
+  EXPECT_GT((*trainer)->total_comm().wire_bytes, 0);
+}
 
 // K-GPU full-precision training must match 1-GPU training with the same
 // global batch (Section 2.1: synchronous SGD with K workers is equivalent

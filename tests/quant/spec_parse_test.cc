@@ -65,13 +65,142 @@ TEST(ParseCodecSpecTest, TopK) {
   EXPECT_DOUBLE_EQ(full->density, 1.0);
 }
 
+TEST(ParseCodecSpecTest, TernGrad) {
+  auto tern = ParseCodecSpec("terngrad");
+  ASSERT_TRUE(tern.ok());
+  EXPECT_EQ(tern->kind, CodecKind::kTernGrad);
+  EXPECT_EQ(tern->bits, 2);
+  EXPECT_EQ(tern->bucket_size, 0);  // one scalar per matrix
+  EXPECT_DOUBLE_EQ(tern->clip, 0.0);
+
+  auto alias = ParseCodecSpec("tern");
+  ASSERT_TRUE(alias.ok());
+  EXPECT_EQ(alias->kind, CodecKind::kTernGrad);
+
+  auto params = ParseCodecSpec("terngrad:bucket=1024,clip=2.5");
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params->bucket_size, 1024);
+  EXPECT_DOUBLE_EQ(params->clip, 2.5);
+
+  auto positional = ParseCodecSpec("tern:256");
+  ASSERT_TRUE(positional.ok());
+  EXPECT_EQ(positional->bucket_size, 256);
+}
+
+TEST(ParseCodecSpecTest, Nuqsgd) {
+  auto nuq4 = ParseCodecSpec("nuq4");
+  ASSERT_TRUE(nuq4.ok());
+  EXPECT_EQ(nuq4->kind, CodecKind::kNuqsgd);
+  EXPECT_EQ(nuq4->bits, 4);
+  EXPECT_EQ(nuq4->bucket_size, 512);  // paper default for 4 bits
+  EXPECT_EQ(nuq4->norm, QsgdNorm::kL2);  // NUQSGD normalizes by L2
+
+  auto bucketed = ParseCodecSpec("nuq4:256");
+  ASSERT_TRUE(bucketed.ok());
+  EXPECT_EQ(bucketed->bucket_size, 256);
+
+  auto keyed = ParseCodecSpec("nuq8:bucket=1024");
+  ASSERT_TRUE(keyed.ok());
+  EXPECT_EQ(keyed->bits, 8);
+  EXPECT_EQ(keyed->bucket_size, 1024);
+}
+
+TEST(ParseCodecSpecTest, EcqSgd) {
+  auto ecq4 = ParseCodecSpec("ecq4");
+  ASSERT_TRUE(ecq4.ok());
+  EXPECT_EQ(ecq4->kind, CodecKind::kEcqSgd);
+  EXPECT_EQ(ecq4->bits, 4);
+  EXPECT_EQ(ecq4->bucket_size, 512);
+  EXPECT_TRUE(ecq4->error_feedback);
+
+  auto bucketed = ParseCodecSpec("ecq8:1024");
+  ASSERT_TRUE(bucketed.ok());
+  EXPECT_EQ(bucketed->bits, 8);
+  EXPECT_EQ(bucketed->bucket_size, 1024);
+}
+
+TEST(ParseCodecSpecTest, KeyValueGrammar) {
+  auto q = ParseCodecSpec("q4:bucket=512,norm=l2,levels=sym");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->bucket_size, 512);
+  EXPECT_EQ(q->norm, QsgdNorm::kL2);
+  EXPECT_EQ(q->levels, QsgdLevelScheme::kSymmetric);
+
+  // Positional and keyed forms of the same parameter agree.
+  EXPECT_EQ(ParseCodecSpec("q8:64")->bucket_size,
+            ParseCodecSpec("q8:bucket=64")->bucket_size);
+  EXPECT_DOUBLE_EQ(ParseCodecSpec("topk:0.05")->density,
+                   ParseCodecSpec("topk:density=0.05")->density);
+}
+
 TEST(ParseCodecSpecTest, RejectsGarbage) {
   for (const char* text :
        {"", "q", "q1", "q17", "q4:", "q4:-1", "q4:abc", "1bit:64",
         "1bit*:0", "topk", "topk:0", "topk:1.5", "topk:x", "64bit",
-        "qsgd", "32bit:4"}) {
+        "qsgd", "32bit:4",
+        // New-family garbage.
+        "nuq", "nuq1", "nuq17", "nuq4:0", "nuq4:abc", "ecq", "ecq1",
+        "ecq17", "ecq4:-5", "tern:0", "tern:abc", "terngrad:clip=0",
+        "terngrad:clip=-1", "terngrad:clip=x",
+        // Malformed key=value grammar.
+        "q4:bucket=", "q4:=512", "q4:bucket=64,bucket=128",
+        "q4:64,bucket=128", "q4:bucket=64,512", "q4:64,,128",
+        "q4:norm=foo", "q4:levels=foo", "q4:density=0.5",
+        "topk:density=0.5,0.6", "terngrad:bits=2"}) {
     EXPECT_FALSE(ParseCodecSpec(text).ok()) << "'" << text << "'";
   }
+}
+
+// Parse errors are actionable: they name the offending token and, where
+// it helps, list what would have been accepted.
+TEST(ParseCodecSpecTest, ErrorsNameOffendingToken) {
+  const auto message = [](const char* text) {
+    auto spec = ParseCodecSpec(text);
+    EXPECT_FALSE(spec.ok()) << text;
+    return spec.ok() ? std::string() : std::string(spec.status().message());
+  };
+  const auto contains = [](const std::string& haystack, const char* needle) {
+    return haystack.find(needle) != std::string::npos;
+  };
+
+  // Unknown codec head: names the head and lists every registered codec.
+  const std::string unknown = message("zstd4");
+  EXPECT_TRUE(contains(unknown, "'zstd4'")) << unknown;
+  EXPECT_TRUE(contains(unknown, "registered codecs:")) << unknown;
+  for (const char* family :
+       {"32bit", "1bit", "1bit*", "q<bits>", "aq<bits>", "nuq<bits>",
+        "ecq<bits>", "terngrad", "topk"}) {
+    EXPECT_TRUE(contains(unknown, family)) << unknown;
+  }
+
+  // Unknown parameter: names the token and the accepted keys.
+  const std::string unknown_key = message("q4:density=0.5");
+  EXPECT_TRUE(contains(unknown_key, "'density=0.5'")) << unknown_key;
+  EXPECT_TRUE(contains(unknown_key, "accepted keys:")) << unknown_key;
+  EXPECT_TRUE(contains(unknown_key, "bucket")) << unknown_key;
+
+  // Parameter given to a codec that takes none.
+  const std::string no_params = message("32bit:4");
+  EXPECT_TRUE(contains(no_params, "takes no parameters")) << no_params;
+  EXPECT_TRUE(contains(no_params, "'4'")) << no_params;
+
+  // Repeated key, conflicting positional+keyed, malformed pair, dangling
+  // colon: each names the offending piece.
+  EXPECT_TRUE(contains(message("q4:bucket=64,bucket=128"),
+                       "repeated codec parameter key 'bucket'"));
+  const std::string both = message("q4:64,bucket=128");
+  EXPECT_TRUE(contains(both, "'bucket'")) << both;
+  EXPECT_TRUE(contains(both, "both positionally")) << both;
+  EXPECT_TRUE(contains(message("q4:bucket="),
+                       "malformed codec parameter 'bucket='"));
+  EXPECT_TRUE(contains(message("q4:"), "dangling ':'"));
+
+  // Bad values name the value and what it was supposed to be.
+  EXPECT_TRUE(contains(message("q4:abc"), "bad bucket size: abc"));
+  EXPECT_TRUE(contains(message("terngrad:clip=x"), "bad TernGrad clip: x"));
+  EXPECT_TRUE(contains(message("nuq17"), "bad NUQSGD bits: nuq17"));
+  EXPECT_TRUE(
+      contains(message("topk:x"), "bad TopK density: x"));
 }
 
 TEST(ParseCodecSpecTest, RoundTripsThroughCreateCodec) {

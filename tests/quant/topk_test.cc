@@ -48,9 +48,11 @@ TEST(TopKCodecTest, KeptCountAtLeastOne) {
 
 TEST(TopKCodecTest, EncodedSizeFormula) {
   TopKCodec codec(0.1, false);
-  // n=1000 -> k=100 -> 4 + 100*8 bytes.
+  // n=1000 -> k=100. Indices are bit-packed at IndexBitWidth(1000) = 10
+  // bits, 3 per word (values never straddle words): ceil(100/3) = 34
+  // words = 136 bytes. Then k fp32 values and the checksum word.
   EXPECT_EQ(codec.EncodedSizeBytes(Shape({1000})),
-            4 + 100 * 8 + codec_internal::kWireChecksumBytes);
+            4 + 136 + 100 * 4 + codec_internal::kWireChecksumBytes);
 }
 
 TEST(TopKCodecTest, DensityOneIsLossless) {
@@ -63,9 +65,11 @@ TEST(TopKCodecTest, DensityOneIsLossless) {
   for (int64_t i = 0; i < 64; ++i) {
     EXPECT_EQ(decoded[static_cast<size_t>(i)], grad.at(i));
   }
-  // ... but twice the bytes of fp32 (index overhead), the paper's point.
+  // ... but still more bytes than fp32 (index overhead), the paper's
+  // point: 64 indices at 6 bits, 5 per word -> 13 words = 52 bytes on
+  // top of the 64 fp32 values.
   EXPECT_EQ(codec.EncodedSizeBytes(shape),
-            4 + 64 * 8 + codec_internal::kWireChecksumBytes);
+            4 + 52 + 64 * 4 + codec_internal::kWireChecksumBytes);
 }
 
 TEST(TopKCodecTest, ErrorFeedbackAccumulatesUnsentComponents) {

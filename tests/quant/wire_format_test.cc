@@ -75,9 +75,20 @@ INSTANTIATE_TEST_SUITE_P(
         GoldenCase{"1bit*:4",
                    "0000803e000080bf0000e03f0000a8bf5d000000173058e8"},
         GoldenCase{"q4:4", "0000803f00002040f40186f41d6dfe13"},
+        // TopK k=2: count word, one word of 3-bit packed indices
+        // (4 | 7<<3 = 0x3c), two fp32 values, checksum.
         GoldenCase{"topk:0.25",
-                   "02000000040000000700000000000040000020c0"
-                   "c438daca"},
+                   "020000003c00000000000040000020c0"
+                   "7b32dbcb"},
+        // TernGrad: one fp32 scale (max|g| = 2.5), one word of 2-bit
+        // sign-magnitude fields, checksum.
+        GoldenCase{"terngrad", "000020400cc90000a69700ae"},
+        // NUQSGD: two fp32 L2 bucket norms, one word of 4-bit
+        // sign-magnitude fields, checksum.
+        GoldenCase{"nuq4:4", "76a4923f616a6240f604a6f62b5d4ac1"},
+        // ECQ-SGD with fresh error state is byte-identical to q4:4 —
+        // the error-compensation path only diverges on later rounds.
+        GoldenCase{"ecq4:4", "0000803f00002040f40186f41d6dfe13"},
         GoldenCase{"aq4:4",
                    "0000803f000020400000000033ce4c3d1f00803ee5ffff3ea39919"
                    "3fdecc4c3fb76d5b3f0000803ff30295f4"
@@ -171,6 +182,19 @@ CodecSpec OneBitStockNoEf() {
   return spec;
 }
 
+CodecSpec Nuq(int bits, int64_t bucket) {
+  CodecSpec spec = NuqsgdSpec(bits);
+  spec.bucket_size = bucket;
+  return spec;
+}
+
+CodecSpec Ecq(int bits, int64_t bucket, bool ef) {
+  CodecSpec spec = EcqSgdSpec(bits);
+  spec.bucket_size = bucket;
+  spec.error_feedback = ef;
+  return spec;
+}
+
 std::vector<HashCase> GoldenHashCases() {
   const QsgdNorm kL2 = QsgdNorm::kL2;
   const QsgdNorm kMax = QsgdNorm::kMax;
@@ -225,12 +249,42 @@ std::vector<HashCase> GoldenHashCases() {
        0x141f63e16ae8b91full, 0x0b00118c33dbe14aull},
       {"aqsgd8_b512", Aqsgd(8, 512), 0x78055c7652eafce8ull,
        0xb95af7c32f113396ull, 0xd74604fc29808050ull},
-      {"topk_1pct", TopKSpec(0.01), 0xea7e99f317507c8cull,
-       0x35c5698fed882303ull, 0x19a7c97bcb3b2abaull},
-      {"topk_25pct", TopKSpec(0.25), 0x390b196a40f3fa8bull,
-       0x0df0730c6bd95e22ull, 0xc5201dae81b8c8b3ull},
-      {"topk_100pct", TopKSpec(1.0), 0x8042bfd3d3b1d198ull,
-       0x8042bfd3d3b1d198ull, 0xaf93c47a0c76c421ull},
+      // The TopK rows were re-pinned when the sparse wire format switched
+      // from raw uint32 indices to bit-packed index runs; the decode
+      // hashes were unchanged by that re-pin (same kept components, same
+      // values), which is the proof the packing is lossless.
+      {"topk_1pct", TopKSpec(0.01), 0xe48de1a905ea611cull,
+       0x3eabbd659e20affeull, 0x19a7c97bcb3b2abaull},
+      {"topk_25pct", TopKSpec(0.25), 0xcf5f142a82223376ull,
+       0xb6a267185c00f682ull, 0xc5201dae81b8c8b3ull},
+      // Density 1.0 decode must stay lossless: same hash as fp32's.
+      {"topk_100pct", TopKSpec(1.0), 0xdf53312c19258bc6ull,
+       0xdf53312c19258bc6ull, 0xaf93c47a0c76c421ull},
+      {"terngrad", TernGradSpec(), 0xe65183ed64194317ull,
+       0xd01581652aaed8fdull, 0x2336cdd7289c33c9ull},
+      {"terngrad_b256", TernGradSpec(256), 0x8533777c5e8e6cc6ull,
+       0x77fb2c5cdd5ae5abull, 0xe3fb2cbb43acbb28ull},
+      {"terngrad_clip", TernGradSpec(0, 2.5), 0xbeaebf1efe0b2b92ull,
+       0x2f93033854de4501ull, 0x3fb5b4a55d29eb7dull},
+      {"nuq4_b4", Nuq(4, 4), 0xd5de8f1d980c1d18ull,
+       0x814e389fd97dc453ull, 0xd1eb2fd3f823a78bull},
+      {"nuq4_b512", Nuq(4, 512), 0x223424d9eef4316cull,
+       0x85661234913392e0ull, 0x298c49bca796ccedull},
+      {"nuq8_b512", Nuq(8, 512), 0xe19c77fb2be6fa79ull,
+       0xb8d0c3711eedce8full, 0x7cb79bc0a03089b6ull},
+      // ECQ-SGD's first encode (fresh error state) is byte-identical to
+      // the matching QSGD row; the second encode diverges because the
+      // quantization residual feeds back into the corrected gradient.
+      {"ecq4_b4", Ecq(4, 4, true), 0x40b0592cec33212cull,
+       0xed4bb5c670fcd1ccull, 0xad095da71ae718adull},
+      {"ecq4_b512", Ecq(4, 512, true), 0xd80cd8e4816ddd22ull,
+       0xbd234ecb9ee5c408ull, 0xf435135012726920ull},
+      // With error feedback off, ECQ-SGD degenerates to exactly QSGD
+      // (same blobs, same decode) — pinned to the qsgd4_b512 hashes.
+      {"ecq4_b512_no_ef", Ecq(4, 512, false), 0xd80cd8e4816ddd22ull,
+       0x06df07661878eda6ull, 0x4cdd07a6ecfa30baull},
+      {"ecq8_b512", Ecq(8, 512, true), 0xd2c65725b72a3b97ull,
+       0x71329802f8106f35ull, 0x87e7d37275ae1f40ull},
   };
 }
 
@@ -250,18 +304,21 @@ TEST(WireFormatTest, GoldenBlobHashes) {
     // Round 1 seeds the error-feedback state; round 2's blob depends on it.
     (*codec)->Encode(grad.data(), shape, /*stochastic_tag=*/12345, error_ptr,
                      &blob);
-    EXPECT_EQ(Fnv1a64(blob.data(), blob.size(), kFnvBasis), c.first_encode);
+    const uint64_t h1 = Fnv1a64(blob.data(), blob.size(), kFnvBasis);
+    EXPECT_EQ(h1, c.first_encode);
     (*codec)->Encode(grad.data(), shape, /*stochastic_tag=*/12346, error_ptr,
                      &blob);
-    EXPECT_EQ(Fnv1a64(blob.data(), blob.size(), kFnvBasis), c.second_encode);
+    const uint64_t h2 = Fnv1a64(blob.data(), blob.size(), kFnvBasis);
+    EXPECT_EQ(h2, c.second_encode);
     std::vector<float> decoded(static_cast<size_t>(n));
     ASSERT_TRUE((*codec)
                     ->Decode(blob.data(), static_cast<int64_t>(blob.size()),
                              shape, decoded.data())
                     .ok());
-    EXPECT_EQ(Fnv1a64(reinterpret_cast<const uint8_t*>(decoded.data()),
-                      decoded.size() * sizeof(float), kFnvBasis),
-              c.decode);
+    const uint64_t h3 =
+        Fnv1a64(reinterpret_cast<const uint8_t*>(decoded.data()),
+                decoded.size() * sizeof(float), kFnvBasis);
+    EXPECT_EQ(h3, c.decode);
   }
 }
 
@@ -275,8 +332,9 @@ TEST(WireFormatTest, CorruptedBlobsAreRejected) {
   const int64_t n = 1000;
   const Shape shape({25, 40});
   const std::vector<float> grad = GoldenGradient(n);
-  const char* kSpecs[] = {"32bit", "1bit",       "1bit*:64",
-                          "q4",    "topk:0.25",  "aq4"};
+  const char* kSpecs[] = {"32bit", "1bit",      "1bit*:64", "q4",
+                          "aq4",   "topk:0.25", "terngrad", "nuq4",
+                          "ecq4"};
 
   for (const char* spec_str : kSpecs) {
     SCOPED_TRACE(spec_str);

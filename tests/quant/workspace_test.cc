@@ -92,6 +92,10 @@ std::vector<CodecCase> AllCodecCases() {
       {"one_bit_stock", OneBitSgdSpec()},
       {"one_bit_star", OneBitSgdReshapedSpec(64)},
       {"topk_25pct", TopKSpec(0.25)},
+      {"terngrad", TernGradSpec()},
+      {"terngrad_clip", TernGradSpec(256, 2.5)},
+      {"nuq4", NuqsgdSpec(4)},
+      {"ecq4", EcqSgdSpec(4)},
   };
 }
 
@@ -287,7 +291,10 @@ TEST(WorkspaceAllocationTest, AggregatorWorkspaceGrowthStopsAfterWarmup) {
   for (const CodecCase& c :
        {CodecCase{"qsgd4",
                   QsgdWith(QsgdNorm::kMax, QsgdLevelScheme::kSignMagnitude)},
-        CodecCase{"one_bit_star", OneBitSgdReshapedSpec(64)}}) {
+        CodecCase{"one_bit_star", OneBitSgdReshapedSpec(64)},
+        // Sparse path: the persistent (index, value) runs must reach a
+        // steady state just like the dense decode buffers.
+        CodecCase{"topk_25pct", TopKSpec(0.25)}}) {
     SCOPED_TRACE(c.name);
     auto aggregator = MpiReduceBcastAggregator::Create(
         k, c.spec, Ec2P2_8xlarge(), ExecutionContext::Serial());
@@ -335,6 +342,60 @@ TEST(WorkspaceAllocationTest, AggregatorWorkspaceGrowthStopsAfterWarmup) {
               grow_events_after_warmup)
         << "aggregator exchange buffers grew after warmup";
   }
+
+  registry.set_enabled(was_enabled);
+}
+
+// The NCCL ring's sparse allgather path reaches the same steady state:
+// per-slot workspaces, per-(matrix, rank) index/value runs, and the
+// per-matrix scatter-add aggregate all stop growing after warmup.
+TEST(WorkspaceAllocationTest, NcclSparseBuffersStopGrowingAfterWarmup) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+
+  const int k = 4;
+  auto aggregator =
+      CreateAggregator(CommPrimitive::kNccl, k, TopKSpec(0.25),
+                       Ec2P2_8xlarge(), ExecutionContext::Serial());
+  ASSERT_TRUE(aggregator.ok());
+
+  const std::vector<Shape> shapes = {Shape({16, 32}), Shape({25, 40})};
+  std::vector<std::vector<std::vector<float>>> grads(shapes.size());
+  std::vector<std::vector<std::vector<float>>> errors(shapes.size());
+  for (size_t m = 0; m < shapes.size(); ++m) {
+    const size_t n = static_cast<size_t>(shapes[m].element_count());
+    for (int r = 0; r < k; ++r) {
+      grads[m].push_back(
+          TestGradient(static_cast<int64_t>(n),
+                       0xcafeULL + m * 31 + static_cast<uint64_t>(r)));
+      errors[m].emplace_back(n, 0.0f);
+    }
+  }
+  auto run_once = [&](int64_t iteration) {
+    std::vector<MatrixSlot> slots(shapes.size());
+    for (size_t m = 0; m < shapes.size(); ++m) {
+      slots[m].quant_shape = shapes[m];
+      for (int r = 0; r < k; ++r) {
+        slots[m].rank_grads.push_back(
+            grads[m][static_cast<size_t>(r)].data());
+        slots[m].rank_errors.push_back(&errors[m][static_cast<size_t>(r)]);
+      }
+    }
+    auto stats = (*aggregator)->AllReduce(&slots, iteration);
+    ASSERT_TRUE(stats.ok());
+  };
+
+  run_once(0);
+  run_once(1);
+  const int64_t grow_events_after_warmup =
+      registry.CounterValue("quant/workspace/grow_events");
+  for (int64_t iteration = 2; iteration < 6; ++iteration) {
+    run_once(iteration);
+  }
+  EXPECT_EQ(registry.CounterValue("quant/workspace/grow_events"),
+            grow_events_after_warmup)
+      << "NCCL sparse exchange buffers grew after warmup";
 
   registry.set_enabled(was_enabled);
 }

@@ -77,9 +77,11 @@ bool IsIdentChar(char c) {
 const std::pair<const char*, int> kRequiredHotPathMarkers[] = {
     {"src/quant/full_precision.cc", 2}, {"src/quant/one_bit_sgd.cc", 2},
     {"src/quant/qsgd.cc", 2},           {"src/quant/adaptive_qsgd.cc", 2},
-    {"src/quant/topk.cc", 2},           {"src/base/bit_packing.h", 2},
-    {"src/comm/mpi_reduce_bcast.cc", 2}, {"src/comm/nccl_ring.cc", 1},
-    {"src/comm/retry.cc", 1},           {"src/obs/profile.h", 3},
+    {"src/quant/topk.cc", 3},           {"src/quant/terngrad.cc", 2},
+    {"src/quant/nuqsgd.cc", 2},         {"src/quant/ecq_sgd.cc", 2},
+    {"src/base/bit_packing.h", 4},      {"src/comm/mpi_reduce_bcast.cc", 2},
+    {"src/comm/nccl_ring.cc", 3},       {"src/comm/retry.cc", 1},
+    {"src/obs/profile.h", 3},
 };
 
 // Per-line suppressions parsed from the *original* text (suppressions live
