@@ -12,6 +12,7 @@
 
 #include "base/logging.h"
 #include "base/rng.h"
+#include "base/simd/simd.h"
 #include "quant/codec.h"
 #include "quant/workspace.h"
 #include "tensor/tensor.h"
@@ -115,11 +116,23 @@ void BM_EncodeTopK1pct(benchmark::State& state) {
   RunEncode(state, TopKSpec(0.01));
 }
 
+void BM_DecodeFullPrecision(benchmark::State& state) {
+  RunDecode(state, FullPrecisionSpec());
+}
+void BM_DecodeQsgd2(benchmark::State& state) {
+  RunDecode(state, QsgdSpec(2));
+}
 void BM_DecodeQsgd4(benchmark::State& state) {
   RunDecode(state, QsgdSpec(4));
 }
 void BM_DecodeQsgd8(benchmark::State& state) {
   RunDecode(state, QsgdSpec(8));
+}
+void BM_DecodeQsgd16(benchmark::State& state) {
+  RunDecode(state, QsgdSpec(16));
+}
+void BM_DecodeEcq4(benchmark::State& state) {
+  RunDecode(state, EcqSgdSpec(4));
 }
 void BM_DecodeOneBitReshaped(benchmark::State& state) {
   RunDecode(state, OneBitSgdReshapedSpec(64));
@@ -136,6 +149,42 @@ void BM_DecodeTopK1pct(benchmark::State& state) {
   RunDecode(state, TopKSpec(0.01));
 }
 
+// Scalar-forced twins: dispatch pinned to the golden reference kernels
+// for the duration of the benchmark. Speedup of the vectorized path =
+// SIMD bench / scalar twin, both in the committed baseline.
+void BM_EncodeQsgd4Scalar(benchmark::State& state) {
+  ScopedSimdIsa force_scalar(SimdIsa::kScalar);
+  RunEncode(state, QsgdSpec(4));
+}
+void BM_EncodeTernGradScalar(benchmark::State& state) {
+  ScopedSimdIsa force_scalar(SimdIsa::kScalar);
+  RunEncode(state, TernGradSpec());
+}
+void BM_EncodeNuq4Scalar(benchmark::State& state) {
+  ScopedSimdIsa force_scalar(SimdIsa::kScalar);
+  RunEncode(state, NuqsgdSpec(4));
+}
+void BM_EncodeEcq4Scalar(benchmark::State& state) {
+  ScopedSimdIsa force_scalar(SimdIsa::kScalar);
+  RunEncode(state, EcqSgdSpec(4));
+}
+void BM_EncodeOneBitReshapedScalar(benchmark::State& state) {
+  ScopedSimdIsa force_scalar(SimdIsa::kScalar);
+  RunEncode(state, OneBitSgdReshapedSpec(64));
+}
+void BM_DecodeQsgd4Scalar(benchmark::State& state) {
+  ScopedSimdIsa force_scalar(SimdIsa::kScalar);
+  RunDecode(state, QsgdSpec(4));
+}
+void BM_DecodeTernGradScalar(benchmark::State& state) {
+  ScopedSimdIsa force_scalar(SimdIsa::kScalar);
+  RunDecode(state, TernGradSpec());
+}
+void BM_DecodeOneBitReshapedScalar(benchmark::State& state) {
+  ScopedSimdIsa force_scalar(SimdIsa::kScalar);
+  RunDecode(state, OneBitSgdReshapedSpec(64));
+}
+
 constexpr int64_t kSmall = 3 << 10;
 constexpr int64_t kLarge = 3 << 18;  // ~786k elements
 
@@ -150,12 +199,24 @@ BENCHMARK(BM_EncodeTernGrad)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_EncodeNuq4)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_EncodeEcq4)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_EncodeTopK1pct)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeFullPrecision)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeQsgd2)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_DecodeQsgd4)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_DecodeQsgd8)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeQsgd16)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeEcq4)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_DecodeOneBitReshaped)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_DecodeTernGrad)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_DecodeNuq4)->Arg(kSmall)->Arg(kLarge);
 BENCHMARK(BM_DecodeTopK1pct)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeQsgd4Scalar)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeTernGradScalar)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeNuq4Scalar)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeEcq4Scalar)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_EncodeOneBitReshapedScalar)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeQsgd4Scalar)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeTernGradScalar)->Arg(kSmall)->Arg(kLarge);
+BENCHMARK(BM_DecodeOneBitReshapedScalar)->Arg(kSmall)->Arg(kLarge);
 
 }  // namespace
 }  // namespace lpsgd

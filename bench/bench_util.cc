@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "base/logging.h"
+#include "base/simd/simd.h"
 #include "base/strings.h"
 #include "base/table_printer.h"
 #include "obs/metrics.h"
@@ -36,6 +37,10 @@ BenchRun::BenchRun(int* argc, char** argv, const std::string& binary_name) {
   *argc = out;
 
   obs::RunReport::Global().set_binary(binary_name);
+  // Which kernel table the codecs dispatched to — run reports comparing
+  // scalar and SIMD numbers need it to tell the legs apart.
+  obs::RunReport::Global().SetMeta("simd_isa",
+                                   SimdIsaName(ActiveSimdIsa()));
   if (!metrics_path_.empty()) {
     obs::MetricsRegistry::Global().set_enabled(true);
     obs::RunReport::Global().set_enabled(true);

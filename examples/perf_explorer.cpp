@@ -5,6 +5,7 @@
 //
 //   ./perf_explorer <network> <machine> <mpi|nccl> <codec> <gpus>
 //                   [--threads N] [--profile_out <path>]
+//                   [--simd auto|scalar|avx2|neon]
 //   ./perf_explorer AlexNet p2.8xlarge mpi q4 8
 //   ./perf_explorer VGG19 DGX-1 nccl 32bit 8
 //   ./perf_explorer ResNet50 p2.16xlarge mpi 1bit*:64 16 --threads 4
@@ -18,11 +19,15 @@
 // --profile_out writes the estimated iteration as a profiler breakdown
 // (virtual compute/encode/wire phases) so model estimates and measured
 // training runs share one JSON schema and table format.
+// --simd pins the codec kernel dispatch; the estimate itself is
+// closed-form, but the header reports the effective ISA so perf-model
+// headers line up with measured-run headers.
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "base/simd/simd.h"
 #include "base/strings.h"
 #include "base/thread_pool.h"
 #include "machine/specs.h"
@@ -37,6 +42,7 @@ int main(int argc, char** argv) {
   // positional arguments.
   int threads = 0;  // 0 = one worker per hardware thread
   std::string profile_out;
+  std::string simd_mode;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -56,8 +62,22 @@ int main(int argc, char** argv) {
       profile_out = argv[++i];
     } else if (arg.rfind("--profile_out=", 0) == 0) {
       profile_out = arg.substr(std::string("--profile_out=").size());
+    } else if (arg == "--simd") {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for --simd\n";
+        return 1;
+      }
+      simd_mode = argv[++i];
+    } else if (arg.rfind("--simd=", 0) == 0) {
+      simd_mode = arg.substr(std::string("--simd=").size());
     } else {
       positional.push_back(arg);
+    }
+  }
+  if (!simd_mode.empty()) {
+    if (Status status = SetSimdMode(simd_mode); !status.ok()) {
+      std::cerr << status << " (--simd takes auto|scalar|avx2|neon)\n";
+      return 1;
     }
   }
   const std::string network =
@@ -105,7 +125,8 @@ int main(int argc, char** argv) {
   std::cout << network << " on " << machine->name << " x" << gpus
             << " GPUs, " << spec->Label() << " over "
             << CommPrimitiveName(primitive) << ", execution "
-            << execution.Description() << "\n\n";
+            << execution.Description() << ", simd "
+            << SimdIsaName(ActiveSimdIsa()) << "\n\n";
   std::cout << "  global batch:        " << est->global_batch << " ("
             << est->per_gpu_batch << " per GPU)\n";
   std::cout << "  computation:         "

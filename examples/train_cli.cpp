@@ -10,6 +10,7 @@
 //               [--fault_plan <spec>] [--checkpoint_every N]
 //               [--max_retries N] [--profile_out <path>]
 //               [--flight_recorder <prefix>]
+//               [--simd auto|scalar|avx2|neon]
 //
 //   ./train_cli --model resnet --codec 1bit*:16 --gpus 8 --epochs 15
 //   ./train_cli --task sequence --model lstm --codec q2 --threads 4
@@ -38,12 +39,16 @@
 // --flight_recorder enables the fault flight recorder; each non-OK
 // exchange dumps its recent history to <prefix>.<n>.json ("-" records in
 // memory only).
+// --simd pins the codec kernel dispatch (default: LPSGD_SIMD env, else
+// CPU detection); "scalar" forces the golden reference kernels. Results
+// are bit-identical under every mode.
 #include <cstdlib>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "base/simd/simd.h"
 #include "base/strings.h"
 #include "core/trainer.h"
 #include "data/synthetic.h"
@@ -70,6 +75,7 @@ struct Args {
   int max_retries = 0;  // per-exchange retry budget
   std::string profile_out;       // empty = profiler disabled
   std::string flight_recorder;   // empty = flight recorder disabled
+  std::string simd;  // empty = LPSGD_SIMD env, else CPU detection
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -110,6 +116,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->profile_out = value;
     } else if (flag == "--flight_recorder") {
       args->flight_recorder = value;
+    } else if (flag == "--simd") {
+      args->simd = value;
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
@@ -119,6 +127,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
 }
 
 int Run(const Args& args) {
+  if (!args.simd.empty()) {
+    if (Status status = SetSimdMode(args.simd); !status.ok()) {
+      std::cerr << status << " (--simd takes auto|scalar|avx2|neon)\n";
+      return 1;
+    }
+  }
   auto spec = ParseCodecSpec(args.codec);
   if (!spec.ok()) {
     std::cerr << spec.status() << "\nregistered codecs:\n";
@@ -223,7 +237,8 @@ int Run(const Args& args) {
             << " task: " << args.gpus << " simulated GPUs, "
             << spec->Label() << " over " << args.primitive << ", batch "
             << args.batch << ", lr " << args.lr << ", execution "
-            << (*trainer)->options().execution.Description() << "\n";
+            << (*trainer)->options().execution.Description() << ", simd "
+            << SimdIsaName(ActiveSimdIsa()) << "\n";
   const fault::FaultToleranceOptions& ft =
       (*trainer)->options().fault_tolerance;
   if (ft.enabled()) {

@@ -83,6 +83,16 @@ class BitWriter {
     }
   }
 
+  // Bulk-write escape hatch for the SIMD kernels: when the stream is at a
+  // word boundary (no partial word pending), whole packed words in the
+  // exact Put() layout may be written through cursor(), after which
+  // SkipWords() advances the stream past them. Interleaving Put() and
+  // cursor() writes without SkipWords() corrupts the stream.
+  bool AtWordBoundary() const { return in_word_ == 0; }
+  uint32_t* cursor() { return words_; }
+  LPSGD_HOT_PATH
+  void SkipWords(int64_t count) { words_ += count; }
+
  private:
   uint32_t* words_;
   int bits_;
@@ -114,6 +124,15 @@ class BitReader {
     ++in_word_;
     return value;
   }
+
+  // Bulk-read escape hatch mirroring BitWriter's: at a word boundary (the
+  // next Next() would load a fresh word) the SIMD kernels may consume whole
+  // words straight from cursor() and then SkipWords() past them; the reader
+  // stays at a boundary afterwards.
+  bool AtWordBoundary() const { return in_word_ == per_word_; }
+  const uint32_t* cursor() const { return words_; }
+  LPSGD_HOT_PATH
+  void SkipWords(int64_t count) { words_ += count; }
 
  private:
   const uint32_t* words_;

@@ -65,6 +65,12 @@ class CounterRng {
   // Uniform double in [0, 1) for position `index`.
   double UniformAt(uint64_t index) const;
 
+  // The mixed per-stream seed: HashCounter(stream_seed(), index) drives
+  // UniformAt(index). Exposed so the SIMD codec kernels can evaluate the
+  // identical stream through plain function-pointer tables without holding
+  // the object (quant/simd_kernels.h, StreamUniform).
+  uint64_t stream_seed() const { return seed_; }
+
  private:
   uint64_t seed_;
 };

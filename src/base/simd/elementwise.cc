@@ -1,0 +1,74 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "base/simd/elementwise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/thread_annotations.h"
+
+namespace lpsgd {
+namespace simd_scalar {
+
+LPSGD_HOT_PATH
+double MaxAbsF32(const float* x, int64_t n) {
+  double value = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    value = std::max(value, std::abs(static_cast<double>(x[i])));
+  }
+  return value;
+}
+
+LPSGD_HOT_PATH
+void AddF32(const float* a, const float* b, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+LPSGD_HOT_PATH
+void AbsF32(const float* x, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = std::abs(x[i]);
+}
+
+LPSGD_HOT_PATH
+void AddAssignF32(float* acc, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+LPSGD_HOT_PATH
+void AccumulateF64(double* acc, const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) acc[i] += static_cast<double>(x[i]);
+}
+
+LPSGD_HOT_PATH
+void StoreF64AsF32(const double* acc, float* out, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) out[i] = static_cast<float>(acc[i]);
+}
+
+}  // namespace simd_scalar
+
+const ElementwiseKernels& ElementwiseKernelsForIsa(SimdIsa isa) {
+  static const ElementwiseKernels scalar = {
+      simd_scalar::MaxAbsF32,     simd_scalar::AddF32,
+      simd_scalar::AbsF32,        simd_scalar::AddAssignF32,
+      simd_scalar::AccumulateF64, simd_scalar::StoreF64AsF32,
+  };
+#if defined(__x86_64__)
+  static const ElementwiseKernels avx2 = {
+      simd_avx2::MaxAbsF32,     simd_avx2::AddF32,
+      simd_avx2::AbsF32,        simd_avx2::AddAssignF32,
+      simd_avx2::AccumulateF64, simd_avx2::StoreF64AsF32,
+  };
+  if (isa == SimdIsa::kAvx2 && SimdIsaSupported(SimdIsa::kAvx2)) return avx2;
+#endif
+#if defined(__aarch64__)
+  static const ElementwiseKernels neon = {
+      simd_neon::MaxAbsF32,     simd_neon::AddF32,
+      simd_neon::AbsF32,        simd_neon::AddAssignF32,
+      simd_neon::AccumulateF64, simd_neon::StoreF64AsF32,
+  };
+  if (isa == SimdIsa::kNeon) return neon;
+#endif
+  (void)isa;
+  return scalar;
+}
+
+}  // namespace lpsgd

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "base/simd/elementwise.h"
 #include "base/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -237,6 +238,11 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
         if (!quantize) {
           // Full-precision pipeline: plain reduce + broadcast of fp32 data
           // through the matrix's persistent double accumulator.
+          // Each sum[i] accumulates over ranks in fixed order; within one
+          // rank pass the elements are independent, so the widened add and
+          // the fp32 store dispatch to the elementwise SIMD kernels without
+          // changing any rounding.
+          const ElementwiseKernels& elementwise = ActiveElementwiseKernels();
           double* sum;
           {
             obs::PhaseTimer sum_timer(&ws.phases, obs::kPhaseSum);
@@ -244,19 +250,15 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
                                              static_cast<size_t>(n));
             std::fill(sum, sum + n, 0.0);
             for (int r = 0; r < k; ++r) {
-              const float* grad = slot.rank_grads[static_cast<size_t>(r)];
-              for (int64_t i = 0; i < n; ++i) {
-                sum[i] += grad[i];
-              }
+              elementwise.accumulate_f64(
+                  sum, slot.rank_grads[static_cast<size_t>(r)], n);
             }
           }
           {
             obs::PhaseTimer wire_timer(&ws.phases, obs::kPhaseWire);
             for (int r = 0; r < k; ++r) {
-              float* grad = slot.rank_grads[static_cast<size_t>(r)];
-              for (int64_t i = 0; i < n; ++i) {
-                grad[i] = static_cast<float>(sum[i]);
-              }
+              elementwise.store_f64_as_f32(
+                  sum, slot.rank_grads[static_cast<size_t>(r)], n);
             }
           }
           stats.wire_bytes += raw_bytes;
@@ -286,11 +288,11 @@ StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
               }
             }
           } else {
+            const ElementwiseKernels& elementwise =
+                ActiveElementwiseKernels();
             for (int r = 0; r < k; ++r) {
-              const float* part = decoded_[m][static_cast<size_t>(r)].data();
-              for (int64_t i = 0; i < n; ++i) {
-                aggregate[i] += part[i];
-              }
+              elementwise.add_assign_f32(
+                  aggregate, decoded_[m][static_cast<size_t>(r)].data(), n);
             }
           }
         }

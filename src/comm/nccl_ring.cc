@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "base/simd/elementwise.h"
 #include "base/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -159,10 +160,15 @@ StatusOr<CommStats> NcclRingAggregator::AllReduce(
         float* acc = slot.rank_grads[static_cast<size_t>(owner)];
         {
           obs::PhaseTimer sum_timer(&phases, obs::kPhaseSum);
+          // Hop order is the sequential chain; within a hop the elements
+          // are independent, so the add dispatches to the elementwise SIMD
+          // kernel without changing any rounding.
+          const ElementwiseKernels& elementwise = ActiveElementwiseKernels();
           for (int hop = 1; hop < k; ++hop) {
             const int src = (owner + hop) % k;
             const float* other = slot.rank_grads[static_cast<size_t>(src)];
-            for (int64_t i = begin; i < end; ++i) acc[i] += other[i];
+            elementwise.add_assign_f32(acc + begin, other + begin,
+                                       end - begin);
           }
         }
         // Allgather: the reduced segment is copied to every rank.

@@ -6,11 +6,13 @@
 
 #include "base/bit_packing.h"
 #include "base/logging.h"
+#include "base/simd/elementwise.h"
 #include "base/thread_annotations.h"
 #include "base/rng.h"
 #include "base/strings.h"
 #include "obs/profile.h"
 #include "quant/registry.h"
+#include "quant/simd_kernels.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -69,15 +71,16 @@ void EcqSgdCodec::Encode(const float* grad, const Shape& shape,
   const CounterRng stream(seed_, stochastic_tag);
   const uint32_t s = level_count_;
 
+  const quant_simd::CodecKernels& kernels = quant_simd::ActiveCodecKernels();
+  const ElementwiseKernels& elementwise = ActiveElementwiseKernels();
+
   // v = grad + carried error, staged once in workspace scratch; the
   // quantizer below runs over v, and the fresh residual v - Q(v) replaces
   // the error buffer in the same loop.
   float* corrected =
       quant_internal::EnsureSize(&workspace->corrected, static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    corrected[i] =
-        grad[i] + (error_feedback_ ? (*error)[static_cast<size_t>(i)] : 0.0f);
-  }
+  kernels.stage_corrected(grad, error_feedback_ ? error->data() : nullptr,
+                          corrected, n);
 
   // magnitudes[m] = m / s, the same table Decode builds, so the residual
   // uses bit-identical dequantized values.
@@ -94,15 +97,21 @@ void EcqSgdCodec::Encode(const float* grad, const Shape& shape,
       MutableWordsAt(blob, buckets * static_cast<int64_t>(sizeof(float))),
       bits_);
 
-  const double s_double = static_cast<double>(s);
+  // QSGD stochastic rounding of a * s (unbiased, Equation 1) fused with
+  // the residual refresh, via the runtime-dispatched kernel table.
+  quant_simd::QuantizeArgs args;
+  args.values = corrected;
+  args.stream_seed = stream.stream_seed();
+  args.bits = bits_;
+  args.level_count = s;
+  args.writer = &writer;
+  args.magnitudes = magnitudes;
   for (int64_t b = 0; b < buckets; ++b) {
     const int64_t begin = b * bucket_size_;
     const int64_t end = std::min(begin + bucket_size_, n);
 
-    double scale = 0.0;
-    for (int64_t i = begin; i < end; ++i) {
-      scale = std::max(scale, std::abs(static_cast<double>(corrected[i])));
-    }
+    const double scale = elementwise.max_abs_f32(corrected + begin,
+                                                 end - begin);
     scales[b] = static_cast<float>(scale);
     if (scale == 0.0) {
       // All-zero bucket: zero fields, zero residual.
@@ -113,26 +122,11 @@ void EcqSgdCodec::Encode(const float* grad, const Shape& shape,
       continue;
     }
 
-    for (int64_t i = begin; i < end; ++i) {
-      const double v = corrected[i];
-      const double a = std::min(1.0, std::abs(v) / scale);
-      // QSGD stochastic rounding of a * s (unbiased, Equation 1).
-      uint32_t level = static_cast<uint32_t>(a * s_double);
-      const double frac = a * s_double - level;
-      if (stream.UniformAt(static_cast<uint64_t>(i)) < frac && level < s) {
-        ++level;
-      }
-      if (level > s) level = s;
-      const uint32_t sign = v < 0.0 ? 1u : 0u;
-      writer.Put((sign << (bits_ - 1)) | level);
-      if (error_feedback_) {
-        const double magnitude = magnitudes[level] * scale;
-        const float dequantized =
-            static_cast<float>(sign ? -magnitude : magnitude);
-        (*error)[static_cast<size_t>(i)] =
-            static_cast<float>(v) - dequantized;
-      }
-    }
+    args.begin = begin;
+    args.end = end;
+    args.scale = scale;
+    args.error = error_feedback_ ? error->data() : nullptr;
+    kernels.ecq_quantize(args);
   }
   writer.Finish();
   codec_internal::SealWireBlob(
@@ -153,22 +147,23 @@ Status EcqSgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
   BitReader reader(
       WordsAt(bytes, buckets * static_cast<int64_t>(sizeof(float))), bits_);
 
-  const uint32_t magnitude_mask = (1u << (bits_ - 1)) - 1u;
   double* magnitudes = quant_internal::EnsureSize(
       &workspace->magnitudes, static_cast<size_t>(level_count_) + 1);
   for (uint32_t m = 0; m <= level_count_; ++m) {
     magnitudes[m] = m / static_cast<double>(level_count_);
   }
+  const quant_simd::CodecKernels& kernels = quant_simd::ActiveCodecKernels();
+  quant_simd::DequantizeArgs args;
+  args.reader = &reader;
+  args.bits = bits_;
+  args.magnitude_mask = (1u << (bits_ - 1)) - 1u;
+  args.magnitudes = magnitudes;
+  args.out = out;
   for (int64_t b = 0; b < buckets; ++b) {
-    const int64_t begin = b * bucket_size_;
-    const int64_t end = std::min(begin + bucket_size_, n);
-    const double scale = scales[b];
-    for (int64_t i = begin; i < end; ++i) {
-      const uint32_t field = reader.Next();
-      const bool negative = (field >> (bits_ - 1)) & 1u;
-      const double magnitude = magnitudes[field & magnitude_mask] * scale;
-      out[i] = static_cast<float>(negative ? -magnitude : magnitude);
-    }
+    args.begin = b * bucket_size_;
+    args.end = std::min(args.begin + bucket_size_, n);
+    args.scale = scales[b];
+    kernels.dequantize_sm(args);
   }
   return OkStatus();
 }

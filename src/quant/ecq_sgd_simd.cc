@@ -1,0 +1,92 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// AVX2 kernel for the ECQ-SGD fused quantize + residual hot loop. Same
+// head/tile/tail structure as qsgd_simd.cc; the tile loop additionally
+// dequantizes the chosen level in-register to refresh the error feedback.
+#include "quant/simd_kernels.h"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+namespace lpsgd {
+namespace quant_simd {
+namespace avx2 {
+namespace {
+
+#include "quant/simd_avx2_common.inc"
+
+constexpr int64_t kTileWords = 64;
+
+}  // namespace
+
+LPSGD_SIMD_TARGET_AVX2
+LPSGD_HOT_PATH
+void EcqQuantize(const QuantizeArgs& args) {
+  BitWriter* writer = args.writer;
+  const double s = static_cast<double>(args.level_count);
+  int64_t i = args.begin;
+  while (i < args.end && !writer->AtWordBoundary()) {
+    const double u = StreamUniform(args.stream_seed, static_cast<uint64_t>(i));
+    writer->Put(EcqFieldSm(args.values[i], args.scale, s, args.level_count,
+                           args.bits, u, args.magnitudes,
+                           args.error != nullptr ? args.error + i : nullptr));
+    ++i;
+  }
+  const int per_word = 32 / args.bits;
+  int64_t words_left = (args.end - i) / per_word;
+  if (words_left > 0) {
+    uint32_t* out_words = writer->cursor();
+    writer->SkipWords(words_left);
+    const bool feedback = args.error != nullptr;
+    const __m256d scale_v = _mm256_set1_pd(args.scale);
+    const __m128i mag_mask =
+        _mm_set1_epi32(static_cast<int>((1u << (args.bits - 1)) - 1u));
+    uint32_t fields[kTileWords * 16];
+    while (words_left > 0) {
+      const int64_t tile_words = std::min(words_left, kTileWords);
+      const int64_t count = tile_words * per_word;
+      int64_t t = 0;
+      for (; t + 4 <= count; t += 4) {
+        const __m256d u = Uniform4At(args.stream_seed, i + t);
+        const __m128 corrected = _mm_loadu_ps(args.values + i + t);
+        const __m256d dg = _mm256_cvtps_pd(corrected);
+        const SmLanes lanes =
+            QuantizeSm4(dg, args.scale, s, args.level_count, args.bits, u);
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(fields + t), lanes.field);
+        if (feedback) {
+          // residual = float(v) - float(sign ? -m : m), m = table * scale.
+          const __m128 dequantized = DequantizeSm4(
+              lanes.field, args.magnitudes, scale_v, args.bits - 1, mag_mask);
+          _mm_storeu_ps(args.error + i + t,
+                        _mm_sub_ps(corrected, dequantized));
+        }
+      }
+      for (; t < count; ++t) {
+        const double u =
+            StreamUniform(args.stream_seed, static_cast<uint64_t>(i + t));
+        fields[t] = EcqFieldSm(
+            args.values[i + t], args.scale, s, args.level_count, args.bits, u,
+            args.magnitudes, feedback ? args.error + i + t : nullptr);
+      }
+      PackFieldWords(fields, tile_words, per_word, args.bits, out_words);
+      out_words += tile_words;
+      i += count;
+      words_left -= tile_words;
+    }
+  }
+  for (; i < args.end; ++i) {
+    const double u = StreamUniform(args.stream_seed, static_cast<uint64_t>(i));
+    writer->Put(EcqFieldSm(args.values[i], args.scale, s, args.level_count,
+                           args.bits, u, args.magnitudes,
+                           args.error != nullptr ? args.error + i : nullptr));
+  }
+}
+
+}  // namespace avx2
+}  // namespace quant_simd
+}  // namespace lpsgd
+
+#endif  // defined(__x86_64__)

@@ -11,6 +11,7 @@
 #include "base/strings.h"
 #include "obs/profile.h"
 #include "quant/registry.h"
+#include "quant/simd_kernels.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -84,10 +85,22 @@ void NuqsgdCodec::Encode(const float* grad, const Shape& shape,
       MutableWordsAt(blob, buckets * static_cast<int64_t>(sizeof(float))),
       bits_);
 
+  // The exponential-grid bracket search and stochastic rounding (unbiased:
+  // E[Q(a)] = a) run through the runtime-dispatched kernel table.
+  const quant_simd::CodecKernels& kernels = quant_simd::ActiveCodecKernels();
+  quant_simd::QuantizeArgs args;
+  args.values = grad;
+  args.stream_seed = stream.stream_seed();
+  args.bits = bits_;
+  args.level_count = static_cast<uint32_t>(s_int);
+  args.writer = &writer;
+  args.magnitudes = levels;
   for (int64_t b = 0; b < buckets; ++b) {
     const int64_t begin = b * bucket_size_;
     const int64_t end = std::min(begin + bucket_size_, n);
 
+    // Sequential widened L2 sum: order-sensitive, stays scalar in every
+    // dispatch mode so the wire scale is ISA-independent.
     double scale = 0.0;
     for (int64_t i = begin; i < end; ++i) {
       scale += static_cast<double>(grad[i]) * grad[i];
@@ -100,28 +113,10 @@ void NuqsgdCodec::Encode(const float* grad, const Shape& shape,
       continue;
     }
 
-    for (int64_t i = begin; i < end; ++i) {
-      const double a =
-          std::min(1.0, std::abs(static_cast<double>(grad[i])) / scale);
-      uint32_t level = 0;
-      if (a > 0.0) {
-        // a is in [2^(e-1), 2^e) with e from frexp, so its bracket on the
-        // exponential grid starts at level j = e - 1 + s — no per-element
-        // log2. Below l_1 the bracket is [l_0 = 0, l_1].
-        int exponent = 0;
-        (void)std::frexp(a, &exponent);
-        const int j = std::clamp(exponent - 1 + s_int, 0, s_int - 1);
-        const double lo = levels[j];
-        const double hi = levels[j + 1];
-        // Stochastic rounding between the bracket endpoints keeps the
-        // estimator unbiased: E[Q(a)] = a.
-        const double p = (a - lo) / (hi - lo);
-        level = static_cast<uint32_t>(j);
-        if (stream.UniformAt(static_cast<uint64_t>(i)) < p) ++level;
-      }
-      const uint32_t sign = grad[i] < 0.0f ? 1u : 0u;
-      writer.Put((sign << (bits_ - 1)) | level);
-    }
+    args.begin = begin;
+    args.end = end;
+    args.scale = scale;
+    kernels.nuq_quantize(args);
   }
   writer.Finish();
   codec_internal::SealWireBlob(
@@ -143,17 +138,18 @@ Status NuqsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
       WordsAt(bytes, buckets * static_cast<int64_t>(sizeof(float))), bits_);
   const double* levels = BuildLevelTable(level_count_, workspace);
 
-  const uint32_t magnitude_mask = (1u << (bits_ - 1)) - 1u;
+  const quant_simd::CodecKernels& kernels = quant_simd::ActiveCodecKernels();
+  quant_simd::DequantizeArgs args;
+  args.reader = &reader;
+  args.bits = bits_;
+  args.magnitude_mask = (1u << (bits_ - 1)) - 1u;
+  args.magnitudes = levels;
+  args.out = out;
   for (int64_t b = 0; b < buckets; ++b) {
-    const int64_t begin = b * bucket_size_;
-    const int64_t end = std::min(begin + bucket_size_, n);
-    const double scale = scales[b];
-    for (int64_t i = begin; i < end; ++i) {
-      const uint32_t field = reader.Next();
-      const bool negative = (field >> (bits_ - 1)) & 1u;
-      const double magnitude = levels[field & magnitude_mask] * scale;
-      out[i] = static_cast<float>(negative ? -magnitude : magnitude);
-    }
+    args.begin = b * bucket_size_;
+    args.end = std::min(args.begin + bucket_size_, n);
+    args.scale = scales[b];
+    kernels.dequantize_sm(args);
   }
   return OkStatus();
 }

@@ -10,6 +10,7 @@
 #include "base/strings.h"
 #include "obs/profile.h"
 #include "quant/registry.h"
+#include "quant/simd_kernels.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -200,6 +201,11 @@ void OneBitSgdReshapedCodec::Encode(const float* grad, const Shape& shape,
            (error_feedback_ ? (*error)[static_cast<size_t>(i)] : 0.0f);
   };
 
+  // Quantize + error refresh (Algorithm 2, line 4) via the runtime-
+  // dispatched kernel table; the averaging pass must run first per bucket
+  // because the kernel overwrites the carried error in place.
+  const quant_simd::CodecKernels& kernels = quant_simd::ActiveCodecKernels();
+  float* error_data = error_feedback_ ? error->data() : nullptr;
   for (int64_t b = 0; b < buckets; ++b) {
     const int64_t begin = b * bucket_size_;
     const int64_t end = std::min(begin + bucket_size_, n);
@@ -209,17 +215,8 @@ void OneBitSgdReshapedCodec::Encode(const float* grad, const Shape& shape,
         &avg_pos, &avg_neg);
     scales[2 * b] = avg_pos;
     scales[2 * b + 1] = avg_neg;
-    for (int64_t i = begin; i < end; ++i) {
-      const float v = corrected(i);
-      const bool positive = v >= 0.0f;
-      if (positive) {
-        bits[i >> 5] |= 1u << (i & 31);
-      }
-      if (error_feedback_) {
-        (*error)[static_cast<size_t>(i)] =
-            v - (positive ? avg_pos : avg_neg);
-      }
-    }
+    kernels.one_bit_quantize(grad, error_data, begin, end, avg_pos, avg_neg,
+                             bits);
   }
   codec_internal::SealWireBlob(
       blob, EncodedSizeBytes(shape) - codec_internal::kWireChecksumBytes);
@@ -241,14 +238,12 @@ Status OneBitSgdReshapedCodec::Decode(const uint8_t* bytes,
   const uint32_t* bits =
       WordsAt(bytes, 2 * buckets * static_cast<int64_t>(sizeof(float)));
 
+  const quant_simd::CodecKernels& kernels = quant_simd::ActiveCodecKernels();
   for (int64_t b = 0; b < buckets; ++b) {
     const int64_t begin = b * bucket_size_;
     const int64_t end = std::min(begin + bucket_size_, n);
-    const float avg_pos = scales[2 * b];
-    const float avg_neg = scales[2 * b + 1];
-    for (int64_t i = begin; i < end; ++i) {
-      out[i] = SignBitAt(bits, i) ? avg_pos : avg_neg;
-    }
+    kernels.one_bit_dequantize(bits, begin, end, scales[2 * b],
+                               scales[2 * b + 1], out);
   }
   return OkStatus();
 }

@@ -6,11 +6,13 @@
 
 #include "base/bit_packing.h"
 #include "base/logging.h"
+#include "base/simd/elementwise.h"
 #include "base/thread_annotations.h"
 #include "base/rng.h"
 #include "base/strings.h"
 #include "obs/profile.h"
 #include "quant/registry.h"
+#include "quant/simd_kernels.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -78,21 +80,31 @@ void QsgdCodec::Encode(const float* grad, const Shape& shape,
       MutableWordsAt(blob, buckets * static_cast<int64_t>(sizeof(float))),
       bits_);
 
-  const double s = static_cast<double>(level_count_);
+  // Stochastic rounding of a*s between floor and ceil keeps the estimator
+  // unbiased (Equation 1); the fused quantize loops live in the
+  // runtime-dispatched kernel tables (quant/simd_kernels.h).
+  const quant_simd::CodecKernels& kernels = quant_simd::ActiveCodecKernels();
+  const ElementwiseKernels& elementwise = ActiveElementwiseKernels();
+  quant_simd::QuantizeArgs args;
+  args.values = grad;
+  args.stream_seed = stream.stream_seed();
+  args.bits = bits_;
+  args.level_count = level_count_;
+  args.writer = &writer;
   for (int64_t b = 0; b < buckets; ++b) {
     const int64_t begin = b * bucket_size_;
     const int64_t end = std::min(begin + bucket_size_, n);
 
     double scale = 0.0;
     if (norm_ == QsgdNorm::kL2) {
+      // Sequential widened sum: order-sensitive, stays scalar in every
+      // dispatch mode so the wire scale is ISA-independent.
       for (int64_t i = begin; i < end; ++i) {
         scale += static_cast<double>(grad[i]) * grad[i];
       }
       scale = std::sqrt(scale);
     } else {
-      for (int64_t i = begin; i < end; ++i) {
-        scale = std::max(scale, std::abs(static_cast<double>(grad[i])));
-      }
+      scale = elementwise.max_abs_f32(grad + begin, end - begin);
     }
     scales[b] = static_cast<float>(scale);
     if (scale == 0.0) {
@@ -101,32 +113,14 @@ void QsgdCodec::Encode(const float* grad, const Shape& shape,
       continue;
     }
 
+    args.begin = begin;
+    args.end = end;
+    args.scale = scale;
     if (levels_ == QsgdLevelScheme::kSignMagnitude) {
-      for (int64_t i = begin; i < end; ++i) {
-        const double u = stream.UniformAt(static_cast<uint64_t>(i));
-        const double a =
-            std::min(1.0, std::abs(static_cast<double>(grad[i])) / scale);
-        // Stochastic rounding of a*s between floor and ceil keeps the
-        // estimator unbiased (Equation 1).
-        uint32_t level = static_cast<uint32_t>(a * s);
-        const double frac = a * s - level;
-        if (u < frac && level < level_count_) ++level;
-        if (level > level_count_) level = level_count_;
-        const uint32_t sign = grad[i] < 0.0f ? 1u : 0u;
-        writer.Put((sign << (bits_ - 1)) | level);
-      }
+      kernels.qsgd_quantize_sm(args);
     } else {
       // Symmetric endpoints over [-scale, +scale].
-      for (int64_t i = begin; i < end; ++i) {
-        const double u = stream.UniformAt(static_cast<uint64_t>(i));
-        const double a = std::clamp(
-            (static_cast<double>(grad[i]) + scale) / (2.0 * scale), 0.0, 1.0);
-        uint32_t level = static_cast<uint32_t>(a * s);
-        const double frac = a * s - level;
-        if (u < frac && level < level_count_) ++level;
-        if (level > level_count_) level = level_count_;
-        writer.Put(level);
-      }
+      kernels.qsgd_quantize_sym(args);
     }
   }
   writer.Finish();
@@ -149,37 +143,35 @@ Status QsgdCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
       WordsAt(bytes, buckets * static_cast<int64_t>(sizeof(float))), bits_);
 
   const double s = static_cast<double>(level_count_);
+  const quant_simd::CodecKernels& kernels = quant_simd::ActiveCodecKernels();
+  quant_simd::DequantizeArgs args;
+  args.reader = &reader;
+  args.bits = bits_;
+  args.s = s;
+  args.out = out;
   if (levels_ == QsgdLevelScheme::kSignMagnitude) {
-    const uint32_t magnitude_mask = (1u << (bits_ - 1)) - 1u;
+    args.magnitude_mask = (1u << (bits_ - 1)) - 1u;
     // magnitudes[m] performs the identical m / s double division the flat
-    // loop used to do per element, so magnitudes[m] * scale below is
-    // bit-identical to the unfused (m / s) * scale.
+    // loop used to do per element, so magnitudes[m] * scale in the kernel
+    // is bit-identical to the unfused (m / s) * scale.
     double* magnitudes = quant_internal::EnsureSize(
         &workspace->magnitudes, static_cast<size_t>(level_count_) + 1);
     for (uint32_t m = 0; m <= level_count_; ++m) {
       magnitudes[m] = m / s;
     }
+    args.magnitudes = magnitudes;
     for (int64_t b = 0; b < buckets; ++b) {
-      const int64_t begin = b * bucket_size_;
-      const int64_t end = std::min(begin + bucket_size_, n);
-      const double scale = scales[b];
-      for (int64_t i = begin; i < end; ++i) {
-        const uint32_t field = reader.Next();
-        const bool negative = (field >> (bits_ - 1)) & 1u;
-        const double magnitude = magnitudes[field & magnitude_mask] * scale;
-        out[i] = static_cast<float>(negative ? -magnitude : magnitude);
-      }
+      args.begin = b * bucket_size_;
+      args.end = std::min(args.begin + bucket_size_, n);
+      args.scale = scales[b];
+      kernels.dequantize_sm(args);
     }
   } else {
     for (int64_t b = 0; b < buckets; ++b) {
-      const int64_t begin = b * bucket_size_;
-      const int64_t end = std::min(begin + bucket_size_, n);
-      const double scale = scales[b];
-      const double two_scale = 2.0 * scale;
-      for (int64_t i = begin; i < end; ++i) {
-        const uint32_t field = reader.Next();
-        out[i] = static_cast<float>(-scale + two_scale * field / s);
-      }
+      args.begin = b * bucket_size_;
+      args.end = std::min(args.begin + bucket_size_, n);
+      args.scale = scales[b];
+      kernels.dequantize_sym(args);
     }
   }
   return OkStatus();

@@ -1,0 +1,158 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Scalar reference kernels and the ISA dispatch tables. The loop bodies
+// here are the codec hot loops moved verbatim out of qsgd.cc / ecq_sgd.cc /
+// nuqsgd.cc / terngrad.cc / one_bit_sgd.cc (via the shared per-element
+// helpers in simd_kernels.h): they define the wire format, and every
+// vector kernel is property-tested bit-identical against them.
+#include "quant/simd_kernels.h"
+
+namespace lpsgd {
+namespace quant_simd {
+namespace {
+
+LPSGD_HOT_PATH
+void ScalarQsgdQuantizeSm(const QuantizeArgs& args) {
+  const double s = static_cast<double>(args.level_count);
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    const double u = StreamUniform(args.stream_seed, static_cast<uint64_t>(i));
+    args.writer->Put(QsgdFieldSm(args.values[i], args.scale, s,
+                                 args.level_count, args.bits, u));
+  }
+}
+
+LPSGD_HOT_PATH
+void ScalarQsgdQuantizeSym(const QuantizeArgs& args) {
+  const double s = static_cast<double>(args.level_count);
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    const double u = StreamUniform(args.stream_seed, static_cast<uint64_t>(i));
+    args.writer->Put(
+        QsgdFieldSym(args.values[i], args.scale, s, args.level_count, u));
+  }
+}
+
+LPSGD_HOT_PATH
+void ScalarDequantizeSm(const DequantizeArgs& args) {
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    args.out[i] = DequantizeSm(args.reader->Next(), args.magnitudes,
+                               args.scale, args.bits, args.magnitude_mask);
+  }
+}
+
+LPSGD_HOT_PATH
+void ScalarDequantizeSym(const DequantizeArgs& args) {
+  const double two_scale = 2.0 * args.scale;
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    args.out[i] =
+        DequantizeSym(args.reader->Next(), args.scale, two_scale, args.s);
+  }
+}
+
+LPSGD_HOT_PATH
+void ScalarEcqQuantize(const QuantizeArgs& args) {
+  const double s = static_cast<double>(args.level_count);
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    const double u = StreamUniform(args.stream_seed, static_cast<uint64_t>(i));
+    args.writer->Put(EcqFieldSm(
+        args.values[i], args.scale, s, args.level_count, args.bits, u,
+        args.magnitudes, args.error != nullptr ? args.error + i : nullptr));
+  }
+}
+
+LPSGD_HOT_PATH
+void ScalarNuqQuantize(const QuantizeArgs& args) {
+  const int s_int = static_cast<int>(args.level_count);
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    const double u = StreamUniform(args.stream_seed, static_cast<uint64_t>(i));
+    args.writer->Put(NuqField(args.values[i], args.scale, args.magnitudes,
+                              s_int, args.bits, u));
+  }
+}
+
+LPSGD_HOT_PATH
+void ScalarTernGradQuantize(const QuantizeArgs& args) {
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    const double u = StreamUniform(args.stream_seed, static_cast<uint64_t>(i));
+    args.writer->Put(
+        TernGradField(args.values[i], args.scale, args.threshold, u));
+  }
+}
+
+LPSGD_HOT_PATH
+void ScalarTernGradDequantize(const DequantizeArgs& args) {
+  const float scale = static_cast<float>(args.scale);
+  for (int64_t i = args.begin; i < args.end; ++i) {
+    args.out[i] = TernGradValue(args.reader->Next(), scale);
+  }
+}
+
+LPSGD_HOT_PATH
+void ScalarOneBitQuantize(const float* grad, float* error, int64_t begin,
+                          int64_t end, float avg_pos, float avg_neg,
+                          uint32_t* bits) {
+  for (int64_t i = begin; i < end; ++i) {
+    OneBitStep(grad, error, i, avg_pos, avg_neg, bits);
+  }
+}
+
+LPSGD_HOT_PATH
+void ScalarOneBitDequantize(const uint32_t* bits, int64_t begin, int64_t end,
+                            float avg_pos, float avg_neg, float* out) {
+  for (int64_t i = begin; i < end; ++i) {
+    out[i] = SignBitAt(bits, i) ? avg_pos : avg_neg;
+  }
+}
+
+LPSGD_HOT_PATH
+void ScalarStageCorrected(const float* grad, const float* error, float* out,
+                          int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = grad[i] + (error != nullptr ? error[i] : 0.0f);
+  }
+}
+
+}  // namespace
+
+const CodecKernels& CodecKernelsForIsa(SimdIsa isa) {
+  static const CodecKernels scalar = {
+      ScalarQsgdQuantizeSm,     ScalarQsgdQuantizeSym,
+      ScalarDequantizeSm,       ScalarDequantizeSym,
+      ScalarEcqQuantize,        ScalarNuqQuantize,
+      ScalarTernGradQuantize,   ScalarTernGradDequantize,
+      ScalarOneBitQuantize,     ScalarOneBitDequantize,
+      ScalarStageCorrected,
+  };
+#if defined(__x86_64__)
+  static const CodecKernels avx2_table = {
+      avx2::QsgdQuantizeSm,     avx2::QsgdQuantizeSym,
+      avx2::DequantizeSm,       avx2::DequantizeSym,
+      avx2::EcqQuantize,        avx2::NuqQuantize,
+      avx2::TernGradQuantize,   avx2::TernGradDequantize,
+      avx2::OneBitQuantize,     avx2::OneBitDequantize,
+      avx2::StageCorrected,
+  };
+  if (isa == SimdIsa::kAvx2 && SimdIsaSupported(SimdIsa::kAvx2)) {
+    return avx2_table;
+  }
+#endif
+#if defined(__aarch64__)
+  // NEON covers the table-free decode kernels and the staging map; the
+  // hash-driven quantize kernels stay scalar pending a lane-exact 64-bit
+  // multiply (NEON has no 64x64 lane product, and emulating one costs more
+  // than the hash saves at 128-bit width).
+  static const CodecKernels neon_table = {
+      ScalarQsgdQuantizeSm,     ScalarQsgdQuantizeSym,
+      ScalarDequantizeSm,       ScalarDequantizeSym,
+      ScalarEcqQuantize,        ScalarNuqQuantize,
+      ScalarTernGradQuantize,   neon::TernGradDequantize,
+      ScalarOneBitQuantize,     neon::OneBitDequantize,
+      neon::StageCorrected,
+  };
+  if (isa == SimdIsa::kNeon) return neon_table;
+#endif
+  (void)isa;
+  return scalar;
+}
+
+}  // namespace quant_simd
+}  // namespace lpsgd

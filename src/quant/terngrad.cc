@@ -7,11 +7,13 @@
 
 #include "base/bit_packing.h"
 #include "base/logging.h"
+#include "base/simd/elementwise.h"
 #include "base/thread_annotations.h"
 #include "base/rng.h"
 #include "base/strings.h"
 #include "obs/profile.h"
 #include "quant/registry.h"
+#include "quant/simd_kernels.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -79,23 +81,37 @@ void TernGradCodec::Encode(const float* grad, const Shape& shape,
       MutableWordsAt(blob, chunks * static_cast<int64_t>(sizeof(float))),
       kFieldBits);
 
+  // The ternarize draw — P(|q| = scale) = min(|g|, threshold) / scale,
+  // unbiased over the clipped gradient — runs through the runtime-
+  // dispatched kernel table.
+  const quant_simd::CodecKernels& kernels = quant_simd::ActiveCodecKernels();
+  const ElementwiseKernels& elementwise = ActiveElementwiseKernels();
+  quant_simd::QuantizeArgs args;
+  args.values = grad;
+  args.stream_seed = stream.stream_seed();
+  args.bits = kFieldBits;
+  args.writer = &writer;
   for (int64_t b = 0; b < chunks; ++b) {
     const int64_t begin = b * len;
     const int64_t end = std::min(begin + len, n);
 
-    // One pass gathers both the max magnitude (the scalar) and the sum of
-    // squares (for the clipping threshold clip * RMS).
     double max_abs = 0.0;
-    double sum_sq = 0.0;
-    for (int64_t i = begin; i < end; ++i) {
-      const double g = grad[i];
-      max_abs = std::max(max_abs, std::abs(g));
-      sum_sq += g * g;
-    }
     double threshold = std::numeric_limits<double>::infinity();
     if (clip_ > 0.0) {
+      // One pass gathers both the max magnitude (the scalar) and the sum
+      // of squares (for the clipping threshold clip * RMS). The fused sum
+      // is order-sensitive, so this path stays scalar in every dispatch
+      // mode.
+      double sum_sq = 0.0;
+      for (int64_t i = begin; i < end; ++i) {
+        const double g = grad[i];
+        max_abs = std::max(max_abs, std::abs(g));
+        sum_sq += g * g;
+      }
       threshold =
           clip_ * std::sqrt(sum_sq / static_cast<double>(end - begin));
+    } else {
+      max_abs = elementwise.max_abs_f32(grad + begin, end - begin);
     }
     const double scale = std::min(max_abs, threshold);
     scales[b] = static_cast<float>(scale);
@@ -105,17 +121,11 @@ void TernGradCodec::Encode(const float* grad, const Shape& shape,
       continue;
     }
 
-    for (int64_t i = begin; i < end; ++i) {
-      // P(|q| = scale) = min(|g|, threshold) / scale keeps the estimator
-      // unbiased over the clipped gradient.
-      const double a =
-          std::min(std::abs(static_cast<double>(grad[i])), threshold) /
-          scale;
-      const uint32_t magnitude =
-          stream.UniformAt(static_cast<uint64_t>(i)) < a ? 1u : 0u;
-      const uint32_t sign = grad[i] < 0.0f ? 1u : 0u;
-      writer.Put((sign << 1) | magnitude);
-    }
+    args.begin = begin;
+    args.end = end;
+    args.scale = scale;
+    args.threshold = threshold;
+    kernels.terngrad_quantize(args);
   }
   writer.Finish();
   codec_internal::SealWireBlob(
@@ -138,15 +148,16 @@ Status TernGradCodec::Decode(const uint8_t* bytes, int64_t num_bytes,
       WordsAt(bytes, chunks * static_cast<int64_t>(sizeof(float))),
       kFieldBits);
 
+  const quant_simd::CodecKernels& kernels = quant_simd::ActiveCodecKernels();
+  quant_simd::DequantizeArgs args;
+  args.reader = &reader;
+  args.bits = kFieldBits;
+  args.out = out;
   for (int64_t b = 0; b < chunks; ++b) {
-    const int64_t begin = b * len;
-    const int64_t end = std::min(begin + len, n);
-    const float scale = scales[b];
-    for (int64_t i = begin; i < end; ++i) {
-      const uint32_t field = reader.Next();
-      const float magnitude = (field & 1u) ? scale : 0.0f;
-      out[i] = (field >> 1) & 1u ? -magnitude : magnitude;
-    }
+    args.begin = b * len;
+    args.end = std::min(args.begin + len, n);
+    args.scale = scales[b];
+    kernels.terngrad_dequantize(args);
   }
   return OkStatus();
 }

@@ -8,10 +8,12 @@
 
 #include "base/bit_packing.h"
 #include "base/logging.h"
+#include "base/simd/elementwise.h"
 #include "base/thread_annotations.h"
 #include "base/strings.h"
 #include "obs/profile.h"
 #include "quant/registry.h"
+#include "quant/simd_kernels.h"
 #include "quant/workspace.h"
 
 namespace lpsgd {
@@ -70,12 +72,20 @@ void TopKCodec::Encode(const float* grad, const Shape& shape,
   // v = grad + carried error; the selection permutes `order`, so the
   // corrected values are staged once (in reusable workspace scratch) rather
   // than recomputed per comparison.
+  const quant_simd::CodecKernels& kernels = quant_simd::ActiveCodecKernels();
+  const ElementwiseKernels& elementwise = ActiveElementwiseKernels();
   float* corrected =
       quant_internal::EnsureSize(&workspace->corrected, static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    corrected[i] =
-        grad[i] + (error_feedback_ ? (*error)[static_cast<size_t>(i)] : 0.0f);
-  }
+  kernels.stage_corrected(grad, error_feedback_ ? error->data() : nullptr,
+                          corrected, n);
+
+  // Magnitude threshold scan: |v| precomputed in one elementwise pass so
+  // the nth_element comparator is two loads instead of two fabs. The
+  // magnitudes are the exact floats std::abs produced before, so the
+  // selected set (and thus the wire bytes) is unchanged.
+  float* magnitude =
+      quant_internal::EnsureSize(&workspace->sample, static_cast<size_t>(n));
+  elementwise.abs_f32(corrected, magnitude, n);
 
   const int64_t k = KeptCount(n);
   std::vector<int64_t>& order = workspace->order;
@@ -83,7 +93,7 @@ void TopKCodec::Encode(const float* grad, const Shape& shape,
   std::iota(order.begin(), order.end(), 0);
   std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
                    [&](int64_t a, int64_t b) {
-                     return std::abs(corrected[a]) > std::abs(corrected[b]);
+                     return magnitude[a] > magnitude[b];
                    });
   // Sort the kept indices so the wire format is deterministic.
   std::sort(order.begin(), order.begin() + k);

@@ -27,6 +27,7 @@ struct CodecWorkspace {
   // TopK: element order for the magnitude selection.
   std::vector<int64_t> order;
   // AdaptiveQSGD: subsampled normalized magnitudes for quantile placement.
+  // TopK: |corrected| staged for the magnitude threshold scan.
   std::vector<float> sample;
   // AdaptiveQSGD: level table under construction.
   std::vector<float> levels;

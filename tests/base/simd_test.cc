@@ -1,0 +1,159 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Runtime SIMD dispatch (base/simd): ISA naming/parsing, host detection,
+// the scoped force helper, and bit-identity of the elementwise kernel
+// tables against the scalar golden reference across odd lengths.
+#include "base/simd/simd.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/simd/elementwise.h"
+
+namespace lpsgd {
+namespace {
+
+TEST(SimdIsaTest, NamesRoundTripThroughParse) {
+  for (const SimdIsa isa :
+       {SimdIsa::kScalar, SimdIsa::kAvx2, SimdIsa::kNeon}) {
+    const auto parsed = ParseSimdMode(SimdIsaName(isa));
+    if (SimdIsaSupported(isa)) {
+      ASSERT_TRUE(parsed.ok()) << SimdIsaName(isa);
+      EXPECT_EQ(*parsed, isa);
+    } else {
+      // Named but unusable on this host: FailedPrecondition, so a CLI can
+      // distinguish "typo" from "wrong machine".
+      ASSERT_FALSE(parsed.ok()) << SimdIsaName(isa);
+      EXPECT_EQ(parsed.status().code(), StatusCode::kFailedPrecondition);
+    }
+  }
+}
+
+TEST(SimdIsaTest, AutoIsDetectionAndBadNamesAreInvalidArgument) {
+  // The same parser backs --simd= and the LPSGD_SIMD env override.
+  const auto auto_mode = ParseSimdMode("auto");
+  ASSERT_TRUE(auto_mode.ok());
+  EXPECT_EQ(*auto_mode, DetectSimdIsa());
+  for (const char* bad : {"", "sse2", "avx512", "Scalar", "AUTO"}) {
+    const auto parsed = ParseSimdMode(bad);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(SimdIsaTest, ScalarIsAlwaysSupportedAndDetectionIsSupported) {
+  EXPECT_TRUE(SimdIsaSupported(SimdIsa::kScalar));
+  EXPECT_TRUE(SimdIsaSupported(DetectSimdIsa()));
+#if defined(__x86_64__)
+  EXPECT_FALSE(SimdIsaSupported(SimdIsa::kNeon));
+#endif
+#if defined(__aarch64__)
+  EXPECT_TRUE(SimdIsaSupported(SimdIsa::kNeon));
+  EXPECT_FALSE(SimdIsaSupported(SimdIsa::kAvx2));
+#endif
+}
+
+TEST(SimdIsaTest, ScopedForceSwapsAndRestores) {
+  const SimdIsa before = ActiveSimdIsa();
+  {
+    ScopedSimdIsa force(SimdIsa::kScalar);
+    EXPECT_EQ(ActiveSimdIsa(), SimdIsa::kScalar);
+    {
+      ScopedSimdIsa nested(SimdIsa::kAvx2);
+      EXPECT_EQ(ActiveSimdIsa(), SimdIsa::kAvx2);
+    }
+    EXPECT_EQ(ActiveSimdIsa(), SimdIsa::kScalar);
+  }
+  EXPECT_EQ(ActiveSimdIsa(), before);
+}
+
+TEST(SimdIsaTest, SetSimdModeInstallsParsedMode) {
+  const SimdIsa before = ActiveSimdIsa();
+  ASSERT_TRUE(SetSimdMode("scalar").ok());
+  EXPECT_EQ(ActiveSimdIsa(), SimdIsa::kScalar);
+  EXPECT_FALSE(SetSimdMode("bogus").ok());
+  EXPECT_EQ(ActiveSimdIsa(), SimdIsa::kScalar);  // failed set is a no-op
+  ASSERT_TRUE(SetSimdMode("auto").ok());
+  EXPECT_EQ(ActiveSimdIsa(), DetectSimdIsa());
+  simd_internal::ExchangeActiveSimdIsa(before);
+}
+
+TEST(SimdIsaTest, UnsupportedForcedIsaResolvesToScalarKernels) {
+  // Forcing an ISA the host lacks must fall back to the scalar table, not
+  // crash — ScopedSimdIsa is allowed to install anything.
+  const SimdIsa missing =
+      SimdIsaSupported(SimdIsa::kAvx2) ? SimdIsa::kNeon : SimdIsa::kAvx2;
+  ScopedSimdIsa force(missing);
+  const ElementwiseKernels& forced = ActiveElementwiseKernels();
+  ScopedSimdIsa scalar(SimdIsa::kScalar);
+  EXPECT_EQ(&forced, &ActiveElementwiseKernels());
+}
+
+// --- Elementwise kernel bit-identity: every slot of every dispatchable
+// table must match the scalar golden reference bit for bit, including odd
+// lengths (scalar tails) and the empty span. -------------------------------
+
+std::vector<float> TestVector(int64_t n, uint64_t seed) {
+  std::vector<float> v(static_cast<size_t>(n));
+  Rng rng(seed);
+  for (auto& x : v) x = static_cast<float>(rng.NextGaussian());
+  if (n > 0) v[0] = -0.0f;  // sign-of-zero must not change any kernel
+  if (n > 3) v[3] = 0.0f;
+  return v;
+}
+
+const int64_t kLengths[] = {0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17,
+                            31, 32, 33, 63, 64, 65, 100, 1000, 1025};
+
+TEST(ElementwiseKernelsTest, AllIsasMatchScalarBitForBit) {
+  for (const SimdIsa isa : {SimdIsa::kAvx2, SimdIsa::kNeon}) {
+    const ElementwiseKernels& vec = ElementwiseKernelsForIsa(isa);
+    const ElementwiseKernels& ref =
+        ElementwiseKernelsForIsa(SimdIsa::kScalar);
+    for (const int64_t n : kLengths) {
+      SCOPED_TRACE(testing::Message() << SimdIsaName(isa) << " n=" << n);
+      const std::vector<float> a = TestVector(n, 0x5eedULL);
+      const std::vector<float> b = TestVector(n, 0xfeedULL);
+
+      EXPECT_EQ(ref.max_abs_f32(a.data(), n), vec.max_abs_f32(a.data(), n));
+
+      std::vector<float> out_ref(static_cast<size_t>(n)),
+          out_vec(static_cast<size_t>(n));
+      ref.abs_f32(a.data(), out_ref.data(), n);
+      vec.abs_f32(a.data(), out_vec.data(), n);
+      EXPECT_EQ(0, std::memcmp(out_ref.data(), out_vec.data(),
+                               static_cast<size_t>(n) * sizeof(float)));
+
+      ref.add_f32(a.data(), b.data(), out_ref.data(), n);
+      vec.add_f32(a.data(), b.data(), out_vec.data(), n);
+      EXPECT_EQ(0, std::memcmp(out_ref.data(), out_vec.data(),
+                               static_cast<size_t>(n) * sizeof(float)));
+
+      std::vector<float> acc_ref = a, acc_vec = a;
+      ref.add_assign_f32(acc_ref.data(), b.data(), n);
+      vec.add_assign_f32(acc_vec.data(), b.data(), n);
+      EXPECT_EQ(0, std::memcmp(acc_ref.data(), acc_vec.data(),
+                               static_cast<size_t>(n) * sizeof(float)));
+
+      std::vector<double> sum_ref(static_cast<size_t>(n), 0.25),
+          sum_vec(static_cast<size_t>(n), 0.25);
+      ref.accumulate_f64(sum_ref.data(), a.data(), n);
+      vec.accumulate_f64(sum_vec.data(), a.data(), n);
+      EXPECT_EQ(0, std::memcmp(sum_ref.data(), sum_vec.data(),
+                               static_cast<size_t>(n) * sizeof(double)));
+
+      ref.store_f64_as_f32(sum_ref.data(), out_ref.data(), n);
+      vec.store_f64_as_f32(sum_vec.data(), out_vec.data(), n);
+      EXPECT_EQ(0, std::memcmp(out_ref.data(), out_vec.data(),
+                               static_cast<size_t>(n) * sizeof(float)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lpsgd

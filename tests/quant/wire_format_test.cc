@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "base/rng.h"
+#include "base/simd/simd.h"
 #include "quant/codec.h"
 #include "tensor/shape.h"
 
@@ -288,7 +289,7 @@ std::vector<HashCase> GoldenHashCases() {
   };
 }
 
-TEST(WireFormatTest, GoldenBlobHashes) {
+void VerifyGoldenBlobHashes() {
   const int64_t n = 1000;
   const Shape shape({25, 40});
   const std::vector<float> grad = GoldenGradient(n);
@@ -319,6 +320,21 @@ TEST(WireFormatTest, GoldenBlobHashes) {
         Fnv1a64(reinterpret_cast<const uint8_t*>(decoded.data()),
                 decoded.size() * sizeof(float), kFnvBasis);
     EXPECT_EQ(h3, c.decode);
+  }
+}
+
+TEST(WireFormatTest, GoldenBlobHashes) { VerifyGoldenBlobHashes(); }
+
+// The same golden hashes must hold under every forced dispatch mode: the
+// SIMD kernels are a pure speedup, never a wire or numerics change. An
+// unsupported ISA (e.g. neon on x86) resolves to the scalar tables, so the
+// loop is safe to run on any host.
+TEST(WireFormatTest, GoldenBlobHashesUnderEveryDispatchMode) {
+  for (const SimdIsa isa :
+       {SimdIsa::kScalar, SimdIsa::kAvx2, SimdIsa::kNeon}) {
+    SCOPED_TRACE(SimdIsaName(isa));
+    ScopedSimdIsa force(isa);
+    VerifyGoldenBlobHashes();
   }
 }
 

@@ -131,6 +131,73 @@ TEST(BannedTest, RulesAreScopedToLibraryCode) {
   EXPECT_EQ(CountRule(issues, "banned-function"), 0);
 }
 
+TEST(SimdConfinementTest, IntrinsicsHeaderOnlyInSimdTus) {
+  const std::string contents =
+      "#include <immintrin.h>\n"
+      "int x;\n";
+  // In a *_simd.cc TU the include is the point of the file.
+  EXPECT_EQ(CountRule(LintFileContents("src/quant/qsgd_simd.cc", contents,
+                                       LintOptions{}),
+                      "simd-include-confined"),
+            0);
+  // Anywhere else it leaks raw intrinsics past the dispatch layer.
+  EXPECT_EQ(CountRule(LintFileContents("src/quant/qsgd.cc", contents,
+                                       LintOptions{}),
+                      "simd-include-confined"),
+            1);
+  EXPECT_EQ(CountRule(LintFileContents("src/base/rng.h",
+                                       "#include <arm_neon.h>\n",
+                                       LintOptions{}),
+                      "simd-include-confined"),
+            1);
+}
+
+TEST(SimdConfinementTest, IncFragmentOnlyIncludedFromSimdTus) {
+  const std::string contents = "#include \"quant/lanes_common.inc\"\n";
+  EXPECT_EQ(CountRule(LintFileContents("src/quant/ecq_sgd_simd.cc", contents,
+                                       LintOptions{}),
+                      "simd-include-confined"),
+            0);
+  EXPECT_EQ(CountRule(LintFileContents("src/quant/ecq_sgd.cc", contents,
+                                       LintOptions{}),
+                      "simd-include-confined"),
+            1);
+}
+
+TEST(SimdConfinementTest, IntrinsicCallsRequireHotPathBody) {
+  const std::string in_hot_body =
+      "LPSGD_HOT_PATH\n"
+      "void Kernel(float* out) { _mm256_zeroupper(); }\n";
+  const std::string outside_hot_body =
+      "void Kernel(float* out) { _mm256_zeroupper(); }\n";
+  EXPECT_TRUE(LintFileContents("src/quant/terngrad_simd.cc", in_hot_body,
+                               LintOptions{})
+                  .empty());
+  EXPECT_EQ(CountRule(LintFileContents("src/quant/terngrad_simd.cc",
+                                       outside_hot_body, LintOptions{}),
+                      "simd-hot-path"),
+            1);
+  // In a non-SIMD file the same call is a confinement violation instead.
+  EXPECT_EQ(CountRule(LintFileContents("src/quant/terngrad.cc",
+                                       outside_hot_body, LintOptions{}),
+                      "simd-include-confined"),
+            1);
+  // .inc lane-helper fragments may hold intrinsics (inside hot bodies).
+  EXPECT_TRUE(LintFileContents("src/quant/lanes_common.inc", in_hot_body,
+                               LintOptions{})
+                  .empty());
+}
+
+TEST(SimdConfinementTest, ScopedToLibraryCode) {
+  const std::string contents =
+      "#include <immintrin.h>\n"
+      "void T() { _mm256_zeroupper(); }\n";
+  const std::vector<LintIssue> issues =
+      LintFileContents("tests/fixture/simd_test.cc", contents, LintOptions{});
+  EXPECT_EQ(CountRule(issues, "simd-include-confined"), 0);
+  EXPECT_EQ(CountRule(issues, "simd-hot-path"), 0);
+}
+
 TEST(SelfContainmentTest, GoodHeaderPasses) {
   auto issues = CheckHeaderSelfContained(
       FixturePath("self_contained_good.h"), "self_contained_good.h",

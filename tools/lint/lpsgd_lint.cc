@@ -82,7 +82,47 @@ const std::pair<const char*, int> kRequiredHotPathMarkers[] = {
     {"src/base/bit_packing.h", 4},      {"src/comm/mpi_reduce_bcast.cc", 2},
     {"src/comm/nccl_ring.cc", 3},       {"src/comm/retry.cc", 1},
     {"src/obs/profile.h", 3},
+    // The SIMD kernel TUs and their dispatch tables: one marker per kernel
+    // body (scalar golden reference, AVX2, NEON) — the alloc rule must
+    // cover every vectorized encode/decode loop.
+    {"src/quant/simd_kernels.cc", 11},
+    {"src/quant/simd_avx2_common.inc", 9},
+    {"src/quant/qsgd_simd.cc", 4},
+    {"src/quant/ecq_sgd_simd.cc", 1},
+    {"src/quant/nuqsgd_simd.cc", 1},
+    {"src/quant/terngrad_simd.cc", 3},
+    {"src/quant/one_bit_simd.cc", 3},
+    {"src/quant/topk_simd.cc", 2},
+    {"src/base/simd/elementwise.cc", 6},
+    {"src/base/simd/elementwise_simd.cc", 13},
 };
+
+// Vector-intrinsics confinement: the only files allowed to touch raw
+// intrinsics are the per-ISA kernel TUs (basename *_simd.cc) and the .inc
+// helper fragments they textually include. Everything else goes through
+// the dispatch tables.
+const char* const kIntrinsicsHeaders[] = {"<immintrin.h>", "<x86intrin.h>",
+                                          "<arm_neon.h>"};
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+bool IsSimdTu(const std::string& path) {
+  return EndsWith(Basename(path), "_simd.cc");
+}
+
+bool MayHoldIntrinsics(const std::string& path) {
+  const std::string base = Basename(path);
+  return EndsWith(base, "_simd.cc") || EndsWith(base, ".inc");
+}
 
 // Per-line suppressions parsed from the *original* text (suppressions live
 // in comments, which the stripped copy no longer has). A suppression on
@@ -383,6 +423,65 @@ void CheckAnnotationTypos(std::string_view stripped, const Emitter& emit) {
   }
 }
 
+// simd-include-confined / simd-hot-path: intrinsics headers and .inc
+// fragments may only be pulled into *_simd.cc TUs, and every `_mm*`
+// intrinsic call site must sit inside an LPSGD_HOT_PATH body of a file
+// allowed to hold intrinsics. (NEON intrinsics have no stable lexical
+// prefix; <arm_neon.h> include confinement covers them.)
+void CheckSimdConfinement(const std::string& path, std::string_view contents,
+                          std::string_view stripped, const Emitter& emit) {
+  // Include placement — scanned on the original text: quoted include paths
+  // are string literals, which the stripped copy blanks out. Offsets match
+  // (stripping preserves length), so the emitter maps lines correctly.
+  size_t pos = 0;
+  while ((pos = contents.find("#include", pos)) != std::string_view::npos) {
+    size_t eol = contents.find('\n', pos);
+    if (eol == std::string_view::npos) eol = contents.size();
+    std::string_view line = contents.substr(pos, eol - pos);
+    if (!IsSimdTu(path)) {
+      for (const char* header : kIntrinsicsHeaders) {
+        if (line.find(header) != std::string_view::npos) {
+          emit.Emit(pos, "simd-include-confined",
+                    std::string(header) +
+                        " outside a *_simd.cc TU (raw intrinsics are "
+                        "confined to the per-ISA kernel TUs; everything "
+                        "else dispatches through the kernel tables)");
+        }
+      }
+      if (line.find(".inc") != std::string_view::npos) {
+        emit.Emit(pos, "simd-include-confined",
+                  ".inc kernel fragment included outside a *_simd.cc TU");
+      }
+    }
+    pos = eol;
+  }
+
+  // Intrinsic identifiers: every whole-word `_mm*` token must be inside an
+  // LPSGD_HOT_PATH region (the kernels are the hot path by definition, and
+  // the marker keeps the zero-allocation rule watching them).
+  const std::vector<HotRegion> regions = FindHotRegions(stripped);
+  const auto in_hot_region = [&regions](size_t offset) {
+    for (const HotRegion& region : regions) {
+      if (offset >= region.begin && offset < region.end) return true;
+    }
+    return false;
+  };
+  static constexpr std::string_view kPrefix = "_mm";
+  for (size_t at = 0; (at = stripped.find(kPrefix, at)) !=
+                      std::string_view::npos; at += kPrefix.size()) {
+    if (at > 0 && IsIdentChar(stripped[at - 1])) continue;
+    if (!MayHoldIntrinsics(path)) {
+      emit.Emit(at, "simd-include-confined",
+                "x86 intrinsic outside a *_simd.cc TU / .inc fragment");
+    } else if (!in_hot_region(at)) {
+      emit.Emit(at, "simd-hot-path",
+                "intrinsic outside an LPSGD_HOT_PATH body (every SIMD "
+                "kernel is steady-state hot path and must carry the "
+                "marker)");
+    }
+  }
+}
+
 StatusOr<std::string> ReadFileToString(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -516,6 +615,9 @@ std::vector<LintIssue> LintFileContents(const std::string& path,
     CheckBannedFunctions(stripped, emit);
   }
   if (options.annotation_typos) CheckAnnotationTypos(stripped, emit);
+  if (options.simd_confinement && in_src) {
+    CheckSimdConfinement(path, contents, stripped, emit);
+  }
 
   std::sort(issues.begin(), issues.end(),
             [](const LintIssue& a, const LintIssue& b) {
@@ -541,8 +643,12 @@ StatusOr<std::vector<LintIssue>> LintTree(const std::string& repo_root,
     if (!fs::exists(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (!entry.is_regular_file()) continue;
+      // .inc: textually-included kernel fragments (SIMD lane helpers) —
+      // they hold intrinsics and hot-path bodies, so they are linted like
+      // source.
       if (HasExtension(entry.path(), ".h") ||
-          HasExtension(entry.path(), ".cc")) {
+          HasExtension(entry.path(), ".cc") ||
+          HasExtension(entry.path(), ".inc")) {
         files.push_back(entry.path());
       }
     }

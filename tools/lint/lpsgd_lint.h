@@ -29,6 +29,13 @@
 //                          least their required number of LPSGD_HOT_PATH
 //                          markers, so the alloc rule cannot be silently
 //                          disabled by deleting a marker.
+//  * simd-include-confined / simd-hot-path — raw vector intrinsics are
+//                          confined to the per-ISA kernel TUs (basename
+//                          *_simd.cc) and the .inc lane-helper fragments
+//                          they textually include; every `_mm*` intrinsic
+//                          call site must sit inside an LPSGD_HOT_PATH
+//                          body, so the zero-allocation rule covers every
+//                          vectorized kernel.
 //  * missing-include-guard / header-not-self-contained — header hygiene:
 //                          every src/**/*.h has an include guard and
 //                          compiles on its own (verified by generating one
@@ -73,6 +80,10 @@ struct LintOptions {
   bool banned_includes = true;
   bool banned_functions = true;
   bool annotation_typos = true;
+  // simd-include-confined / simd-hot-path: intrinsics headers
+  // (<immintrin.h>, <arm_neon.h>) and .inc fragments only in *_simd.cc
+  // TUs; `_mm*` intrinsics only inside LPSGD_HOT_PATH bodies there.
+  bool simd_confinement = true;
   // Tree-level only: verify the required LPSGD_HOT_PATH marker coverage
   // (see RequiredHotPathMarkers in lpsgd_lint.cc).
   bool required_hot_path_markers = true;
@@ -94,9 +105,9 @@ std::vector<LintIssue> LintFileContents(const std::string& path,
 StatusOr<std::vector<LintIssue>> LintFile(const std::string& path,
                                           const LintOptions& options);
 
-// Lints every .h/.cc under `repo_root`/src and `repo_root`/tools, plus the
-// tree-level required-marker coverage check. Paths in the returned issues
-// are repo-root-relative.
+// Lints every .h/.cc/.inc under `repo_root`/src and `repo_root`/tools,
+// plus the tree-level required-marker coverage check. Paths in the
+// returned issues are repo-root-relative.
 StatusOr<std::vector<LintIssue>> LintTree(const std::string& repo_root,
                                           const LintOptions& options);
 
