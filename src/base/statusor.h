@@ -7,8 +7,13 @@
 
 #include "base/logging.h"
 #include "base/status.h"
+#include "base/thread_annotations.h"
 
 namespace lpsgd {
+
+// value()'s CHECK-failure arm stringifies the status (allocating); that
+// arm is fatal-only, never steady state, so hot paths may call value().
+LPSGD_HOT_CALLEE_OK(value);
 
 // Holds either a value of type T or a non-OK Status explaining why the value
 // is absent. Accessing the value of a non-OK StatusOr is a fatal error.

@@ -61,6 +61,11 @@ class RetryingAggregator : public GradientAggregator {
   void SnapshotSlots(const std::vector<MatrixSlot>& slots);
   // Restores the slot contents from the last SnapshotSlots call.
   void RestoreSlots(std::vector<MatrixSlot>* slots) const;
+  // Purity exemptions: the snapshot buffers grow once to the model size
+  // and are capacity-reused afterwards (the comment on SnapshotSlots is
+  // the contract); Restore only runs on the retry path after a failure.
+  LPSGD_HOT_CALLEE_OK(SnapshotSlots);
+  LPSGD_HOT_CALLEE_OK(RestoreSlots);
 
   std::unique_ptr<GradientAggregator> inner_;
   ExchangeRetryOptions options_;

@@ -28,6 +28,16 @@
 namespace lpsgd {
 namespace obs {
 
+// Transitive-purity exemptions (tools/analyze/lpsgd_analyze): hot paths
+// may touch the observability surface because it no-ops behind one branch
+// while the registry is disabled — the unobserved-run contract
+// quant/workspace_test.cc enforces by counting heap allocations — and the
+// singletons' lazy `new` plus per-name first-touch map inserts are
+// one-time costs, amortized to zero at steady state.
+LPSGD_HOT_CALLEE_OK(Global);
+LPSGD_HOT_CALLEE_OK(Count);
+LPSGD_HOT_CALLEE_OK(Observe);
+
 // Point-in-time copy of one histogram's state. Buckets are cumulative-free:
 // counts[i] holds observations with value <= bounds[i]; counts.back() is
 // the overflow bucket (value > bounds.back()).

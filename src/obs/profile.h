@@ -290,6 +290,9 @@ class FlightRecorder {
   // dump_count(). No-op while disabled.
   void OnExchangeFailure(const Status& status, int64_t iteration)
       LPSGD_EXCLUDES(mu_);
+  // Purity exemption: runs only when an exchange already failed, never on
+  // the fault-free steady-state path, so its dump allocations are fine.
+  LPSGD_HOT_CALLEE_OK(OnExchangeFailure);
 
   int64_t record_count() const LPSGD_EXCLUDES(mu_);
   int64_t dump_count() const LPSGD_EXCLUDES(mu_);

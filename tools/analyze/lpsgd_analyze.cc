@@ -1,0 +1,97 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "analyze/lpsgd_analyze.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lpsgd {
+namespace analyze {
+
+StatusOr<int> BuildModelFromTree(const std::string& repo_root, Model* model) {
+  LPSGD_ASSIGN_OR_RETURN(
+      std::vector<srctext::SourceFile> files,
+      srctext::ListSourceFiles(repo_root, {"src", "tools", "bench"}));
+  for (const srctext::SourceFile& file : files) {
+    LPSGD_ASSIGN_OR_RETURN(std::string contents,
+                           srctext::ReadFileToString(file.path));
+    AddTranslationUnit(file.relative, contents, model);
+  }
+  FinalizeModel(model);
+  return static_cast<int>(files.size());
+}
+
+std::set<std::string> ParseBaseline(std::string_view contents) {
+  std::set<std::string> entries;
+  size_t pos = 0;
+  while (pos <= contents.size()) {
+    size_t eol = contents.find('\n', pos);
+    std::string_view line =
+        contents.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                           : eol - pos);
+    // Trim and drop comments.
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(
+                                line.front())) != 0) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           std::isspace(static_cast<unsigned char>(line.back())) != 0) {
+      line.remove_suffix(1);
+    }
+    if (!line.empty()) entries.insert(std::string(line));
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return entries;
+}
+
+BaselineCheck CheckAgainstBaseline(const std::vector<Finding>& findings,
+                                   const std::set<std::string>& baseline) {
+  BaselineCheck check;
+  std::set<std::string> matched;
+  for (const Finding& finding : findings) {
+    const std::string fp = finding.Fingerprint();
+    if (baseline.count(fp) > 0) {
+      matched.insert(fp);
+      check.suppressed.push_back(finding);
+    } else {
+      check.fresh.push_back(finding);
+    }
+  }
+  for (const std::string& entry : baseline) {
+    if (matched.count(entry) == 0) check.stale.push_back(entry);
+  }
+  return check;
+}
+
+std::string FormatBaseline(const std::vector<Finding>& findings) {
+  std::set<std::string> fingerprints;
+  for (const Finding& finding : findings) {
+    fingerprints.insert(finding.Fingerprint());
+  }
+  std::string out =
+      "# lpsgd_analyze suppression baseline.\n"
+      "# One fingerprint per line: rule|file|symbol|detail (no line\n"
+      "# numbers, so entries survive unrelated edits). The ratchet is\n"
+      "# two-sided: findings missing from this file fail CI, and entries\n"
+      "# no run reproduces fail CI too. Regenerate with\n"
+      "#   lpsgd_analyze --root <repo> --write_baseline <this file>\n"
+      "# and justify every added entry in the adjacent comment.\n";
+  for (const std::string& fp : fingerprints) {
+    out += fp;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::string out = finding.file + ":" + std::to_string(finding.line) +
+                    ": " + finding.rule + ": " + finding.detail;
+  if (!finding.symbol.empty()) out += " [" + finding.symbol + "]";
+  if (!finding.note.empty()) out += " (" + finding.note + ")";
+  return out;
+}
+
+}  // namespace analyze
+}  // namespace lpsgd

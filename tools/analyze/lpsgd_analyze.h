@@ -1,0 +1,54 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Driver for the whole-program analyzer: builds the cross-TU model over the
+// tree, runs the passes (passes.h), and reconciles the findings against the
+// checked-in suppression baseline (tools/analyze/baseline.txt).
+//
+// The baseline is a ratchet, not a mute button: a finding not in the
+// baseline fails the run (no new debt), and a baseline entry that no run
+// reproduces also fails (stale debt must be deleted when the code is
+// fixed). Entries are fingerprints without line numbers — see
+// Finding::Fingerprint — one per line, `#` starts a comment.
+#ifndef LPSGD_TOOLS_ANALYZE_LPSGD_ANALYZE_H_
+#define LPSGD_TOOLS_ANALYZE_LPSGD_ANALYZE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.h"
+#include "analyze/source_model.h"
+#include "base/status.h"
+#include "base/statusor.h"
+
+namespace lpsgd {
+namespace analyze {
+
+// Parses every .h/.cc/.inc under `repo_root`/{src,tools,bench} into a
+// model. Returns the number of files parsed.
+StatusOr<int> BuildModelFromTree(const std::string& repo_root, Model* model);
+
+// Baseline file contents -> fingerprint set. Blank lines and `#` comments
+// are ignored; entries are used verbatim otherwise.
+std::set<std::string> ParseBaseline(std::string_view contents);
+
+// The reconciliation of one run against the baseline.
+struct BaselineCheck {
+  std::vector<Finding> fresh;       // findings absent from the baseline
+  std::vector<std::string> stale;   // baseline entries nothing reproduced
+  std::vector<Finding> suppressed;  // findings matched by the baseline
+};
+BaselineCheck CheckAgainstBaseline(const std::vector<Finding>& findings,
+                                   const std::set<std::string>& baseline);
+
+// Renders the full baseline file for --write_baseline (sorted, with a
+// header comment documenting the ratchet).
+std::string FormatBaseline(const std::vector<Finding>& findings);
+
+// One human-readable report line: "file:line: rule: detail [symbol] note".
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace analyze
+}  // namespace lpsgd
+
+#endif  // LPSGD_TOOLS_ANALYZE_LPSGD_ANALYZE_H_

@@ -1,0 +1,98 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// CLI for the whole-program analyzer. CI runs:
+//
+//   lpsgd_analyze --root . --baseline tools/analyze/baseline.txt
+//
+// Exit codes: 0 clean (every finding baselined, no stale entries),
+// 1 fresh findings or stale baseline entries, 2 usage or I/O error.
+// `--write_baseline <path>` regenerates the baseline from the current
+// findings instead of checking.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analyze/lpsgd_analyze.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: lpsgd_analyze --root <repo_root> "
+               "[--baseline <file>] [--write_baseline <file>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string baseline_path;
+  std::string write_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write_baseline" && i + 1 < argc) {
+      write_path = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (root.empty()) return Usage();
+
+  lpsgd::analyze::Model model;
+  lpsgd::StatusOr<int> files =
+      lpsgd::analyze::BuildModelFromTree(root, &model);
+  if (!files.ok()) {
+    std::fprintf(stderr, "lpsgd_analyze: %s\n",
+                 files.status().ToString().c_str());
+    return 2;
+  }
+  const std::vector<lpsgd::analyze::Finding> findings =
+      lpsgd::analyze::RunAllPasses(model);
+
+  if (!write_path.empty()) {
+    std::ofstream out(write_path);
+    if (!out) {
+      std::fprintf(stderr, "lpsgd_analyze: cannot write %s\n",
+                   write_path.c_str());
+      return 2;
+    }
+    out << lpsgd::analyze::FormatBaseline(findings);
+    std::printf("lpsgd_analyze: wrote %zu fingerprint(s) to %s (%d files)\n",
+                findings.size(), write_path.c_str(), *files);
+    return 0;
+  }
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    lpsgd::StatusOr<std::string> contents =
+        lpsgd::srctext::ReadFileToString(baseline_path);
+    if (!contents.ok()) {
+      std::fprintf(stderr, "lpsgd_analyze: %s\n",
+                   contents.status().ToString().c_str());
+      return 2;
+    }
+    baseline = lpsgd::analyze::ParseBaseline(*contents);
+  }
+  const lpsgd::analyze::BaselineCheck check =
+      lpsgd::analyze::CheckAgainstBaseline(findings, baseline);
+
+  for (const lpsgd::analyze::Finding& finding : check.fresh) {
+    std::printf("%s\n", lpsgd::analyze::FormatFinding(finding).c_str());
+  }
+  for (const std::string& entry : check.stale) {
+    std::printf("stale baseline entry (fix is in — delete it): %s\n",
+                entry.c_str());
+  }
+  std::printf(
+      "lpsgd_analyze: %d file(s), %zu finding(s): %zu new, %zu baselined, "
+      "%zu stale baseline entr%s\n",
+      *files, findings.size(), check.fresh.size(), check.suppressed.size(),
+      check.stale.size(), check.stale.size() == 1 ? "y" : "ies");
+  return check.fresh.empty() && check.stale.empty() ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// The three whole-program passes of tools/analyze/lpsgd_analyze, consuming
+// the cross-TU model from source_model.h:
+//
+//  1. Transitive hot-path purity — every function reachable (by name-based
+//     call resolution) from an LPSGD_HOT_PATH region must be free of
+//     allocation constructs and ban-list functions. LPSGD_HOT_CALLEE_OK(fn)
+//     prunes the walk at calls to `fn`; an annotation the walk never
+//     consults is itself a finding (stale exemption).
+//  2. Lock-order cycle detection — acquisition-order edges are collected
+//     from nested MutexLock/.Lock() scopes, LPSGD_REQUIRES preconditions,
+//     and calls made while a lock is held (using each callee's transitive
+//     acquisition set); any cycle in the resulting lock graph is a finding.
+//  3. Status-drop analysis — a Status/StatusOr local assigned a
+//     non-trivial value and then overwritten or scope-exited without any
+//     intervening read is a finding.
+//
+// Findings carry a line number for display but fingerprint without it
+// (rule|file|symbol|detail), so the suppression baseline survives
+// unrelated edits. See DESIGN.md "Static analysis & enforced invariants".
+#ifndef LPSGD_TOOLS_ANALYZE_PASSES_H_
+#define LPSGD_TOOLS_ANALYZE_PASSES_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/source_model.h"
+
+namespace lpsgd {
+namespace analyze {
+
+struct Finding {
+  std::string rule;    // e.g. "hot-path-transitive-alloc"
+  std::string file;    // repo-root-relative
+  int line = 0;        // 1-based; display only, not fingerprinted
+  std::string symbol;  // qualified function name or canonical cycle
+  std::string detail;  // stable description (part of the fingerprint)
+  std::string note;    // volatile context (witness lines); display only
+
+  // Stable identity for the baseline: line numbers excluded on purpose so
+  // entries survive edits elsewhere in the file.
+  std::string Fingerprint() const;
+};
+
+// Pass 1. Roots are all call sites inside LPSGD_HOT_PATH regions (marked
+// function bodies and marked lambdas alike).
+std::vector<Finding> RunPurityPass(const Model& model);
+
+// Pass 2.
+std::vector<Finding> RunLockOrderPass(const Model& model);
+
+// Pass 3.
+std::vector<Finding> RunStatusDropPass(const Model& model);
+
+// All passes, in the order above, sorted by (file, line, rule) for stable
+// output.
+std::vector<Finding> RunAllPasses(const Model& model);
+
+}  // namespace analyze
+}  // namespace lpsgd
+
+#endif  // LPSGD_TOOLS_ANALYZE_PASSES_H_

@@ -1,0 +1,119 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Shared source-text tokenizer for the repo's compiled code tools
+// (tools/lint/lpsgd_lint and tools/analyze/lpsgd_analyze). Both tools
+// operate on a comment- and string-stripped copy of each file so tokens
+// inside literals or documentation never trip a rule; the helpers here are
+// the single implementation of that stripping, the offset -> line mapping,
+// the per-line suppression grammar, the LPSGD_HOT_PATH region finder, and
+// the allocation-site scanner the hot-path rules share.
+#ifndef LPSGD_TOOLS_COMMON_SOURCE_TEXT_H_
+#define LPSGD_TOOLS_COMMON_SOURCE_TEXT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "base/statusor.h"
+
+namespace lpsgd {
+namespace srctext {
+
+// The zero-allocation region marker, assembled from two halves so the
+// scanners never fire on the tools' own source (strings are stripped before
+// scanning, but the identifier must also not appear verbatim in code
+// position inside the tools).
+const std::string& HotPathMarker();
+
+// The transitive-purity escape hatch recognized by lpsgd_analyze:
+// LPSGD_HOT_CALLEE_OK(fn). Assembled from halves for the same reason.
+const std::string& HotCalleeOkMarker();
+
+// Returns `contents` with comments and string/character literals blanked to
+// spaces. Newlines are preserved so byte offsets keep mapping to the same
+// line numbers (the copy has exactly the length of the input).
+std::string StripCommentsAndStrings(std::string_view contents);
+
+bool IsIdentChar(char c);
+
+// True when `text[pos..pos+len)` is a whole identifier (not a substring of
+// a longer one).
+bool IsWholeWord(std::string_view text, size_t pos, size_t len);
+
+// First non-whitespace position at or after `pos`.
+size_t SkipSpace(std::string_view text, size_t pos);
+
+std::string Basename(const std::string& path);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Offset -> 1-based line number, via precomputed line starts.
+class LineIndex {
+ public:
+  explicit LineIndex(std::string_view contents);
+  int LineAt(size_t offset) const;
+
+ private:
+  std::vector<size_t> starts_;
+};
+
+// Per-line suppressions parsed from the *original* text (suppressions live
+// in comments, which the stripped copy no longer has). The grammar is
+// `<tag><rule>[, <rule>...])` — e.g. "lpsgd-lint: allow(" — and a
+// suppression on line N covers lines N and N+1.
+class SuppressionMap {
+ public:
+  SuppressionMap(std::string_view contents, std::string_view tag);
+
+  bool Allows(int line, const std::string& rule) const;
+
+ private:
+  std::map<int, std::set<std::string>> allowed_;
+};
+
+// One half-open [begin, end) byte range of a hot-path function body.
+struct HotRegion {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+// Finds the body of each LPSGD_HOT_PATH-marked definition in the stripped
+// text: from the marker, skip to the first '{' at parenthesis depth zero
+// (a ';' first means the marker sits on a declaration — no body to check)
+// and take the matching-brace extent. Markers on preprocessor directives
+// (the #define itself) are skipped.
+std::vector<HotRegion> FindHotRegions(std::string_view stripped);
+
+// One allocation site found by ScanAllocations.
+struct AllocationSite {
+  size_t offset = 0;
+  // Human-readable description, e.g. "`new`", ".push_back()", shared by the
+  // lint's hot-path-alloc rule and the analyzer's transitive purity pass.
+  std::string message;
+};
+
+// Scans `body` (stripped text) for the allocation constructs the
+// zero-allocation contract bans: `new` expressions, malloc-family calls,
+// container growth member calls (.resize/.push_back/...), and by-value
+// std::vector declarations or temporaries. Offsets are relative to `body`.
+std::vector<AllocationSite> ScanAllocations(std::string_view body);
+
+// Reads a file fully; NotFound on open failure.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Lists every .h/.cc/.inc under `repo_root`/<subdir> for each of `subdirs`,
+// sorted, as (absolute path, repo-root-relative path) pairs. Missing
+// subdirs are skipped silently.
+struct SourceFile {
+  std::string path;      // absolute or cwd-relative, openable
+  std::string relative;  // repo-root-relative, stable across machines
+};
+StatusOr<std::vector<SourceFile>> ListSourceFiles(
+    const std::string& repo_root, const std::vector<std::string>& subdirs);
+
+}  // namespace srctext
+}  // namespace lpsgd
+
+#endif  // LPSGD_TOOLS_COMMON_SOURCE_TEXT_H_

@@ -2,16 +2,16 @@
 #include "lint/lpsgd_lint.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/source_text.h"
 
 namespace lpsgd {
 namespace lint {
@@ -19,10 +19,14 @@ namespace {
 
 namespace fs = std::filesystem;
 
-// The marker is assembled from two halves so the scanner never fires on the
-// lint tool's own source (strings are stripped before scanning, but the
-// identifier must also not appear verbatim in code position here).
-const std::string kHotPathMarker = std::string("LPSGD_HOT") + "_PATH";
+using srctext::FindHotRegions;
+using srctext::HotRegion;
+using srctext::IsIdentChar;
+using srctext::IsWholeWord;
+using srctext::LineIndex;
+using srctext::ScanAllocations;
+using srctext::SkipSpace;
+using srctext::SuppressionMap;
 
 // Exact spellings defined by base/thread_annotations.h. Anything that
 // merely *looks* like one of these (see kAnnotationFamilies) is a typo.
@@ -39,6 +43,7 @@ const char* const kKnownAnnotations[] = {
     "LPSGD_NO_THREAD_SAFETY_ANALYSIS",
     "LPSGD_THREAD_ANNOTATION_ATTRIBUTE_",
     "LPSGD_HOT_PATH",
+    "LPSGD_HOT_CALLEE_OK",
 };
 
 // Prefix families: an identifier starting with one of these but not
@@ -52,22 +57,8 @@ const char* const kAnnotationFamilies[] = {
     "LPSGD_NO_THREAD", "LPSGD_RETURN_CAP", "LPSGD_THREAD_ANNOTATION",
 };
 
-// Member calls that can grow a container (and therefore allocate) when
-// invoked as `.name(` / `->name(`.
-const char* const kGrowthMethods[] = {
-    "resize",  "push_back", "emplace_back", "reserve",
-    "assign",  "insert",    "emplace",      "append",
-};
-
 // Free functions banned outright in src/ and tools/.
 const char* const kBannedFunctions[] = {"rand", "strcpy", "sprintf"};
-
-// Allocation functions banned inside hot-path regions.
-const char* const kAllocFunctions[] = {"malloc", "calloc", "realloc"};
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
 
 // Files whose hot-path markers are load-bearing: deleting a marker would
 // silently disable the hot-path-alloc rule, so coverage is checked at tree
@@ -104,157 +95,14 @@ const std::pair<const char*, int> kRequiredHotPathMarkers[] = {
 const char* const kIntrinsicsHeaders[] = {"<immintrin.h>", "<x86intrin.h>",
                                           "<arm_neon.h>"};
 
-std::string Basename(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  return slash == std::string::npos ? path : path.substr(slash + 1);
-}
-
-bool EndsWith(std::string_view text, std::string_view suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
-             0;
-}
-
 bool IsSimdTu(const std::string& path) {
-  return EndsWith(Basename(path), "_simd.cc");
+  return srctext::EndsWith(srctext::Basename(path), "_simd.cc");
 }
 
 bool MayHoldIntrinsics(const std::string& path) {
-  const std::string base = Basename(path);
-  return EndsWith(base, "_simd.cc") || EndsWith(base, ".inc");
-}
-
-// Per-line suppressions parsed from the *original* text (suppressions live
-// in comments, which the stripped copy no longer has). A suppression on
-// line N covers lines N and N+1.
-class SuppressionMap {
- public:
-  explicit SuppressionMap(std::string_view contents) {
-    static constexpr std::string_view kTag = "lpsgd-lint: allow(";
-    int line = 1;
-    size_t pos = 0;
-    while (pos < contents.size()) {
-      size_t eol = contents.find('\n', pos);
-      if (eol == std::string_view::npos) eol = contents.size();
-      std::string_view text = contents.substr(pos, eol - pos);
-      size_t tag = text.find(kTag);
-      while (tag != std::string_view::npos) {
-        size_t start = tag + kTag.size();
-        size_t close = text.find(')', start);
-        if (close == std::string_view::npos) break;
-        std::string rules(text.substr(start, close - start));
-        std::stringstream ss(rules);
-        std::string rule;
-        while (std::getline(ss, rule, ',')) {
-          rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
-                     rule.end());
-          if (!rule.empty()) allowed_[line].insert(rule);
-        }
-        tag = text.find(kTag, close);
-      }
-      pos = eol + 1;
-      ++line;
-    }
-  }
-
-  bool Allows(int line, const std::string& rule) const {
-    for (int l : {line, line - 1}) {
-      auto it = allowed_.find(l);
-      if (it != allowed_.end() && it->second.count(rule) > 0) return true;
-    }
-    return false;
-  }
-
- private:
-  std::map<int, std::set<std::string>> allowed_;
-};
-
-// Offset -> 1-based line number, via precomputed line starts.
-class LineIndex {
- public:
-  explicit LineIndex(std::string_view contents) {
-    starts_.push_back(0);
-    for (size_t i = 0; i < contents.size(); ++i) {
-      if (contents[i] == '\n') starts_.push_back(i + 1);
-    }
-  }
-
-  int LineAt(size_t offset) const {
-    auto it = std::upper_bound(starts_.begin(), starts_.end(), offset);
-    return static_cast<int>(it - starts_.begin());
-  }
-
- private:
-  std::vector<size_t> starts_;
-};
-
-// One half-open [begin, end) byte range of a hot-path function body.
-struct HotRegion {
-  size_t begin = 0;
-  size_t end = 0;
-};
-
-// Finds the body of each LPSGD_HOT_PATH-marked definition in the stripped
-// text: from the marker, skip to the first '{' at parenthesis depth zero
-// (a ';' first means the marker sits on a declaration — no body to check)
-// and take the matching-brace extent.
-std::vector<HotRegion> FindHotRegions(std::string_view stripped) {
-  std::vector<HotRegion> regions;
-  size_t pos = 0;
-  while ((pos = stripped.find(kHotPathMarker, pos)) !=
-         std::string_view::npos) {
-    const size_t marker = pos;
-    pos += kHotPathMarker.size();
-    // Word boundaries: skip LPSGD_HOT_PATHS or FOO_LPSGD_HOT_PATH.
-    if (marker > 0 && IsIdentChar(stripped[marker - 1])) continue;
-    if (pos < stripped.size() && IsIdentChar(stripped[pos])) continue;
-    // Skip the #define in thread_annotations.h (and any other directive).
-    size_t bol = stripped.rfind('\n', marker);
-    bol = (bol == std::string_view::npos) ? 0 : bol + 1;
-    std::string_view head = stripped.substr(bol, marker - bol);
-    if (head.find_first_not_of(" \t") != std::string_view::npos &&
-        head[head.find_first_not_of(" \t")] == '#') {
-      continue;
-    }
-    int paren_depth = 0;
-    size_t i = pos;
-    for (; i < stripped.size(); ++i) {
-      char c = stripped[i];
-      if (c == '(') ++paren_depth;
-      if (c == ')') --paren_depth;
-      if (paren_depth > 0) continue;
-      if (c == ';') break;  // declaration only
-      if (c == '{') {
-        int brace_depth = 1;
-        size_t body = i + 1;
-        size_t j = body;
-        for (; j < stripped.size() && brace_depth > 0; ++j) {
-          if (stripped[j] == '{') ++brace_depth;
-          if (stripped[j] == '}') --brace_depth;
-        }
-        regions.push_back({body, j});
-        pos = j;
-        break;
-      }
-    }
-  }
-  return regions;
-}
-
-// True when `stripped[pos..pos+len)` is a whole identifier.
-bool IsWholeWord(std::string_view stripped, size_t pos, size_t len) {
-  if (pos > 0 && IsIdentChar(stripped[pos - 1])) return false;
-  size_t end = pos + len;
-  if (end < stripped.size() && IsIdentChar(stripped[end])) return false;
-  return true;
-}
-
-size_t SkipSpace(std::string_view text, size_t pos) {
-  while (pos < text.size() &&
-         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
-    ++pos;
-  }
-  return pos;
+  const std::string base = srctext::Basename(path);
+  return srctext::EndsWith(base, "_simd.cc") ||
+         srctext::EndsWith(base, ".inc");
 }
 
 // Emits an issue unless a suppression covers it.
@@ -276,79 +124,9 @@ void CheckHotRegions(std::string_view stripped, const Emitter& emit) {
   for (const HotRegion& region : FindHotRegions(stripped)) {
     std::string_view body = stripped.substr(region.begin,
                                             region.end - region.begin);
-    const size_t base = region.begin;
-
-    // `new` expressions.
-    for (size_t pos = 0; (pos = body.find("new", pos)) !=
-                         std::string_view::npos; pos += 3) {
-      if (IsWholeWord(body, pos, 3)) {
-        emit.Emit(base + pos, "hot-path-alloc",
-                  "`new` inside an LPSGD_HOT_PATH region");
-      }
-    }
-
-    // malloc-family calls.
-    for (const char* fn : kAllocFunctions) {
-      const size_t len = std::string_view(fn).size();
-      for (size_t pos = 0; (pos = body.find(fn, pos)) !=
-                           std::string_view::npos; pos += len) {
-        if (!IsWholeWord(body, pos, len)) continue;
-        if (SkipSpace(body, pos + len) < body.size() &&
-            body[SkipSpace(body, pos + len)] == '(') {
-          emit.Emit(base + pos, "hot-path-alloc",
-                    std::string(fn) +
-                        "() inside an LPSGD_HOT_PATH region");
-        }
-      }
-    }
-
-    // Container growth member calls: `.name(` / `->name(`.
-    for (const char* method : kGrowthMethods) {
-      const size_t len = std::string_view(method).size();
-      for (size_t pos = 0; (pos = body.find(method, pos)) !=
-                           std::string_view::npos; pos += len) {
-        if (!IsWholeWord(body, pos, len)) continue;
-        bool member = false;
-        if (pos >= 1 && body[pos - 1] == '.') member = true;
-        if (pos >= 2 && body[pos - 2] == '-' && body[pos - 1] == '>') {
-          member = true;
-        }
-        if (!member) continue;
-        size_t after = SkipSpace(body, pos + len);
-        if (after < body.size() && body[after] == '(') {
-          emit.Emit(base + pos, "hot-path-alloc",
-                    std::string(".") + method +
-                        "() can grow a container inside an "
-                        "LPSGD_HOT_PATH region");
-        }
-      }
-    }
-
-    // By-value std::vector declarations or temporaries. Pointer and
-    // reference declarations (`std::vector<float>* out`) are the hot
-    // path's calling convention and are allowed; so are nested template
-    // arguments (closing '>' , ',' follow).
-    static constexpr std::string_view kVec = "std::vector";
-    for (size_t pos = 0; (pos = body.find(kVec, pos)) !=
-                         std::string_view::npos; pos += kVec.size()) {
-      if (!IsWholeWord(body, pos, kVec.size())) continue;
-      size_t angle = SkipSpace(body, pos + kVec.size());
-      if (angle >= body.size() || body[angle] != '<') continue;
-      int depth = 0;
-      size_t j = angle;
-      for (; j < body.size(); ++j) {
-        if (body[j] == '<') ++depth;
-        if (body[j] == '>' && --depth == 0) break;
-      }
-      if (j >= body.size()) continue;
-      size_t next = SkipSpace(body, j + 1);
-      if (next >= body.size()) continue;
-      char c = body[next];
-      if (IsIdentChar(c) || c == '(' || c == '{') {
-        emit.Emit(base + pos, "hot-path-alloc",
-                  "by-value std::vector inside an LPSGD_HOT_PATH region "
-                  "(pass a pointer/reference to a reused buffer)");
-      }
+    for (const srctext::AllocationSite& site : ScanAllocations(body)) {
+      emit.Emit(region.begin + site.offset, "hot-path-alloc",
+                site.message + " inside an LPSGD_HOT_PATH region");
     }
   }
 }
@@ -482,26 +260,6 @@ void CheckSimdConfinement(const std::string& path, std::string_view contents,
   }
 }
 
-StatusOr<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return NotFoundError("cannot open " + path);
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-bool HasExtension(const fs::path& path, std::string_view ext) {
-  return path.extension() == ext;
-}
-
-std::string RelativeTo(const fs::path& path, const fs::path& root) {
-  std::error_code ec;
-  fs::path rel = fs::relative(path, root, ec);
-  return ec ? path.generic_string() : rel.generic_string();
-}
-
 }  // namespace
 
 std::string LintIssue::ToString() const {
@@ -511,98 +269,15 @@ std::string LintIssue::ToString() const {
 }
 
 std::string StripCommentsAndStrings(std::string_view contents) {
-  std::string out(contents);
-  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
-  State state = State::kCode;
-  std::string raw_close;  // ")delim\"" for the active raw string
-  for (size_t i = 0; i < contents.size(); ++i) {
-    char c = contents[i];
-    char next = (i + 1 < contents.size()) ? contents[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLine;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlock;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !IsIdentChar(contents[i - 1]))) {
-          size_t open = contents.find('(', i + 2);
-          if (open != std::string_view::npos) {
-            raw_close = ")" +
-                        std::string(contents.substr(i + 2, open - i - 2)) +
-                        "\"";
-            for (size_t j = i; j <= open; ++j) out[j] = ' ';
-            i = open;
-            state = State::kRaw;
-          }
-        } else if (c == '"') {
-          state = State::kString;
-          out[i] = ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out[i] = ' ';
-        }
-        break;
-      case State::kLine:
-        if (c == '\n') {
-          state = State::kCode;
-        } else if (c == '\\' && next == '\n') {
-          // Line continuation keeps the comment going; preserve newline.
-          out[i] = ' ';
-          ++i;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\0') {
-            if (next != '\n') out[i + 1] = ' ';
-            ++i;
-          }
-        } else if ((state == State::kString && c == '"') ||
-                   (state == State::kChar && c == '\'')) {
-          out[i] = ' ';
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kRaw:
-        if (contents.compare(i, raw_close.size(), raw_close) == 0) {
-          for (size_t j = 0; j < raw_close.size(); ++j) out[i + j] = ' ';
-          i += raw_close.size() - 1;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
+  return srctext::StripCommentsAndStrings(contents);
 }
 
 std::vector<LintIssue> LintFileContents(const std::string& path,
                                         std::string_view contents,
                                         const LintOptions& options) {
   std::vector<LintIssue> issues;
-  const std::string stripped = StripCommentsAndStrings(contents);
-  const SuppressionMap allow(contents);
+  const std::string stripped = srctext::StripCommentsAndStrings(contents);
+  const SuppressionMap allow(contents, "lpsgd-lint: allow(");
   const LineIndex lines(contents);
   const Emitter emit{path, lines, allow, &issues};
 
@@ -628,7 +303,7 @@ std::vector<LintIssue> LintFileContents(const std::string& path,
 
 StatusOr<std::vector<LintIssue>> LintFile(const std::string& path,
                                           const LintOptions& options) {
-  auto contents = ReadFileToString(path);
+  auto contents = srctext::ReadFileToString(path);
   if (!contents.ok()) return contents.status();
   return LintFileContents(path, *contents, options);
 }
@@ -636,48 +311,32 @@ StatusOr<std::vector<LintIssue>> LintFile(const std::string& path,
 StatusOr<std::vector<LintIssue>> LintTree(const std::string& repo_root,
                                           const LintOptions& options) {
   std::vector<LintIssue> issues;
-  const fs::path root(repo_root);
-  std::vector<fs::path> files;
-  for (const char* subdir : {"src", "tools"}) {
-    const fs::path base = root / subdir;
-    if (!fs::exists(base)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file()) continue;
-      // .inc: textually-included kernel fragments (SIMD lane helpers) —
-      // they hold intrinsics and hot-path bodies, so they are linted like
-      // source.
-      if (HasExtension(entry.path(), ".h") ||
-          HasExtension(entry.path(), ".cc") ||
-          HasExtension(entry.path(), ".inc")) {
-        files.push_back(entry.path());
-      }
-    }
-  }
-  std::sort(files.begin(), files.end());
+  auto files = srctext::ListSourceFiles(repo_root, {"src", "tools"});
+  if (!files.ok()) return files.status();
 
   std::map<std::string, int> marker_counts;
-  for (const fs::path& file : files) {
-    const std::string rel = RelativeTo(file, root);
-    auto contents = ReadFileToString(file.string());
+  const std::string& marker_token = srctext::HotPathMarker();
+  for (const srctext::SourceFile& file : *files) {
+    auto contents = srctext::ReadFileToString(file.path);
     if (!contents.ok()) return contents.status();
     std::vector<LintIssue> file_issues =
-        LintFileContents(rel, *contents, options);
+        LintFileContents(file.relative, *contents, options);
     issues.insert(issues.end(), file_issues.begin(), file_issues.end());
     if (options.required_hot_path_markers) {
-      const std::string stripped = StripCommentsAndStrings(*contents);
+      const std::string stripped =
+          srctext::StripCommentsAndStrings(*contents);
       int count = 0;
       size_t pos = 0;
-      while ((pos = stripped.find(kHotPathMarker, pos)) !=
-             std::string::npos) {
-        if (IsWholeWord(stripped, pos, kHotPathMarker.size())) {
+      while ((pos = stripped.find(marker_token, pos)) != std::string::npos) {
+        if (IsWholeWord(stripped, pos, marker_token.size())) {
           size_t bol = stripped.rfind('\n', pos);
           bol = (bol == std::string::npos) ? 0 : bol + 1;
           size_t first = stripped.find_first_not_of(" \t", bol);
           if (first == std::string::npos || stripped[first] != '#') ++count;
         }
-        pos += kHotPathMarker.size();
+        pos += marker_token.size();
       }
-      marker_counts[rel] = count;
+      marker_counts[file.relative] = count;
     }
   }
 
@@ -706,10 +365,10 @@ StatusOr<std::vector<LintIssue>> CheckHeaderSelfContained(
     const std::string& include_root, const std::string& compiler_command,
     const std::string& work_dir) {
   std::vector<LintIssue> issues;
-  auto contents = ReadFileToString(header_path);
+  auto contents = srctext::ReadFileToString(header_path);
   if (!contents.ok()) return contents.status();
 
-  const std::string stripped = StripCommentsAndStrings(*contents);
+  const std::string stripped = srctext::StripCommentsAndStrings(*contents);
   const bool has_guard =
       stripped.find("#pragma once") != std::string::npos ||
       (stripped.find("#ifndef") != std::string::npos &&
@@ -770,19 +429,25 @@ StatusOr<std::vector<LintIssue>> CheckTreeHeaders(
   }
   std::vector<fs::path> headers;
   for (const auto& entry : fs::recursive_directory_iterator(src)) {
-    if (entry.is_regular_file() && HasExtension(entry.path(), ".h")) {
+    if (entry.is_regular_file() && entry.path().extension() == ".h") {
       headers.push_back(entry.path());
     }
   }
   std::sort(headers.begin(), headers.end());
   for (const fs::path& header : headers) {
-    const std::string include_path = RelativeTo(header, src);
+    std::error_code rel_ec;
+    fs::path rel = fs::relative(header, src, rel_ec);
+    const std::string include_path =
+        rel_ec ? header.generic_string() : rel.generic_string();
     auto header_issues = CheckHeaderSelfContained(
         header.string(), include_path, src.string(), compiler_command,
         work_dir);
     if (!header_issues.ok()) return header_issues.status();
     for (LintIssue issue : *header_issues) {
-      issue.file = RelativeTo(header, root);
+      std::error_code root_ec;
+      fs::path root_rel = fs::relative(header, root, root_ec);
+      issue.file =
+          root_ec ? header.generic_string() : root_rel.generic_string();
       issues.push_back(std::move(issue));
     }
   }
