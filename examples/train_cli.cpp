@@ -11,6 +11,8 @@
 //               [--max_retries N] [--profile_out <path>]
 //               [--flight_recorder <prefix>]
 //               [--simd auto|scalar|avx2|neon]
+//               [--save_dir <dir>] [--save_every N]
+//               [--checkpoint_keep N] [--resume 0|1]
 //
 //   ./train_cli --model resnet --codec 1bit*:16 --gpus 8 --epochs 15
 //   ./train_cli --task sequence --model lstm --codec q2 --threads 4
@@ -28,10 +30,19 @@
 //
 // Fault-plan grammar (';'-separated): straggle@<iter>:<seconds> |
 //   fail@<iter>[x<count>] | corrupt@<iter>[x<count>] | crash@<iter>:<rank>
-//   | seed=<n>. Faults replay deterministically; --checkpoint_every
-// enables rollback-and-replay, --max_retries the per-exchange retry
-// budget, and a crashed rank is dropped with training renormalized over
-// the survivors.
+//   | torn@<iter> | shortwrite@<iter> | enospc@<iter>[x<count>]
+//   | kill@<iter> | seed=<n>. Faults replay deterministically;
+// --checkpoint_every enables rollback-and-replay, --max_retries the
+// per-exchange retry budget, and a crashed rank is dropped with training
+// renormalized over the survivors. Storage verbs corrupt durable
+// checkpoint writes; kill@ aborts the process loop right after the
+// durable save at that iteration (exit code 3).
+//
+// --save_dir enables durable crash-consistent checkpoints (written every
+// --save_every iterations plus once at the end; --checkpoint_keep
+// retains the newest N). --resume 1 restores the newest valid checkpoint
+// from --save_dir and trains the remaining epochs; pass the fault plan
+// WITHOUT the kill@ verb on the resumed run or it fires again.
 //
 // --profile_out enables the step-phase profiler, prints the per-phase
 // breakdown table after training, and writes the profile JSON to <path>
@@ -76,6 +87,10 @@ struct Args {
   std::string profile_out;       // empty = profiler disabled
   std::string flight_recorder;   // empty = flight recorder disabled
   std::string simd;  // empty = LPSGD_SIMD env, else CPU detection
+  std::string save_dir;   // empty = durable checkpoints disabled
+  int save_every = 0;     // durable save cadence in iterations (0 = end only)
+  int checkpoint_keep = 3;  // newest durable checkpoints retained
+  int resume = 0;           // 1 = restore newest checkpoint from save_dir
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -118,6 +133,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->flight_recorder = value;
     } else if (flag == "--simd") {
       args->simd = value;
+    } else if (flag == "--save_dir") {
+      args->save_dir = value;
+    } else if (flag == "--save_every") {
+      args->save_every = std::atoi(value.c_str());
+    } else if (flag == "--checkpoint_keep") {
+      args->checkpoint_keep = std::atoi(value.c_str());
+    } else if (flag == "--resume") {
+      args->resume = std::atoi(value.c_str());
     } else {
       std::cerr << "unknown flag: " << flag << "\n";
       return false;
@@ -216,6 +239,11 @@ int Run(const Args& args) {
   }
   options.fault_tolerance.checkpoint_every = args.checkpoint_every;
   options.fault_tolerance.retry.max_retries = args.max_retries;
+  if (!args.save_dir.empty()) {
+    options.durable_checkpoint.save_dir = args.save_dir;
+    options.durable_checkpoint.save_every = args.save_every;
+    options.durable_checkpoint.keep = args.checkpoint_keep;
+  }
 
   if (!args.profile_out.empty()) {
     obs::Profiler::Global().set_enabled(true);
@@ -227,7 +255,34 @@ int Run(const Args& args) {
     }
   }
 
-  auto trainer = SyncTrainer::Create(factory, options);
+  int epochs_to_run = args.epochs;
+  StatusOr<std::unique_ptr<SyncTrainer>> trainer =
+      InvalidArgumentError("trainer not constructed");
+  if (args.resume != 0) {
+    if (args.save_dir.empty()) {
+      std::cerr << "--resume 1 needs --save_dir\n";
+      return 1;
+    }
+    auto manager =
+        ckpt::CheckpointManager::Create(options.durable_checkpoint);
+    if (!manager.ok()) {
+      std::cerr << manager.status() << "\n";
+      return 1;
+    }
+    auto restored = (*manager)->RestoreLatest();
+    if (!restored.ok()) {
+      std::cerr << restored.status() << "\n";
+      return 1;
+    }
+    std::cout << "resuming from " << restored->path << " (iteration "
+              << restored->state.iteration << ", "
+              << restored->state.epochs_completed
+              << " epochs completed)\n";
+    epochs_to_run = args.epochs - restored->state.epochs_completed;
+    trainer = SyncTrainer::Restore(factory, options, restored->state);
+  } else {
+    trainer = SyncTrainer::Create(factory, options);
+  }
   if (!trainer.ok()) {
     std::cerr << trainer.status() << "\n";
     return 1;
@@ -251,10 +306,23 @@ int Run(const Args& args) {
   }
   std::cout << "\n";
   std::cout << "epoch  train_loss  train_acc  test_acc  test_top5\n";
-  auto metrics = (*trainer)->Train(*train, *test, args.epochs);
+  auto metrics = (*trainer)->Train(*train, *test, epochs_to_run);
   if (!metrics.ok()) {
+    if (fault::IsProcessKill(metrics.status())) {
+      // The durable checkpoint for this iteration landed before the kill
+      // fired; a restart with --resume 1 (and the kill@ verb stripped
+      // from the plan) picks up from it.
+      std::cerr << "simulated crash: " << metrics.status() << "\n";
+      return 3;
+    }
     std::cerr << metrics.status() << "\n";
     return 1;
+  }
+  if (!args.save_dir.empty()) {
+    if (Status status = (*trainer)->SaveDurableNow(); !status.ok()) {
+      std::cerr << "final checkpoint save failed: " << status << "\n";
+      return 1;
+    }
   }
   for (const EpochMetrics& m : *metrics) {
     std::cout << "  " << m.epoch << "\t" << FormatDouble(m.train_loss, 4)

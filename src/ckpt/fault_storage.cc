@@ -1,0 +1,123 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "ckpt/fault_storage.h"
+
+#include <utility>
+
+#include "base/rng.h"
+#include "base/strings.h"
+#include "obs/metrics.h"
+
+namespace lpsgd {
+namespace ckpt {
+namespace {
+
+bool IsCheckpointDataFile(const std::string& path) {
+  return Basename(path).rfind("ckpt-", 0) == 0;
+}
+
+void RecordStorageInjection(const char* verb, int64_t iteration) {
+  if (!obs::MetricsEnabled()) return;
+  obs::Count("fault/injected");
+  obs::Count(StrCat("ckpt/injected_", verb));
+  (void)iteration;
+}
+
+}  // namespace
+
+FaultInjectingStorage::FaultInjectingStorage(std::shared_ptr<Storage> inner,
+                                             fault::FaultPlan plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {}
+
+Status FaultInjectingStorage::CreateDir(const std::string& path) {
+  return inner_->CreateDir(path);
+}
+
+Status FaultInjectingStorage::WriteFileSynced(const std::string& path,
+                                              const std::string& data) {
+  if (!IsCheckpointDataFile(path)) {
+    return inner_->WriteFileSynced(path, data);
+  }
+  const int attempt = attempts_[iteration_]++;
+  int enospc_budget = 0;
+  bool torn = false;
+  bool short_write = false;
+  for (const fault::FaultEvent& event : plan_.events) {
+    if (event.iteration != iteration_) continue;
+    switch (event.kind) {
+      case fault::FaultKind::kDiskFull:
+        enospc_budget += event.count;
+        break;
+      case fault::FaultKind::kTornWrite:
+        torn = true;
+        break;
+      case fault::FaultKind::kShortWrite:
+        short_write = true;
+        break;
+      default:
+        break;  // exchange/process verbs are not storage's business
+    }
+  }
+  if (attempt < enospc_budget) {
+    ++injected_;
+    RecordStorageInjection("enospc", iteration_);
+    return UnavailableError(StrCat("injected ENOSPC writing ", path,
+                                   " at iteration ", iteration_,
+                                   ", attempt ", attempt));
+  }
+  // Silent write lies strike the first post-ENOSPC attempt only; a retry
+  // after the reader detects the damage would land clean, but the manager
+  // never retries an "OK" write — detection happens at restore time.
+  if (attempt == enospc_budget && torn) {
+    ++injected_;
+    RecordStorageInjection("torn", iteration_);
+    std::string damaged = data;
+    Rng rng(plan_.seed ^ static_cast<uint64_t>(iteration_));
+    const int flips = rng.NextInt(1, 8);
+    for (int i = 0; i < flips && !damaged.empty(); ++i) {
+      const size_t third = damaged.size() / 3;
+      const size_t pos =
+          third + static_cast<size_t>(
+                      rng.NextUint64(damaged.size() - third));
+      damaged[pos] = static_cast<char>(
+          damaged[pos] ^ static_cast<char>(rng.NextInt(1, 255)));
+    }
+    return inner_->WriteFileSynced(path, damaged);
+  }
+  if (attempt == enospc_budget && short_write) {
+    ++injected_;
+    RecordStorageInjection("shortwrite", iteration_);
+    return inner_->WriteFileSynced(path, data.substr(0, data.size() / 2));
+  }
+  return inner_->WriteFileSynced(path, data);
+}
+
+StatusOr<std::string> FaultInjectingStorage::ReadFile(
+    const std::string& path) {
+  return inner_->ReadFile(path);
+}
+
+Status FaultInjectingStorage::AtomicRename(const std::string& from,
+                                           const std::string& to) {
+  return inner_->AtomicRename(from, to);
+}
+
+Status FaultInjectingStorage::Remove(const std::string& path) {
+  return inner_->Remove(path);
+}
+
+StatusOr<std::vector<std::string>> FaultInjectingStorage::List(
+    const std::string& dir) {
+  return inner_->List(dir);
+}
+
+bool FaultInjectingStorage::Exists(const std::string& path) {
+  return inner_->Exists(path);
+}
+
+void FaultInjectingStorage::SetFaultContext(int64_t iteration) {
+  iteration_ = iteration;
+  inner_->SetFaultContext(iteration);
+}
+
+}  // namespace ckpt
+}  // namespace lpsgd

@@ -1,0 +1,71 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_CKPT_FAULT_STORAGE_H_
+#define LPSGD_CKPT_FAULT_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ckpt/storage.h"
+#include "fault/fault_plan.h"
+
+namespace lpsgd {
+namespace ckpt {
+
+// Deterministic storage-fault injection (the durable-layer sibling of
+// fault::FaultInjectingAggregator). Wraps any Storage and applies the
+// FaultPlan's storage verbs to checkpoint data-file writes — files whose
+// basename starts with "ckpt-" — at the iteration announced through
+// SetFaultContext:
+//
+//   enospc@i[xN]   the first N write attempts at iteration i fail with
+//                  UNAVAILABLE (the manager's retry loop re-attempts).
+//   torn@i         the write "succeeds" but the bytes on disk are
+//                  corrupted (seeded by plan.seed ^ i), modelling a torn
+//                  page: the fault is silent at write time and must be
+//                  caught by the reader's integrity words.
+//   shortwrite@i   the write "succeeds" but only the first half of the
+//                  payload reaches the disk, modelling a crash mid-write.
+//
+// When both torn@ and shortwrite@ name the same iteration, torn wins (one
+// write happens per save; only one lie fits in it). Manifest writes and
+// everything else pass through untouched — the protocol under test is the
+// data-file path, and a corrupt manifest is covered separately by the
+// manager's directory-scan fallback.
+class FaultInjectingStorage : public Storage {
+ public:
+  FaultInjectingStorage(std::shared_ptr<Storage> inner,
+                        fault::FaultPlan plan);
+
+  [[nodiscard]] Status CreateDir(const std::string& path) override;
+  [[nodiscard]] Status WriteFileSynced(const std::string& path,
+                                       const std::string& data) override;
+  [[nodiscard]] StatusOr<std::string> ReadFile(
+      const std::string& path) override;
+  [[nodiscard]] Status AtomicRename(const std::string& from,
+                                    const std::string& to) override;
+  [[nodiscard]] Status Remove(const std::string& path) override;
+  [[nodiscard]] StatusOr<std::vector<std::string>> List(
+      const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+  void SetFaultContext(int64_t iteration) override;
+
+  // Total faults injected so far (tests assert the plan actually fired).
+  int64_t injected() const { return injected_; }
+
+ private:
+  std::shared_ptr<Storage> inner_;
+  fault::FaultPlan plan_;
+  int64_t iteration_ = -1;
+  int64_t injected_ = 0;
+  // Write attempts per iteration, so enospc budgets are consumed across
+  // the manager's retries exactly like the exchange-fault budgets.
+  std::unordered_map<int64_t, int> attempts_;
+};
+
+}  // namespace ckpt
+}  // namespace lpsgd
+
+#endif  // LPSGD_CKPT_FAULT_STORAGE_H_

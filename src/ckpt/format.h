@@ -1,0 +1,87 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_CKPT_FORMAT_H_
+#define LPSGD_CKPT_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+
+namespace lpsgd {
+namespace ckpt {
+
+// One named tensor (a parameter matrix or an optimizer velocity slot).
+struct TensorEntry {
+  std::string name;
+  std::vector<int64_t> dims;
+  std::vector<float> data;
+};
+
+// One deterministic RNG stream recorded for provenance: the derived
+// stream seeds are recomputable from the base seed, but writing them out
+// makes the file self-describing for external tooling.
+struct RngStreamEntry {
+  std::string name;
+  uint64_t seed = 0;
+};
+
+// Everything SyncTrainer needs to resume bit-identically: model and
+// optimizer tensors, per-rank error-feedback residuals, the aggregator's
+// owner-side residuals, the deterministic RNG streams, and the exact
+// position in the epoch (step counter, batch cursor, metric
+// accumulators). Wall-clock time is deliberately absent — it is the one
+// nondeterministic quantity and would break bit-equality of the files.
+struct TrainerState {
+  // -- meta section --
+  uint64_t seed = 0;
+  std::string codec;
+  int32_t rank_count = 0;
+  int64_t iteration = 0;
+  int32_t epochs_completed = 0;
+  // Number of NextBatch calls already consumed in the in-progress epoch
+  // (0 = the checkpoint sits on an epoch boundary).
+  int64_t epoch_batch_cursor = 0;
+  double epoch_loss_sum = 0.0;
+  int64_t epoch_correct = 0;
+  int64_t epoch_samples = 0;
+  double virtual_seconds = 0.0;
+
+  std::vector<TensorEntry> params;
+  std::vector<TensorEntry> optimizer;
+  // Per-rank, per-matrix error-feedback residuals (empty vectors for
+  // codecs without error feedback).
+  std::vector<std::vector<std::vector<float>>> residuals;
+  // The aggregator's exported exchange state (comm/allreduce.h), one flat
+  // vector per matrix; empty for stateless engines.
+  std::vector<std::vector<float>> aggregator_state;
+  std::vector<RngStreamEntry> rng_streams;
+};
+
+// Wire format v1 (DESIGN.md "Durable crash-consistent checkpointing"):
+//
+//   header   u32 magic 'LPCK' | u32 version | u32 section_count
+//            | u32 fnv1a32(header bytes so far)
+//   section  u32 tag | u64 payload_length | payload
+//            | u32 fnv1a32(payload)
+//
+// Six sections (meta, params, optimizer, residuals, aggregator, rng),
+// each present exactly once, in any order, with nothing trailing. The
+// per-section FNV-1a words reuse the codec sealing convention
+// (base/bit_packing.h), so a torn or truncated file fails closed.
+std::string Serialize(const TrainerState& state);
+
+// Strict, allocation-bounded reader. EVERY malformed input — wrong magic,
+// bad integrity word, truncated section, absurd count, trailing bytes —
+// returns DATA_LOSS (never crashes, never over-allocates): the caller
+// treats any such file as a torn write and falls back to an older
+// checkpoint. Counts are validated against the remaining payload size
+// before any buffer is sized, so hostile length fields cannot OOM.
+[[nodiscard]] StatusOr<TrainerState> Deserialize(const uint8_t* data,
+                                                 size_t size);
+[[nodiscard]] StatusOr<TrainerState> Deserialize(const std::string& bytes);
+
+}  // namespace ckpt
+}  // namespace lpsgd
+
+#endif  // LPSGD_CKPT_FORMAT_H_

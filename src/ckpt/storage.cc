@@ -1,0 +1,170 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#include "ckpt/storage.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/strings.h"
+
+namespace lpsgd {
+namespace ckpt {
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path,
+                   int saved_errno) {
+  const std::string message =
+      StrCat(op, " ", path, ": ", std::strerror(saved_errno));
+  if (saved_errno == ENOENT) return NotFoundError(message);
+  // ENOSPC/EDQUOT-style exhaustion is transient from the checkpoint
+  // manager's point of view: retention GC or an operator frees space and
+  // the retried write succeeds.
+  if (saved_errno == ENOSPC) return UnavailableError(message);
+  return InternalError(message);
+}
+
+class PosixStorage : public Storage {
+ public:
+  Status CreateDir(const std::string& path) override {
+    if (path.empty()) return InvalidArgumentError("empty directory path");
+    // Walk the components so intermediate directories are created too.
+    for (size_t i = 1; i <= path.size(); ++i) {
+      if (i != path.size() && path[i] != '/') continue;
+      const std::string prefix = path.substr(0, i);
+      if (prefix.empty() || prefix == "/") continue;
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        return ErrnoStatus("mkdir", prefix, errno);
+      }
+    }
+    return OkStatus();
+  }
+
+  Status WriteFileSynced(const std::string& path,
+                         const std::string& data) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    size_t written = 0;
+    while (written < data.size()) {
+      const ssize_t n =
+          ::write(fd, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int saved = errno;
+        ::close(fd);
+        return ErrnoStatus("write", path, saved);
+      }
+      if (n == 0) {
+        ::close(fd);
+        return UnavailableError(StrCat("short write to ", path));
+      }
+      written += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      return ErrnoStatus("fsync", path, saved);
+    }
+    if (::close(fd) != 0) return ErrnoStatus("close", path, errno);
+    return OkStatus();
+  }
+
+  StatusOr<std::string> ReadFile(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open", path, errno);
+    std::string data;
+    char buffer[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int saved = errno;
+        ::close(fd);
+        return ErrnoStatus("read", path, saved);
+      }
+      if (n == 0) break;
+      data.append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return data;
+  }
+
+  Status AtomicRename(const std::string& from,
+                      const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from, errno);
+    }
+    // Durability of the rename itself requires syncing the parent
+    // directory entry.
+    const size_t slash = to.rfind('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : to.substr(0, slash == 0 ? 1 : slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus("open", dir, errno);
+    if (::fsync(fd) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      return ErrnoStatus("fsync", dir, saved);
+    }
+    ::close(fd);
+    return OkStatus();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("unlink", path, errno);
+    }
+    return OkStatus();
+  }
+
+  StatusOr<std::vector<std::string>> List(const std::string& dir) override {
+    DIR* handle = ::opendir(dir.c_str());
+    if (handle == nullptr) return ErrnoStatus("opendir", dir, errno);
+    std::vector<std::string> names;
+    for (;;) {
+      errno = 0;
+      struct dirent* entry = ::readdir(handle);
+      if (entry == nullptr) {
+        const int saved = errno;
+        ::closedir(handle);
+        if (saved != 0) return ErrnoStatus("readdir", dir, saved);
+        break;
+      }
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(name);
+    }
+    return names;
+  }
+
+  bool Exists(const std::string& path) override {
+    struct stat info;
+    return ::stat(path.c_str(), &info) == 0;
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<Storage> MakePosixStorage() {
+  return std::make_shared<PosixStorage>();
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (!dir.empty() && dir.back() == '/') return StrCat(dir, name);
+  return StrCat(dir, "/", name);
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace ckpt
+}  // namespace lpsgd

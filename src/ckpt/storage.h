@@ -1,0 +1,72 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+#ifndef LPSGD_CKPT_STORAGE_H_
+#define LPSGD_CKPT_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/statusor.h"
+
+namespace lpsgd {
+namespace ckpt {
+
+// Minimal durable-file interface for the checkpoint subsystem
+// (DESIGN.md "Durable crash-consistent checkpointing"). The manager only
+// ever writes through the temp+fsync+rename protocol, so the interface is
+// deliberately small: whole-file synced writes, whole-file reads, atomic
+// rename, and directory listing. Production code uses the POSIX
+// implementation; chaos tests wrap it in a FaultInjectingStorage.
+//
+// Error-code contract: a full disk (or any transient, retryable write
+// failure) is UNAVAILABLE — the manager retries it on the
+// comm/retry backoff schedule. Missing files are NOT_FOUND. Everything
+// else is INTERNAL.
+class Storage {
+ public:
+  virtual ~Storage() = default;
+
+  // mkdir -p: creates `path` and any missing parents; existing is OK.
+  [[nodiscard]] virtual Status CreateDir(const std::string& path) = 0;
+
+  // Writes `data` to `path` (truncating) and fsyncs before returning, so
+  // a subsequent AtomicRename publishes fully-durable bytes.
+  [[nodiscard]] virtual Status WriteFileSynced(const std::string& path,
+                                               const std::string& data) = 0;
+
+  [[nodiscard]] virtual StatusOr<std::string> ReadFile(
+      const std::string& path) = 0;
+
+  // rename(2): atomically replaces `to` with `from`, then syncs the
+  // parent directory so the rename itself is durable.
+  [[nodiscard]] virtual Status AtomicRename(const std::string& from,
+                                            const std::string& to) = 0;
+
+  [[nodiscard]] virtual Status Remove(const std::string& path) = 0;
+
+  // Names (not paths) of regular files directly under `dir`.
+  [[nodiscard]] virtual StatusOr<std::vector<std::string>> List(
+      const std::string& dir) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+
+  // Fault-injection context: the trainer iteration the next checkpoint
+  // write belongs to, so a FaultPlan's storage verbs can key off it.
+  // A no-op for real storage.
+  virtual void SetFaultContext(int64_t iteration) { (void)iteration; }
+};
+
+// The real thing: POSIX open/write/fsync/rename.
+std::shared_ptr<Storage> MakePosixStorage();
+
+// Joins a directory and a file name with exactly one '/'.
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+// The final path component ("" for a trailing '/').
+std::string Basename(const std::string& path);
+
+}  // namespace ckpt
+}  // namespace lpsgd
+
+#endif  // LPSGD_CKPT_STORAGE_H_

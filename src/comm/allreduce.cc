@@ -30,6 +30,14 @@ class FlightRecordingAggregator : public GradientAggregator {
     inner_->CheckpointExchangeState();
   }
   void RollbackExchangeState() override { inner_->RollbackExchangeState(); }
+  void ExportExchangeState(
+      std::vector<std::vector<float>>* state) const override {
+    inner_->ExportExchangeState(state);
+  }
+  [[nodiscard]] Status ImportExchangeState(
+      const std::vector<std::vector<float>>& state) override {
+    return inner_->ImportExchangeState(state);
+  }
 
   StatusOr<CommStats> AllReduce(std::vector<MatrixSlot>* slots,
                                 int64_t iteration) override {
@@ -55,6 +63,12 @@ class FlightRecordingAggregator : public GradientAggregator {
 
 std::string CommPrimitiveName(CommPrimitive primitive) {
   return primitive == CommPrimitive::kMpi ? "MPI" : "NCCL";
+}
+
+double RetryBackoffSeconds(const ExchangeRetryOptions& options, int attempt) {
+  double backoff = options.backoff_base_seconds;
+  for (int i = 1; i < attempt; ++i) backoff *= 2.0;
+  return backoff;
 }
 
 StatusOr<std::unique_ptr<GradientAggregator>> CreateAggregator(

@@ -106,6 +106,25 @@ class GradientAggregator {
   // AllReduce contract above. Stateless aggregators keep these no-ops.
   virtual void CheckpointExchangeState() {}
   virtual void RollbackExchangeState() {}
+
+  // Durable-checkpoint hooks for src/ckpt: an aggregator with persistent
+  // cross-call state (the MPI owner-side aggregation residuals) exports a
+  // copy as one flat float vector per matrix for serialization, and
+  // re-imports it on restore-from-disk so a restored run replays
+  // bit-identically to one that never stopped. Stateless engines keep the
+  // defaults: export nothing, accept only an empty import.
+  virtual void ExportExchangeState(
+      std::vector<std::vector<float>>* state) const {
+    state->clear();
+  }
+  [[nodiscard]] virtual Status ImportExchangeState(
+      const std::vector<std::vector<float>>& state) {
+    if (!state.empty()) {
+      return FailedPreconditionError(
+          "aggregator is stateless but checkpoint carries exchange state");
+    }
+    return OkStatus();
+  }
 };
 
 // Per-exchange fault-tolerance budget (DESIGN.md "Fault model and
@@ -125,6 +144,12 @@ struct ExchangeRetryOptions {
 
   bool enabled() const { return max_retries > 0 || timeout_seconds > 0.0; }
 };
+
+// Backoff penalty before retry `attempt` (1-based):
+// backoff_base_seconds * 2^(attempt-1). Shared by the retrying aggregator
+// and the durable-checkpoint writer so both layers charge the same
+// schedule for transient failures.
+double RetryBackoffSeconds(const ExchangeRetryOptions& options, int attempt);
 
 // Hook for layering a decorator (e.g. fault::FaultInjectingAggregator)
 // between the retry wrapper and the real engine built by CreateAggregator.

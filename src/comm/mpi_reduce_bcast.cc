@@ -73,6 +73,18 @@ void MpiReduceBcastAggregator::RollbackExchangeState() {
   }
 }
 
+void MpiReduceBcastAggregator::ExportExchangeState(
+    std::vector<std::vector<float>>* state) const {
+  *state = aggregate_errors_;
+}
+
+Status MpiReduceBcastAggregator::ImportExchangeState(
+    const std::vector<std::vector<float>>& state) {
+  aggregate_errors_ = state;
+  aggregate_errors_snapshot_count_ = 0;
+  return OkStatus();
+}
+
 StatusOr<CommStats> MpiReduceBcastAggregator::AllReduce(
     std::vector<MatrixSlot>* slots, int64_t iteration) {
   CHECK(slots != nullptr);

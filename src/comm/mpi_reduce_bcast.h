@@ -50,6 +50,15 @@ class MpiReduceBcastAggregator : public GradientAggregator {
   void CheckpointExchangeState() override;
   void RollbackExchangeState() override;
 
+  // Durable-checkpoint hooks: the owner-side aggregation residuals are the
+  // only cross-call state, and they are per-matrix (rank-count
+  // independent), so a restore at a different rank count imports them
+  // unchanged.
+  void ExportExchangeState(
+      std::vector<std::vector<float>>* state) const override;
+  [[nodiscard]] Status ImportExchangeState(
+      const std::vector<std::vector<float>>& state) override;
+
   const GradientCodec& codec() const { return *codec_; }
 
   // Test seam: invoked after every stage-1 encode (rank >= 0) and stage-2

@@ -96,7 +96,6 @@ StatusOr<CommStats> RetryingAggregator::AllReduce(
   }
 
   double penalty_seconds = 0.0;
-  double backoff_seconds = options_.backoff_base_seconds;
   Status last_error = OkStatus();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
@@ -104,8 +103,7 @@ StatusOr<CommStats> RetryingAggregator::AllReduce(
       RestoreSlots(slots);
       inner_->RollbackExchangeState();
       if (obs::MetricsEnabled()) obs::Count("comm/retries");
-      penalty_seconds += backoff_seconds;
-      backoff_seconds *= 2.0;
+      penalty_seconds += RetryBackoffSeconds(options_, attempt);
     }
     StatusOr<CommStats> result = inner_->AllReduce(slots, iteration);
     if (result.ok()) {

@@ -43,6 +43,14 @@ class RetryingAggregator : public GradientAggregator {
     inner_->CheckpointExchangeState();
   }
   void RollbackExchangeState() override { inner_->RollbackExchangeState(); }
+  void ExportExchangeState(
+      std::vector<std::vector<float>>* state) const override {
+    inner_->ExportExchangeState(state);
+  }
+  [[nodiscard]] Status ImportExchangeState(
+      const std::vector<std::vector<float>>& state) override {
+    return inner_->ImportExchangeState(state);
+  }
 
   GradientAggregator* inner() const { return inner_.get(); }
   const ExchangeRetryOptions& options() const { return options_; }

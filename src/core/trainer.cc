@@ -5,6 +5,7 @@
 
 #include "base/logging.h"
 #include "base/strings.h"
+#include "ckpt/fault_storage.h"
 #include "nn/loss.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -78,6 +79,9 @@ Status TrainerOptions::Validate() const {
                execution.intra_op_threads));
   }
   LPSGD_RETURN_IF_ERROR(fault_tolerance.Validate());
+  if (durable_checkpoint.enabled()) {
+    LPSGD_RETURN_IF_ERROR(durable_checkpoint.Validate());
+  }
   return OkStatus();
 }
 
@@ -108,8 +112,42 @@ StatusOr<std::unique_ptr<SyncTrainer>> SyncTrainer::Create(
                        fault::MakeAggregatorDecorator(
                            resolved.fault_tolerance.plan, resolved.codec)));
 
-  return std::unique_ptr<SyncTrainer>(new SyncTrainer(
+  std::unique_ptr<SyncTrainer> trainer(new SyncTrainer(
       resolved, std::move(replicas), std::move(aggregator)));
+  LPSGD_RETURN_IF_ERROR(trainer->SetUpDurableCheckpoint());
+  return trainer;
+}
+
+StatusOr<std::unique_ptr<SyncTrainer>> SyncTrainer::Restore(
+    const NetworkFactory& factory, const TrainerOptions& options,
+    const ckpt::TrainerState& state) {
+  LPSGD_ASSIGN_OR_RETURN(std::unique_ptr<SyncTrainer> trainer,
+                         Create(factory, options));
+  LPSGD_RETURN_IF_ERROR(trainer->ApplyState(state));
+  if (obs::ReportEnabled() && state.rank_count != options.num_gpus) {
+    obs::JsonValue fields = obs::JsonValue::Object();
+    fields.Set("from_ranks", static_cast<int64_t>(state.rank_count));
+    fields.Set("to_ranks", int64_t{options.num_gpus});
+    fields.Set("iteration", state.iteration);
+    obs::RecordEntry("restore_rescale", std::move(fields));
+  }
+  return trainer;
+}
+
+Status SyncTrainer::SetUpDurableCheckpoint() {
+  if (!options_.durable_checkpoint.enabled()) return OkStatus();
+  ckpt::DurableCheckpointOptions durable = options_.durable_checkpoint;
+  std::shared_ptr<ckpt::Storage> storage =
+      durable.storage != nullptr ? durable.storage
+                                 : ckpt::MakePosixStorage();
+  if (options_.fault_tolerance.plan.HasStorageFaults()) {
+    storage = std::make_shared<ckpt::FaultInjectingStorage>(
+        std::move(storage), options_.fault_tolerance.plan);
+  }
+  durable.storage = std::move(storage);
+  LPSGD_ASSIGN_OR_RETURN(ckpt_manager_,
+                         ckpt::CheckpointManager::Create(std::move(durable)));
+  return OkStatus();
 }
 
 SyncTrainer::SyncTrainer(TrainerOptions options,
@@ -166,11 +204,21 @@ SyncTrainer::SyncTrainer(TrainerOptions options,
 }
 
 Status SyncTrainer::SaveCheckpoint(std::ostream& os) {
-  return replicas_[0].SaveParams(os);
+  LPSGD_RETURN_IF_ERROR(replicas_[0].SaveParams(os));
+  // SaveParams checks its own writes, but a buffered sink can defer the
+  // actual I/O failure (full disk, closed pipe) until the flush.
+  os.flush();
+  if (os.fail() || os.bad()) {
+    return InternalError("checkpoint stream write failed at flush");
+  }
+  return OkStatus();
 }
 
 Status SyncTrainer::LoadCheckpoint(std::istream& is) {
   LPSGD_RETURN_IF_ERROR(replicas_[0].LoadParams(is));
+  if (is.bad()) {
+    return DataLossError("checkpoint stream read failed");
+  }
   for (size_t r = 1; r < replicas_.size(); ++r) {
     replicas_[r].CopyParamsFrom(replicas_[0]);
   }
@@ -187,6 +235,228 @@ Status SyncTrainer::LoadCheckpoint(std::istream& is) {
   }
   recovery_.valid = false;
   replay_.clear();
+  return OkStatus();
+}
+
+ckpt::TrainerState SyncTrainer::CaptureState() const {
+  return CaptureStateAt(/*loss_sum=*/0.0, /*correct=*/0, /*samples=*/0,
+                        /*cursor=*/0);
+}
+
+ckpt::TrainerState SyncTrainer::CaptureStateAt(double loss_sum,
+                                               int64_t correct,
+                                               int64_t samples,
+                                               int64_t cursor) const {
+  ckpt::TrainerState state;
+  state.seed = options_.seed;
+  state.codec = options_.codec.Label();
+  state.rank_count = live_gpus_;
+  state.iteration = iteration_;
+  state.epochs_completed = epochs_completed_;
+  state.epoch_batch_cursor = cursor;
+  state.epoch_loss_sum = loss_sum;
+  state.epoch_correct = correct;
+  state.epoch_samples = samples;
+  state.virtual_seconds = virtual_seconds_;
+  for (const ParamRef& param : replica_params_[0]) {
+    ckpt::TensorEntry entry;
+    entry.name = param.name;
+    entry.dims = param.value->shape().dims();
+    entry.data.assign(param.value->data(),
+                      param.value->data() + param.value->size());
+    state.params.push_back(std::move(entry));
+  }
+  for (const Tensor& velocity : optimizers_[0].velocity()) {
+    ckpt::TensorEntry entry;
+    entry.dims = velocity.shape().dims();
+    entry.data.assign(velocity.data(), velocity.data() + velocity.size());
+    state.optimizer.push_back(std::move(entry));
+  }
+  state.residuals = errors_;
+  aggregator_->ExportExchangeState(&state.aggregator_state);
+  // The deterministic streams, recorded for provenance: everything the run
+  // draws is recomputable from these plus (iteration, matrix, rank)
+  // counters, which is why no generator cursor needs persisting.
+  state.rng_streams.push_back({"init", options_.seed});
+  state.rng_streams.push_back({"shuffle", options_.seed ^ 0xdadaULL});
+  return state;
+}
+
+Status SyncTrainer::ImportResiduals(
+    const std::vector<std::vector<std::vector<float>>>& residuals) {
+  if (residuals.empty()) {
+    // Checkpoint from a residual-free configuration: keep the fresh zeros.
+    return OkStatus();
+  }
+  const int old_ranks = static_cast<int>(residuals.size());
+  const int new_ranks = live_gpus_;
+  const size_t num_matrices = errors_[0].size();
+  for (const auto& rank_residuals : residuals) {
+    if (rank_residuals.size() != num_matrices) {
+      return FailedPreconditionError(
+          StrCat("checkpoint has ", rank_residuals.size(),
+                 " residual matrices per rank, model has ", num_matrices));
+    }
+  }
+  for (int r = 0; r < new_ranks; ++r) {
+    for (size_t m = 0; m < num_matrices; ++m) {
+      std::vector<float>& dst = errors_[static_cast<size_t>(r)][m];
+      const std::vector<float>& reference =
+          residuals[static_cast<size_t>(r % old_ranks)][m];
+      if (reference.size() != dst.size()) {
+        return FailedPreconditionError(StrCat(
+            "checkpoint residual for matrix ", m, " has ",
+            reference.size(), " elements, trainer expects ", dst.size(),
+            " (codec/primitive mismatch?)"));
+      }
+      if (dst.empty()) continue;
+      if (new_ranks == old_ranks) {
+        dst = residuals[static_cast<size_t>(r)][m];
+      } else if (new_ranks < old_ranks) {
+        // Shrink: fold the departing ranks' residuals onto the survivors
+        // (o % new_ranks == r), preserving the total residual mass.
+        std::fill(dst.begin(), dst.end(), 0.0f);
+        for (int o = r; o < old_ranks; o += new_ranks) {
+          const std::vector<float>& src = residuals[static_cast<size_t>(o)][m];
+          if (src.size() != dst.size()) {
+            return FailedPreconditionError(
+                StrCat("ragged checkpoint residuals for matrix ", m));
+          }
+          for (size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+        }
+      } else {
+        // Grow: replicate old rank (r % old) onto the new rank, scaled by
+        // old/new so the summed residual mass is unchanged.
+        const float scale = static_cast<float>(old_ranks) /
+                            static_cast<float>(new_ranks);
+        dst = reference;
+        for (float& value : dst) value *= scale;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status SyncTrainer::ApplyState(const ckpt::TrainerState& state) {
+  if (state.seed != options_.seed) {
+    return FailedPreconditionError(
+        StrCat("checkpoint seed ", state.seed, " does not match run seed ",
+               options_.seed, "; the data order would diverge"));
+  }
+  if (state.codec != options_.codec.Label()) {
+    return FailedPreconditionError(
+        StrCat("checkpoint codec \"", state.codec,
+               "\" does not match run codec \"", options_.codec.Label(),
+               "\""));
+  }
+  if (state.rank_count < 1) {
+    return FailedPreconditionError("checkpoint has no ranks");
+  }
+  // Parameters: names and shapes must line up exactly.
+  if (state.params.size() != replica_params_[0].size()) {
+    return FailedPreconditionError(
+        StrCat("checkpoint has ", state.params.size(),
+               " parameter matrices, model has ",
+               replica_params_[0].size()));
+  }
+  for (size_t m = 0; m < state.params.size(); ++m) {
+    const ckpt::TensorEntry& entry = state.params[m];
+    const ParamRef& param = replica_params_[0][m];
+    if (entry.name != param.name) {
+      return FailedPreconditionError(
+          StrCat("checkpoint param \"", entry.name,
+                 "\" does not match model param \"", param.name, "\""));
+    }
+    if (entry.dims != param.value->shape().dims() ||
+        static_cast<int64_t>(entry.data.size()) != param.value->size()) {
+      return FailedPreconditionError(
+          StrCat("checkpoint param \"", entry.name, "\" shape mismatch"));
+    }
+  }
+  // Optimizer momentum: either absent (pre-first-step checkpoint) or one
+  // tensor per parameter.
+  std::vector<Tensor> velocity;
+  if (!state.optimizer.empty()) {
+    if (state.optimizer.size() != state.params.size()) {
+      return FailedPreconditionError(
+          StrCat("checkpoint has ", state.optimizer.size(),
+                 " momentum tensors for ", state.params.size(),
+                 " parameters"));
+    }
+    velocity.reserve(state.optimizer.size());
+    for (size_t m = 0; m < state.optimizer.size(); ++m) {
+      const ckpt::TensorEntry& entry = state.optimizer[m];
+      Tensor tensor{Shape(entry.dims)};
+      if (static_cast<int64_t>(entry.data.size()) != tensor.size() ||
+          tensor.size() != replica_params_[0][m].value->size()) {
+        return FailedPreconditionError(
+            StrCat("checkpoint momentum tensor ", m, " shape mismatch"));
+      }
+      std::copy(entry.data.begin(), entry.data.end(), tensor.data());
+      velocity.push_back(std::move(tensor));
+    }
+  }
+  // All validation passed: start mutating.
+  for (size_t m = 0; m < state.params.size(); ++m) {
+    std::copy(state.params[m].data.begin(), state.params[m].data.end(),
+              replica_params_[0][m].value->data());
+  }
+  for (size_t r = 1; r < replicas_.size(); ++r) {
+    replicas_[r].CopyParamsFrom(replicas_[0]);
+  }
+  for (auto& optimizer : optimizers_) optimizer.set_velocity(velocity);
+  // Re-derive the effective learning rate for the resume position: the
+  // optimizers are fresh, so schedule entries from earlier epochs must be
+  // re-applied (Train() only applies the entry for the epoch it starts).
+  float lr = options_.learning_rate;
+  for (const auto& [at_epoch, scheduled] : options_.lr_schedule) {
+    if (at_epoch <= state.epochs_completed) lr = scheduled;
+  }
+  for (auto& optimizer : optimizers_) optimizer.set_learning_rate(lr);
+  LPSGD_RETURN_IF_ERROR(ImportResiduals(state.residuals));
+  LPSGD_RETURN_IF_ERROR(
+      aggregator_->ImportExchangeState(state.aggregator_state));
+  iteration_ = state.iteration;
+  epochs_completed_ = state.epochs_completed;
+  virtual_seconds_ = state.virtual_seconds;
+  pending_resume_ =
+      state.epoch_batch_cursor > 0 || state.epoch_samples > 0;
+  resume_cursor_ = state.epoch_batch_cursor;
+  resume_loss_sum_ = state.epoch_loss_sum;
+  resume_correct_ = state.epoch_correct;
+  resume_samples_ = state.epoch_samples;
+  recovery_.valid = false;
+  replay_.clear();
+  steps_since_snapshot_ = 0;
+  recoveries_used_ = 0;
+  return OkStatus();
+}
+
+Status SyncTrainer::SaveDurableNow() {
+  if (ckpt_manager_ == nullptr) {
+    return FailedPreconditionError(
+        "durable checkpointing is disabled (no save_dir)");
+  }
+  return ckpt_manager_->Save(CaptureState());
+}
+
+Status SyncTrainer::AfterCommit(double loss_sum, int64_t correct,
+                                int64_t samples, int64_t cursor) {
+  if (ckpt_manager_ != nullptr) {
+    const int every = options_.durable_checkpoint.save_every;
+    if (every > 0 && iteration_ % every == 0) {
+      LPSGD_RETURN_IF_ERROR(ckpt_manager_->Save(
+          CaptureStateAt(loss_sum, correct, samples, cursor)));
+    }
+  }
+  // kill@ fires after the durable save above, so the chaos harness can
+  // kill exactly at a checkpointed iteration. A killed process must be
+  // restarted with the kill stripped from its plan (the fault already
+  // happened); Train returns this error directly — IsRankCrash never
+  // matches it, so it cannot leak into the degrade-to-survivors path.
+  if (active_plan_.KillsAt(iteration_)) {
+    return fault::ProcessKillError(iteration_);
+  }
   return OkStatus();
 }
 
@@ -376,6 +646,22 @@ StatusOr<std::vector<EpochMetrics>> SyncTrainer::Train(const Dataset& train,
     double loss_sum = 0.0;
     int64_t correct = 0;
     int64_t samples = 0;
+    // NextBatch calls consumed this epoch; durable checkpoints record it
+    // so a restored run resumes at the exact batch.
+    int64_t cursor = 0;
+    if (pending_resume_) {
+      // Resuming mid-epoch from a durable checkpoint: seed the epoch
+      // accumulators with the persisted partial sums and fast-forward the
+      // deterministic batch stream to the recorded cursor.
+      pending_resume_ = false;
+      loss_sum = resume_loss_sum_;
+      correct = resume_correct_;
+      samples = resume_samples_;
+      Batch skipped;
+      while (cursor < resume_cursor_ && iterator.NextBatch(&skipped)) {
+        ++cursor;
+      }
+    }
     // The snapshot holds epoch-local accumulators, so it cannot outlive
     // the epoch that took it.
     recovery_.valid = false;
@@ -384,6 +670,7 @@ StatusOr<std::vector<EpochMetrics>> SyncTrainer::Train(const Dataset& train,
     const int checkpoint_every = options_.fault_tolerance.checkpoint_every;
     Batch batch;
     while (iterator.NextBatch(&batch)) {
+      ++cursor;
       if (batch.size() < live_gpus_) continue;  // skip tiny remainder
       TrimBatch(&batch);  // shards stay equal across live ranks
       if (checkpoint_every > 0 &&
@@ -401,6 +688,7 @@ StatusOr<std::vector<EpochMetrics>> SyncTrainer::Train(const Dataset& train,
         LPSGD_RETURN_IF_ERROR(
             Recover(step, batch, &loss_sum, &correct, &samples));
       }
+      LPSGD_RETURN_IF_ERROR(AfterCommit(loss_sum, correct, samples, cursor));
     }
 
     EpochMetrics m;

@@ -11,6 +11,7 @@
 #include "base/status.h"
 #include "base/statusor.h"
 #include "base/thread_pool.h"
+#include "ckpt/manager.h"
 #include "comm/allreduce.h"
 #include "data/dataset.h"
 #include "fault/fault_injector.h"
@@ -56,6 +57,14 @@ struct TrainerOptions {
   // Default-constructed = all disabled; the trainer behaves exactly as
   // before.
   fault::FaultToleranceOptions fault_tolerance;
+
+  // Durable crash-consistent checkpointing (DESIGN.md "Durable
+  // crash-consistent checkpointing"): when save_dir is set the trainer
+  // writes a full-state checkpoint every save_every committed iterations
+  // (temp + fsync + atomic rename + manifest), and SyncTrainer::Restore
+  // reconstructs a trainer from the newest intact file — optionally at a
+  // different rank count. Default-constructed = disabled.
+  ckpt::DurableCheckpointOptions durable_checkpoint;
 
   // Host-side execution of the per-rank work (forward/backward, codec
   // kernels, optimizer steps). Defaults to one pool sized to the hardware
@@ -104,6 +113,22 @@ class SyncTrainer {
   [[nodiscard]] static StatusOr<std::unique_ptr<SyncTrainer>> Create(
       const NetworkFactory& factory, const TrainerOptions& options);
 
+  // Reconstructs a trainer from a durable checkpoint (ckpt::TrainerState,
+  // typically from CheckpointManager::RestoreLatest). The state's seed and
+  // codec must match `options`; the rank count may differ — elastic
+  // restore remaps the per-rank error-feedback residuals:
+  //   - same count: imported verbatim (bit-equal resume);
+  //   - shrink (R1 < R0): new rank r sums old ranks o with o % R1 == r,
+  //     preserving total residual mass (the PR-5 renormalization idea
+  //     applied to persisted state);
+  //   - grow (R1 > R0): new rank r inherits old rank (r % R0)'s residual
+  //     scaled by R0/R1, again preserving total mass.
+  // Mid-epoch checkpoints resume at the exact batch cursor, so a
+  // same-rank-count restore continues bit-identically.
+  [[nodiscard]] static StatusOr<std::unique_ptr<SyncTrainer>> Restore(
+      const NetworkFactory& factory, const TrainerOptions& options,
+      const ckpt::TrainerState& state);
+
   // Runs `epochs` epochs over `train`, evaluating on `test` after each.
   // Appends to any previous training (the trainer is resumable).
   [[nodiscard]] StatusOr<std::vector<EpochMetrics>> Train(
@@ -115,12 +140,31 @@ class SyncTrainer {
   // Replica `rank`'s network (e.g. for invariant checks).
   Network& replica(int rank);
 
-  // Checkpointing: saves replica 0's parameters (all replicas are
+  // Stream checkpointing: saves replica 0's parameters (all replicas are
   // identical) / restores them into every replica. Optimizer momentum and
   // error-feedback residuals restart from zero, like CNTK's 1-bit
-  // checkpoint-restart.
+  // checkpoint-restart. Both calls verify the stream itself: a full disk,
+  // a truncated file, or any failbit/badbit condition yields a non-OK
+  // Status instead of a silent partial checkpoint.
   [[nodiscard]] Status SaveCheckpoint(std::ostream& os);
   [[nodiscard]] Status LoadCheckpoint(std::istream& is);
+
+  // Full durable-trainer state at the current commit point (epoch-boundary
+  // view: the epoch-local accumulators are zero). What the durable
+  // checkpoint cadence writes mid-epoch additionally carries the batch
+  // cursor and running loss/accuracy sums.
+  ckpt::TrainerState CaptureState() const;
+
+  // Writes a durable checkpoint right now through the configured
+  // CheckpointManager. FAILED_PRECONDITION when durable checkpointing is
+  // disabled. Call between Train() invocations (epoch boundaries), not
+  // mid-epoch.
+  [[nodiscard]] Status SaveDurableNow();
+
+  // Null when options().durable_checkpoint is disabled.
+  ckpt::CheckpointManager* checkpoint_manager() const {
+    return ckpt_manager_.get();
+  }
 
   int num_gpus() const { return options_.num_gpus; }
   // Ranks still participating: options_.num_gpus minus any ranks dropped
@@ -175,6 +219,28 @@ class SyncTrainer {
   Status Recover(const Status& failure, const Batch& batch,
                  double* loss_sum, int64_t* correct, int64_t* samples);
 
+  // Builds the CheckpointManager when durable checkpointing is enabled,
+  // auto-wrapping the storage in a FaultInjectingStorage when the fault
+  // plan carries storage verbs.
+  Status SetUpDurableCheckpoint();
+  // Snapshot of the full trainer state including the in-flight epoch
+  // accumulators (`cursor` = NextBatch calls consumed this epoch).
+  ckpt::TrainerState CaptureStateAt(double loss_sum, int64_t correct,
+                                    int64_t samples, int64_t cursor) const;
+  // Installs a decoded checkpoint into this trainer (params, momentum,
+  // residuals with elastic remap, aggregator state, counters, resume
+  // cursor). Fails without side effects on any shape/seed/codec mismatch.
+  Status ApplyState(const ckpt::TrainerState& state);
+  // Elastic residual remap described on Restore().
+  Status ImportResiduals(
+      const std::vector<std::vector<std::vector<float>>>& residuals);
+  // Post-commit hooks inside the epoch loop: durable save when the
+  // cadence hits, then the fault plan's kill@ verb (so the checkpoint at
+  // the kill iteration, if any, is already on disk when the process
+  // "dies").
+  Status AfterCommit(double loss_sum, int64_t correct, int64_t samples,
+                     int64_t cursor);
+
   TrainerOptions options_;
   std::vector<Network> replicas_;
   std::vector<std::vector<ParamRef>> replica_params_;  // [rank][matrix]
@@ -207,6 +273,17 @@ class SyncTrainer {
   // aggregator was built with.
   int live_gpus_ = 0;
   fault::FaultPlan active_plan_;
+  // Durable checkpointing (null when disabled).
+  std::unique_ptr<ckpt::CheckpointManager> ckpt_manager_;
+  // Mid-epoch resume markers set by ApplyState and consumed by the first
+  // epoch of the next Train() call: skip `resume_cursor_` NextBatch calls
+  // and seed the epoch accumulators so the resumed epoch is bit-identical
+  // to the uninterrupted one.
+  bool pending_resume_ = false;
+  int64_t resume_cursor_ = 0;
+  double resume_loss_sum_ = 0.0;
+  int64_t resume_correct_ = 0;
+  int64_t resume_samples_ = 0;
   RecoverySnapshot recovery_;
   // Batches committed since the last snapshot, replayed after a rollback.
   std::vector<Batch> replay_;

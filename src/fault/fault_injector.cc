@@ -23,6 +23,14 @@ const char* FaultKindName(FaultKind kind) {
       return "corrupt";
     case FaultKind::kRankCrash:
       return "crash";
+    case FaultKind::kTornWrite:
+      return "torn";
+    case FaultKind::kShortWrite:
+      return "shortwrite";
+    case FaultKind::kDiskFull:
+      return "enospc";
+    case FaultKind::kKill:
+      return "kill";
   }
   return "unknown";
 }
@@ -166,6 +174,12 @@ StatusOr<CommStats> FaultInjectingAggregator::AllReduce(
         break;
       case FaultKind::kRankCrash:
         break;  // handled above
+      case FaultKind::kTornWrite:
+      case FaultKind::kShortWrite:
+      case FaultKind::kDiskFull:
+        break;  // storage verbs: injected by ckpt::FaultInjectingStorage
+      case FaultKind::kKill:
+        break;  // process verb: honoured by SyncTrainer after the commit
     }
   }
   if (attempt < fail_budget) {

@@ -90,9 +90,10 @@ StatusOr<FaultPlan> FaultPlan::Parse(const std::string& text) {
           event.delay_seconds < 0.0) {
         return InvalidArgumentError(StrCat("bad straggle delay: ", raw));
       }
-    } else if (head == "fail" || head == "corrupt") {
-      event.kind = head == "fail" ? FaultKind::kTransientFail
-                                  : FaultKind::kCorruptWire;
+    } else if (head == "fail" || head == "corrupt" || head == "enospc") {
+      event.kind = head == "fail"      ? FaultKind::kTransientFail
+                   : head == "corrupt" ? FaultKind::kCorruptWire
+                                       : FaultKind::kDiskFull;
       const auto x = arg.find('x');
       if (x != std::string::npos) {
         const std::string count = arg.substr(x + 1);
@@ -124,8 +125,18 @@ StatusOr<FaultPlan> FaultPlan::Parse(const std::string& text) {
         return InvalidArgumentError(StrCat("bad crash rank: ", raw));
       }
       event.rank = static_cast<int>(parsed);
+    } else if (head == "torn" || head == "shortwrite" || head == "kill") {
+      event.kind = head == "torn"        ? FaultKind::kTornWrite
+                   : head == "shortwrite" ? FaultKind::kShortWrite
+                                          : FaultKind::kKill;
+      if (!ParseIteration(arg, &event.iteration)) {
+        return InvalidArgumentError(StrCat("bad fault iteration: ", raw));
+      }
     } else {
-      return InvalidArgumentError(StrCat("unrecognized fault: ", raw));
+      return InvalidArgumentError(
+          StrCat("unrecognized fault: ", raw,
+                 " (known: straggle, fail, corrupt, crash, torn, "
+                 "shortwrite, enospc, kill, seed=<n>)"));
     }
     plan.events.push_back(event);
   }
@@ -156,6 +167,21 @@ std::string FaultPlan::ToString() const {
         parts.push_back(
             StrCat("crash@", event.iteration, ":", event.rank));
         break;
+      case FaultKind::kTornWrite:
+        parts.push_back(StrCat("torn@", event.iteration));
+        break;
+      case FaultKind::kShortWrite:
+        parts.push_back(StrCat("shortwrite@", event.iteration));
+        break;
+      case FaultKind::kDiskFull:
+        parts.push_back(event.count == 1
+                            ? StrCat("enospc@", event.iteration)
+                            : StrCat("enospc@", event.iteration, "x",
+                                     event.count));
+        break;
+      case FaultKind::kKill:
+        parts.push_back(StrCat("kill@", event.iteration));
+        break;
     }
   }
   if (seed != FaultPlan{}.seed) {
@@ -173,10 +199,31 @@ FaultPlan FaultPlan::WithoutCrashes() const {
   return out;
 }
 
+bool FaultPlan::HasStorageFaults() const {
+  for (const FaultEvent& event : events) {
+    if (event.kind == FaultKind::kTornWrite ||
+        event.kind == FaultKind::kShortWrite ||
+        event.kind == FaultKind::kDiskFull) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::KillsAt(int64_t iteration) const {
+  for (const FaultEvent& event : events) {
+    if (event.kind == FaultKind::kKill && event.iteration == iteration) {
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 
 constexpr const char kRankCrashPrefix[] = "rank ";
 constexpr const char kRankCrashSuffix[] = " crashed";
+constexpr const char kProcessKillPrefix[] = "process killed at iteration ";
 
 }  // namespace
 
@@ -196,6 +243,15 @@ bool IsRankCrash(const Status& status, int* rank) {
   }
   if (rank != nullptr) *rank = static_cast<int>(parsed);
   return true;
+}
+
+Status ProcessKillError(int64_t iteration) {
+  return AbortedError(StrCat(kProcessKillPrefix, iteration));
+}
+
+bool IsProcessKill(const Status& status) {
+  return status.code() == StatusCode::kAborted &&
+         status.message().rfind(kProcessKillPrefix, 0) == 0;
 }
 
 }  // namespace fault

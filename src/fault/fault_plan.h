@@ -19,6 +19,15 @@ enum class FaultKind {
   kTransientFail,  // exchange fails, identical retry succeeds
   kCorruptWire,    // encoded bytes are corrupted in flight
   kRankCrash,      // a rank dies permanently at a given step
+  // Storage verbs, injected by ckpt::FaultInjectingStorage at the durable
+  // checkpoint write for the given iteration (not at the exchange):
+  kTornWrite,   // write "succeeds" but the bytes on disk are corrupted
+  kShortWrite,  // write "succeeds" but only a prefix reaches the disk
+  kDiskFull,    // write fails with a transient ENOSPC-style error
+  // Process verb, honoured by SyncTrainer: the whole process dies right
+  // after committing (and durably checkpointing, if the cadence aligns)
+  // the given iteration. Chaos tests restart from disk afterwards.
+  kKill,
 };
 
 // One scheduled fault. Events are keyed by the trainer iteration at which
@@ -52,8 +61,12 @@ struct FaultPlan {
   //   fail@<iter>x<count>         <count> consecutive failures at <iter>
   //   corrupt@<iter>[x<count>]    corrupted wire bytes at <iter>
   //   crash@<iter>:<rank>         rank <rank> dies at iteration <iter>
+  //   torn@<iter>                 checkpoint write at <iter> lands torn
+  //   shortwrite@<iter>           checkpoint write at <iter> lands truncated
+  //   enospc@<iter>[x<count>]     <count> ENOSPC failures at <iter>
+  //   kill@<iter>                 process dies after committing <iter>
   //   seed=<n>                    corruption-probe seed
-  // Example: "straggle@3:0.5;fail@5x2;corrupt@7;crash@9:1;seed=42"
+  // Example: "straggle@3:0.5;fail@5x2;torn@6;kill@9;seed=42"
   [[nodiscard]] static StatusOr<FaultPlan> Parse(const std::string& text);
 
   // Canonical text form; Parse(ToString()) reproduces the plan exactly.
@@ -62,6 +75,16 @@ struct FaultPlan {
   // The plan minus its rank-crash events: what the rebuilt aggregator runs
   // after degrade-to-survivors (the dead rank must not crash again).
   FaultPlan WithoutCrashes() const;
+
+  // True when any event is a storage verb (torn / shortwrite / enospc):
+  // the trainer wraps its checkpoint storage in a FaultInjectingStorage
+  // only in that case.
+  bool HasStorageFaults() const;
+
+  // The kill@ event scheduled at `iteration`, or -1 when none is. (Kill
+  // events fire after the iteration commits, so the trainer asks with the
+  // post-commit counter.)
+  bool KillsAt(int64_t iteration) const;
 };
 
 // The permanent-failure error a crashed rank raises, and its inverse: the
@@ -69,6 +92,13 @@ struct FaultPlan {
 // degrade-to-survivors path instead of the rollback-and-retry path.
 Status RankCrashError(int rank);
 bool IsRankCrash(const Status& status, int* rank);
+
+// The whole-process-death error a kill@ event raises, and its inverse. The
+// message is deliberately disjoint from RankCrashError so IsRankCrash never
+// routes a kill into the degrade-to-survivors path: a killed process is
+// restarted and restored from disk, not renormalized.
+Status ProcessKillError(int64_t iteration);
+bool IsProcessKill(const Status& status);
 
 }  // namespace fault
 }  // namespace lpsgd

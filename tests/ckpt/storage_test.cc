@@ -1,0 +1,210 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Storage layer: the POSIX implementation's durability protocol
+// primitives (synced write, atomic rename, listing) and the
+// fault-injecting wrapper's storage verbs (enospc budgets, torn pages,
+// short writes) keyed by iteration.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/fault_storage.h"
+#include "ckpt/storage.h"
+#include "fault/fault_plan.h"
+
+namespace lpsgd {
+namespace ckpt {
+namespace {
+
+std::string TestDir(const char* name) {
+  const std::string dir = JoinPath(::testing::TempDir(), name);
+  return dir;
+}
+
+TEST(PathTest, JoinPathInsertsExactlyOneSlash) {
+  EXPECT_EQ(JoinPath("a", "b"), "a/b");
+  EXPECT_EQ(JoinPath("a/", "b"), "a/b");
+  EXPECT_EQ(JoinPath("", "b"), "b");
+}
+
+TEST(PathTest, BasenameTakesTheFinalComponent) {
+  EXPECT_EQ(Basename("a/b/c.lpck"), "c.lpck");
+  EXPECT_EQ(Basename("c.lpck"), "c.lpck");
+  EXPECT_EQ(Basename("a/b/"), "");
+}
+
+TEST(PosixStorageTest, WriteReadRoundTrip) {
+  auto storage = MakePosixStorage();
+  const std::string dir = TestDir("posix_roundtrip");
+  ASSERT_TRUE(storage->CreateDir(dir).ok());
+  const std::string path = JoinPath(dir, "file.bin");
+  std::string payload = "hello\0world";  // embedded NUL survives
+  payload.push_back('\0');
+  ASSERT_TRUE(storage->WriteFileSynced(path, payload).ok());
+  auto read = storage->ReadFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read.value(), payload);
+  EXPECT_TRUE(storage->Exists(path));
+}
+
+TEST(PosixStorageTest, CreateDirMakesMissingParents) {
+  auto storage = MakePosixStorage();
+  const std::string dir = JoinPath(TestDir("posix_mkdirp"), "a/b/c");
+  ASSERT_TRUE(storage->CreateDir(dir).ok());
+  // Idempotent on the second call.
+  EXPECT_TRUE(storage->CreateDir(dir).ok());
+  EXPECT_TRUE(storage->WriteFileSynced(JoinPath(dir, "x"), "x").ok());
+}
+
+TEST(PosixStorageTest, MissingFileIsNotFound) {
+  auto storage = MakePosixStorage();
+  const std::string dir = TestDir("posix_missing");
+  ASSERT_TRUE(storage->CreateDir(dir).ok());
+  auto read = storage->ReadFile(JoinPath(dir, "no-such-file"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(storage->Exists(JoinPath(dir, "no-such-file")));
+}
+
+TEST(PosixStorageTest, AtomicRenameReplacesTheTarget) {
+  auto storage = MakePosixStorage();
+  const std::string dir = TestDir("posix_rename");
+  ASSERT_TRUE(storage->CreateDir(dir).ok());
+  const std::string from = JoinPath(dir, "f.tmp");
+  const std::string to = JoinPath(dir, "f");
+  ASSERT_TRUE(storage->WriteFileSynced(to, "old").ok());
+  ASSERT_TRUE(storage->WriteFileSynced(from, "new").ok());
+  ASSERT_TRUE(storage->AtomicRename(from, to).ok());
+  auto read = storage->ReadFile(to);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "new");
+  EXPECT_FALSE(storage->Exists(from));
+}
+
+TEST(PosixStorageTest, ListReturnsNamesNotPaths) {
+  auto storage = MakePosixStorage();
+  const std::string dir = TestDir("posix_list");
+  ASSERT_TRUE(storage->CreateDir(dir).ok());
+  ASSERT_TRUE(storage->WriteFileSynced(JoinPath(dir, "one"), "1").ok());
+  ASSERT_TRUE(storage->WriteFileSynced(JoinPath(dir, "two"), "2").ok());
+  auto names = storage->List(dir);
+  ASSERT_TRUE(names.ok()) << names.status();
+  bool saw_one = false, saw_two = false;
+  for (const std::string& name : names.value()) {
+    EXPECT_EQ(name.find('/'), std::string::npos) << name;
+    if (name == "one") saw_one = true;
+    if (name == "two") saw_two = true;
+  }
+  EXPECT_TRUE(saw_one);
+  EXPECT_TRUE(saw_two);
+}
+
+TEST(PosixStorageTest, RemoveDeletesAndMissingRemoveIsNotFound) {
+  auto storage = MakePosixStorage();
+  const std::string dir = TestDir("posix_remove");
+  ASSERT_TRUE(storage->CreateDir(dir).ok());
+  const std::string path = JoinPath(dir, "victim");
+  ASSERT_TRUE(storage->WriteFileSynced(path, "v").ok());
+  ASSERT_TRUE(storage->Remove(path).ok());
+  EXPECT_FALSE(storage->Exists(path));
+  EXPECT_EQ(storage->Remove(path).code(), StatusCode::kNotFound);
+}
+
+FaultInjectingStorage MakeFaulty(const char* plan_text) {
+  auto plan = fault::FaultPlan::Parse(plan_text);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return FaultInjectingStorage(MakePosixStorage(), *plan);
+}
+
+TEST(FaultInjectingStorageTest, EnospcBudgetConsumesAttempts) {
+  FaultInjectingStorage storage = MakeFaulty("enospc@3x2");
+  const std::string dir = TestDir("faulty_enospc");
+  ASSERT_TRUE(storage.CreateDir(dir).ok());
+  const std::string path = JoinPath(dir, "ckpt-3.lpck.tmp");
+  storage.SetFaultContext(3);
+  // First two attempts fail UNAVAILABLE, the third lands.
+  EXPECT_EQ(storage.WriteFileSynced(path, "data").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(storage.WriteFileSynced(path, "data").code(),
+            StatusCode::kUnavailable);
+  ASSERT_TRUE(storage.WriteFileSynced(path, "data").ok());
+  EXPECT_EQ(storage.injected(), 2);
+  auto read = storage.ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "data");
+}
+
+TEST(FaultInjectingStorageTest, TornWriteSilentlyCorruptsTheBytes) {
+  FaultInjectingStorage storage = MakeFaulty("torn@5;seed=11");
+  const std::string dir = TestDir("faulty_torn");
+  ASSERT_TRUE(storage.CreateDir(dir).ok());
+  const std::string path = JoinPath(dir, "ckpt-5.lpck.tmp");
+  storage.SetFaultContext(5);
+  const std::string payload(256, 'x');
+  // The lie: the write reports success...
+  ASSERT_TRUE(storage.WriteFileSynced(path, payload).ok());
+  EXPECT_EQ(storage.injected(), 1);
+  // ...but the bytes on disk differ (same length, damaged middle).
+  auto read = storage.ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().size(), payload.size());
+  EXPECT_NE(read.value(), payload);
+}
+
+TEST(FaultInjectingStorageTest, TornWriteIsDeterministicInSeed) {
+  const std::string dir = TestDir("faulty_torn_det");
+  std::string first, second;
+  for (std::string* out : {&first, &second}) {
+    FaultInjectingStorage storage = MakeFaulty("torn@5;seed=11");
+    ASSERT_TRUE(storage.CreateDir(dir).ok());
+    const std::string path = JoinPath(dir, "ckpt-5.lpck.tmp");
+    storage.SetFaultContext(5);
+    ASSERT_TRUE(storage.WriteFileSynced(path, std::string(256, 'x')).ok());
+    auto read = storage.ReadFile(path);
+    ASSERT_TRUE(read.ok());
+    *out = read.value();
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjectingStorageTest, ShortWritePersistsHalfThePayload) {
+  FaultInjectingStorage storage = MakeFaulty("shortwrite@2");
+  const std::string dir = TestDir("faulty_short");
+  ASSERT_TRUE(storage.CreateDir(dir).ok());
+  const std::string path = JoinPath(dir, "ckpt-2.lpck.tmp");
+  storage.SetFaultContext(2);
+  const std::string payload(100, 'y');
+  ASSERT_TRUE(storage.WriteFileSynced(path, payload).ok());
+  EXPECT_EQ(storage.injected(), 1);
+  auto read = storage.ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().size(), payload.size() / 2);
+}
+
+TEST(FaultInjectingStorageTest, OtherIterationsAndManifestPassThrough) {
+  FaultInjectingStorage storage = MakeFaulty("torn@5");
+  const std::string dir = TestDir("faulty_passthrough");
+  ASSERT_TRUE(storage.CreateDir(dir).ok());
+  // Wrong iteration: clean write.
+  storage.SetFaultContext(4);
+  const std::string data_path = JoinPath(dir, "ckpt-4.lpck.tmp");
+  ASSERT_TRUE(storage.WriteFileSynced(data_path, "clean").ok());
+  auto read = storage.ReadFile(data_path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "clean");
+  // Right iteration but not a checkpoint data file: the manifest is
+  // never damaged.
+  storage.SetFaultContext(5);
+  const std::string manifest = JoinPath(dir, "MANIFEST.tmp");
+  ASSERT_TRUE(storage.WriteFileSynced(manifest, "manifest").ok());
+  read = storage.ReadFile(manifest);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "manifest");
+  EXPECT_EQ(storage.injected(), 0);
+}
+
+}  // namespace
+}  // namespace ckpt
+}  // namespace lpsgd

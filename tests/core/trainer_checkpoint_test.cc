@@ -114,6 +114,43 @@ TEST(TrainerCheckpointTest, RejectsMismatchedArchitecture) {
   EXPECT_FALSE((*other)->LoadCheckpoint(checkpoint).ok());
 }
 
+// Regression (ISSUE: durable checkpointing, hardened stream I/O): a
+// checkpoint truncated anywhere — header, tensor payload, or the final
+// bytes — must fail LoadCheckpoint with a non-OK status, never load a
+// half-restored model. Exercises the short-read detection on the stream
+// path.
+TEST(TrainerCheckpointTest, TruncatedCheckpointIsRejected) {
+  auto source = SyncTrainer::Create(Factory(), Options(FullPrecisionSpec()));
+  ASSERT_TRUE(source.ok());
+  std::stringstream checkpoint;
+  ASSERT_TRUE((*source)->SaveCheckpoint(checkpoint).ok());
+  const std::string bytes = checkpoint.str();
+  ASSERT_FALSE(bytes.empty());
+
+  // A spread of strict prefixes, including the pathological 0- and 1-byte
+  // files and a cut one byte short of complete.
+  const size_t cuts[] = {0, 1, 4, bytes.size() / 2, bytes.size() - 1};
+  for (const size_t cut : cuts) {
+    SCOPED_TRACE(cut);
+    auto fresh = SyncTrainer::Create(Factory(), Options(FullPrecisionSpec()));
+    ASSERT_TRUE(fresh.ok());
+    std::stringstream truncated(bytes.substr(0, cut));
+    const Status loaded = (*fresh)->LoadCheckpoint(truncated);
+    EXPECT_FALSE(loaded.ok())
+        << "a truncated checkpoint (cut at " << cut << ") must not load";
+  }
+}
+
+// A stream that enters the failed state mid-write surfaces as a non-OK
+// SaveCheckpoint, not a silently short checkpoint.
+TEST(TrainerCheckpointTest, FailedStreamFailsSave) {
+  auto source = SyncTrainer::Create(Factory(), Options(FullPrecisionSpec()));
+  ASSERT_TRUE(source.ok());
+  std::stringstream sink;
+  sink.setstate(std::ios::badbit);
+  EXPECT_FALSE((*source)->SaveCheckpoint(sink).ok());
+}
+
 // Trainer epochs are resumable even without checkpoints: Train() twice is
 // equivalent to one longer Train() (epoch counters and shuffles line up).
 TEST(TrainerResumabilityTest, SplitTrainingMatchesContinuous) {

@@ -122,6 +122,113 @@ TEST(FaultPlanTest, WithoutCrashesDropsOnlyCrashEvents) {
   EXPECT_EQ(survivors.seed, 5u) << "seed must survive the crash filter";
 }
 
+// Storage verbs (ISSUE: durable checkpointing): torn@, shortwrite@,
+// enospc@[xN], and kill@ parse, round-trip through ToString, and the
+// helpers the checkpoint layer keys off them report correctly.
+TEST(FaultPlanTest, ParsesStorageAndKillDirectives) {
+  auto plan = FaultPlan::Parse("torn@4;shortwrite@6;enospc@8x3;kill@10");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->events.size(), 4u);
+
+  EXPECT_EQ(plan->events[0].kind, FaultKind::kTornWrite);
+  EXPECT_EQ(plan->events[0].iteration, 4);
+
+  EXPECT_EQ(plan->events[1].kind, FaultKind::kShortWrite);
+  EXPECT_EQ(plan->events[1].iteration, 6);
+
+  EXPECT_EQ(plan->events[2].kind, FaultKind::kDiskFull);
+  EXPECT_EQ(plan->events[2].iteration, 8);
+  EXPECT_EQ(plan->events[2].count, 3);
+
+  EXPECT_EQ(plan->events[3].kind, FaultKind::kKill);
+  EXPECT_EQ(plan->events[3].iteration, 10);
+}
+
+TEST(FaultPlanTest, StorageDirectivesRoundTripExactly) {
+  const std::string specs[] = {
+      "torn@4",
+      "shortwrite@0",
+      "enospc@8",
+      "enospc@8x3",
+      "kill@10",
+      "torn@4;shortwrite@6;enospc@8x3;kill@10;seed=9",
+      "fail@2x2;torn@4;crash@6:1;kill@8",
+  };
+  for (const std::string& spec : specs) {
+    SCOPED_TRACE(spec);
+    auto plan = FaultPlan::Parse(spec);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_EQ(plan->ToString(), spec);
+  }
+}
+
+TEST(FaultPlanTest, RejectsMalformedStorageDirectivesNamingTheToken) {
+  // Each rejection message must carry the offending token so a long
+  // plan's error is actionable.
+  const std::pair<std::string, std::string> bad[] = {
+      {"torn", "torn"},                 // missing @<iter>
+      {"torn@", "torn@"},               // missing iteration
+      {"torn@-1", "torn@-1"},           // negative iteration
+      {"torn@4x2", "torn@4x2"},         // torn takes no count
+      {"shortwrite@", "shortwrite@"},   // missing iteration
+      {"shortwrite@2x2", "shortwrite@2x2"},  // no count allowed
+      {"enospc@3x0", "enospc@3x0"},     // zero count
+      {"enospc@3x-2", "enospc@3x-2"},   // negative count
+      {"kill@", "kill@"},               // missing iteration
+      {"kill@1:2", "kill@1:2"},         // kill takes no argument
+      {"kill@banana", "kill@banana"},   // non-numeric iteration
+  };
+  for (const auto& [spec, token] : bad) {
+    SCOPED_TRACE(spec);
+    auto plan = FaultPlan::Parse(spec);
+    ASSERT_FALSE(plan.ok());
+    EXPECT_NE(plan.status().message().find(token), std::string::npos)
+        << "rejection \"" << plan.status().message()
+        << "\" does not name the offending token";
+  }
+}
+
+TEST(FaultPlanTest, UnknownVerbRejectionListsTheKnownVerbs) {
+  auto plan = FaultPlan::Parse("explode@3");
+  ASSERT_FALSE(plan.ok());
+  const std::string message(plan.status().message());
+  EXPECT_NE(message.find("explode@3"), std::string::npos);
+  for (const char* verb : {"torn", "shortwrite", "enospc", "kill"}) {
+    EXPECT_NE(message.find(verb), std::string::npos)
+        << "error should advertise the new verb " << verb;
+  }
+}
+
+TEST(FaultPlanTest, StorageAndKillHelpers) {
+  auto plan = FaultPlan::Parse("torn@4;kill@10");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->HasStorageFaults());
+  EXPECT_TRUE(plan->KillsAt(10));
+  EXPECT_FALSE(plan->KillsAt(4));
+
+  auto exchange_only = FaultPlan::Parse("fail@2;crash@4:0;kill@6");
+  ASSERT_TRUE(exchange_only.ok());
+  EXPECT_FALSE(exchange_only->HasStorageFaults())
+      << "kill is a process fault, not a storage fault";
+
+  auto storage_only = FaultPlan::Parse("enospc@2x2;shortwrite@4");
+  ASSERT_TRUE(storage_only.ok());
+  EXPECT_TRUE(storage_only->HasStorageFaults());
+  EXPECT_FALSE(storage_only->KillsAt(2));
+}
+
+TEST(FaultPlanTest, ProcessKillErrorRoundTrips) {
+  const Status killed = ProcessKillError(7);
+  EXPECT_FALSE(killed.ok());
+  EXPECT_TRUE(IsProcessKill(killed));
+  // Disjoint from the rank-crash channel even though both are ABORTED.
+  int rank = -1;
+  EXPECT_FALSE(IsRankCrash(killed, &rank));
+  EXPECT_FALSE(IsProcessKill(RankCrashError(7)));
+  EXPECT_FALSE(IsProcessKill(OkStatus()));
+  EXPECT_FALSE(IsProcessKill(AbortedError("unrelated")));
+}
+
 TEST(FaultPlanTest, RankCrashErrorRoundTrips) {
   const Status crash = RankCrashError(3);
   EXPECT_FALSE(crash.ok());

@@ -1,0 +1,236 @@
+// Copyright 2026 The LPSGD Authors. Licensed under the Apache License 2.0.
+//
+// Checkpoint-reader fuzz harness: arbitrary bytes through
+// ckpt::Deserialize. The contract under test is the one format.h pins
+// for the durable wire format: EVERY malformed input — truncated,
+// bit-flipped, hostile counts, trailing garbage — must return DATA_LOSS
+// with bounded allocation, never crash, hang, OOM, or return OK for
+// damaged bytes (the harness runs under ASan+UBSan in CI).
+//
+// Two build modes share FuzzOne():
+//  * -DLPSGD_USE_LIBFUZZER (clang only): a libFuzzer entry point,
+//    `cmake -DLPSGD_FUZZER=ON` + `ckpt_decode_fuzz corpus/`.
+//  * default (any compiler, what CI's ctest runs): a standalone driver
+//    that replays a built-in seed corpus — valid checkpoints serialized
+//    in-process — then hammers FuzzOne with seeded deterministic
+//    mutations of those seeds (`--runs N`, default 12000).
+//    `--write_seed_corpus <dir>` exports the seeds for libFuzzer runs.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "ckpt/format.h"
+
+namespace {
+
+// The single input-processing function both build modes exercise. A
+// non-OK decode must be DATA_LOSS — the restore path's fallback logic
+// keys off that one code — and any other outcome aborts the process so
+// the fuzzer registers a finding.
+void FuzzOne(const uint8_t* data, size_t size) {
+  lpsgd::StatusOr<lpsgd::ckpt::TrainerState> decoded =
+      lpsgd::ckpt::Deserialize(data, size);
+  if (!decoded.ok() &&
+      decoded.status().code() != lpsgd::StatusCode::kDataLoss) {
+    std::fprintf(stderr,
+                 "ckpt_decode_fuzz: non-DATA_LOSS failure on %zu bytes: %s\n",
+                 size, decoded.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace
+
+#if defined(LPSGD_USE_LIBFUZZER)
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  FuzzOne(data, size);
+  return 0;
+}
+
+#else  // standalone deterministic driver
+
+#include <fstream>
+#include <random>
+
+namespace {
+
+// Golden seeds: valid serialized checkpoints of varying shape — a full
+// state with residuals and aggregator payloads, a minimal empty one, and
+// a large-tensor one — so mutations start inside the accept path instead
+// of dying at the magic check.
+std::vector<std::vector<uint8_t>> BuildSeedInputs() {
+  using lpsgd::ckpt::TrainerState;
+  std::vector<TrainerState> states;
+
+  TrainerState full;
+  full.seed = 42;
+  full.codec = "qsgd4:512";
+  full.rank_count = 4;
+  full.iteration = 17;
+  full.epochs_completed = 2;
+  full.epoch_batch_cursor = 3;
+  full.epoch_loss_sum = 1.25;
+  full.epoch_correct = 96;
+  full.epoch_samples = 128;
+  full.virtual_seconds = 0.75;
+  full.params.push_back({"fc1/w", {3, 2}, {1, 2, 3, 4, 5, 6}});
+  full.params.push_back({"fc1/b", {2}, {0.5F, -0.5F}});
+  full.optimizer.push_back({"fc1/w", {3, 2}, {6, 5, 4, 3, 2, 1}});
+  full.residuals = {{{0.1F, 0.2F}, {0.3F}},
+                    {{-0.1F, -0.2F}, {-0.3F}},
+                    {{0.0F, 0.0F}, {0.0F}},
+                    {{1.0F, 1.0F}, {1.0F}}};
+  full.aggregator_state = {{0.5F, 0.5F}, {0.25F}};
+  full.rng_streams = {{"init", 42}, {"shuffle", 42 ^ 0xdadaULL}};
+  states.push_back(full);
+
+  TrainerState minimal;
+  minimal.seed = 1;
+  minimal.codec = "fp32";
+  minimal.rank_count = 1;
+  states.push_back(minimal);
+
+  TrainerState big;
+  big.seed = 3;
+  big.codec = "topk:0.1";
+  big.rank_count = 2;
+  big.iteration = 1000;
+  lpsgd::ckpt::TensorEntry tensor;
+  tensor.name = "conv/w";
+  tensor.dims = {16, 16};
+  tensor.data.assign(256, 0.125F);
+  big.params.push_back(tensor);
+  states.push_back(big);
+
+  std::vector<std::vector<uint8_t>> seeds;
+  for (const TrainerState& state : states) {
+    const std::string bytes = lpsgd::ckpt::Serialize(state);
+    seeds.emplace_back(bytes.begin(), bytes.end());
+  }
+  // Degenerate inputs: empty, one byte, magic-only.
+  seeds.push_back({});
+  seeds.push_back({0x4b});
+  seeds.push_back({0x4b, 0x43, 0x50, 0x4c});
+  return seeds;
+}
+
+void Mutate(std::mt19937_64* rng, std::vector<uint8_t>* input) {
+  const int ops = 1 + static_cast<int>((*rng)() % 8);
+  for (int op = 0; op < ops; ++op) {
+    switch ((*rng)() % 6) {
+      case 0:  // flip one bit
+        if (!input->empty()) {
+          (*input)[(*rng)() % input->size()] ^=
+              static_cast<uint8_t>(1U << ((*rng)() % 8));
+        }
+        break;
+      case 1:  // rewrite one byte
+        if (!input->empty()) {
+          (*input)[(*rng)() % input->size()] =
+              static_cast<uint8_t>((*rng)());
+        }
+        break;
+      case 2:  // truncate
+        if (!input->empty()) {
+          input->resize((*rng)() % input->size());
+        }
+        break;
+      case 3: {  // extend with junk
+        const size_t extra = (*rng)() % 64;
+        for (size_t i = 0; i < extra; ++i) {
+          input->push_back(static_cast<uint8_t>((*rng)()));
+        }
+        break;
+      }
+      case 4:  // overwrite a span with 0xff (hostile lengths/counts)
+        if (!input->empty()) {
+          size_t begin = (*rng)() % input->size();
+          size_t len = 1 + (*rng)() % 16;
+          for (size_t i = begin; i < input->size() && i < begin + len; ++i) {
+            (*input)[i] = 0xff;
+          }
+        }
+        break;
+      default:  // duplicate a span onto another position
+        if (input->size() > 8) {
+          const size_t from = (*rng)() % (input->size() - 4);
+          const size_t to = (*rng)() % (input->size() - 4);
+          for (size_t i = 0; i < 4; ++i) (*input)[to + i] = (*input)[from + i];
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t runs = 12000;
+  std::string corpus_dir;
+  std::string write_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--runs" && i + 1 < argc) {
+      runs = std::atoll(argv[++i]);
+    } else if (arg == "--corpus" && i + 1 < argc) {
+      corpus_dir = argv[++i];
+    } else if (arg == "--write_seed_corpus" && i + 1 < argc) {
+      write_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: ckpt_decode_fuzz [--runs N] [--corpus dir] "
+                   "[--write_seed_corpus dir]\n");
+      return 2;
+    }
+  }
+
+  std::vector<std::vector<uint8_t>> seeds = BuildSeedInputs();
+  if (!write_dir.empty()) {
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      const std::string path =
+          write_dir + "/seed_" + std::to_string(i) + ".bin";
+      std::ofstream out(path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 2;
+      }
+      out.write(reinterpret_cast<const char*>(seeds[i].data()),
+                static_cast<std::streamsize>(seeds[i].size()));
+    }
+    std::printf("ckpt_decode_fuzz: wrote %zu seed(s) to %s\n",
+                seeds.size(), write_dir.c_str());
+    return 0;
+  }
+  if (!corpus_dir.empty()) {
+    // Extra corpus entries are replayed verbatim alongside the built-ins.
+    for (size_t i = 0;; ++i) {
+      std::ifstream in(corpus_dir + "/seed_" + std::to_string(i) + ".bin",
+                       std::ios::binary);
+      if (!in) break;
+      seeds.emplace_back(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+    }
+  }
+
+  int64_t executed = 0;
+  for (const std::vector<uint8_t>& seed : seeds) {
+    FuzzOne(seed.data(), seed.size());
+    ++executed;
+  }
+  std::mt19937_64 rng(0xcec4b10b);
+  while (executed < runs) {
+    std::vector<uint8_t> input = seeds[rng() % seeds.size()];
+    Mutate(&rng, &input);
+    FuzzOne(input.data(), input.size());
+    ++executed;
+  }
+  std::printf("ckpt_decode_fuzz: %lld input(s) executed, no crashes\n",
+              static_cast<long long>(executed));
+  return 0;
+}
+
+#endif  // LPSGD_USE_LIBFUZZER

@@ -198,6 +198,54 @@ TEST(SimdConfinementTest, ScopedToLibraryCode) {
   EXPECT_EQ(CountRule(issues, "simd-hot-path"), 0);
 }
 
+// The cold-path rule (ISSUE: durable checkpointing): src/ckpt/ must stay
+// LPSGD_HOT_PATH-free — checkpoint I/O is between-iteration work, and a
+// marker there would drag fsync-adjacent code under the hot-path alloc
+// rule while advertising perf guarantees the subsystem does not make.
+TEST(ColdPathMarkerTest, HotPathMarkerInCkptIsFlagged) {
+  const std::string contents =
+      "LPSGD_HOT_PATH void Publish() { DoWrite(); }\n";
+  EXPECT_EQ(CountRule(LintFileContents("src/ckpt/foo.cc", contents,
+                                       LintOptions{}),
+                      "cold-path-marker"),
+            1);
+  EXPECT_EQ(CountRule(LintFileContents("src/ckpt/foo.h", contents,
+                                       LintOptions{}),
+                      "cold-path-marker"),
+            1);
+}
+
+TEST(ColdPathMarkerTest, ScopedToColdDirectoriesInSrc) {
+  const std::string contents =
+      "LPSGD_HOT_PATH void Encode() { Work(); }\n";
+  // The marker is the whole point everywhere else in src/.
+  EXPECT_EQ(CountRule(LintFileContents("src/quant/foo.cc", contents,
+                                       LintOptions{}),
+                      "cold-path-marker"),
+            0);
+  // Tests and tools are out of scope.
+  EXPECT_EQ(CountRule(LintFileContents("tests/ckpt/foo.cc", contents,
+                                       LintOptions{}),
+                      "cold-path-marker"),
+            0);
+}
+
+TEST(ColdPathMarkerTest, MarkerInCommentOrSuppressedIsIgnored) {
+  EXPECT_EQ(CountRule(LintFileContents(
+                          "src/ckpt/foo.cc",
+                          "// LPSGD_HOT_PATH is deliberately absent here\n",
+                          LintOptions{}),
+                      "cold-path-marker"),
+            0);
+  EXPECT_EQ(CountRule(LintFileContents(
+                          "src/ckpt/foo.cc",
+                          "// lpsgd-lint: allow(cold-path-marker) why\n"
+                          "LPSGD_HOT_PATH void F() { G(); }\n",
+                          LintOptions{}),
+                      "cold-path-marker"),
+            0);
+}
+
 TEST(SelfContainmentTest, GoodHeaderPasses) {
   auto issues = CheckHeaderSelfContained(
       FixturePath("self_contained_good.h"), "self_contained_good.h",

@@ -88,6 +88,12 @@ const std::pair<const char*, int> kRequiredHotPathMarkers[] = {
     {"src/base/simd/elementwise_simd.cc", 13},
 };
 
+// Directories that are cold-path by contract: durable checkpointing runs
+// between training iterations (serialize + fsync + rename), never inside
+// the per-iteration exchange, so an LPSGD_HOT_PATH marker under these
+// prefixes is a design violation, not an optimization.
+const char* const kHotPathFreeDirs[] = {"src/ckpt/"};
+
 // Vector-intrinsics confinement: the only files allowed to touch raw
 // intrinsics are the per-ISA kernel TUs (basename *_simd.cc) and the .inc
 // helper fragments they textually include. Everything else goes through
@@ -128,6 +134,29 @@ void CheckHotRegions(std::string_view stripped, const Emitter& emit) {
       emit.Emit(region.begin + site.offset, "hot-path-alloc",
                 site.message + " inside an LPSGD_HOT_PATH region");
     }
+  }
+}
+
+void CheckColdPathMarkers(const std::string& path,
+                          std::string_view stripped, const Emitter& emit) {
+  bool cold = false;
+  for (const char* dir : kHotPathFreeDirs) {
+    if (path.find(dir) != std::string::npos) {
+      cold = true;
+      break;
+    }
+  }
+  if (!cold) return;
+  const std::string& marker = srctext::HotPathMarker();
+  size_t pos = 0;
+  while ((pos = stripped.find(marker, pos)) != std::string_view::npos) {
+    if (IsWholeWord(stripped, pos, marker.size())) {
+      emit.Emit(pos, "cold-path-marker",
+                marker + " in a cold-path directory (durable checkpoint "
+                         "I/O runs between iterations; marking it hot "
+                         "falsely advertises steady-state guarantees)");
+    }
+    pos += marker.size();
   }
 }
 
@@ -285,6 +314,9 @@ std::vector<LintIssue> LintFileContents(const std::string& path,
   const bool in_tools = path.find("tools/") != std::string::npos;
 
   if (options.hot_path_allocations) CheckHotRegions(stripped, emit);
+  if (options.hot_path_allocations && in_src) {
+    CheckColdPathMarkers(path, stripped, emit);
+  }
   if (options.banned_includes && in_src) CheckBannedIncludes(stripped, emit);
   if (options.banned_functions && (in_src || in_tools)) {
     CheckBannedFunctions(stripped, emit);

@@ -29,6 +29,13 @@
 //                          least their required number of LPSGD_HOT_PATH
 //                          markers, so the alloc rule cannot be silently
 //                          disabled by deleting a marker.
+//  * cold-path-marker    — the inverse: directories that are cold-path by
+//                          design (src/ckpt/ — durable checkpoint I/O runs
+//                          between iterations, never inside an exchange)
+//                          must stay LPSGD_HOT_PATH-free. A marker there
+//                          would falsely advertise steady-state perf
+//                          guarantees and drag fsync-adjacent code under
+//                          the zero-allocation rule it cannot meet.
 //  * simd-include-confined / simd-hot-path — raw vector intrinsics are
 //                          confined to the per-ISA kernel TUs (basename
 //                          *_simd.cc) and the .inc lane-helper fragments
